@@ -1,0 +1,211 @@
+//! The supermarket-model fluid limit (Mitzenmacher).
+//!
+//! The paper builds on Mitzenmacher's analysis of the `d`-choice
+//! ("k-subset") system, whose fluid limit as `n → ∞` is the coupled ODE
+//! over tail fractions `s_i(t)` (share of servers with queue length ≥ i):
+//!
+//! `ds_i/dt = λ·(s_(i-1)^d − s_i^d) − (s_i − s_(i+1))`, with `s_0 = 1`.
+//!
+//! Its fixed point is the famous doubly-exponential tail
+//! `s_i = λ^((d^i − 1)/(d − 1))`, and the mean response time follows from
+//! Little's law: `T = Σ_(i≥1) s_i / λ`. With `d = 1` this collapses to the
+//! M/M/1 geometric tail.
+//!
+//! These formulas apply to the *fresh-information* system (update delay
+//! → 0), giving the analytic anchor for the left edge of the paper's
+//! figures; the simulator must (and does — see
+//! `tests/fluid_validation.rs`) agree there.
+
+/// Equilibrium tail fractions `s_1..=s_max_len` of the `d`-choice fluid
+/// limit at per-server load `λ`.
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `λ ∉ (0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use staleload_analytic::supermarket_equilibrium;
+///
+/// let tail = supermarket_equilibrium(2, 0.9, 16);
+/// // Doubly exponential: s_1 = 0.9, s_2 = 0.9^3, s_3 = 0.9^7 …
+/// assert!((tail[0] - 0.9f64).abs() < 1e-12);
+/// assert!((tail[1] - 0.9f64.powi(3)).abs() < 1e-12);
+/// assert!((tail[2] - 0.9f64.powi(7)).abs() < 1e-12);
+/// ```
+pub fn supermarket_equilibrium(d: usize, lambda: f64, max_len: usize) -> Vec<f64> {
+    assert!(d > 0, "need at least one choice");
+    assert!(lambda > 0.0 && lambda < 1.0, "load must be in (0, 1), got {lambda}");
+    let mut out = Vec::with_capacity(max_len);
+    let mut exponent = 1.0; // (d^i − 1)/(d − 1) built incrementally
+    for _ in 0..max_len {
+        out.push(lambda.powf(exponent));
+        exponent = exponent * d as f64 + 1.0;
+        if exponent > 1e6 {
+            // The tail is already below any representable probability.
+            exponent = 1e6;
+        }
+    }
+    out
+}
+
+/// Mean response time of the `d`-choice fluid limit at load `λ`
+/// (`T = Σ s_i / λ` by Little's law; `d = 1` gives `1/(1−λ)`).
+///
+/// # Panics
+///
+/// Panics if `d == 0` or `λ ∉ (0, 1)`.
+pub fn supermarket_mean_response(d: usize, lambda: f64) -> f64 {
+    let tail = supermarket_equilibrium(d, lambda, 512);
+    let mean_queue: f64 = tail.iter().take_while(|&&s| s > 1e-18).sum();
+    mean_queue / lambda
+}
+
+/// Numerical integrator for the supermarket fluid ODE.
+///
+/// Evolves the truncated tail vector `s_1..s_L` with classic fourth-order
+/// Runge–Kutta. Used to check that the closed-form equilibrium is the
+/// attractor (and available for transient analyses, e.g. how fast an empty
+/// system fills).
+#[derive(Debug, Clone)]
+pub struct SupermarketFluid {
+    d: usize,
+    lambda: f64,
+    truncation: usize,
+}
+
+impl SupermarketFluid {
+    /// Creates the model with tail truncation length `truncation`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `λ ∉ (0, 1)`, or `truncation == 0`.
+    pub fn new(d: usize, lambda: f64, truncation: usize) -> Self {
+        assert!(d > 0, "need at least one choice");
+        assert!(lambda > 0.0 && lambda < 1.0, "load must be in (0, 1), got {lambda}");
+        assert!(truncation > 0, "need a positive truncation length");
+        Self { d, lambda, truncation }
+    }
+
+    fn derivative(&self, s: &[f64], out: &mut [f64]) {
+        let d = self.d as i32;
+        for i in 0..s.len() {
+            let below = if i == 0 { 1.0 } else { s[i - 1] };
+            let above = if i + 1 < s.len() { s[i + 1] } else { 0.0 };
+            out[i] = self.lambda * (below.powi(d) - s[i].powi(d)) - (s[i] - above);
+        }
+    }
+
+    /// Integrates from `initial` (tail fractions `s_1..`) for `t_end` time
+    /// with step `dt`, returning the final state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial.len() != truncation` or `dt <= 0`.
+    pub fn integrate(&self, initial: &[f64], t_end: f64, dt: f64) -> Vec<f64> {
+        assert_eq!(initial.len(), self.truncation, "state length must match truncation");
+        assert!(dt > 0.0, "need a positive step");
+        let l = self.truncation;
+        let mut s = initial.to_vec();
+        let (mut k1, mut k2, mut k3, mut k4) = (vec![0.0; l], vec![0.0; l], vec![0.0; l], vec![0.0; l]);
+        let mut tmp = vec![0.0; l];
+        let steps = (t_end / dt).ceil() as usize;
+        for _ in 0..steps {
+            self.derivative(&s, &mut k1);
+            for i in 0..l {
+                tmp[i] = s[i] + 0.5 * dt * k1[i];
+            }
+            self.derivative(&tmp, &mut k2);
+            for i in 0..l {
+                tmp[i] = s[i] + 0.5 * dt * k2[i];
+            }
+            self.derivative(&tmp, &mut k3);
+            for i in 0..l {
+                tmp[i] = s[i] + dt * k3[i];
+            }
+            self.derivative(&tmp, &mut k4);
+            for i in 0..l {
+                s[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+                // Tail fractions are monotone probabilities; clamp the
+                // integrator's rounding drift.
+                s[i] = s[i].clamp(0.0, 1.0);
+            }
+        }
+        s
+    }
+
+    /// Mean queue length of a state (Σ s_i).
+    pub fn mean_queue(state: &[f64]) -> f64 {
+        state.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d1_equilibrium_is_geometric() {
+        let tail = supermarket_equilibrium(1, 0.5, 10);
+        for (i, &s) in tail.iter().enumerate() {
+            assert!((s - 0.5f64.powi(i as i32 + 1)).abs() < 1e-12);
+        }
+        assert!((supermarket_mean_response(1, 0.5) - 2.0).abs() < 1e-9);
+        assert!((supermarket_mean_response(1, 0.9) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn d2_tail_is_doubly_exponential() {
+        let tail = supermarket_equilibrium(2, 0.9, 8);
+        let expect = [1, 3, 7, 15, 31, 63, 127, 255];
+        for (s, &e) in tail.iter().zip(&expect) {
+            assert!((s - 0.9f64.powi(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_choices_collapse_the_response_time() {
+        // The power of two choices: at λ = 0.9, T drops from 10 to ~2.6.
+        let t1 = supermarket_mean_response(1, 0.9);
+        let t2 = supermarket_mean_response(2, 0.9);
+        let t3 = supermarket_mean_response(3, 0.9);
+        assert!((t1 - 10.0).abs() < 1e-6);
+        assert!((t2 - 2.61).abs() < 0.02, "{t2}");
+        assert!(t3 < t2 && t2 < t1);
+    }
+
+    #[test]
+    fn ode_converges_to_equilibrium_from_empty() {
+        for d in [1usize, 2, 3] {
+            // The d = 1 (M/M/1) relaxation time at λ = 0.9 is ~(1−λ)⁻² = 100,
+            // so integrate well past it.
+            let model = SupermarketFluid::new(d, 0.9, 64);
+            let empty = vec![0.0; 64];
+            let state = model.integrate(&empty, 1500.0, 0.02);
+            let eq = supermarket_equilibrium(d, 0.9, 64);
+            for (i, (&got, &want)) in state.iter().zip(&eq).enumerate() {
+                assert!(
+                    (got - want).abs() < 5e-3,
+                    "d={d}, s_{}: ODE {got} vs closed form {want}",
+                    i + 1
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn equilibrium_is_a_fixed_point_of_the_ode() {
+        let model = SupermarketFluid::new(2, 0.8, 32);
+        let eq = supermarket_equilibrium(2, 0.8, 32);
+        let after = model.integrate(&eq, 50.0, 0.02);
+        for (&a, &b) in after.iter().zip(&eq) {
+            assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mean_queue_sums_tail() {
+        assert!((SupermarketFluid::mean_queue(&[0.5, 0.25]) - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion ablation: LI design choices.
+//!
+//! Quantifies two design decisions called out in `DESIGN.md`:
+//!
+//! * the per-phase probability-vector cache of Basic LI under the periodic
+//!   model (`phase_cached` vs `aged_uncached`, which recomputes per
+//!   request);
+//! * Basic vs Aggressive vs Hybrid LI decision cost (Aggressive rebuilds a
+//!   schedule, Hybrid a deficit CDF), plus the ad-hoc decay baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staleload_policies::{InfoAge, LoadView, PolicySpec};
+use staleload_sim::SimRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 100;
+    let mut rng = SimRng::from_seed(21);
+    let loads: Vec<u32> = (0..n).map(|_| rng.index(20) as u32).collect();
+
+    let mut group = c.benchmark_group("ablation_li");
+
+    // Phase cache: same epoch, so only the first call pays for the vector.
+    let phase_view = LoadView {
+        loads: &loads,
+        info: InfoAge::Phase { start: 0.0, length: 10.0, now: 3.0, epoch: 1 },
+    };
+    let aged_view = LoadView { loads: &loads, info: InfoAge::Aged { age: 10.0 } };
+
+    let variants = [
+        ("basic_li", PolicySpec::BasicLi { lambda: 0.9 }),
+        ("aggressive_li", PolicySpec::AggressiveLi { lambda: 0.9 }),
+        ("hybrid_li", PolicySpec::HybridLi { lambda: 0.9 }),
+        ("decay_baseline", PolicySpec::WeightedDecay { tau: 10.0 }),
+    ];
+    for (name, spec) in &variants {
+        let mut policy = spec.build();
+        group.bench_with_input(BenchmarkId::new("phase_cached", *name), name, |b, _| {
+            b.iter(|| policy.select(std::hint::black_box(&phase_view), &mut rng));
+        });
+        let mut policy = spec.build();
+        group.bench_with_input(BenchmarkId::new("aged_uncached", *name), name, |b, _| {
+            b.iter(|| policy.select(std::hint::black_box(&aged_view), &mut rng));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: end-to-end simulated-arrival throughput per
+//! information model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use staleload_core::{run_simulation, ArrivalSpec, SimConfig};
+use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
+use staleload_policies::PolicySpec;
+
+fn bench_engine(c: &mut Criterion) {
+    const ARRIVALS: u64 = 20_000;
+    let cfg = SimConfig::builder().servers(100).lambda(0.9).arrivals(ARRIVALS).seed(3).build();
+    let cases: Vec<(&str, ArrivalSpec, InfoSpec)> = vec![
+        ("fresh", ArrivalSpec::Poisson, InfoSpec::Fresh),
+        ("periodic", ArrivalSpec::Poisson, InfoSpec::Periodic { period: 10.0 }),
+        (
+            "continuous",
+            ArrivalSpec::Poisson,
+            InfoSpec::Continuous {
+                delay: DelaySpec::Exponential { mean: 10.0 },
+                knowledge: AgeKnowledge::Actual,
+            },
+        ),
+        (
+            "update_on_access",
+            ArrivalSpec::PoissonClients { clients: 900 },
+            InfoSpec::UpdateOnAccess,
+        ),
+    ];
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(ARRIVALS));
+    group.sample_size(10);
+    for (name, arrivals, info) in cases {
+        group.bench_with_input(BenchmarkId::new("basic_li", name), &name, |b, _| {
+            b.iter(|| run_simulation(&cfg, &arrivals, &info, &PolicySpec::BasicLi { lambda: 0.9 }));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

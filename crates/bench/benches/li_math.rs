@@ -1,0 +1,33 @@
+//! Criterion bench: the pure LI probability/schedule computations vs n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staleload_policies::{aggressive_schedule, basic_li_probabilities};
+use staleload_sim::SimRng;
+
+fn bench_li_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("li_math");
+    for &n in &[8usize, 100, 1000, 10_000] {
+        let mut rng = SimRng::from_seed(7);
+        let loads: Vec<u32> = (0..n).map(|_| rng.index(50) as u32).collect();
+        let r = 0.9 * n as f64 * 10.0;
+
+        group.bench_with_input(BenchmarkId::new("basic_probabilities", n), &n, |b, _| {
+            let mut probs = Vec::new();
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                basic_li_probabilities(std::hint::black_box(&loads), r, &mut probs, &mut scratch);
+                std::hint::black_box(&probs);
+            });
+        });
+
+        group.bench_with_input(BenchmarkId::new("aggressive_schedule", n), &n, |b, _| {
+            b.iter(|| {
+                std::hint::black_box(aggressive_schedule(std::hint::black_box(&loads), 0.9 * n as f64))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_li_math);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench: cost of one routing decision per policy.
+//!
+//! Measures the per-request overhead a load balancer would pay for each
+//! policy at several cluster sizes. LI's interpretation math must stay in
+//! the nanosecond-to-microsecond range to be deployable — this bench
+//! quantifies that claim.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staleload_policies::{InfoAge, LoadView, PolicySpec};
+use staleload_sim::SimRng;
+
+fn loads_for(n: usize, rng: &mut SimRng) -> Vec<u32> {
+    (0..n).map(|_| rng.index(20) as u32).collect()
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decision");
+    for &n in &[8usize, 100, 1000] {
+        let mut rng = SimRng::from_seed(42);
+        let loads = loads_for(n, &mut rng);
+        let specs = [
+            PolicySpec::Random,
+            PolicySpec::KSubset { k: 2 },
+            PolicySpec::Greedy,
+            PolicySpec::Threshold { threshold: 5 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            PolicySpec::AggressiveLi { lambda: 0.9 },
+            PolicySpec::LiSubset { k: 3, lambda: 0.9 },
+        ];
+        for spec in specs {
+            // Aged views defeat the per-phase cache, so this measures the
+            // full interpretation cost per decision.
+            let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 5.0 } };
+            let mut policy = spec.build();
+            group.bench_with_input(
+                BenchmarkId::new(spec.label().replace(' ', "_"), n),
+                &n,
+                |b, _| {
+                    b.iter(|| policy.select(std::hint::black_box(&view), &mut rng));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

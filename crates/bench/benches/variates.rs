@@ -1,0 +1,27 @@
+//! Criterion bench: random-variate sampling throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use staleload_sim::{Dist, SimRng};
+
+fn bench_variates(c: &mut Criterion) {
+    let dists = [
+        ("constant", Dist::constant(1.0)),
+        ("uniform", Dist::uniform(0.0, 2.0)),
+        ("exponential", Dist::exponential(1.0)),
+        (
+            "bounded_pareto",
+            Dist::bounded_pareto_with_mean(1.1, 1024.0, 1.0).expect("valid parameters"),
+        ),
+        ("hyperexp", Dist::HyperExp { p: 0.3, mean1: 0.5, mean2: 2.0 }),
+    ];
+    let mut group = c.benchmark_group("variates");
+    group.throughput(Throughput::Elements(1));
+    for (name, d) in dists {
+        let mut rng = SimRng::from_seed(11);
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(d.sample(&mut rng))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variates);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Extension experiment: online λ̂ estimation (motivated by §5.6) —
+//! Adaptive LI vs the oracle estimate, the safe λ̂ = 1 strategy, and a
+//! damaging underestimate, across true loads.
+//!
+//! Usage: `ext_adaptive [quick|std|full]`. Periodic model, T = 10, n = 100.
+
+use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_core::{ArrivalSpec, Experiment, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+
+#[allow(clippy::type_complexity)] // variant table: (label, policy builder)
+fn main() {
+    let scale = Scale::from_env();
+    let variants: Vec<(&str, fn(f64) -> PolicySpec)> = vec![
+        ("Basic LI (oracle)", |lambda| PolicySpec::BasicLi { lambda }),
+        ("Basic LI (assume 1.0)", |_| PolicySpec::BasicLi { lambda: 1.0 }),
+        ("Basic LI (lambda/4)", |lambda| PolicySpec::BasicLi { lambda: lambda / 4.0 }),
+        ("Adaptive LI (EWMA)", |_| PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 }),
+        ("Random", |_| PolicySpec::Random),
+    ];
+    let series: Vec<Series<'_>> = variants
+        .into_iter()
+        .map(|(label, make_policy)| {
+            let scale = &scale;
+            Series::new(label, move |lambda| {
+                let mut b = SimConfig::builder();
+                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE59);
+                Experiment::new(
+                    b.build(),
+                    ArrivalSpec::Poisson,
+                    InfoSpec::Periodic { period: 10.0 },
+                    make_policy(lambda),
+                    scale.trials,
+                )
+            })
+        })
+        .collect();
+    run_sweep(
+        "ext_adaptive",
+        "Extension: online lambda estimation (periodic T=10, n=100)",
+        "lambda",
+        &[0.3, 0.5, 0.7, 0.9, 0.95],
+        &series,
+        CellStyle::MeanCi,
+    );
+}

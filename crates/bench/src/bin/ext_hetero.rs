@@ -1,0 +1,53 @@
+//! Extension experiment: heterogeneous server capacities (paper §6 future
+//! work) — capacity-aware vs capacity-blind policies as skew grows.
+//!
+//! Usage: `ext_hetero [quick|std|full]`. Periodic model (T = 4), λ = 0.75
+//! of total capacity; x axis = capacity skew: half the servers run at
+//! `1 + s`, half at `1 − s`.
+
+use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_core::{ArrivalSpec, Experiment, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+
+#[allow(clippy::type_complexity)] // variant table: (label, policy builder)
+fn main() {
+    let scale = Scale::from_env();
+    let lambda = 0.75;
+    let n = 100usize;
+    let caps_for = move |skew: f64| -> Vec<f64> {
+        (0..n).map(|i| if i < n / 2 { 1.0 + skew } else { 1.0 - skew }).collect()
+    };
+    let variants: Vec<(&str, fn(f64, Vec<f64>) -> PolicySpec)> = vec![
+        ("Random", |_, _| PolicySpec::Random),
+        ("Greedy (queue length)", |_, _| PolicySpec::Greedy),
+        ("Basic LI (blind)", |lambda, _| PolicySpec::BasicLi { lambda }),
+        ("Hetero LI (aware)", |lambda, caps| PolicySpec::HeteroLi { lambda, capacities: caps }),
+    ];
+    let series: Vec<Series<'_>> = variants
+        .into_iter()
+        .map(|(label, make_policy)| {
+            let scale = &scale;
+            Series::new(label, move |skew| {
+                let caps = caps_for(skew);
+                let mut b = SimConfig::builder();
+                b.capacities(caps.clone()).lambda(lambda).arrivals(scale.arrivals).seed(0xE58);
+                Experiment::new(
+                    b.build(),
+                    ArrivalSpec::Poisson,
+                    InfoSpec::Periodic { period: 4.0 },
+                    make_policy(lambda, caps),
+                    scale.trials,
+                )
+            })
+        })
+        .collect();
+    run_sweep(
+        "ext_hetero",
+        "Extension: capacity skew vs policy (periodic T=4, n=100, lambda=0.75 of capacity)",
+        "skew",
+        &[0.0, 0.2, 0.4, 0.6],
+        &series,
+        CellStyle::MeanCi,
+    );
+}

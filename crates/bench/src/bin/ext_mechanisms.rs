@@ -1,0 +1,51 @@
+//! Extension experiment: sender-driven LI vs receiver-driven work stealing
+//! (the mechanism the paper defers in §2), alone and combined.
+//!
+//! Usage: `ext_mechanisms [quick|std|full]`. Periodic model, n = 100,
+//! λ = 0.9, T sweep.
+
+use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_core::{ArrivalSpec, Experiment, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+
+fn main() {
+    let scale = Scale::from_env();
+    let lambda = 0.9;
+    let variants: Vec<(&str, PolicySpec, bool)> = vec![
+        ("Random", PolicySpec::Random, false),
+        ("Random + stealing", PolicySpec::Random, true),
+        ("Basic LI", PolicySpec::BasicLi { lambda }, false),
+        ("Basic LI + stealing", PolicySpec::BasicLi { lambda }, true),
+        ("Greedy", PolicySpec::Greedy, false),
+        ("Greedy + stealing", PolicySpec::Greedy, true),
+    ];
+    let series: Vec<Series<'_>> = variants
+        .into_iter()
+        .map(|(label, policy, steal)| {
+            let scale = &scale;
+            Series::new(label, move |t| {
+                let mut b = SimConfig::builder();
+                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE57);
+                if steal {
+                    b.work_stealing(2);
+                }
+                Experiment::new(
+                    b.build(),
+                    ArrivalSpec::Poisson,
+                    InfoSpec::Periodic { period: t },
+                    policy.clone(),
+                    scale.trials,
+                )
+            })
+        })
+        .collect();
+    run_sweep(
+        "ext_mechanisms",
+        "Extension: sender-driven interpretation vs receiver-driven stealing (periodic, n=100, lambda=0.9)",
+        "T",
+        &[0.5, 2.0, 10.0, 30.0, 50.0],
+        &series,
+        CellStyle::MeanCi,
+    );
+}

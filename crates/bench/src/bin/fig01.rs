@@ -1,0 +1,6 @@
+//! Regenerates Figure 1 of the paper. Usage: `fig01 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig01(&scale);
+}

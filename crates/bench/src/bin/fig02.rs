@@ -1,0 +1,6 @@
+//! Regenerates Figure 2 of the paper. Usage: `fig02 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig02(&scale);
+}

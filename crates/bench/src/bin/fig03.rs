@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 of the paper. Usage: `fig03 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig03(&scale);
+}

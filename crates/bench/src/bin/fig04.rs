@@ -1,0 +1,6 @@
+//! Regenerates Figure 4 of the paper. Usage: `fig04 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig04(&scale);
+}

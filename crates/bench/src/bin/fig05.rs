@@ -1,0 +1,6 @@
+//! Regenerates Figure 5 of the paper. Usage: `fig05 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig05(&scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 6 of the paper. Usage: `fig06 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig06(&scale);
+}

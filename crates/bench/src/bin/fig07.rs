@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 of the paper. Usage: `fig07 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig07(&scale);
+}

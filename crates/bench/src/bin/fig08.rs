@@ -1,0 +1,6 @@
+//! Regenerates Figure 8 of the paper. Usage: `fig08 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig08(&scale);
+}

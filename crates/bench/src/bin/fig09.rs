@@ -1,0 +1,6 @@
+//! Regenerates Figure 9 of the paper. Usage: `fig09 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig09(&scale);
+}

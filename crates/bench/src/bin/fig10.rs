@@ -1,0 +1,6 @@
+//! Regenerates Figure 10 of the paper. Usage: `fig10 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig10(&scale);
+}

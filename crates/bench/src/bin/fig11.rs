@@ -1,0 +1,6 @@
+//! Regenerates Figure 11 of the paper. Usage: `fig11 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig11(&scale);
+}

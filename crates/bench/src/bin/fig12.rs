@@ -1,0 +1,6 @@
+//! Regenerates Figure 12 of the paper. Usage: `fig12 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig12(&scale);
+}

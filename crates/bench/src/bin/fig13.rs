@@ -1,0 +1,6 @@
+//! Regenerates Figure 13 of the paper. Usage: `fig13 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig13(&scale);
+}

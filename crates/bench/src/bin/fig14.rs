@@ -1,0 +1,6 @@
+//! Regenerates Figure 14 of the paper. Usage: `fig14 [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::fig14(&scale);
+}

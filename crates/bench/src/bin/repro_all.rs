@@ -1,0 +1,6 @@
+//! Regenerates every figure of the paper. Usage: `repro_all [quick|std|full]`.
+
+fn main() {
+    let scale = staleload_bench::Scale::from_env();
+    staleload_bench::figs::run_all(&scale);
+}

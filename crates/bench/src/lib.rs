@@ -1,0 +1,278 @@
+//! Reproduction harness for the figures of *Interpreting Stale Load
+//! Information* (Dahlin, ICDCS 1999 / TPDS 2000).
+//!
+//! Every figure in the paper's evaluation has a binary (`fig01` … `fig14`)
+//! whose logic lives in [`figs`]; `repro_all` runs the full set. Each
+//! figure prints the paper's series as an aligned table on stdout and
+//! writes a CSV under `results/`.
+//!
+//! Run scale is controlled by the first CLI argument or the `REPRO_SCALE`
+//! environment variable (`quick`, `std`, `full`): `full` matches the
+//! paper's protocol (500 000 arrivals, ≥ 10 trials, ≥ 30 for Bounded
+//! Pareto); `std` (default) is calibrated for a single-core machine;
+//! `quick` is a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use staleload_core::{Experiment, ExperimentResult};
+use staleload_stats::{LinePlot, Table};
+
+/// Run-scale knobs shared by all figures.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Arrivals per trial for cheap (periodic/fresh) models.
+    pub arrivals: u64,
+    /// Arrivals per trial for history-backed (continuous) models.
+    pub continuous_arrivals: u64,
+    /// Trials per point (exponential-service figures).
+    pub trials: usize,
+    /// Trials per point for Bounded-Pareto figures.
+    pub pareto_trials: usize,
+    /// Minimum jobs each update-on-access client must issue.
+    pub min_jobs_per_client: u64,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+impl Scale {
+    /// The paper's protocol.
+    pub fn full() -> Self {
+        Self {
+            arrivals: 500_000,
+            continuous_arrivals: 500_000,
+            trials: 10,
+            pareto_trials: 30,
+            min_jobs_per_client: 1_000,
+            name: "full",
+        }
+    }
+
+    /// Single-core-friendly default.
+    pub fn std() -> Self {
+        Self {
+            arrivals: 200_000,
+            continuous_arrivals: 100_000,
+            trials: 5,
+            pareto_trials: 15,
+            min_jobs_per_client: 200,
+            name: "std",
+        }
+    }
+
+    /// Smoke-test scale.
+    pub fn quick() -> Self {
+        Self {
+            arrivals: 60_000,
+            continuous_arrivals: 40_000,
+            trials: 3,
+            pareto_trials: 5,
+            min_jobs_per_client: 50,
+            name: "quick",
+        }
+    }
+
+    /// Reads the scale from `argv[1]` or `REPRO_SCALE` (default `std`).
+    pub fn from_env() -> Self {
+        let arg = std::env::args().nth(1);
+        let env = std::env::var("REPRO_SCALE").ok();
+        let pick = arg.as_deref().or(env.as_deref()).unwrap_or("std");
+        match pick.trim_start_matches("--") {
+            "full" => Self::full(),
+            "quick" => Self::quick(),
+            _ => Self::std(),
+        }
+    }
+
+    /// Arrivals needed so each of `clients` clients issues at least the
+    /// configured minimum number of jobs (update-on-access experiments).
+    pub fn arrivals_for_clients(&self, clients: usize) -> u64 {
+        self.arrivals.max(clients as u64 * self.min_jobs_per_client)
+    }
+}
+
+/// How a sweep cell is summarized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStyle {
+    /// `mean ±ci90` (the paper's exponential-service figures).
+    MeanCi,
+    /// `median [q1, q3]` (the Bounded-Pareto figures).
+    MedianQuartiles,
+}
+
+/// One labelled series of a sweep: a closure mapping the x value to an
+/// [`Experiment`].
+pub struct Series<'a> {
+    /// Column label (matches the paper's legend).
+    pub label: String,
+    /// Experiment factory for each x value.
+    pub make: Box<dyn Fn(f64) -> Experiment + 'a>,
+}
+
+impl<'a> Series<'a> {
+    /// Creates a labelled series.
+    pub fn new(label: impl Into<String>, make: impl Fn(f64) -> Experiment + 'a) -> Self {
+        Self { label: label.into(), make: Box::new(make) }
+    }
+}
+
+/// Runs a parameter sweep (one figure panel): for each x, each series'
+/// experiment, collecting a table with one row per x and one column per
+/// series.
+///
+/// Progress goes to stderr; the rendered table to stdout; the CSV (with
+/// mean/ci/median/quartiles/min/max per cell) to
+/// `results/<name>.csv`.
+pub fn run_sweep(
+    name: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    series: &[Series<'_>],
+    style: CellStyle,
+) -> Table {
+    let start = Instant::now();
+    eprintln!("[{name}] {title}");
+    let mut headers = vec![x_label.to_string()];
+    headers.extend(series.iter().map(|s| s.label.clone()));
+    let mut table = Table::new(headers);
+
+    // The long-form CSV keeps every statistic.
+    let mut csv = Table::new(vec![
+        x_label.to_string(),
+        "policy".into(),
+        "mean".into(),
+        "ci90".into(),
+        "median".into(),
+        "q1".into(),
+        "q3".into(),
+        "min".into(),
+        "max".into(),
+        "trials".into(),
+    ]);
+
+    let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); series.len()];
+    for &x in xs {
+        let mut row = vec![format_x(x)];
+        for (series_idx, s) in series.iter().enumerate() {
+            let exp = (s.make)(x);
+            let result: ExperimentResult = exp.run();
+            let sum = &result.summary;
+            if result.history_misses > 0 {
+                eprintln!(
+                    "[{name}] WARNING: {} history misses at {x} for {}",
+                    result.history_misses, s.label
+                );
+            }
+            row.push(match style {
+                CellStyle::MeanCi => format!("{:.3} ±{:.3}", sum.mean, sum.ci90),
+                CellStyle::MedianQuartiles => {
+                    format!("{:.2} [{:.2},{:.2}]", sum.median, sum.q1, sum.q3)
+                }
+            });
+            curves[series_idx].push((
+                x,
+                match style {
+                    CellStyle::MeanCi => sum.mean,
+                    CellStyle::MedianQuartiles => sum.median,
+                },
+            ));
+            csv.push_row(vec![
+                format!("{x}"),
+                s.label.clone(),
+                format!("{}", sum.mean),
+                format!("{}", sum.ci90),
+                format!("{}", sum.median),
+                format!("{}", sum.q1),
+                format!("{}", sum.q3),
+                format!("{}", sum.min),
+                format!("{}", sum.max),
+                format!("{}", sum.trials),
+            ]);
+        }
+        table.push_row(row);
+        eprintln!("[{name}]   {x_label} = {} done ({:.1}s elapsed)", format_x(x), start.elapsed().as_secs_f64());
+    }
+
+    println!("\n== {title} ==");
+    print!("{}", table.render());
+    let path = results_path(name);
+    if let Err(e) = csv.write_csv(&path) {
+        eprintln!("[{name}] failed to write {}: {e}", path.display());
+    } else {
+        eprintln!("[{name}] wrote {} ({:.1}s total)", path.display(), start.elapsed().as_secs_f64());
+    }
+
+    // A rendered figure next to the CSV; log-y when curves span decades
+    // (the herd-effect panels).
+    let y_label = match style {
+        CellStyle::MeanCi => "mean response time",
+        CellStyle::MedianQuartiles => "median response time",
+    };
+    let mut plot = LinePlot::new(title, x_label, y_label);
+    let mut y_min = f64::INFINITY;
+    let mut y_max: f64 = 0.0;
+    for (s, pts) in series.iter().zip(curves) {
+        for &(_, y) in &pts {
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+        plot.add_series(s.label.clone(), pts);
+    }
+    if y_min > 0.0 && y_max / y_min > 50.0 {
+        plot.log_y(true);
+    }
+    let svg_path = path.with_extension("svg");
+    if let Err(e) = plot.write_svg(&svg_path) {
+        eprintln!("[{name}] failed to write {}: {e}", svg_path.display());
+    }
+    table
+}
+
+/// Destination for a figure's CSV.
+pub fn results_path(name: &str) -> PathBuf {
+    let root = std::env::var("REPRO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(root).join(format!("{name}.csv"))
+}
+
+fn format_x(x: f64) -> String {
+    if (x.fract()).abs() < 1e-9 && x.abs() < 1e9 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = Scale::quick();
+        let s = Scale::std();
+        let f = Scale::full();
+        assert!(q.arrivals < s.arrivals && s.arrivals < f.arrivals);
+        assert!(q.trials <= s.trials && s.trials <= f.trials);
+        assert!(f.pareto_trials >= 30);
+    }
+
+    #[test]
+    fn arrivals_scale_with_clients() {
+        let s = Scale::std();
+        assert_eq!(s.arrivals_for_clients(1), s.arrivals);
+        let many = s.arrivals_for_clients(10_000);
+        assert_eq!(many, 10_000 * s.min_jobs_per_client);
+    }
+
+    #[test]
+    fn format_x_is_compact() {
+        assert_eq!(format_x(10.0), "10");
+        assert_eq!(format_x(0.5), "0.5");
+    }
+}

@@ -1,0 +1,413 @@
+//! Hand-rolled argument parsing (the project's dependency policy allows no
+//! CLI crate, and the grammar is small).
+
+use staleload_core::{clients_for_mean_age, ArrivalSpec, SimConfig};
+use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
+use staleload_policies::PolicySpec;
+use staleload_sim::Dist;
+use staleload_workloads::BurstConfig;
+
+/// A fully parsed `staleload run`/`compare` invocation.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// System configuration.
+    pub config: SimConfig,
+    /// Arrival structure (clients derived for update-on-access).
+    pub arrivals: ArrivalSpec,
+    /// Information model.
+    pub info: InfoSpec,
+    /// Policy (ignored by `compare`, which runs a panel).
+    pub policy: PolicySpec,
+    /// Trials.
+    pub trials: usize,
+    /// Print tail/fairness detail.
+    pub detail: bool,
+}
+
+/// Parses a policy spec string.
+///
+/// Grammar: `random | greedy | k:<K> | threshold:<T> | basic-li |
+/// aggressive-li | hybrid-li | li:<K> | decay:<TAU> | adaptive-li |
+/// hetero-li` (the last requires `--capacities`).
+///
+/// # Errors
+///
+/// Returns a message describing the malformed spec.
+pub fn parse_policy(s: &str, lambda: f64, capacities: Option<&[f64]>) -> Result<PolicySpec, String> {
+    let (head, tail) = split_spec(s);
+    match head {
+        "random" => Ok(PolicySpec::Random),
+        "greedy" => Ok(PolicySpec::Greedy),
+        "k" => Ok(PolicySpec::KSubset { k: parse_field(tail, "k", "subset size")? }),
+        "threshold" => {
+            Ok(PolicySpec::Threshold { threshold: parse_field(tail, "threshold", "threshold")? })
+        }
+        "basic-li" => Ok(PolicySpec::BasicLi { lambda }),
+        "aggressive-li" => Ok(PolicySpec::AggressiveLi { lambda }),
+        "hybrid-li" => Ok(PolicySpec::HybridLi { lambda }),
+        "li" => Ok(PolicySpec::LiSubset { k: parse_field(tail, "li", "subset size")?, lambda }),
+        "decay" => Ok(PolicySpec::WeightedDecay { tau: parse_field(tail, "decay", "tau")? }),
+        "adaptive-li" => Ok(PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 }),
+        "probe" => {
+            let rest = tail.ok_or("probe needs <PROBES>:<THRESHOLD> (e.g. probe:3:1)")?;
+            let (p, t) = rest.split_once(':').ok_or("probe needs <PROBES>:<THRESHOLD>")?;
+            Ok(PolicySpec::ProbeThreshold {
+                probes: p.parse().map_err(|_| format!("bad probe count '{p}'"))?,
+                threshold: t.parse().map_err(|_| format!("bad threshold '{t}'"))?,
+            })
+        }
+        "hetero-li" => match capacities {
+            Some(caps) => Ok(PolicySpec::HeteroLi { lambda, capacities: caps.to_vec() }),
+            None => Err("hetero-li requires --capacities".to_string()),
+        },
+        other => Err(format!(
+            "unknown policy '{other}' (expected random, greedy, k:<K>, threshold:<T>, \
+             probe:<L>:<T>, basic-li, aggressive-li, hybrid-li, li:<K>, decay:<TAU>, \
+             adaptive-li, hetero-li, sita)"
+        )),
+    }
+}
+
+/// Parses an information-model spec string.
+///
+/// Grammar: `fresh | periodic:<T> | continuous:<const|unarrow|uwide|exp>:<T>[:actual]
+/// | uoa:<T>`.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed spec.
+pub fn parse_info(s: &str) -> Result<InfoSpec, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts[0] {
+        "fresh" => Ok(InfoSpec::Fresh),
+        "periodic" => {
+            let t: f64 = parse_field(parts.get(1).copied(), "periodic", "period")?;
+            Ok(InfoSpec::Periodic { period: t })
+        }
+        "continuous" => {
+            let dist = *parts.get(1).ok_or("continuous needs a delay distribution")?;
+            let t: f64 = parse_field(parts.get(2).copied(), "continuous", "mean delay")?;
+            let delay = match dist {
+                "const" => DelaySpec::Constant { mean: t },
+                "unarrow" => DelaySpec::UniformNarrow { mean: t },
+                "uwide" => DelaySpec::UniformWide { mean: t },
+                "exp" => DelaySpec::Exponential { mean: t },
+                other => return Err(format!("unknown delay distribution '{other}'")),
+            };
+            let knowledge = if parts.get(3) == Some(&"actual") {
+                AgeKnowledge::Actual
+            } else {
+                AgeKnowledge::MeanOnly
+            };
+            Ok(InfoSpec::Continuous { delay, knowledge })
+        }
+        "individual" => {
+            let t: f64 = parse_field(parts.get(1).copied(), "individual", "period")?;
+            Ok(InfoSpec::Individual { period: t })
+        }
+        // The mean age T is consumed by the caller (it sets the client
+        // count), so `uoa:<T>` parses to plain UpdateOnAccess here.
+        "uoa" => Ok(InfoSpec::UpdateOnAccess),
+        other => Err(format!(
+            "unknown info model '{other}' (expected fresh, periodic:<T>, individual:<T>, \
+             continuous:<dist>:<T>[:actual], uoa:<T>)"
+        )),
+    }
+}
+
+/// Extracts the mean-age parameter of a `uoa:<T>` spec, if present.
+pub fn parse_uoa_age(s: &str) -> Result<Option<f64>, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts[0] != "uoa" {
+        return Ok(None);
+    }
+    let t: f64 = parse_field(parts.get(1).copied(), "uoa", "mean inter-request time")?;
+    Ok(Some(t))
+}
+
+/// Parses a job-size spec: `exp | det | bp:<ALPHA>:<MAX>` (mean forced to
+/// 1, as in the paper).
+///
+/// # Errors
+///
+/// Returns a message describing the malformed spec.
+pub fn parse_service(s: &str) -> Result<Dist, String> {
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts[0] {
+        "exp" => Ok(Dist::exponential(1.0)),
+        "det" => Ok(Dist::constant(1.0)),
+        "bp" => {
+            let alpha: f64 = parse_field(parts.get(1).copied(), "bp", "alpha")?;
+            let max: f64 = parse_field(parts.get(2).copied(), "bp", "max size")?;
+            Dist::bounded_pareto_with_mean(alpha, max, 1.0).map_err(|e| e.to_string())
+        }
+        other => Err(format!("unknown service distribution '{other}' (expected exp, det, bp:<A>:<M>)")),
+    }
+}
+
+/// Parses a capacity spec like `50x1.6,50x0.4` or `1.0,2.0,0.5`.
+///
+/// # Errors
+///
+/// Returns a message describing the malformed spec.
+pub fn parse_capacities(s: &str) -> Result<Vec<f64>, String> {
+    let mut out = Vec::new();
+    for group in s.split(',') {
+        if let Some((count, rate)) = group.split_once('x') {
+            let count: usize =
+                count.trim().parse().map_err(|_| format!("bad capacity count '{count}'"))?;
+            let rate: f64 =
+                rate.trim().parse().map_err(|_| format!("bad capacity rate '{rate}'"))?;
+            out.extend(std::iter::repeat_n(rate, count));
+        } else {
+            let rate: f64 =
+                group.trim().parse().map_err(|_| format!("bad capacity '{group}'"))?;
+            out.push(rate);
+        }
+    }
+    if out.is_empty() {
+        return Err("capacity spec is empty".to_string());
+    }
+    Ok(out)
+}
+
+fn split_spec(s: &str) -> (&str, Option<&str>) {
+    match s.split_once(':') {
+        Some((h, t)) => (h, Some(t)),
+        None => (s, None),
+    }
+}
+
+fn parse_field<T: std::str::FromStr>(
+    value: Option<&str>,
+    what: &str,
+    field: &str,
+) -> Result<T, String> {
+    let v = value.ok_or_else(|| format!("{what} needs a {field} (e.g. {what}:10)"))?;
+    v.parse().map_err(|_| format!("bad {field} '{v}' for {what}"))
+}
+
+/// Parses the flags of `staleload run`/`compare`.
+///
+/// # Errors
+///
+/// Returns a usage message on any malformed flag.
+pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
+    let mut servers = 100usize;
+    let mut lambda = 0.9f64;
+    let mut arrivals = 200_000u64;
+    let mut trials = 5usize;
+    let mut seed = 1u64;
+    let mut policy_spec = "basic-li".to_string();
+    let mut info_spec = "periodic:10".to_string();
+    let mut service_spec = "exp".to_string();
+    let mut capacities: Option<Vec<f64>> = None;
+    let mut stealing: Option<u32> = None;
+    let mut burst: Option<BurstConfig> = None;
+    let mut detail = false;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--servers" => servers = take("--servers")?.parse().map_err(|e| format!("--servers: {e}"))?,
+            "--lambda" => lambda = take("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?,
+            "--arrivals" => arrivals = take("--arrivals")?.parse().map_err(|e| format!("--arrivals: {e}"))?,
+            "--trials" => trials = take("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?,
+            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--policy" => policy_spec = take("--policy")?.clone(),
+            "--info" => info_spec = take("--info")?.clone(),
+            "--service" => service_spec = take("--service")?.clone(),
+            "--capacities" => capacities = Some(parse_capacities(take("--capacities")?)?),
+            "--stealing" => stealing = Some(take("--stealing")?.parse().map_err(|e| format!("--stealing: {e}"))?),
+            "--burst" => {
+                let v = take("--burst")?;
+                let (len, gap) = v
+                    .split_once(':')
+                    .ok_or("--burst expects <LEN>:<INTRA_GAP> (e.g. 10:1.0)")?;
+                burst = Some(BurstConfig {
+                    burst_len: len.parse().map_err(|_| format!("bad burst length '{len}'"))?,
+                    intra_gap_mean: gap.parse().map_err(|_| format!("bad intra gap '{gap}'"))?,
+                });
+            }
+            "--detail" => detail = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+
+    let info = parse_info(&info_spec)?;
+    let service = parse_service(&service_spec)?;
+    // SITA-E derives its size cutoffs from the service distribution and
+    // server count, so it is resolved here rather than in `parse_policy`.
+    let policy = if policy_spec == "sita" {
+        PolicySpec::Sita {
+            boundaries: staleload_policies::Sita::equal_load(&service, servers)
+                .boundaries()
+                .to_vec(),
+        }
+    } else {
+        parse_policy(&policy_spec, lambda, capacities.as_deref())?
+    };
+
+    let arrivals_spec = match parse_uoa_age(&info_spec)? {
+        Some(age) => {
+            let clients = clients_for_mean_age(lambda, servers, age);
+            arrivals = arrivals.max(clients as u64 * 100);
+            match burst {
+                None => ArrivalSpec::PoissonClients { clients },
+                Some(b) => ArrivalSpec::BurstyClients { clients, burst: b },
+            }
+        }
+        None => ArrivalSpec::Poisson,
+    };
+
+    let mut builder = SimConfig::builder();
+    builder.servers(servers).lambda(lambda).arrivals(arrivals).service(service).seed(seed);
+    if let Some(caps) = capacities {
+        builder.capacities(caps);
+    }
+    if let Some(min) = stealing {
+        builder.work_stealing(min);
+    }
+    let config = builder.try_build().map_err(|e| e.to_string())?;
+
+    Ok(RunArgs { config, arrivals: arrivals_spec, info, policy, trials, detail })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_run_parses() {
+        let args = parse_run(&[]).unwrap();
+        assert_eq!(args.config.servers, 100);
+        assert_eq!(args.policy, PolicySpec::BasicLi { lambda: 0.9 });
+        assert_eq!(args.info, InfoSpec::Periodic { period: 10.0 });
+        assert_eq!(args.arrivals, ArrivalSpec::Poisson);
+    }
+
+    #[test]
+    fn policy_grammar() {
+        assert_eq!(parse_policy("random", 0.9, None).unwrap(), PolicySpec::Random);
+        assert_eq!(parse_policy("k:3", 0.9, None).unwrap(), PolicySpec::KSubset { k: 3 });
+        assert_eq!(
+            parse_policy("threshold:8", 0.9, None).unwrap(),
+            PolicySpec::Threshold { threshold: 8 }
+        );
+        assert_eq!(
+            parse_policy("li:4", 0.5, None).unwrap(),
+            PolicySpec::LiSubset { k: 4, lambda: 0.5 }
+        );
+        assert!(parse_policy("k", 0.9, None).is_err());
+        assert!(parse_policy("warp-drive", 0.9, None).is_err());
+        assert!(parse_policy("hetero-li", 0.9, None).is_err());
+        assert!(parse_policy("hetero-li", 0.9, Some(&[1.0, 2.0])).is_ok());
+    }
+
+    #[test]
+    fn info_grammar() {
+        assert_eq!(parse_info("fresh").unwrap(), InfoSpec::Fresh);
+        assert_eq!(parse_info("periodic:5").unwrap(), InfoSpec::Periodic { period: 5.0 });
+        assert_eq!(
+            parse_info("continuous:exp:3:actual").unwrap(),
+            InfoSpec::Continuous {
+                delay: DelaySpec::Exponential { mean: 3.0 },
+                knowledge: AgeKnowledge::Actual
+            }
+        );
+        assert_eq!(
+            parse_info("continuous:const:2").unwrap(),
+            InfoSpec::Continuous {
+                delay: DelaySpec::Constant { mean: 2.0 },
+                knowledge: AgeKnowledge::MeanOnly
+            }
+        );
+        assert!(parse_info("periodic").is_err());
+        assert!(parse_info("continuous:wat:2").is_err());
+        assert!(parse_info("psychic").is_err());
+    }
+
+    #[test]
+    fn uoa_spawns_clients() {
+        let args = parse_run(&strings(&["--info", "uoa:8", "--lambda", "0.9"])).unwrap();
+        match args.arrivals {
+            ArrivalSpec::PoissonClients { clients } => assert_eq!(clients, 720),
+            other => panic!("expected clients, got {other:?}"),
+        }
+        assert!(args.config.arrivals >= 72_000);
+    }
+
+    #[test]
+    fn uoa_with_burst() {
+        let args =
+            parse_run(&strings(&["--info", "uoa:8", "--burst", "10:1.0"])).unwrap();
+        match args.arrivals {
+            ArrivalSpec::BurstyClients { burst, .. } => {
+                assert_eq!(burst.burst_len, 10);
+                assert_eq!(burst.intra_gap_mean, 1.0);
+            }
+            other => panic!("expected bursty clients, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn capacity_grammar() {
+        assert_eq!(parse_capacities("1.0,2.0").unwrap(), vec![1.0, 2.0]);
+        assert_eq!(parse_capacities("2x1.5,1x0.5").unwrap(), vec![1.5, 1.5, 0.5]);
+        assert!(parse_capacities("").is_err());
+        assert!(parse_capacities("axb").is_err());
+    }
+
+    #[test]
+    fn service_grammar() {
+        assert_eq!(parse_service("exp").unwrap(), Dist::exponential(1.0));
+        assert_eq!(parse_service("det").unwrap(), Dist::constant(1.0));
+        let bp = parse_service("bp:1.1:100").unwrap();
+        assert!((bp.mean() - 1.0).abs() < 1e-6);
+        assert!(parse_service("bp:1.1").is_err());
+    }
+
+    #[test]
+    fn hetero_capacities_resize_servers() {
+        let args = parse_run(&strings(&[
+            "--capacities", "4x1.5,4x0.5",
+            "--policy", "hetero-li",
+            "--lambda", "0.7",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.servers, 8);
+        assert!(matches!(args.policy, PolicySpec::HeteroLi { .. }));
+    }
+
+    #[test]
+    fn probe_and_sita_grammar() {
+        assert_eq!(
+            parse_policy("probe:3:1", 0.9, None).unwrap(),
+            PolicySpec::ProbeThreshold { probes: 3, threshold: 1 }
+        );
+        assert!(parse_policy("probe:3", 0.9, None).is_err());
+        let args = parse_run(&strings(&[
+            "--policy", "sita",
+            "--service", "bp:1.1:100",
+            "--servers", "10",
+        ]))
+        .unwrap();
+        match args.policy {
+            PolicySpec::Sita { boundaries } => assert_eq!(boundaries.len(), 9),
+            other => panic!("expected SITA, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        assert!(parse_run(&strings(&["--frobnicate", "1"])).is_err());
+        assert!(parse_run(&strings(&["--servers"])).is_err());
+    }
+}

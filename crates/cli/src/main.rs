@@ -1,0 +1,246 @@
+//! `staleload` — command-line front end for the stale-load-information
+//! simulator.
+//!
+//! ```text
+//! staleload run     [flags]   # one policy, full statistics
+//! staleload compare [flags]   # panel of standard policies, one table
+//! staleload rank --n <N> --k <K1,K2,...>   # analytic Eq. 1 distribution
+//! staleload theory --lambda <L> [--servers <N>]  # closed-form anchors
+//! staleload help
+//! ```
+//!
+//! Common flags for `run`/`compare`:
+//! `--servers N --lambda F --arrivals N --trials N --seed N`
+//! `--policy <spec>` (run only), `--info <spec>`, `--service <spec>`,
+//! `--capacities <spec>`, `--stealing <MIN>`, `--burst <LEN>:<GAP>`,
+//! `--detail`.
+
+mod args;
+
+use std::process::ExitCode;
+
+use args::{parse_run, RunArgs};
+use staleload_core::Experiment;
+use staleload_policies::{rank_distribution, PolicySpec};
+use staleload_stats::Table;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let (command, rest) = match argv.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[][..]),
+    };
+    let result = match command {
+        "run" => parse_run(rest).map(|a| cmd_run(&a)),
+        "compare" => parse_run(rest).map(|a| cmd_compare(&a)),
+        "rank" => cmd_rank(rest),
+        "theory" => cmd_theory(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}' (try `staleload help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "staleload — load balancing with stale information (Dahlin, ICDCS 1999)\n\n\
+         USAGE:\n  staleload run     [flags]   one policy, full statistics\n  \
+         staleload compare [flags]   standard policy panel as a table\n  \
+         staleload rank --n <N> --k <K,...>   analytic k-subset rank distribution\n  \
+         staleload theory --lambda <L> [--servers <N>]   closed-form anchors\n\n\
+         FLAGS (run/compare):\n  \
+         --servers N        number of servers (100)\n  \
+         --lambda F         per-server load (0.9)\n  \
+         --arrivals N       jobs per trial (200000)\n  \
+         --trials N         independent seeds (5)\n  \
+         --seed N           master seed (1)\n  \
+         --policy SPEC      random | greedy | k:<K> | threshold:<T> | basic-li |\n                     \
+         aggressive-li | hybrid-li | li:<K> | decay:<TAU> |\n                     \
+         adaptive-li | hetero-li\n  \
+         --info SPEC        fresh | periodic:<T> | continuous:<const|unarrow|uwide|exp>:<T>[:actual] | uoa:<T>\n  \
+         --service SPEC     exp | det | bp:<ALPHA>:<MAX>\n  \
+         --capacities SPEC  e.g. 50x1.6,50x0.4 (enables heterogeneous cluster)\n  \
+         --stealing MIN     idle servers steal from queues of length >= MIN\n  \
+         --burst LEN:GAP    bursty update-on-access clients\n  \
+         --detail           print tail latencies, fairness, occupancy\n\n\
+         EXAMPLES:\n  \
+         staleload compare --info periodic:10\n  \
+         staleload run --policy basic-li --info continuous:exp:5:actual --detail\n  \
+         staleload run --policy hetero-li --capacities 50x1.6,50x0.4 --lambda 0.7"
+    );
+}
+
+fn cmd_run(args: &RunArgs) {
+    let exp = Experiment::new(
+        args.config.clone(),
+        args.arrivals,
+        args.info,
+        args.policy.clone(),
+        args.trials,
+    );
+    println!(
+        "{} | {} | n={} lambda={} arrivals={} trials={}",
+        args.policy.label(),
+        args.info.label(),
+        args.config.servers,
+        args.config.lambda,
+        args.config.arrivals,
+        args.trials
+    );
+    let result = exp.run();
+    let s = &result.summary;
+    println!("mean response : {:.4} ±{:.4} (90% CI over {} trials)", s.mean, s.ci90, s.trials);
+    println!("median        : {:.4}  [q1 {:.4}, q3 {:.4}]", s.median, s.q1, s.q3);
+    println!("range         : [{:.4}, {:.4}]", s.min, s.max);
+    if result.history_misses > 0 {
+        println!("WARNING       : {} stale-view history misses", result.history_misses);
+    }
+    if args.detail {
+        // One representative run for tails/fairness (trial 0's seed).
+        let mut cfg = args.config.clone();
+        cfg.seed = staleload_core::trial_seed(args.config.seed, 0);
+        let r = staleload_core::run_simulation(&cfg, &args.arrivals, &args.info, &args.policy);
+        let d = &r.detail;
+        println!("--- detail (trial 0) ---");
+        println!(
+            "p50/p95/p99   : {:.3} / {:.3} / {:.3} (max {:.3})",
+            d.response_quantile(0.50),
+            d.response_quantile(0.95),
+            d.response_quantile(0.99),
+            r.response.max()
+        );
+        println!("mean in system: {:.2} (peak {:.0})", d.mean_jobs_in_system(r.end_time), d.peak_jobs_in_system());
+        let utils = d.utilizations(r.end_time);
+        let mean_u = utils.iter().sum::<f64>() / utils.len() as f64;
+        println!("utilization   : mean {:.3}", mean_u);
+        println!("fairness      : {:.4} (Jain index of per-server throughput)", d.throughput_fairness());
+    }
+}
+
+fn cmd_compare(args: &RunArgs) {
+    let lambda = args.config.lambda;
+    let panel: Vec<PolicySpec> = vec![
+        PolicySpec::Random,
+        PolicySpec::KSubset { k: 2 },
+        PolicySpec::KSubset { k: 3 },
+        PolicySpec::Greedy,
+        PolicySpec::BasicLi { lambda },
+        PolicySpec::AggressiveLi { lambda },
+    ];
+    println!(
+        "{} | n={} lambda={} arrivals={} trials={}",
+        args.info.label(),
+        args.config.servers,
+        args.config.lambda,
+        args.config.arrivals,
+        args.trials
+    );
+    let mut table =
+        Table::new(vec!["policy".into(), "mean response".into(), "vs random".into()]);
+    let mut baseline = None;
+    for policy in panel {
+        let label = policy.label();
+        let r = Experiment::new(args.config.clone(), args.arrivals, args.info, policy, args.trials)
+            .run();
+        let mean = r.summary.mean;
+        let base = *baseline.get_or_insert(mean);
+        table.push_row(vec![
+            label,
+            format!("{:.3} ±{:.3}", mean, r.summary.ci90),
+            format!("{:+.1}%", 100.0 * (mean - base) / base),
+        ]);
+    }
+    print!("{}", table.render());
+}
+
+fn cmd_rank(rest: &[String]) -> Result<(), String> {
+    let mut n = 100usize;
+    let mut ks: Vec<usize> = vec![1, 2, 3, 10];
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--n" => {
+                n = it
+                    .next()
+                    .ok_or("--n needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--n: {e}"))?;
+            }
+            "--k" => {
+                ks = it
+                    .next()
+                    .ok_or("--k needs a value")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad k '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    for &k in &ks {
+        if k == 0 || k > n {
+            return Err(format!("k = {k} must be in 1..={n}"));
+        }
+    }
+    let mut headers = vec!["rank".to_string()];
+    headers.extend(ks.iter().map(|k| format!("k={k}")));
+    let mut table = Table::new(headers);
+    let dists: Vec<Vec<f64>> = ks.iter().map(|&k| rank_distribution(n, k)).collect();
+    for rank in 0..n.min(20) {
+        let mut row = vec![rank.to_string()];
+        row.extend(dists.iter().map(|d| format!("{:.5}", d[rank])));
+        table.push_row(row);
+    }
+    println!("k-subset request fraction by load rank (paper Eq. 1), n = {n}:");
+    print!("{}", table.render());
+    Ok(())
+}
+
+fn cmd_theory(rest: &[String]) -> Result<(), String> {
+    let mut lambda = 0.9f64;
+    let mut servers = 100usize;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--lambda" => {
+                lambda = it
+                    .next()
+                    .ok_or("--lambda needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--lambda: {e}"))?;
+            }
+            "--servers" => {
+                servers = it
+                    .next()
+                    .ok_or("--servers needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?;
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if !(lambda > 0.0 && lambda < 1.0) {
+        return Err(format!("lambda must be in (0,1), got {lambda}"));
+    }
+    println!("closed-form anchors at per-server load {lambda}, n = {servers}:");
+    println!("  M/M/1 (random split) mean response : {:.4}", staleload_analytic::mm1_response(lambda));
+    println!("  M/D/1 (deterministic service)      : {:.4}", staleload_analytic::md1_response(lambda));
+    println!(
+        "  M/M/n central queue (lower bound)  : {:.4}",
+        staleload_analytic::mmn_response(servers, lambda)
+    );
+    println!(
+        "  Erlang-C waiting probability       : {:.6}",
+        staleload_analytic::erlang_c(servers, lambda)
+    );
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! End-to-end tests that spawn the real `staleload` binary.
+
+use std::process::Command;
+
+fn staleload(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_staleload"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_lists_commands() {
+    let (ok, stdout, _) = staleload(&["help"]);
+    assert!(ok);
+    for needle in ["run", "compare", "rank", "theory", "--policy", "basic-li"] {
+        assert!(stdout.contains(needle), "help is missing '{needle}'");
+    }
+}
+
+#[test]
+fn theory_prints_anchors() {
+    let (ok, stdout, _) = staleload(&["theory", "--lambda", "0.5"]);
+    assert!(ok);
+    assert!(stdout.contains("M/M/1"));
+    assert!(stdout.contains("2.0000"), "M/M/1 at 0.5 is 2.0:\n{stdout}");
+}
+
+#[test]
+fn rank_prints_eq1_table() {
+    let (ok, stdout, _) = staleload(&["rank", "--n", "10", "--k", "1,2"]);
+    assert!(ok);
+    assert!(stdout.contains("k=1"));
+    assert!(stdout.contains("0.10000"), "uniform k=1 row:\n{stdout}");
+    assert!(stdout.contains("0.20000"), "k=2 rank 0 is k/n = 0.2:\n{stdout}");
+}
+
+#[test]
+fn run_reports_mean_response() {
+    let (ok, stdout, stderr) = staleload(&[
+        "run",
+        "--servers", "8",
+        "--lambda", "0.5",
+        "--arrivals", "20000",
+        "--trials", "2",
+        "--policy", "basic-li",
+        "--info", "periodic:2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("mean response"), "{stdout}");
+    assert!(stdout.contains("Basic LI"));
+}
+
+#[test]
+fn run_detail_prints_tails() {
+    let (ok, stdout, _) = staleload(&[
+        "run",
+        "--servers", "4",
+        "--lambda", "0.5",
+        "--arrivals", "10000",
+        "--trials", "1",
+        "--policy", "random",
+        "--info", "fresh",
+        "--detail",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("p50/p95/p99"), "{stdout}");
+    assert!(stdout.contains("fairness"), "{stdout}");
+}
+
+#[test]
+fn bad_policy_fails_with_message() {
+    let (ok, _, stderr) = staleload(&["run", "--policy", "telepathy"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown policy"), "{stderr}");
+}
+
+#[test]
+fn bad_command_fails() {
+    let (ok, _, stderr) = staleload(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn compare_prints_policy_panel() {
+    let (ok, stdout, stderr) = staleload(&[
+        "compare",
+        "--servers", "8",
+        "--lambda", "0.5",
+        "--arrivals", "15000",
+        "--trials", "2",
+        "--info", "periodic:2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    for needle in ["Random", "k=2", "Greedy", "Basic LI", "vs random"] {
+        assert!(stdout.contains(needle), "missing '{needle}':\n{stdout}");
+    }
+}

@@ -1,0 +1,490 @@
+//! FIFO multi-server queueing substrate.
+//!
+//! The paper's system model (§5) is a bank of `n` identical servers, each
+//! with service rate 1 and a first-in-first-out queue. Arriving jobs are
+//! routed to exactly one server by a selection policy and never migrate.
+//!
+//! This crate provides that substrate:
+//!
+//! * [`Cluster`] — the bank of servers with enqueue/complete transitions and
+//!   an always-current load (queue length) vector.
+//! * [`Job`] — a unit of work with its arrival time and service demand.
+//! * [`LoadHistory`] — an optional per-server record of load changes, so the
+//!   *continuous update* model of old information (§3.1) can answer "what did
+//!   the queue lengths look like `d` time units ago?" exactly.
+//!
+//! The crate is deliberately policy-free: it neither samples randomness nor
+//! decides placements. The driver in `staleload-core` owns the event loop.
+//!
+//! # Example
+//!
+//! ```
+//! use staleload_cluster::{Cluster, Job};
+//!
+//! let mut cluster = Cluster::new(2);
+//! // Job 0 finds server 0 idle and enters service immediately.
+//! let dep = cluster.enqueue(0, Job::new(0, 0.0, 1.5), 0.0);
+//! assert_eq!(dep, Some(1.5));
+//! // Job 1 queues behind it; its departure is scheduled at completion time.
+//! assert_eq!(cluster.enqueue(0, Job::new(1, 0.1, 1.0), 0.1), None);
+//! assert_eq!(cluster.loads(), &[2, 0]);
+//!
+//! let (done, next) = cluster.complete(0, 1.5);
+//! assert_eq!(done.id, 0);
+//! assert_eq!(next, Some(2.5)); // job 1 now in service, finishes at 1.5 + 1.0
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod history;
+
+pub use history::LoadHistory;
+
+use std::collections::VecDeque;
+
+/// Identifier of a server within a [`Cluster`] (a dense index in `0..n`).
+pub type ServerId = usize;
+
+/// A unit of work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Job {
+    /// Arrival sequence number (unique per simulation).
+    pub id: u64,
+    /// Absolute arrival time.
+    pub arrival: f64,
+    /// Service demand in units of mean service time.
+    pub service: f64,
+}
+
+impl Job {
+    /// Creates a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `service` is negative or not finite — a malformed workload
+    /// generator should fail loudly, not corrupt the simulation.
+    pub fn new(id: u64, arrival: f64, service: f64) -> Self {
+        assert!(service.is_finite() && service >= 0.0, "invalid service demand {service}");
+        Self { id, arrival, service }
+    }
+}
+
+/// One FIFO server: the front of the queue is the job in service.
+#[derive(Debug, Clone, Default)]
+struct Server {
+    queue: VecDeque<Job>,
+    completed: u64,
+    busy_since: Option<f64>,
+    busy_time: f64,
+}
+
+/// A bank of FIFO servers with unit service rate.
+///
+/// Load is defined exactly as in the paper: the queue length including the
+/// job in service. The current load vector is maintained incrementally and
+/// can be read in O(1) via [`Cluster::loads`].
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    servers: Vec<Server>,
+    loads: Vec<u32>,
+    capacities: Vec<f64>,
+    history: Option<LoadHistory>,
+    arrivals: u64,
+    departures: u64,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` idle servers with unit service rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "a cluster needs at least one server");
+        Self {
+            servers: vec![Server::default(); n],
+            loads: vec![0; n],
+            capacities: vec![1.0; n],
+            history: None,
+            arrivals: 0,
+            departures: 0,
+        }
+    }
+
+    /// Creates a *heterogeneous* cluster: server `i` processes work at rate
+    /// `capacities[i]` (a job of service demand `s` occupies it for
+    /// `s / capacities[i]`). This is the paper's §6 future-work setting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities` is empty or contains a non-positive or
+    /// non-finite rate.
+    pub fn with_capacities(capacities: &[f64]) -> Self {
+        assert!(!capacities.is_empty(), "a cluster needs at least one server");
+        assert!(
+            capacities.iter().all(|&c| c.is_finite() && c > 0.0),
+            "capacities must be positive and finite"
+        );
+        let mut c = Self::new(capacities.len());
+        c.capacities = capacities.to_vec();
+        c
+    }
+
+    /// Creates a cluster that also records per-server load history.
+    ///
+    /// `keep_window` is how far back (in simulated time) queries must be
+    /// answerable exactly; see [`LoadHistory`]. Only the continuous-update
+    /// information model needs this.
+    pub fn with_history(n: usize, keep_window: f64) -> Self {
+        let mut c = Self::new(n);
+        c.enable_history(keep_window);
+        c
+    }
+
+    /// Turns on load-history recording (see [`Cluster::with_history`]).
+    ///
+    /// Must be called before any job is enqueued so the history is
+    /// complete.
+    ///
+    /// # Panics
+    ///
+    /// Panics if jobs have already been processed.
+    pub fn enable_history(&mut self, keep_window: f64) {
+        assert_eq!(self.arrivals, 0, "history must be enabled before the first arrival");
+        self.history = Some(LoadHistory::new(self.servers.len(), keep_window));
+    }
+
+    /// Number of servers.
+    pub fn len(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Whether the cluster has no servers (never true; see [`Cluster::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// Current load (queue length including the job in service) per server.
+    pub fn loads(&self) -> &[u32] {
+        &self.loads
+    }
+
+    /// Current load of one server.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn load(&self, server: ServerId) -> u32 {
+        self.loads[server]
+    }
+
+    /// Total jobs accepted so far.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Total jobs completed so far.
+    pub fn departures(&self) -> u64 {
+        self.departures
+    }
+
+    /// Jobs currently in the system (queued or in service).
+    pub fn in_system(&self) -> u64 {
+        self.arrivals - self.departures
+    }
+
+    /// Places `job` on `server` at time `now`.
+    ///
+    /// Returns `Some(departure_time)` if the job goes straight into service
+    /// (the server was idle), so the caller can schedule its departure;
+    /// returns `None` if the job queued behind others (its departure will be
+    /// returned by a later [`Cluster::complete`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn enqueue(&mut self, server: ServerId, job: Job, now: f64) -> Option<f64> {
+        let capacity = self.capacities[server];
+        let s = &mut self.servers[server];
+        let was_idle = s.queue.is_empty();
+        if was_idle {
+            s.busy_since = Some(now);
+        }
+        s.queue.push_back(job);
+        self.loads[server] += 1;
+        self.arrivals += 1;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, self.loads[server]);
+        }
+        was_idle.then_some(now + job.service / capacity)
+    }
+
+    /// Completes the in-service job on `server` at time `now`.
+    ///
+    /// Returns the finished job and, if another job was waiting,
+    /// `Some(departure_time)` of the job now entering service.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or idle — completing a job on an
+    /// idle server indicates a corrupted event schedule.
+    pub fn complete(&mut self, server: ServerId, now: f64) -> (Job, Option<f64>) {
+        let s = &mut self.servers[server];
+        let done = s.queue.pop_front().expect("complete() on an idle server");
+        s.completed += 1;
+        self.loads[server] -= 1;
+        self.departures += 1;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, self.loads[server]);
+        }
+        let capacity = self.capacities[server];
+        let s = &mut self.servers[server];
+        let next = s.queue.front().map(|j| now + j.service / capacity);
+        if next.is_none() {
+            if let Some(since) = s.busy_since.take() {
+                s.busy_time += now - since;
+            }
+        }
+        (done, next)
+    }
+
+    /// Jobs completed by one server.
+    pub fn completed(&self, server: ServerId) -> u64 {
+        self.servers[server].completed
+    }
+
+    /// Cumulative busy time of one server over completed busy periods.
+    ///
+    /// Useful for utilization checks in tests; excludes any in-progress busy
+    /// period.
+    pub fn busy_time(&self, server: ServerId) -> f64 {
+        self.servers[server].busy_time
+    }
+
+    /// Fills `out` with the load vector as of time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster was not created with
+    /// [`Cluster::with_history`].
+    pub fn loads_at(&mut self, at: f64, out: &mut Vec<u32>) {
+        let h = self
+            .history
+            .as_mut()
+            .expect("loads_at() requires a cluster built with_history()");
+        h.fill_loads_at(at, out);
+    }
+
+    /// Number of history queries that fell before the retained window and
+    /// were answered with the oldest retained entry (0 when exact).
+    pub fn history_misses(&self) -> u64 {
+        self.history.as_ref().map_or(0, LoadHistory::misses)
+    }
+
+    /// Per-server service rates (all 1.0 for a homogeneous cluster).
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacities
+    }
+
+    /// Receiver-driven rebalancing (paper §2, option 3 — future work we
+    /// implement as an extension): the idle server `thief` pulls the most
+    /// recently queued *waiting* job from the server with the longest
+    /// queue, if any server has at least `min_victim_load` jobs.
+    ///
+    /// Returns the stolen job's departure time on the thief (which starts
+    /// serving it immediately), or `None` if no job was worth stealing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thief` is out of range or not idle.
+    pub fn steal_for_idle(
+        &mut self,
+        thief: ServerId,
+        now: f64,
+        min_victim_load: u32,
+    ) -> Option<f64> {
+        assert!(self.loads[thief] == 0, "only an idle server may steal");
+        let (victim, &load) = self
+            .loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &l)| l)
+            .expect("cluster is non-empty");
+        if victim == thief || load < min_victim_load.max(2) {
+            return None;
+        }
+        let job = self.servers[victim]
+            .queue
+            .pop_back()
+            .expect("victim load >= 2 implies a waiting job");
+        self.loads[victim] -= 1;
+        if let Some(h) = &mut self.history {
+            h.record(victim, now, self.loads[victim]);
+        }
+        // Not via enqueue(): a migration is not a new arrival.
+        let capacity = self.capacities[thief];
+        let s = &mut self.servers[thief];
+        s.busy_since = Some(now);
+        s.queue.push_back(job);
+        self.loads[thief] += 1;
+        if let Some(h) = &mut self.history {
+            h.record(thief, now, self.loads[thief]);
+        }
+        Some(now + job.service / capacity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_server_serves_immediately() {
+        let mut c = Cluster::new(3);
+        assert_eq!(c.enqueue(1, Job::new(0, 0.0, 2.0), 0.0), Some(2.0));
+        assert_eq!(c.loads(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 1.0), 0.0);
+        c.enqueue(0, Job::new(1, 0.1, 1.0), 0.1);
+        c.enqueue(0, Job::new(2, 0.2, 1.0), 0.2);
+        let (j0, n0) = c.complete(0, 1.0);
+        assert_eq!(j0.id, 0);
+        assert_eq!(n0, Some(2.0));
+        let (j1, n1) = c.complete(0, 2.0);
+        assert_eq!(j1.id, 1);
+        assert_eq!(n1, Some(3.0));
+        let (j2, n2) = c.complete(0, 3.0);
+        assert_eq!(j2.id, 2);
+        assert_eq!(n2, None);
+    }
+
+    #[test]
+    fn conservation_counters() {
+        let mut c = Cluster::new(2);
+        for i in 0..5 {
+            c.enqueue((i % 2) as usize, Job::new(i, i as f64 * 0.1, 1.0), i as f64 * 0.1);
+        }
+        assert_eq!(c.arrivals(), 5);
+        assert_eq!(c.in_system(), 5);
+        c.complete(0, 1.0);
+        c.complete(1, 1.1);
+        assert_eq!(c.departures(), 2);
+        assert_eq!(c.in_system(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn complete_on_idle_panics() {
+        let mut c = Cluster::new(1);
+        c.complete(0, 1.0);
+    }
+
+    #[test]
+    fn busy_time_accounting() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 2.0), 0.0);
+        c.complete(0, 2.0);
+        assert!((c.busy_time(0) - 2.0).abs() < 1e-12);
+        // A gap, then another busy period.
+        c.enqueue(0, Job::new(1, 5.0, 1.0), 5.0);
+        c.complete(0, 6.0);
+        assert!((c.busy_time(0) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_service_job_departs_immediately() {
+        let mut c = Cluster::new(1);
+        assert_eq!(c.enqueue(0, Job::new(0, 1.0, 0.0), 1.0), Some(1.0));
+        let (j, next) = c.complete(0, 1.0);
+        assert_eq!(j.id, 0);
+        assert_eq!(next, None);
+        assert_eq!(c.load(0), 0);
+    }
+
+    #[test]
+    fn historical_loads_reflect_past_state() {
+        let mut c = Cluster::with_history(2, 100.0);
+        c.enqueue(0, Job::new(0, 1.0, 10.0), 1.0);
+        c.enqueue(0, Job::new(1, 2.0, 10.0), 2.0);
+        c.enqueue(1, Job::new(2, 3.0, 10.0), 3.0);
+        let mut out = Vec::new();
+        c.loads_at(0.5, &mut out);
+        assert_eq!(out, &[0, 0]);
+        c.loads_at(1.5, &mut out);
+        assert_eq!(out, &[1, 0]);
+        c.loads_at(2.5, &mut out);
+        assert_eq!(out, &[2, 0]);
+        c.loads_at(3.5, &mut out);
+        assert_eq!(out, &[2, 1]);
+        assert_eq!(c.history_misses(), 0);
+    }
+
+    #[test]
+    fn heterogeneous_capacity_scales_service() {
+        let mut c = Cluster::with_capacities(&[2.0, 0.5]);
+        // Demand 1 takes 0.5 on the fast server, 2.0 on the slow one.
+        assert_eq!(c.enqueue(0, Job::new(0, 0.0, 1.0), 0.0), Some(0.5));
+        assert_eq!(c.enqueue(1, Job::new(1, 0.0, 1.0), 0.0), Some(2.0));
+        // Queued job inherits the serving server's rate on promotion.
+        c.enqueue(0, Job::new(2, 0.1, 1.0), 0.1);
+        let (_, next) = c.complete(0, 0.5);
+        assert_eq!(next, Some(1.0));
+        assert_eq!(c.capacities(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = Cluster::with_capacities(&[1.0, 0.0]);
+    }
+
+    #[test]
+    fn stealing_moves_last_waiting_job() {
+        let mut c = Cluster::new(2);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        c.enqueue(0, Job::new(1, 0.1, 1.0), 0.1);
+        c.enqueue(0, Job::new(2, 0.2, 2.0), 0.2);
+        // Server 1 is idle and steals job 2 (the tail of server 0's queue).
+        let dep = c.steal_for_idle(1, 1.0, 2);
+        assert_eq!(dep, Some(3.0));
+        assert_eq!(c.loads(), &[2, 1]);
+        let (job, _) = c.complete(1, 3.0);
+        assert_eq!(job.id, 2);
+        // Conservation: migration is not an arrival.
+        assert_eq!(c.arrivals(), 3);
+    }
+
+    #[test]
+    fn stealing_respects_min_victim_load() {
+        let mut c = Cluster::new(2);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        // Only one job (in service): nothing to steal.
+        assert_eq!(c.steal_for_idle(1, 1.0, 2), None);
+        c.enqueue(0, Job::new(1, 0.1, 1.0), 0.1);
+        // Two jobs but the threshold demands 3.
+        assert_eq!(c.steal_for_idle(1, 1.0, 3), None);
+        assert!(c.steal_for_idle(1, 1.0, 2).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "idle")]
+    fn busy_server_cannot_steal() {
+        let mut c = Cluster::new(2);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        c.enqueue(1, Job::new(1, 0.0, 5.0), 0.0);
+        let _ = c.steal_for_idle(1, 1.0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "with_history")]
+    fn loads_at_without_history_panics() {
+        let mut c = Cluster::new(1);
+        let mut out = Vec::new();
+        c.loads_at(0.0, &mut out);
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based tests for the queueing substrate.
+//!
+//! These drive a random but *valid* event sequence against a [`Cluster`] and
+//! check conservation, FIFO, and history invariants.
+
+use proptest::prelude::*;
+use staleload_cluster::{Cluster, Job};
+use staleload_sim::{EventQueue, SimRng};
+
+/// Replays a random workload through a cluster and returns
+/// (arrivals, departures, per-job (arrival, departure) pairs).
+fn run_random_workload(
+    n_servers: usize,
+    n_jobs: u64,
+    seed: u64,
+    with_history: bool,
+) -> (Cluster, Vec<(u64, f64, f64)>) {
+    let mut rng = SimRng::from_seed(seed);
+    let mut cluster = if with_history {
+        Cluster::with_history(n_servers, 1e9)
+    } else {
+        Cluster::new(n_servers)
+    };
+    let mut events: EventQueue<usize> = EventQueue::new();
+    let mut completions = Vec::new();
+
+    let mut t;
+    let mut next_id = 0u64;
+    let mut next_arrival = 0.0f64;
+    loop {
+        let arrivals_done = next_id >= n_jobs;
+        let next_departure = events.peek_time();
+        match (arrivals_done, next_departure) {
+            (true, None) => break,
+            (false, Some(d)) if d <= next_arrival => {
+                let (_, server) = events.pop().unwrap();
+                t = d;
+                let (job, next) = cluster.complete(server, t);
+                completions.push((job.id, job.arrival, t));
+                if let Some(dep) = next {
+                    events.push(dep, server);
+                }
+            }
+            (false, _) => {
+                t = next_arrival;
+                let server = rng.index(n_servers);
+                let job = Job::new(next_id, t, rng.exp(1.0));
+                next_id += 1;
+                if let Some(dep) = cluster.enqueue(server, job, t) {
+                    events.push(dep, server);
+                }
+                next_arrival = t + rng.exp(0.5);
+            }
+            (true, Some(d)) => {
+                let (_, server) = events.pop().unwrap();
+                t = d;
+                let (job, next) = cluster.complete(server, t);
+                completions.push((job.id, job.arrival, t));
+                if let Some(dep) = next {
+                    events.push(dep, server);
+                }
+            }
+        }
+    }
+    (cluster, completions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every arrival eventually departs, exactly once.
+    #[test]
+    fn jobs_are_conserved(n_servers in 1usize..8, n_jobs in 1u64..300, seed in any::<u64>()) {
+        let (cluster, completions) = run_random_workload(n_servers, n_jobs, seed, false);
+        prop_assert_eq!(cluster.arrivals(), n_jobs);
+        prop_assert_eq!(cluster.departures(), n_jobs);
+        prop_assert_eq!(cluster.in_system(), 0);
+        let mut ids: Vec<u64> = completions.iter().map(|&(id, _, _)| id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len() as u64, n_jobs);
+    }
+
+    /// Response times are non-negative and at least the service demand
+    /// (here: at least 0, and departures never precede arrivals).
+    #[test]
+    fn departures_follow_arrivals(n_servers in 1usize..8, n_jobs in 1u64..300, seed in any::<u64>()) {
+        let (_, completions) = run_random_workload(n_servers, n_jobs, seed, false);
+        for (_, arrival, departure) in completions {
+            prop_assert!(departure >= arrival);
+        }
+    }
+
+    /// Final loads are all zero and never went negative (u32 would panic).
+    #[test]
+    fn final_loads_zero(n_servers in 1usize..8, n_jobs in 1u64..200, seed in any::<u64>()) {
+        let (cluster, _) = run_random_workload(n_servers, n_jobs, seed, false);
+        prop_assert!(cluster.loads().iter().all(|&l| l == 0));
+    }
+
+    /// A cluster with an unbounded history window answers every past query
+    /// exactly (no misses) and the t=+inf query matches the live loads.
+    #[test]
+    fn history_is_exact_with_unbounded_window(
+        n_servers in 1usize..6,
+        n_jobs in 1u64..200,
+        seed in any::<u64>(),
+        query in 0.0f64..50.0,
+    ) {
+        let (mut cluster, _) = run_random_workload(n_servers, n_jobs, seed, true);
+        let mut out = Vec::new();
+        cluster.loads_at(query, &mut out);
+        prop_assert_eq!(out.len(), n_servers);
+        cluster.loads_at(f64::MAX, &mut out);
+        let live = cluster.loads().to_vec();
+        prop_assert_eq!(out, live);
+        prop_assert_eq!(cluster.history_misses(), 0);
+    }
+}

@@ -1,0 +1,322 @@
+//! Simulation configuration.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use staleload_sim::Dist;
+use staleload_workloads::BurstConfig;
+
+/// How jobs arrive at the system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalSpec {
+    /// One merged Poisson stream of rate `λ·n` (the paper's default).
+    Poisson,
+    /// `clients` independent Poisson clients with total rate `λ·n`
+    /// (update-on-access experiments; the mean inter-request time is
+    /// `clients/(λ·n)`).
+    PoissonClients {
+        /// Number of load-generating clients.
+        clients: usize,
+    },
+    /// `clients` independent bursty clients (§5.4).
+    BurstyClients {
+        /// Number of load-generating clients.
+        clients: usize,
+        /// Burst shape.
+        burst: BurstConfig,
+    },
+    /// Aggregate-level burstiness (extension): a two-state
+    /// Markov-modulated Poisson stream whose long-run mean rate still
+    /// equals `λ·n`. During a high phase the rate is `rate_ratio` times
+    /// the low phase's.
+    Mmpp {
+        /// High-phase/low-phase rate ratio (≥ 1).
+        rate_ratio: f64,
+        /// Long-run fraction of time in the high phase (in `(0, 1)`).
+        high_fraction: f64,
+        /// Mean duration of one high+low cycle in service-time units.
+        cycle_mean: f64,
+    },
+}
+
+impl ArrivalSpec {
+    /// Number of distinct clients this spec simulates.
+    pub fn clients(&self) -> usize {
+        match *self {
+            ArrivalSpec::Poisson | ArrivalSpec::Mmpp { .. } => 1,
+            ArrivalSpec::PoissonClients { clients } | ArrivalSpec::BurstyClients { clients, .. } => {
+                clients
+            }
+        }
+    }
+}
+
+/// Error constructing a [`SimConfig`] from invalid parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    what: String,
+}
+
+impl ConfigError {
+    fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid simulation configuration: {}", self.what)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parameters of one simulated system (paper §5 defaults unless changed).
+///
+/// Construct with [`SimConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Number of servers `n`.
+    pub servers: usize,
+    /// True per-server arrival rate λ as a fraction of service capacity.
+    pub lambda: f64,
+    /// Total jobs to generate.
+    pub arrivals: u64,
+    /// Fraction of jobs used to reach steady state (excluded from the
+    /// metric).
+    pub warmup_fraction: f64,
+    /// Job-size distribution (mean 1 in the paper's units).
+    pub service: Dist,
+    /// Per-server service rates for a heterogeneous cluster (extension;
+    /// `None` = all servers at rate 1, the paper's setting).
+    pub capacities: Option<Vec<f64>>,
+    /// Receiver-driven rebalancing (extension; paper §2 option 3): when a
+    /// server goes idle it steals a waiting job from the longest queue if
+    /// that queue holds at least this many jobs. `None` disables stealing.
+    pub work_stealing: Option<u32>,
+    /// Master seed; trials derive their own seeds from it.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// Starts a builder with the paper's defaults
+    /// (n = 100, λ = 0.9, 500 000 arrivals, 10% warm-up, Exponential(1)
+    /// service, seed 1).
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder::default()
+    }
+
+    /// Total arrival rate: `λ` times the total service capacity
+    /// (`λ·n` for a homogeneous cluster).
+    pub fn total_rate(&self) -> f64 {
+        self.lambda * self.total_capacity()
+    }
+
+    /// Total service capacity (`n` for a homogeneous cluster).
+    pub fn total_capacity(&self) -> f64 {
+        match &self.capacities {
+            Some(caps) => caps.iter().sum(),
+            None => self.servers as f64,
+        }
+    }
+
+    /// Number of leading jobs excluded from measurement.
+    pub fn warmup_jobs(&self) -> u64 {
+        (self.arrivals as f64 * self.warmup_fraction) as u64
+    }
+}
+
+/// Builder for [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct SimConfigBuilder {
+    servers: usize,
+    lambda: f64,
+    arrivals: u64,
+    warmup_fraction: f64,
+    service: Dist,
+    capacities: Option<Vec<f64>>,
+    work_stealing: Option<u32>,
+    seed: u64,
+}
+
+impl Default for SimConfigBuilder {
+    fn default() -> Self {
+        Self {
+            servers: 100,
+            lambda: 0.9,
+            arrivals: 500_000,
+            warmup_fraction: 0.1,
+            service: Dist::exponential(1.0),
+            capacities: None,
+            work_stealing: None,
+            seed: 1,
+        }
+    }
+}
+
+impl SimConfigBuilder {
+    /// Sets the number of servers `n`.
+    pub fn servers(&mut self, n: usize) -> &mut Self {
+        self.servers = n;
+        self
+    }
+
+    /// Sets the true per-server load λ.
+    pub fn lambda(&mut self, lambda: f64) -> &mut Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Sets the total number of generated jobs.
+    pub fn arrivals(&mut self, arrivals: u64) -> &mut Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Sets the warm-up fraction (default 0.1).
+    pub fn warmup_fraction(&mut self, f: f64) -> &mut Self {
+        self.warmup_fraction = f;
+        self
+    }
+
+    /// Sets the job-size distribution.
+    pub fn service(&mut self, service: Dist) -> &mut Self {
+        self.service = service;
+        self
+    }
+
+    /// Makes the cluster heterogeneous: server `i` runs at rate
+    /// `capacities[i]` (also sets `servers` to the vector's length).
+    pub fn capacities(&mut self, capacities: Vec<f64>) -> &mut Self {
+        self.servers = capacities.len();
+        self.capacities = Some(capacities);
+        self
+    }
+
+    /// Enables receiver-driven work stealing: an idle server pulls a
+    /// waiting job from the longest queue when it holds at least
+    /// `min_victim_load` jobs (≥ 2).
+    pub fn work_stealing(&mut self, min_victim_load: u32) -> &mut Self {
+        self.work_stealing = Some(min_victim_load);
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any parameter is out of range
+    /// (`servers == 0`, `λ ∉ (0, 2]`, `arrivals == 0`,
+    /// `warmup_fraction ∉ [0, 1)`).
+    pub fn try_build(&self) -> Result<SimConfig, ConfigError> {
+        if self.servers == 0 {
+            return Err(ConfigError::new("need at least one server"));
+        }
+        if !(self.lambda > 0.0 && self.lambda <= 2.0) {
+            return Err(ConfigError::new(format!(
+                "lambda must be in (0, 2], got {} (λ ≥ 1 is unstable but allowed for experiments)",
+                self.lambda
+            )));
+        }
+        if self.arrivals == 0 {
+            return Err(ConfigError::new("need at least one arrival"));
+        }
+        if !(0.0..1.0).contains(&self.warmup_fraction) {
+            return Err(ConfigError::new(format!(
+                "warmup fraction must be in [0, 1), got {}",
+                self.warmup_fraction
+            )));
+        }
+        if let Some(caps) = &self.capacities {
+            if caps.len() != self.servers {
+                return Err(ConfigError::new(format!(
+                    "capacities length {} must match servers {}",
+                    caps.len(),
+                    self.servers
+                )));
+            }
+            if !caps.iter().all(|&c| c.is_finite() && c > 0.0) {
+                return Err(ConfigError::new("capacities must be positive and finite"));
+            }
+        }
+        if let Some(min) = self.work_stealing {
+            if min < 2 {
+                return Err(ConfigError::new(
+                    "work stealing threshold must be at least 2 (one job must be waiting)",
+                ));
+            }
+        }
+        Ok(SimConfig {
+            servers: self.servers,
+            lambda: self.lambda,
+            arrivals: self.arrivals,
+            warmup_fraction: self.warmup_fraction,
+            service: self.service,
+            capacities: self.capacities.clone(),
+            work_stealing: self.work_stealing,
+            seed: self.seed,
+        })
+    }
+
+    /// Validates and builds the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters; see [`SimConfigBuilder::try_build`] for
+    /// the fallible form.
+    pub fn build(&self) -> SimConfig {
+        self.try_build().expect("invalid simulation configuration")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.servers, 100);
+        assert_eq!(cfg.lambda, 0.9);
+        assert!((cfg.total_rate() - 90.0).abs() < 1e-12);
+        assert_eq!(cfg.warmup_jobs(), 50_000);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let cfg = SimConfig::builder()
+            .servers(8)
+            .lambda(0.5)
+            .arrivals(1000)
+            .warmup_fraction(0.2)
+            .seed(9)
+            .build();
+        assert_eq!(cfg.servers, 8);
+        assert_eq!(cfg.lambda, 0.5);
+        assert_eq!(cfg.warmup_jobs(), 200);
+        assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(SimConfig::builder().servers(0).try_build().is_err());
+        assert!(SimConfig::builder().lambda(0.0).try_build().is_err());
+        assert!(SimConfig::builder().lambda(5.0).try_build().is_err());
+        assert!(SimConfig::builder().arrivals(0).try_build().is_err());
+        assert!(SimConfig::builder().warmup_fraction(1.0).try_build().is_err());
+    }
+
+    #[test]
+    fn arrival_spec_client_counts() {
+        assert_eq!(ArrivalSpec::Poisson.clients(), 1);
+        assert_eq!(ArrivalSpec::PoissonClients { clients: 7 }.clients(), 7);
+        let burst = BurstConfig { burst_len: 5, intra_gap_mean: 1.0 };
+        assert_eq!(ArrivalSpec::BurstyClients { clients: 3, burst }.clients(), 3);
+    }
+}

@@ -1,0 +1,481 @@
+//! The discrete-event simulation loop.
+
+use staleload_cluster::{Cluster, Job, ServerId};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+use staleload_sim::{EventQueue, OnlineStats, SimRng};
+use staleload_workloads::ArrivalProcess;
+
+use crate::{ArrivalSpec, RunDetail, SimConfig};
+
+/// The outcome of one seeded simulation run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Mean response (sojourn) time over measured jobs.
+    pub mean_response: f64,
+    /// Full response-time statistics over measured jobs.
+    pub response: OnlineStats,
+    /// Number of jobs contributing to the metric.
+    pub measured_jobs: u64,
+    /// Jobs generated in total (≥ the configured count only for
+    /// update-on-access experiments that scale work per client).
+    pub generated: u64,
+    /// Simulated time of the last departure.
+    pub end_time: f64,
+    /// Delayed-view queries answered inexactly (should be 0; > 0 means the
+    /// history window was too small for the delay distribution).
+    pub history_misses: u64,
+    /// Tail/fairness/occupancy metrics (see [`RunDetail`]).
+    pub detail: RunDetail,
+}
+
+/// Runs one simulation: `cfg.arrivals` jobs through `cfg.servers` FIFO
+/// queues, routed by `policy` using views produced by `info`.
+///
+/// Jobs arriving during the warm-up fraction are excluded from the metric;
+/// after the last arrival the system drains so every measured job completes.
+///
+/// Determinism: the run is a pure function of the configuration (including
+/// `cfg.seed`). Independent RNG streams are forked for the arrival process,
+/// service times, the policy, and the information model, so e.g. changing
+/// the policy does not perturb the arrival pattern.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent (e.g. a bursty arrival spec
+/// whose burst cannot attain the required mean inter-request time).
+pub fn run_simulation(
+    cfg: &SimConfig,
+    arrivals: &ArrivalSpec,
+    info: &InfoSpec,
+    policy: &PolicySpec,
+) -> RunResult {
+    let mut master = SimRng::from_seed(cfg.seed);
+    let mut arrival_rng = master.fork();
+    let mut service_rng = master.fork();
+    let mut policy_rng = master.fork();
+    let mut model_rng = master.fork();
+
+    let n = cfg.servers;
+    let mut cluster = match &cfg.capacities {
+        Some(caps) => Cluster::with_capacities(caps),
+        None => Cluster::new(n),
+    };
+    if let Some(window) = info.history_window() {
+        cluster.enable_history(window);
+    }
+
+    let clients = arrivals.clients();
+    let mut model = info.build(n, clients);
+    let mut policy = policy.build();
+
+    let total_rate = cfg.total_rate();
+    let mut process = match *arrivals {
+        ArrivalSpec::Poisson => ArrivalProcess::poisson(total_rate),
+        ArrivalSpec::PoissonClients { clients } => {
+            ArrivalProcess::poisson_clients(clients, total_rate)
+        }
+        ArrivalSpec::BurstyClients { clients, burst } => {
+            let mean_inter_request = clients as f64 / total_rate;
+            ArrivalProcess::bursty_clients(clients, mean_inter_request, burst, &mut arrival_rng)
+                .expect("bursty arrival spec inconsistent with the configured load")
+        }
+        ArrivalSpec::Mmpp { rate_ratio, high_fraction, cycle_mean } => {
+            assert!(rate_ratio >= 1.0, "rate ratio must be at least 1, got {rate_ratio}");
+            assert!(
+                (0.0..1.0).contains(&high_fraction) && high_fraction > 0.0,
+                "high fraction must be in (0, 1), got {high_fraction}"
+            );
+            // Solve the low rate so the sojourn-weighted mean is λ·n.
+            let low = total_rate / (1.0 - high_fraction + high_fraction * rate_ratio);
+            let high = rate_ratio * low;
+            ArrivalProcess::mmpp(
+                high,
+                high_fraction * cycle_mean,
+                low,
+                (1.0 - high_fraction) * cycle_mean,
+            )
+            .expect("MMPP arrival spec inconsistent with the configured load")
+        }
+    };
+
+    let warmup = cfg.warmup_jobs();
+    let mut departures: EventQueue<ServerId> = EventQueue::with_capacity(n);
+    let mut response = OnlineStats::new();
+    let mut detail = RunDetail::new(n);
+    let mut next_id: u64 = 0;
+    let mut next_arrival: Option<(f64, usize)> = Some(process.next(&mut arrival_rng));
+    let mut end_time: f64 = 0.0;
+
+    loop {
+        let arrival_time = next_arrival.map(|(t, _)| t);
+        let departure_time = departures.peek_time();
+        let system_next = match (arrival_time, departure_time) {
+            (None, None) => break,
+            (Some(a), None) => a,
+            (None, Some(d)) => d,
+            (Some(a), Some(d)) => a.min(d),
+        };
+
+        // Let the information model catch up first (ties: model before
+        // system events, so a board refreshed "at" an arrival's instant is
+        // visible to that arrival).
+        while let Some(t) = model.next_event() {
+            if t <= system_next {
+                model.on_event(t, &cluster);
+            } else {
+                break;
+            }
+        }
+
+        let take_arrival = match (arrival_time, departure_time) {
+            (Some(a), Some(d)) => a <= d,
+            (Some(_), None) => true,
+            _ => false,
+        };
+
+        if take_arrival {
+            let (t, client) = next_arrival.take().expect("arrival is present");
+            let service = cfg.service.sample(&mut service_rng);
+            policy.observe_arrival(t);
+            let server = {
+                let view = model.view(t, client, &mut cluster, &mut model_rng);
+                policy.select_sized(&view, service, &mut policy_rng)
+            };
+            let job = Job::new(next_id, t, service);
+            next_id += 1;
+            if let Some(dep) = cluster.enqueue(server, job, t) {
+                departures.push(dep, server);
+            }
+            model.after_placement(t, client, &cluster);
+            detail.jobs_in_system.update(t, cluster.in_system() as f64);
+            if next_id < cfg.arrivals {
+                next_arrival = Some(process.next(&mut arrival_rng));
+            }
+        } else {
+            let (t, server) = departures.pop().expect("departure is present");
+            let (job, next) = cluster.complete(server, t);
+            match next {
+                Some(dep) => departures.push(dep, server),
+                None => {
+                    // Receiver-driven rebalancing (extension): a server
+                    // going idle pulls a waiting job from the longest
+                    // queue.
+                    if let Some(min_victim) = cfg.work_stealing {
+                        if let Some(dep) = cluster.steal_for_idle(server, t, min_victim) {
+                            departures.push(dep, server);
+                        }
+                    }
+                }
+            }
+            if job.id >= warmup {
+                response.record(t - job.arrival);
+                detail.response_histogram.record(t - job.arrival);
+            }
+            detail.jobs_in_system.update(t, cluster.in_system() as f64);
+            end_time = t;
+        }
+    }
+
+    debug_assert_eq!(cluster.in_system(), 0, "drain must empty the system");
+    for s in 0..n {
+        detail.per_server_completed[s] = cluster.completed(s);
+        detail.per_server_busy[s] = cluster.busy_time(s);
+    }
+    RunResult {
+        mean_response: response.mean(),
+        response,
+        measured_jobs: response.count(),
+        generated: next_id,
+        end_time,
+        history_misses: cluster.history_misses(),
+        detail,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(seed: u64) -> SimConfig {
+        SimConfig::builder()
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(30_000)
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn random_split_matches_mm1_theory() {
+        // Random splitting of Poisson(λ·n) over n servers makes each an
+        // independent M/M/1 at load λ: mean response = 1/(1-λ) = 2 at λ=0.5.
+        let cfg = quick_cfg(11);
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        assert!(
+            (r.mean_response - 2.0).abs() < 0.15,
+            "mean response {} should be near 2.0",
+            r.mean_response
+        );
+        assert_eq!(r.measured_jobs, 27_000);
+        assert_eq!(r.generated, 30_000);
+        assert_eq!(r.history_misses, 0);
+    }
+
+    #[test]
+    fn fresh_greedy_beats_random() {
+        let cfg = quick_cfg(12);
+        let greedy =
+            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy);
+        let random =
+            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        assert!(
+            greedy.mean_response < random.mean_response,
+            "greedy {} should beat random {}",
+            greedy.mean_response,
+            random.mean_response
+        );
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let cfg = quick_cfg(13);
+        let spec = PolicySpec::BasicLi { lambda: 0.5 };
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let a = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        let b = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = run_simulation(
+            &quick_cfg(1),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        let b = run_simulation(
+            &quick_cfg(2),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert_ne!(a.mean_response.to_bits(), b.mean_response.to_bits());
+    }
+
+    #[test]
+    fn continuous_model_reports_no_history_misses() {
+        let cfg = quick_cfg(14);
+        let info = InfoSpec::Continuous {
+            delay: staleload_info::DelaySpec::Exponential { mean: 2.0 },
+            knowledge: staleload_info::AgeKnowledge::Actual,
+        };
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::KSubset { k: 2 });
+        assert_eq!(r.history_misses, 0, "window must cover the delay distribution");
+        assert!(r.mean_response > 1.0);
+    }
+
+    #[test]
+    fn update_on_access_runs_with_many_clients() {
+        let cfg = SimConfig::builder()
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(20_000)
+            .seed(15)
+            .build();
+        let r = run_simulation(
+            &cfg,
+            &ArrivalSpec::PoissonClients { clients: 25 },
+            &InfoSpec::UpdateOnAccess,
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        assert_eq!(r.generated, 20_000);
+        assert!(r.mean_response > 0.9);
+    }
+
+    #[test]
+    fn mmpp_arrivals_keep_the_configured_mean_load() {
+        let cfg = SimConfig::builder()
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(120_000)
+            .seed(25)
+            .build();
+        let spec = ArrivalSpec::Mmpp { rate_ratio: 4.0, high_fraction: 0.2, cycle_mean: 20.0 };
+        let r = run_simulation(&cfg, &spec, &InfoSpec::Fresh, &PolicySpec::Random);
+        // Realized horizon matches arrivals / (λ·n) within a few percent.
+        let expect = 120_000.0 / 5.0;
+        assert!(
+            (r.end_time - expect).abs() / expect < 0.06,
+            "horizon {} vs expected {expect}",
+            r.end_time
+        );
+        // Burstier arrivals queue more than plain Poisson at the same load.
+        let poisson =
+            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        assert!(
+            r.mean_response > poisson.mean_response,
+            "MMPP {} should exceed Poisson {}",
+            r.mean_response,
+            poisson.mean_response
+        );
+    }
+
+    #[test]
+    fn detail_metrics_are_consistent() {
+        let cfg = quick_cfg(23);
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        // Little's law: E[N] = (total arrival rate) · E[T] over the run.
+        let rate = r.generated as f64 / r.end_time;
+        let little = rate * r.mean_response;
+        let measured_n = r.detail.mean_jobs_in_system(r.end_time);
+        assert!(
+            (measured_n - little).abs() / little < 0.1,
+            "Little's law: N {measured_n} vs lambda*T {little}"
+        );
+        // Utilization per server ≈ λ = 0.5.
+        let utils = r.detail.utilizations(r.end_time);
+        let mean_util = utils.iter().sum::<f64>() / utils.len() as f64;
+        assert!((mean_util - 0.5).abs() < 0.05, "mean utilization {mean_util}");
+        // Random placement over identical servers is fair.
+        assert!(r.detail.throughput_fairness() > 0.99);
+        // Histogram agrees with the Welford stats.
+        assert_eq!(r.detail.response_histogram.count(), r.measured_jobs);
+        assert!(
+            (r.detail.response_histogram.mean() - r.mean_response).abs() < 1e-9,
+            "histogram mean must match"
+        );
+        // Quantiles are ordered and bracket the mean sensibly.
+        let p50 = r.detail.response_quantile(0.5);
+        let p99 = r.detail.response_quantile(0.99);
+        assert!(p50 <= p99);
+        assert!(p99 <= r.response.max());
+    }
+
+    #[test]
+    fn herding_shows_up_in_peak_occupancy() {
+        let cfg = SimConfig::builder()
+            .servers(16)
+            .lambda(0.9)
+            .arrivals(60_000)
+            .seed(24)
+            .build();
+        let info = InfoSpec::Periodic { period: 30.0 };
+        let greedy = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::Greedy);
+        let li = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::BasicLi { lambda: 0.9 },
+        );
+        assert!(
+            greedy.detail.peak_jobs_in_system() > 2.0 * li.detail.peak_jobs_in_system(),
+            "herding peak {} should dwarf LI peak {}",
+            greedy.detail.peak_jobs_in_system(),
+            li.detail.peak_jobs_in_system()
+        );
+    }
+
+    #[test]
+    fn work_stealing_helps_oblivious_random() {
+        let mut builder = SimConfig::builder();
+        let base = builder.servers(10).lambda(0.8).arrivals(60_000).seed(17);
+        let plain = run_simulation(
+            &base.build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        let stealing = run_simulation(
+            &base.work_stealing(2).build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(
+            stealing.mean_response < plain.mean_response * 0.7,
+            "stealing {} should clearly beat plain random {}",
+            stealing.mean_response,
+            plain.mean_response
+        );
+        assert_eq!(stealing.generated, 60_000);
+    }
+
+    #[test]
+    fn hetero_li_beats_capacity_blind_li() {
+        // Half the servers are 1.6x, half 0.4x: a capacity-blind policy
+        // balances queue lengths and overloads the slow machines.
+        let caps: Vec<f64> = (0..10).map(|i| if i < 5 { 1.6 } else { 0.4 }).collect();
+        let cfg = SimConfig::builder()
+            .capacities(caps.clone())
+            .lambda(0.7)
+            .arrivals(80_000)
+            .seed(18)
+            .build();
+        let info = InfoSpec::Periodic { period: 2.0 };
+        let blind = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::BasicLi { lambda: 0.7 },
+        );
+        let aware = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::HeteroLi { lambda: 0.7, capacities: caps },
+        );
+        assert!(
+            aware.mean_response < blind.mean_response,
+            "capacity-aware {} should beat capacity-blind {}",
+            aware.mean_response,
+            blind.mean_response
+        );
+    }
+
+    #[test]
+    fn adaptive_li_approaches_oracle_li() {
+        let cfg = SimConfig::builder()
+            .servers(20)
+            .lambda(0.9)
+            .arrivals(120_000)
+            .seed(19)
+            .build();
+        let info = InfoSpec::Periodic { period: 10.0 };
+        let oracle = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::BasicLi { lambda: 0.9 },
+        );
+        let adaptive = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 },
+        );
+        let gap = (adaptive.mean_response - oracle.mean_response) / oracle.mean_response;
+        assert!(
+            gap < 0.1,
+            "adaptive {} should be within 10% of oracle {}",
+            adaptive.mean_response,
+            oracle.mean_response
+        );
+    }
+
+    #[test]
+    fn response_times_are_at_least_service_times() {
+        // With deterministic service of 1, every response is >= 1.
+        let cfg = SimConfig::builder()
+            .servers(4)
+            .lambda(0.3)
+            .arrivals(5_000)
+            .service(staleload_sim::Dist::constant(1.0))
+            .seed(16)
+            .build();
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy);
+        assert!(r.response.min() >= 1.0 - 1e-9, "min response {}", r.response.min());
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-trial experiments with the paper's statistical protocol.
+
+use serde::{Deserialize, Serialize};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+use staleload_stats::Summary;
+
+use crate::{run_simulation, ArrivalSpec, SimConfig};
+
+/// Derives the seed of trial `trial` from a master seed (SplitMix-style
+/// stride keeps nearby trials uncorrelated).
+pub fn trial_seed(master: u64, trial: usize) -> u64 {
+    master ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1)
+}
+
+/// Number of update-on-access clients that makes the mean information age
+/// equal `mean_age` (paper §3.2: the age equals a client's inter-request
+/// time, so `C = λ·n·T`, at least 1).
+pub fn clients_for_mean_age(lambda: f64, servers: usize, mean_age: f64) -> usize {
+    ((lambda * servers as f64 * mean_age).round() as usize).max(1)
+}
+
+/// One experiment point: a system configuration, an information model, and
+/// a policy, run over `trials` independent seeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// System configuration (its `seed` is the master seed).
+    pub config: SimConfig,
+    /// Arrival structure.
+    pub arrivals: ArrivalSpec,
+    /// Information model.
+    pub info: InfoSpec,
+    /// Selection policy.
+    pub policy: PolicySpec,
+    /// Number of independent trials (the paper uses ≥ 10; ≥ 30 for
+    /// Bounded-Pareto workloads).
+    pub trials: usize,
+}
+
+/// The aggregated outcome of an [`Experiment`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Per-trial mean response times.
+    pub trial_means: Vec<f64>,
+    /// Summary statistics over the trials (mean ± 90% CI, quartiles…).
+    pub summary: Summary,
+    /// Total history misses across trials (should be 0).
+    pub history_misses: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(
+        config: SimConfig,
+        arrivals: ArrivalSpec,
+        info: InfoSpec,
+        policy: PolicySpec,
+        trials: usize,
+    ) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        Self { config, arrivals, info, policy, trials }
+    }
+
+    /// Runs all trials (in parallel when more than one hardware thread is
+    /// available) and aggregates the per-trial mean response times.
+    pub fn run(&self) -> ExperimentResult {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(self.trials);
+        let results = if threads <= 1 {
+            (0..self.trials).map(|t| self.run_trial(t)).collect::<Vec<_>>()
+        } else {
+            self.run_parallel(threads)
+        };
+        let trial_means: Vec<f64> = results.iter().map(|r| r.0).collect();
+        let history_misses = results.iter().map(|r| r.1).sum();
+        ExperimentResult {
+            summary: Summary::from_trials(&trial_means),
+            trial_means,
+            history_misses,
+        }
+    }
+
+    fn run_trial(&self, trial: usize) -> (f64, u64) {
+        let mut cfg = self.config.clone();
+        cfg.seed = trial_seed(self.config.seed, trial);
+        let r = run_simulation(&cfg, &self.arrivals, &self.info, &self.policy);
+        (r.mean_response, r.history_misses)
+    }
+
+    fn run_parallel(&self, threads: usize) -> Vec<(f64, u64)> {
+        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
+        for t in 0..self.trials {
+            tx.send(t).expect("channel is open");
+        }
+        drop(tx);
+        let mut results = vec![(0.0, 0u64); self.trials];
+        let collected: std::sync::Mutex<Vec<(usize, (f64, u64))>> =
+            std::sync::Mutex::new(Vec::with_capacity(self.trials));
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let rx = rx.clone();
+                let collected = &collected;
+                scope.spawn(move || {
+                    while let Ok(trial) = rx.recv() {
+                        let out = self.run_trial(trial);
+                        collected.lock().expect("no poisoned lock").push((trial, out));
+                    }
+                });
+            }
+        });
+        for (trial, out) in collected.into_inner().expect("no poisoned lock") {
+            results[trial] = out;
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_experiment(policy: PolicySpec, trials: usize) -> Experiment {
+        let cfg = SimConfig::builder().servers(8).lambda(0.5).arrivals(15_000).seed(21).build();
+        Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 2.0 }, policy, trials)
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let e = quick_experiment(PolicySpec::BasicLi { lambda: 0.5 }, 3);
+        let a = e.run();
+        let b = e.run();
+        assert_eq!(a.trial_means, b.trial_means);
+    }
+
+    #[test]
+    fn trials_use_distinct_seeds() {
+        let e = quick_experiment(PolicySpec::Random, 4);
+        let r = e.run();
+        let mut means = r.trial_means.clone();
+        means.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        means.dedup();
+        assert_eq!(means.len(), 4, "all trial means distinct: {:?}", r.trial_means);
+        assert_eq!(r.summary.trials, 4);
+    }
+
+    #[test]
+    fn trial_seed_spreads() {
+        let s: Vec<u64> = (0..16).map(|t| trial_seed(42, t)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 16);
+    }
+
+    #[test]
+    fn clients_for_mean_age_formula() {
+        // λ = 0.9, n = 100, T = 10 ⇒ 900 clients.
+        assert_eq!(clients_for_mean_age(0.9, 100, 10.0), 900);
+        // Tiny T still yields at least one client.
+        assert_eq!(clients_for_mean_age(0.9, 100, 0.001), 1);
+    }
+
+    #[test]
+    fn summary_reflects_trials() {
+        let e = quick_experiment(PolicySpec::Random, 5);
+        let r = e.run();
+        assert_eq!(r.trial_means.len(), 5);
+        let mean = r.trial_means.iter().sum::<f64>() / 5.0;
+        assert!((r.summary.mean - mean).abs() < 1e-12);
+        assert_eq!(r.history_misses, 0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Detailed per-run metrics beyond the paper's mean response time.
+//!
+//! The paper reports mean response times; a production load-balancing
+//! study also wants tails, fairness, and occupancy. [`RunDetail`] collects
+//! those with O(1) work per event, and doubles as a validation surface
+//! (Little's law, utilization ≈ λ).
+
+use staleload_sim::{Histogram, TimeWeighted};
+
+/// Detailed metrics of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunDetail {
+    /// Log-bucketed histogram of measured response times (~12% resolution).
+    pub response_histogram: Histogram,
+    /// Jobs in the whole system, time-averaged over the run.
+    pub jobs_in_system: TimeWeighted,
+    /// Jobs completed per server.
+    pub per_server_completed: Vec<u64>,
+    /// Busy time per server over completed busy periods.
+    pub per_server_busy: Vec<f64>,
+}
+
+impl RunDetail {
+    pub(crate) fn new(servers: usize) -> Self {
+        Self {
+            response_histogram: Histogram::for_response_times(),
+            jobs_in_system: TimeWeighted::new(0.0, 0.0),
+            per_server_completed: vec![0; servers],
+            per_server_busy: vec![0.0; servers],
+        }
+    }
+
+    /// Approximate response-time quantile over measured jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no job was measured or `q ∉ [0, 1]`.
+    pub fn response_quantile(&self, q: f64) -> f64 {
+        self.response_histogram.quantile(q)
+    }
+
+    /// Time-averaged number of jobs in the system over `[0, end_time]`.
+    pub fn mean_jobs_in_system(&self, end_time: f64) -> f64 {
+        self.jobs_in_system.average(end_time)
+    }
+
+    /// Largest instantaneous number of jobs in the system — spikes here are
+    /// the herd effect made visible.
+    pub fn peak_jobs_in_system(&self) -> f64 {
+        self.jobs_in_system.peak()
+    }
+
+    /// Per-server utilization (busy time / horizon).
+    pub fn utilizations(&self, end_time: f64) -> Vec<f64> {
+        if end_time <= 0.0 {
+            return vec![0.0; self.per_server_busy.len()];
+        }
+        self.per_server_busy.iter().map(|&b| b / end_time).collect()
+    }
+
+    /// Jain's fairness index of per-server completed-job counts:
+    /// `(Σx)² / (n·Σx²)`; 1.0 = perfectly even, `1/n` = all work on one
+    /// server.
+    pub fn throughput_fairness(&self) -> f64 {
+        jain_fairness(&self.per_server_completed)
+    }
+}
+
+/// Jain's fairness index over non-negative counts.
+///
+/// Returns 1.0 for an empty or all-zero input (nothing to be unfair
+/// about).
+///
+/// # Example
+///
+/// ```
+/// use staleload_core::jain_fairness;
+///
+/// assert!((jain_fairness(&[10, 10, 10, 10]) - 1.0).abs() < 1e-12);
+/// assert!((jain_fairness(&[40, 0, 0, 0]) - 0.25).abs() < 1e-12);
+/// ```
+pub fn jain_fairness(counts: &[u64]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = counts.iter().map(|&c| c as f64).sum();
+    let sumsq: f64 = counts.iter().map(|&c| (c as f64) * (c as f64)).sum();
+    if sumsq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n as f64 * sumsq)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fairness_bounds() {
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0, 0]), 1.0);
+        assert!((jain_fairness(&[5, 5, 5]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[9, 0, 0]) - 1.0 / 3.0).abs() < 1e-12);
+        let mid = jain_fairness(&[8, 4, 0]);
+        assert!(mid > 1.0 / 3.0 && mid < 1.0, "{mid}");
+    }
+
+    #[test]
+    fn detail_accumulates() {
+        let mut d = RunDetail::new(2);
+        d.jobs_in_system.update(1.0, 3.0);
+        d.response_histogram.record(2.0);
+        d.per_server_completed[0] = 1;
+        d.per_server_busy[0] = 2.0;
+        assert_eq!(d.peak_jobs_in_system(), 3.0);
+        assert_eq!(d.response_quantile(1.0), 2.0);
+        assert!((d.utilizations(4.0)[0] - 0.5).abs() < 1e-12);
+        assert!(d.throughput_fairness() < 1.0);
+    }
+}

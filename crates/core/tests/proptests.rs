@@ -1,0 +1,160 @@
+//! Engine-level property tests: for arbitrary valid configurations, every
+//! (arrival spec, info model, policy) combination upholds the simulator's
+//! invariants.
+
+use proptest::prelude::*;
+use staleload_core::{run_simulation, ArrivalSpec, SimConfig};
+use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
+use staleload_policies::PolicySpec;
+use staleload_sim::Dist;
+
+fn arb_policy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::Random),
+        (1usize..20).prop_map(|k| PolicySpec::KSubset { k }),
+        Just(PolicySpec::Greedy),
+        (0u32..10).prop_map(|threshold| PolicySpec::Threshold { threshold }),
+        (0.1f64..1.5).prop_map(|lambda| PolicySpec::BasicLi { lambda }),
+        (0.1f64..1.5).prop_map(|lambda| PolicySpec::AggressiveLi { lambda }),
+        (0.1f64..1.5).prop_map(|lambda| PolicySpec::HybridLi { lambda }),
+        (1usize..8, 0.1f64..1.5).prop_map(|(k, lambda)| PolicySpec::LiSubset { k, lambda }),
+        (0.5f64..20.0).prop_map(|tau| PolicySpec::WeightedDecay { tau }),
+        Just(PolicySpec::AdaptiveLi { alpha: 0.05, warmup: 50 }),
+    ]
+}
+
+fn arb_info() -> impl Strategy<Value = InfoSpec> {
+    prop_oneof![
+        Just(InfoSpec::Fresh),
+        (0.1f64..20.0).prop_map(|period| InfoSpec::Periodic { period }),
+        (0.1f64..5.0).prop_map(|mean| InfoSpec::Continuous {
+            delay: DelaySpec::Exponential { mean },
+            knowledge: AgeKnowledge::Actual,
+        }),
+        (0.1f64..5.0).prop_map(|mean| InfoSpec::Continuous {
+            delay: DelaySpec::UniformWide { mean },
+            knowledge: AgeKnowledge::MeanOnly,
+        }),
+        Just(InfoSpec::UpdateOnAccess),
+    ]
+}
+
+fn arb_service() -> impl Strategy<Value = Dist> {
+    prop_oneof![
+        Just(Dist::exponential(1.0)),
+        Just(Dist::constant(1.0)),
+        Just(Dist::bounded_pareto(1.2, 0.3, 50.0).unwrap()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every run conserves jobs, measures exactly the post-warm-up set,
+    /// reports non-negative responses, and never misses a history query.
+    #[test]
+    fn run_invariants_hold(
+        servers in 1usize..24,
+        lambda in 0.05f64..0.95,
+        arrivals in 500u64..6_000,
+        warmup_frac in 0.0f64..0.5,
+        service in arb_service(),
+        info in arb_info(),
+        policy in arb_policy(),
+        stealing in proptest::option::of(2u32..5),
+        seed in any::<u64>(),
+    ) {
+        let clients = if matches!(info, InfoSpec::UpdateOnAccess) { servers * 2 } else { 1 };
+        let arrivals_spec = if clients > 1 {
+            ArrivalSpec::PoissonClients { clients }
+        } else {
+            ArrivalSpec::Poisson
+        };
+        let mut b = SimConfig::builder();
+        b.servers(servers)
+            .lambda(lambda)
+            .arrivals(arrivals)
+            .warmup_fraction(warmup_frac)
+            .service(service)
+            .seed(seed);
+        if let Some(min) = stealing {
+            b.work_stealing(min);
+        }
+        let cfg = b.build();
+        let r = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+
+        prop_assert_eq!(r.generated, arrivals);
+        prop_assert_eq!(r.measured_jobs, arrivals - cfg.warmup_jobs());
+        prop_assert!(r.response.min() >= 0.0 || r.measured_jobs == 0);
+        prop_assert_eq!(r.history_misses, 0);
+        prop_assert_eq!(r.detail.response_histogram.count(), r.measured_jobs);
+        // All generated jobs completed (the drain emptied the system).
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed, arrivals);
+        // Occupancy metrics are sane.
+        prop_assert!(r.detail.peak_jobs_in_system() >= 0.0);
+        let fairness = r.detail.throughput_fairness();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fairness));
+        // Utilization cannot exceed 1 per server.
+        for u in r.detail.utilizations(r.end_time.max(1e-9)) {
+            prop_assert!(u <= 1.0 + 1e-9, "utilization {}", u);
+        }
+    }
+
+    /// Bit-exact determinism holds for arbitrary configurations.
+    #[test]
+    fn arbitrary_runs_are_deterministic(
+        servers in 1usize..16,
+        lambda in 0.1f64..0.9,
+        info in arb_info(),
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let arrivals_spec = if matches!(info, InfoSpec::UpdateOnAccess) {
+            ArrivalSpec::PoissonClients { clients: 8 }
+        } else {
+            ArrivalSpec::Poisson
+        };
+        let cfg = SimConfig::builder()
+            .servers(servers)
+            .lambda(lambda)
+            .arrivals(2_000)
+            .seed(seed)
+            .build();
+        let a = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+        let b = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+        prop_assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        prop_assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+        prop_assert_eq!(a.detail.per_server_completed, b.detail.per_server_completed);
+    }
+
+    /// Heterogeneous clusters uphold the same invariants, including with
+    /// the history-backed continuous model and work stealing.
+    #[test]
+    fn hetero_runs_uphold_invariants(
+        fast in 1usize..6,
+        slow in 1usize..6,
+        lambda in 0.1f64..0.8,
+        seed in any::<u64>(),
+        continuous in any::<bool>(),
+    ) {
+        let caps: Vec<f64> = (0..fast).map(|_| 1.5).chain((0..slow).map(|_| 0.5)).collect();
+        let info = if continuous {
+            InfoSpec::Continuous {
+                delay: DelaySpec::Constant { mean: 1.0 },
+                knowledge: AgeKnowledge::Actual,
+            }
+        } else {
+            InfoSpec::Periodic { period: 2.0 }
+        };
+        let mut b = SimConfig::builder();
+        b.capacities(caps.clone()).lambda(lambda).arrivals(3_000).seed(seed).work_stealing(2);
+        let cfg = b.build();
+        let policy = PolicySpec::HeteroLi { lambda, capacities: caps };
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy);
+        prop_assert_eq!(r.generated, 3_000);
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed, 3_000);
+        prop_assert_eq!(r.history_misses, 0);
+    }
+}

@@ -1,0 +1,140 @@
+//! The individual-updates model (Mitzenmacher's third model).
+//!
+//! The paper (§3) omits this model, citing Mitzenmacher's finding that it
+//! behaves like the periodic-update model; we implement it so that claim
+//! can be checked (see the `ext_individual` experiment).
+
+use staleload_cluster::Cluster;
+use staleload_policies::{InfoAge, LoadView};
+use staleload_sim::{EventQueue, SimRng};
+
+use crate::InfoModel;
+
+/// Individual updates: every server refreshes *its own* bulletin-board
+/// entry once per `period`, on its own schedule, so entries have mixed
+/// ages.
+///
+/// Refresh phases are staggered deterministically (`i·T/n`), the idealized
+/// de-synchronised schedule. Because entries age independently there is no
+/// single phase for LI to plan over; the view reports the *current mean
+/// entry age* (tracked exactly), which Basic LI interprets as its horizon —
+/// the natural generalization, and the one that makes the model comparable
+/// to `periodic` with the same `T`.
+#[derive(Debug, Clone)]
+pub struct IndividualBoard {
+    period: f64,
+    board: Vec<u32>,
+    refreshed_at: Vec<f64>,
+    refresh_sum: f64,
+    pending: EventQueue<usize>,
+}
+
+impl IndividualBoard {
+    /// Creates the board for `n` servers, each refreshing every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `period` is not positive and finite.
+    pub fn new(n: usize, period: f64) -> Self {
+        assert!(n > 0, "need at least one server");
+        assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
+        let mut pending = EventQueue::with_capacity(n);
+        for server in 0..n {
+            pending.push(server as f64 * period / n as f64, server);
+        }
+        Self {
+            period,
+            board: vec![0; n],
+            refreshed_at: vec![0.0; n],
+            refresh_sum: 0.0,
+            pending,
+        }
+    }
+
+    /// The per-server refresh period `T`.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// Mean age of the board entries at time `now`.
+    pub fn mean_age(&self, now: f64) -> f64 {
+        (now - self.refresh_sum / self.board.len() as f64).max(0.0)
+    }
+}
+
+impl InfoModel for IndividualBoard {
+    fn next_event(&self) -> Option<f64> {
+        self.pending.peek_time()
+    }
+
+    fn on_event(&mut self, now: f64, cluster: &Cluster) {
+        let (_, server) = self.pending.pop().expect("a refresh is always scheduled");
+        self.board[server] = cluster.load(server);
+        self.refresh_sum += now - self.refreshed_at[server];
+        self.refreshed_at[server] = now;
+        self.pending.push(now + self.period, server);
+    }
+
+    fn view<'a>(
+        &'a mut self,
+        now: f64,
+        _client: usize,
+        _cluster: &'a mut Cluster,
+        _rng: &mut SimRng,
+    ) -> LoadView<'a> {
+        let age = self.mean_age(now);
+        LoadView { loads: &self.board, info: InfoAge::Aged { age } }
+    }
+
+    fn after_placement(&mut self, _now: f64, _client: usize, _cluster: &Cluster) {}
+
+    fn required_history_window(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staleload_cluster::Job;
+
+    #[test]
+    fn entries_refresh_independently() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = IndividualBoard::new(2, 10.0);
+        cluster.enqueue(0, Job::new(0, 0.5, 100.0), 0.5);
+        cluster.enqueue(1, Job::new(1, 0.5, 100.0), 0.5);
+
+        // Server 0 refreshes at t = 0 (before the jobs), server 1 at t = 5.
+        board.on_event(0.0, &cluster);
+        let v = board.view(1.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.loads, &[1, 0], "server 1's entry is still the cold value");
+
+        assert_eq!(board.next_event(), Some(5.0));
+        board.on_event(5.0, &cluster);
+        let v = board.view(6.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.loads, &[1, 1]);
+    }
+
+    #[test]
+    fn mean_age_tracks_refresh_times() {
+        let cluster = Cluster::new(2);
+        let mut board = IndividualBoard::new(2, 10.0);
+        board.on_event(0.0, &cluster); // server 0 at t=0
+        board.on_event(5.0, &cluster); // server 1 at t=5
+        // At t = 7: ages are 7 and 2, mean 4.5.
+        assert!((board.mean_age(7.0) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refreshes_recur_every_period() {
+        let cluster = Cluster::new(1);
+        let mut board = IndividualBoard::new(1, 4.0);
+        assert_eq!(board.next_event(), Some(0.0));
+        board.on_event(0.0, &cluster);
+        assert_eq!(board.next_event(), Some(4.0));
+        board.on_event(4.0, &cluster);
+        assert_eq!(board.next_event(), Some(8.0));
+    }
+}

@@ -1,0 +1,124 @@
+//! The periodic-update ("bulletin board") model (§3.1).
+
+use staleload_cluster::Cluster;
+use staleload_policies::{InfoAge, LoadView};
+use staleload_sim::SimRng;
+
+use crate::InfoModel;
+
+/// A bulletin board visible to all arrivals, refreshed with the true server
+/// loads every `period` time units.
+///
+/// Load information is exact at the start of each phase and ages as the
+/// phase progresses; the view carries full phase context so LI policies can
+/// plan over the whole epoch and cache per-phase work.
+///
+/// The board starts at time 0 showing an idle cluster (epoch 0) with the
+/// first refresh at `period` — i.e. time 0 is itself a phase boundary.
+#[derive(Debug, Clone)]
+pub struct PeriodicBoard {
+    period: f64,
+    board: Vec<u32>,
+    phase_start: f64,
+    epoch: u64,
+}
+
+impl PeriodicBoard {
+    /// Creates a board for `n` servers refreshed every `period`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive and finite or `n == 0`.
+    pub fn new(n: usize, period: f64) -> Self {
+        assert!(n > 0, "need at least one server");
+        assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
+        Self { period, board: vec![0; n], phase_start: 0.0, epoch: 0 }
+    }
+
+    /// The refresh period `T`.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The current phase number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl InfoModel for PeriodicBoard {
+    fn next_event(&self) -> Option<f64> {
+        Some(self.phase_start + self.period)
+    }
+
+    fn on_event(&mut self, now: f64, cluster: &Cluster) {
+        self.board.clear();
+        self.board.extend_from_slice(cluster.loads());
+        self.phase_start = now;
+        self.epoch += 1;
+    }
+
+    fn view<'a>(
+        &'a mut self,
+        now: f64,
+        _client: usize,
+        _cluster: &'a mut Cluster,
+        _rng: &mut SimRng,
+    ) -> LoadView<'a> {
+        LoadView {
+            loads: &self.board,
+            info: InfoAge::Phase {
+                start: self.phase_start,
+                length: self.period,
+                now,
+                epoch: self.epoch,
+            },
+        }
+    }
+
+    fn after_placement(&mut self, _now: f64, _client: usize, _cluster: &Cluster) {}
+
+    fn required_history_window(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staleload_cluster::Job;
+
+    #[test]
+    fn board_is_stale_within_a_phase() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(3);
+        let mut board = PeriodicBoard::new(3, 10.0);
+        cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
+        cluster.enqueue(0, Job::new(1, 2.0, 100.0), 2.0);
+        let view = board.view(3.0, 0, &mut cluster, &mut rng);
+        assert_eq!(view.loads, &[0, 0, 0], "phase-start snapshot, not live loads");
+    }
+
+    #[test]
+    fn refresh_publishes_and_advances_epoch() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = PeriodicBoard::new(2, 10.0);
+        cluster.enqueue(1, Job::new(0, 5.0, 100.0), 5.0);
+        assert_eq!(board.next_event(), Some(10.0));
+        board.on_event(10.0, &cluster);
+        assert_eq!(board.next_event(), Some(20.0));
+        assert_eq!(board.epoch(), 1);
+        let view = board.view(10.5, 0, &mut cluster, &mut rng);
+        assert_eq!(view.loads, &[0, 1]);
+        match view.info {
+            InfoAge::Phase { start, length, now, epoch } => {
+                assert_eq!(start, 10.0);
+                assert_eq!(length, 10.0);
+                assert_eq!(now, 10.5);
+                assert_eq!(epoch, 1);
+            }
+            other => panic!("expected phase info, got {other:?}"),
+        }
+    }
+}

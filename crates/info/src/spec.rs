@@ -1,0 +1,122 @@
+//! Declarative information-model specifications for experiment configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AgeKnowledge, ContinuousView, DelaySpec, FreshView, IndividualBoard, InfoModel, PeriodicBoard,
+    UpdateOnAccess,
+};
+
+/// A serializable description of an information model, used by the
+/// experiment harness.
+///
+/// # Example
+///
+/// ```
+/// use staleload_info::InfoSpec;
+///
+/// let spec = InfoSpec::Periodic { period: 10.0 };
+/// let model = spec.build(100, 1);
+/// assert_eq!(model.next_event(), Some(10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum InfoSpec {
+    /// Bulletin board refreshed every `period` (§3.1).
+    Periodic {
+        /// Refresh period `T`.
+        period: f64,
+    },
+    /// Per-request random delay (§3.1).
+    Continuous {
+        /// Delay distribution.
+        delay: DelaySpec,
+        /// Whether the realized delay is known per request.
+        knowledge: AgeKnowledge,
+    },
+    /// Per-client snapshots refreshed by the client's own requests (§3.2).
+    UpdateOnAccess,
+    /// Each server refreshes its own board entry every `period`, on its own
+    /// schedule (Mitzenmacher's *individual updates* model, which the paper
+    /// omits as similar to periodic — implemented here to check that).
+    Individual {
+        /// Per-server refresh period `T`.
+        period: f64,
+    },
+    /// Zero staleness (validation extension).
+    Fresh,
+}
+
+impl InfoSpec {
+    /// Instantiates the model for `servers` servers and `clients` clients.
+    pub fn build(&self, servers: usize, clients: usize) -> Box<dyn InfoModel + Send> {
+        match *self {
+            InfoSpec::Periodic { period } => Box::new(PeriodicBoard::new(servers, period)),
+            InfoSpec::Continuous { delay, knowledge } => {
+                Box::new(ContinuousView::new(delay, knowledge))
+            }
+            InfoSpec::UpdateOnAccess => Box::new(UpdateOnAccess::new(clients, servers)),
+            InfoSpec::Individual { period } => Box::new(IndividualBoard::new(servers, period)),
+            InfoSpec::Fresh => Box::new(FreshView),
+        }
+    }
+
+    /// History window the cluster must retain for this model.
+    pub fn history_window(&self) -> Option<f64> {
+        match self {
+            InfoSpec::Continuous { delay, .. } => Some(delay.history_window()),
+            _ => None,
+        }
+    }
+
+    /// A short label for result tables.
+    pub fn label(&self) -> String {
+        match self {
+            InfoSpec::Periodic { period } => format!("periodic(T={period})"),
+            InfoSpec::Continuous { delay, knowledge } => {
+                let k = match knowledge {
+                    AgeKnowledge::MeanOnly => "mean-known",
+                    AgeKnowledge::Actual => "age-known",
+                };
+                format!("continuous({}, T={}, {k})", delay.label(), delay.mean())
+            }
+            InfoSpec::UpdateOnAccess => "update-on-access".to_string(),
+            InfoSpec::Individual { period } => format!("individual(T={period})"),
+            InfoSpec::Fresh => "fresh".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_spec_builds() {
+        let specs = [
+            InfoSpec::Periodic { period: 5.0 },
+            InfoSpec::Continuous {
+                delay: DelaySpec::Exponential { mean: 2.0 },
+                knowledge: AgeKnowledge::MeanOnly,
+            },
+            InfoSpec::UpdateOnAccess,
+            InfoSpec::Individual { period: 3.0 },
+            InfoSpec::Fresh,
+        ];
+        for spec in specs {
+            let model = spec.build(4, 3);
+            let _ = model.next_event();
+            assert!(!spec.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn history_window_only_for_continuous() {
+        assert!(InfoSpec::Periodic { period: 1.0 }.history_window().is_none());
+        assert!(InfoSpec::UpdateOnAccess.history_window().is_none());
+        let c = InfoSpec::Continuous {
+            delay: DelaySpec::Constant { mean: 3.0 },
+            knowledge: AgeKnowledge::Actual,
+        };
+        assert!(c.history_window().unwrap() >= 3.0);
+    }
+}

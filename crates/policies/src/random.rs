@@ -1,0 +1,55 @@
+//! The oblivious random policy.
+
+use staleload_sim::SimRng;
+
+use crate::{LoadView, Policy};
+
+/// Uniform random selection, ignoring load information entirely.
+///
+/// This is the paper's oblivious baseline (equivalent to `k`-subset with
+/// `k = 1`). It is immune to stale information — and therefore the bar that
+/// any information-using policy must clear when information is old.
+///
+/// # Example
+///
+/// ```
+/// use staleload_policies::{InfoAge, LoadView, Policy, Random};
+/// use staleload_sim::SimRng;
+///
+/// let mut rng = SimRng::from_seed(1);
+/// let loads = [100, 0];
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+/// // Random happily sends jobs to the long queue too.
+/// let picks: Vec<usize> = (0..8).map(|_| Random.select(&view, &mut rng)).collect();
+/// assert!(picks.iter().any(|&s| s == 0));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Random;
+
+impl Policy for Random {
+    fn select(&mut self, view: &LoadView<'_>, rng: &mut SimRng) -> usize {
+        rng.index(view.loads.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InfoAge;
+
+    #[test]
+    fn selection_is_uniform() {
+        let mut rng = SimRng::from_seed(1);
+        let loads = [5u32, 0, 2, 9];
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let mut counts = [0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[Random.select(&view, &mut rng)] += 1;
+        }
+        for &c in &counts {
+            let f = c as f64 / n as f64;
+            assert!((f - 0.25).abs() < 0.02, "{f}");
+        }
+    }
+}

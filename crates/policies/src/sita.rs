@@ -1,0 +1,201 @@
+//! Size-based task assignment (SITA) — the job-size paradigm of
+//! Harchol-Balter, Crovella & Murta (the paper's ref. [12]), implemented as
+//! a comparator extension.
+//!
+//! SITA ignores load information entirely: server `i` exclusively serves
+//! jobs whose size falls in band `(x_i, x_(i+1)]`. Separating "elephants"
+//! from "mice" dramatically reduces waiting-time variance under
+//! heavy-tailed job sizes — the regime of the paper's §5.5 — and, being
+//! static, it is immune to stale information by construction. The paper
+//! names extending LI to such workload-aware policies as future work.
+
+use staleload_sim::{Dist, SimRng};
+
+use crate::{LoadView, Policy};
+
+/// SITA: route by job size band.
+///
+/// Requires the dispatcher to know each arriving job's size (the standard
+/// SITA assumption); the simulator provides it through
+/// [`Policy::select_sized`]. Falls back to uniform random when invoked
+/// without a size (`select`), since SITA has no other signal.
+///
+/// # Example
+///
+/// ```
+/// use staleload_policies::Sita;
+/// use staleload_sim::Dist;
+///
+/// // Split a Bounded Pareto's work equally across 4 servers.
+/// let service = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0)?;
+/// let sita = Sita::equal_load(&service, 4);
+/// assert_eq!(sita.boundaries().len(), 3);
+/// // Small jobs go to server 0, the largest to server 3.
+/// assert_eq!(sita.server_for(1e-6), 0);
+/// assert_eq!(sita.server_for(99.0), 3);
+/// # Ok::<(), staleload_sim::DistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sita {
+    /// Ascending size cutoffs; `boundaries.len() + 1` servers.
+    boundaries: Vec<f64>,
+}
+
+impl Sita {
+    /// Creates a SITA policy from explicit ascending size cutoffs
+    /// (`boundaries.len() + 1` servers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cutoffs are not strictly ascending, positive, finite.
+    pub fn new(boundaries: Vec<f64>) -> Self {
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "SITA boundaries must be strictly ascending"
+        );
+        assert!(
+            boundaries.iter().all(|b| b.is_finite() && *b > 0.0),
+            "SITA boundaries must be positive and finite"
+        );
+        Self { boundaries }
+    }
+
+    /// **SITA-E**: computes the cutoffs that split the *expected work* of
+    /// `service` equally across `n` servers, i.e. `x_i` with
+    /// `E[X·1{X ≤ x_i}] = (i/n)·E[X]` (by bisection on the analytic
+    /// partial mean).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn equal_load(service: &Dist, n: usize) -> Self {
+        assert!(n > 0, "need at least one server");
+        let mean = service.mean();
+        let mut boundaries = Vec::with_capacity(n - 1);
+        for i in 1..n {
+            let target = mean * i as f64 / n as f64;
+            // Bisection over a generous size range.
+            let mut lo = 1e-12f64;
+            let mut hi = 1e12f64;
+            for _ in 0..200 {
+                let mid = (lo * hi).sqrt();
+                if service.partial_mean_below(mid) < target {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            boundaries.push((lo * hi).sqrt());
+        }
+        // Degenerate distributions (e.g. constant) can yield tied cutoffs;
+        // nudge them apart so the constructor's ordering invariant holds.
+        for i in 1..boundaries.len() {
+            if boundaries[i] <= boundaries[i - 1] {
+                boundaries[i] = boundaries[i - 1] * (1.0 + 1e-12);
+            }
+        }
+        Self::new(boundaries)
+    }
+
+    /// The size cutoffs.
+    pub fn boundaries(&self) -> &[f64] {
+        &self.boundaries
+    }
+
+    /// The server a job of `size` is routed to.
+    pub fn server_for(&self, size: f64) -> usize {
+        self.boundaries.partition_point(|&b| b < size)
+    }
+}
+
+impl Policy for Sita {
+    fn select(&mut self, view: &LoadView<'_>, rng: &mut SimRng) -> usize {
+        // No size signal available: SITA degenerates to oblivious random.
+        rng.index(view.loads.len())
+    }
+
+    fn select_sized(&mut self, view: &LoadView<'_>, size: f64, _rng: &mut SimRng) -> usize {
+        let server = self.server_for(size);
+        assert!(
+            server < view.loads.len(),
+            "SITA configured for {} servers but the view has {}",
+            self.boundaries.len() + 1,
+            view.loads.len()
+        );
+        server
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InfoAge;
+
+    #[test]
+    fn explicit_boundaries_route_by_band() {
+        let sita = Sita::new(vec![1.0, 10.0]);
+        assert_eq!(sita.server_for(0.5), 0);
+        assert_eq!(sita.server_for(1.0), 0);
+        assert_eq!(sita.server_for(1.5), 1);
+        assert_eq!(sita.server_for(10.0), 1);
+        assert_eq!(sita.server_for(11.0), 2);
+    }
+
+    #[test]
+    fn equal_load_splits_work_evenly() {
+        let d = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).unwrap();
+        let n = 4;
+        let sita = Sita::equal_load(&d, n);
+        // Empirically, each server receives ~1/n of the total work.
+        let mut rng = SimRng::from_seed(41);
+        let mut work = vec![0.0f64; n];
+        let samples = 400_000;
+        for _ in 0..samples {
+            let s = d.sample(&mut rng);
+            work[sita.server_for(s)] += s;
+        }
+        let total: f64 = work.iter().sum();
+        for (i, w) in work.iter().enumerate() {
+            let share = w / total;
+            assert!(
+                (share - 1.0 / n as f64).abs() < 0.02,
+                "server {i} got work share {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn equal_load_matches_partial_mean_targets() {
+        let d = Dist::exponential(1.0);
+        let sita = Sita::equal_load(&d, 3);
+        for (i, &b) in sita.boundaries().iter().enumerate() {
+            let got = d.partial_mean_below(b);
+            let want = (i + 1) as f64 / 3.0;
+            assert!((got - want).abs() < 1e-6, "boundary {i}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn single_server_has_no_boundaries() {
+        let sita = Sita::equal_load(&Dist::exponential(1.0), 1);
+        assert!(sita.boundaries().is_empty());
+        assert_eq!(sita.server_for(123.0), 0);
+    }
+
+    #[test]
+    fn policy_routes_heavy_tail_to_last_server() {
+        let d = Dist::bounded_pareto_with_mean(1.1, 1024.0, 1.0).unwrap();
+        let mut sita = Sita::equal_load(&d, 8);
+        let loads = [0u32; 8];
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let mut rng = SimRng::from_seed(42);
+        assert_eq!(sita.select_sized(&view, 1000.0, &mut rng), 7);
+        assert_eq!(sita.select_sized(&view, 1e-6, &mut rng), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_boundaries_rejected() {
+        let _ = Sita::new(vec![2.0, 1.0]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Declarative policy specifications for experiment configuration.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    AdaptiveLi, AggressiveLi, BasicLi, Greedy, HeteroLi, HybridLi, KSubset, LiSubset, Load,
+    Policy, ProbeThreshold, Random, Sita, Threshold, WeightedDecay,
+};
+
+/// A serializable description of a policy, used by the experiment harness
+/// to configure runs and label output rows.
+///
+/// LI variants carry the client's arrival-rate *estimate* λ̂; the
+/// misestimation experiments (paper §5.6) set it different from the true λ.
+///
+/// # Example
+///
+/// ```
+/// use staleload_policies::PolicySpec;
+///
+/// let spec = PolicySpec::BasicLi { lambda: 0.9 };
+/// assert_eq!(spec.label(), "Basic LI");
+/// let mut policy = spec.build();
+/// # let _ = &mut policy;
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// Uniform random (oblivious, `k = 1`).
+    Random,
+    /// Least loaded of a random `k`-subset.
+    KSubset {
+        /// Subset size.
+        k: usize,
+    },
+    /// Least loaded of all servers (`k = n`).
+    Greedy,
+    /// Random among servers with reported load ≤ `threshold`.
+    Threshold {
+        /// Light/heavy classification threshold.
+        threshold: Load,
+    },
+    /// Probe up to `probes` random servers, send to the first with load ≤
+    /// `threshold` (Eager–Lazowska–Zahorjan style; baseline extension).
+    ProbeThreshold {
+        /// Probe budget.
+        probes: usize,
+        /// Light/heavy classification threshold.
+        threshold: Load,
+    },
+    /// Basic Load Interpretation (Eqs. 2–4).
+    BasicLi {
+        /// Arrival-rate estimate λ̂ (per-server, fraction of capacity).
+        lambda: f64,
+    },
+    /// Aggressive Load Interpretation (Eq. 5).
+    AggressiveLi {
+        /// Arrival-rate estimate λ̂.
+        lambda: f64,
+    },
+    /// Hybrid Load Interpretation (§4.1.1).
+    HybridLi {
+        /// Arrival-rate estimate λ̂.
+        lambda: f64,
+    },
+    /// Basic LI over a random `k`-subset (§5.7).
+    LiSubset {
+        /// Subset size.
+        k: usize,
+        /// Arrival-rate estimate λ̂.
+        lambda: f64,
+    },
+    /// Ad-hoc age-decayed weighting (baseline extension).
+    WeightedDecay {
+        /// Decay time constant τ.
+        tau: f64,
+    },
+    /// Basic LI with λ̂ estimated online (extension motivated by §5.6).
+    AdaptiveLi {
+        /// EWMA smoothing factor for inter-arrival gaps.
+        alpha: f64,
+        /// Arrivals observed before the estimate is trusted.
+        warmup: u64,
+    },
+    /// Capacity-aware LI for heterogeneous servers (extension, §6).
+    HeteroLi {
+        /// Arrival-rate estimate λ̂ as a fraction of total capacity.
+        lambda: f64,
+        /// Per-server service rates.
+        capacities: Vec<f64>,
+    },
+    /// Size-based task assignment with explicit cutoffs (extension;
+    /// ref. \[12\]). Use [`crate::Sita::equal_load`] to derive SITA-E
+    /// boundaries from a job-size distribution.
+    Sita {
+        /// Ascending size cutoffs (`len + 1` servers).
+        boundaries: Vec<f64>,
+    },
+}
+
+impl PolicySpec {
+    /// Instantiates the policy.
+    pub fn build(&self) -> Box<dyn Policy + Send> {
+        match self.clone() {
+            PolicySpec::Random => Box::new(Random),
+            PolicySpec::KSubset { k } => Box::new(KSubset::new(k)),
+            PolicySpec::Greedy => Box::new(Greedy),
+            PolicySpec::Threshold { threshold } => Box::new(Threshold::new(threshold)),
+            PolicySpec::ProbeThreshold { probes, threshold } => {
+                Box::new(ProbeThreshold::new(probes, threshold))
+            }
+            PolicySpec::BasicLi { lambda } => Box::new(BasicLi::new(lambda)),
+            PolicySpec::AggressiveLi { lambda } => Box::new(AggressiveLi::new(lambda)),
+            PolicySpec::HybridLi { lambda } => Box::new(HybridLi::new(lambda)),
+            PolicySpec::LiSubset { k, lambda } => Box::new(LiSubset::new(k, lambda)),
+            PolicySpec::WeightedDecay { tau } => Box::new(WeightedDecay::new(tau)),
+            PolicySpec::AdaptiveLi { alpha, warmup } => Box::new(AdaptiveLi::new(alpha, warmup)),
+            PolicySpec::HeteroLi { lambda, capacities } => {
+                Box::new(HeteroLi::new(lambda, capacities))
+            }
+            PolicySpec::Sita { boundaries } => Box::new(Sita::new(boundaries)),
+        }
+    }
+
+    /// Human-readable label used in result tables (matches the paper's
+    /// figure legends where applicable).
+    pub fn label(&self) -> String {
+        match *self {
+            PolicySpec::Random => "Random (k=1)".to_string(),
+            PolicySpec::KSubset { k } => format!("k={k}"),
+            PolicySpec::Greedy => "Greedy (k=n)".to_string(),
+            PolicySpec::Threshold { threshold } => format!("thresh={threshold}"),
+            PolicySpec::ProbeThreshold { probes, threshold } => {
+                format!("probe({probes},t={threshold})")
+            }
+            PolicySpec::BasicLi { .. } => "Basic LI".to_string(),
+            PolicySpec::AggressiveLi { .. } => "Aggressive LI".to_string(),
+            PolicySpec::HybridLi { .. } => "Hybrid LI".to_string(),
+            PolicySpec::LiSubset { k, .. } => format!("Basic LI (k={k})"),
+            PolicySpec::WeightedDecay { tau } => format!("Decay(tau={tau})"),
+            PolicySpec::AdaptiveLi { .. } => "Adaptive LI".to_string(),
+            PolicySpec::HeteroLi { .. } => "Hetero LI".to_string(),
+            PolicySpec::Sita { .. } => "SITA-E".to_string(),
+        }
+    }
+
+    /// Whether this policy interprets load against an arrival-rate estimate
+    /// (the LI family).
+    pub fn uses_lambda_estimate(&self) -> bool {
+        matches!(
+            self,
+            PolicySpec::BasicLi { .. }
+                | PolicySpec::AggressiveLi { .. }
+                | PolicySpec::HybridLi { .. }
+                | PolicySpec::LiSubset { .. }
+                | PolicySpec::HeteroLi { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{InfoAge, LoadView};
+    use staleload_sim::SimRng;
+
+    fn all_specs() -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::Random,
+            PolicySpec::KSubset { k: 2 },
+            PolicySpec::Greedy,
+            PolicySpec::Threshold { threshold: 3 },
+            PolicySpec::ProbeThreshold { probes: 3, threshold: 2 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            PolicySpec::AggressiveLi { lambda: 0.9 },
+            PolicySpec::HybridLi { lambda: 0.9 },
+            PolicySpec::LiSubset { k: 3, lambda: 0.9 },
+            PolicySpec::WeightedDecay { tau: 5.0 },
+            PolicySpec::AdaptiveLi { alpha: 0.05, warmup: 10 },
+            PolicySpec::HeteroLi { lambda: 0.9, capacities: vec![1.0; 5] },
+            PolicySpec::Sita { boundaries: vec![0.5, 1.0, 2.0, 4.0] },
+        ]
+    }
+
+    #[test]
+    fn every_spec_builds_and_selects_in_range() {
+        let mut rng = SimRng::from_seed(1);
+        let loads = [3u32, 0, 7, 2, 5];
+        for info in [
+            InfoAge::Aged { age: 2.0 },
+            InfoAge::Phase { start: 0.0, length: 4.0, now: 1.0, epoch: 1 },
+        ] {
+            let view = LoadView { loads: &loads, info };
+            for spec in all_specs() {
+                let mut p = spec.build();
+                for _ in 0..64 {
+                    let s = p.select(&view, &mut rng);
+                    assert!(s < loads.len(), "{}: {s}", spec.label());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels_are_unique_and_nonempty() {
+        let labels: Vec<String> = all_specs().iter().map(PolicySpec::label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert!(labels.iter().all(|l| !l.is_empty()));
+    }
+
+    #[test]
+    fn lambda_flag_matches_family() {
+        assert!(PolicySpec::BasicLi { lambda: 0.9 }.uses_lambda_estimate());
+        assert!(!PolicySpec::Random.uses_lambda_estimate());
+        assert!(!PolicySpec::KSubset { k: 2 }.uses_lambda_estimate());
+    }
+}

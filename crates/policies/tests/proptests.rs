@@ -1,0 +1,215 @@
+//! Property-based tests for the selection policies and LI math.
+
+use proptest::prelude::*;
+use staleload_policies::{
+    aggressive_schedule, basic_li_probabilities, rank_distribution, InfoAge, LoadView, Policy,
+    PolicySpec,
+};
+use staleload_sim::SimRng;
+
+fn arb_loads() -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..200, 1..64)
+}
+
+fn compute_basic(loads: &[u32], r: f64) -> Vec<f64> {
+    let mut probs = Vec::new();
+    let mut scratch = Vec::new();
+    basic_li_probabilities(loads, r, &mut probs, &mut scratch);
+    probs
+}
+
+proptest! {
+    /// Basic LI always yields a genuine probability distribution.
+    #[test]
+    fn basic_li_is_a_distribution(loads in arb_loads(), r in 0.0f64..1e6) {
+        let probs = compute_basic(&loads, r);
+        prop_assert_eq!(probs.len(), loads.len());
+        prop_assert!(probs.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6, "sum {}", sum);
+    }
+
+    /// No server ever receives a larger share than a less-loaded server.
+    #[test]
+    fn basic_li_is_monotone_in_load(loads in arb_loads(), r in 0.001f64..1e6) {
+        let probs = compute_basic(&loads, r);
+        for i in 0..loads.len() {
+            for j in 0..loads.len() {
+                if loads[i] < loads[j] {
+                    prop_assert!(
+                        probs[i] >= probs[j] - 1e-9,
+                        "load {} got {} but load {} got {}",
+                        loads[i], probs[i], loads[j], probs[j]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Equal loads receive equal probability (fairness under ties).
+    #[test]
+    fn basic_li_treats_ties_equally(loads in arb_loads(), r in 0.001f64..1e6) {
+        let probs = compute_basic(&loads, r);
+        for i in 0..loads.len() {
+            for j in 0..loads.len() {
+                if loads[i] == loads[j] {
+                    prop_assert!((probs[i] - probs[j]).abs() < 1e-9);
+                }
+            }
+        }
+    }
+
+    /// The expected post-phase queue lengths never overshoot a non-receiver:
+    /// receivers end at a common level that is at most the smallest
+    /// non-receiver's load.
+    #[test]
+    fn basic_li_waterfill_invariant(loads in arb_loads(), r in 0.001f64..1e6) {
+        let probs = compute_basic(&loads, r);
+        let finals: Vec<f64> = loads.iter().zip(&probs)
+            .map(|(&q, &p)| f64::from(q) + r * p)
+            .collect();
+        let receiver_level = probs.iter().zip(&finals)
+            .filter(|(&p, _)| p > 1e-12)
+            .map(|(_, &f)| f)
+            .fold(f64::NAN, |acc, f| if acc.is_nan() { f } else { acc.max(f) });
+        if receiver_level.is_nan() {
+            return Ok(());
+        }
+        for (&q, &p) in loads.iter().zip(&probs) {
+            if p <= 1e-12 {
+                prop_assert!(
+                    f64::from(q) >= receiver_level - 1e-6 * (1.0 + receiver_level),
+                    "non-receiver load {} below level {}", q, receiver_level
+                );
+            }
+        }
+    }
+
+    /// As R grows the distribution converges to uniform.
+    #[test]
+    fn basic_li_converges_to_uniform(loads in arb_loads()) {
+        let n = loads.len() as f64;
+        let probs = compute_basic(&loads, 1e12);
+        for &p in &probs {
+            prop_assert!((p - 1.0 / n).abs() < 1e-3);
+        }
+    }
+
+    /// The aggressive schedule activates servers in load order and its
+    /// active count is non-decreasing in elapsed time.
+    #[test]
+    fn aggressive_schedule_is_monotone(loads in arb_loads(), rate in 0.01f64..100.0) {
+        let s = aggressive_schedule(&loads, rate);
+        let mut prev = 0;
+        for step in 0..50 {
+            let elapsed = step as f64 * 0.5;
+            let count = s.active_count(elapsed);
+            prop_assert!(count >= prev);
+            prop_assert!(count >= 1 && count <= loads.len());
+            prev = count;
+            // Active set is always a prefix of the load-sorted order.
+            let active = s.active_servers(elapsed);
+            let max_active = active.iter().map(|&i| loads[i]).max().unwrap();
+            for (i, &l) in loads.iter().enumerate() {
+                if !active.contains(&i) {
+                    prop_assert!(l >= max_active || active.len() == loads.len());
+                }
+            }
+        }
+    }
+
+    /// Past the leveling time the schedule is uniform over all servers.
+    #[test]
+    fn aggressive_schedule_levels_eventually(loads in arb_loads(), rate in 0.01f64..100.0) {
+        let s = aggressive_schedule(&loads, rate);
+        if let Some(t) = s.leveling_time() {
+            prop_assert_eq!(s.active_count(t + 1.0), loads.len());
+        }
+    }
+
+    /// Eq. 1 rank distributions are valid and monotone for all (n, k).
+    #[test]
+    fn rank_distribution_is_valid(n in 1usize..200, k_frac in 0.0f64..1.0) {
+        let k = ((n as f64 * k_frac) as usize).clamp(1, n);
+        let p = rank_distribution(n, k);
+        let sum: f64 = p.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        for w in p.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!((p[0] - k as f64 / n as f64).abs() < 1e-9);
+    }
+
+    /// Every policy returns in-range servers for arbitrary views, both
+    /// phase-based and aged.
+    #[test]
+    fn all_policies_select_in_range(
+        loads in arb_loads(),
+        seed in any::<u64>(),
+        age in 0.0f64..100.0,
+        elapsed_frac in 0.0f64..1.0,
+    ) {
+        let mut rng = SimRng::from_seed(seed);
+        let length = age.max(0.1);
+        let views = [
+            LoadView { loads: &loads, info: InfoAge::Aged { age } },
+            LoadView {
+                loads: &loads,
+                info: InfoAge::Phase {
+                    start: 50.0,
+                    length,
+                    now: 50.0 + elapsed_frac * length,
+                    epoch: 7,
+                },
+            },
+        ];
+        let specs = [
+            PolicySpec::Random,
+            PolicySpec::KSubset { k: 2 },
+            PolicySpec::KSubset { k: 1000 },
+            PolicySpec::Greedy,
+            PolicySpec::Threshold { threshold: 4 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            PolicySpec::AggressiveLi { lambda: 0.9 },
+            PolicySpec::HybridLi { lambda: 0.9 },
+            PolicySpec::LiSubset { k: 3, lambda: 0.9 },
+            PolicySpec::WeightedDecay { tau: 5.0 },
+        ];
+        for view in &views {
+            for spec in &specs {
+                let mut p = spec.build();
+                for _ in 0..8 {
+                    let s = p.select(view, &mut rng);
+                    prop_assert!(s < loads.len(), "{} out of range", spec.label());
+                }
+            }
+        }
+    }
+
+    /// Greedy never selects a server with a strictly smaller alternative.
+    #[test]
+    fn greedy_selects_a_minimum(loads in arb_loads(), seed in any::<u64>()) {
+        let mut rng = SimRng::from_seed(seed);
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let mut g = PolicySpec::Greedy.build();
+        let min = *loads.iter().min().unwrap();
+        for _ in 0..16 {
+            prop_assert_eq!(loads[g.select(&view, &mut rng)], min);
+        }
+    }
+
+    /// Threshold never selects a heavy server while a light one exists.
+    #[test]
+    fn threshold_prefers_light(loads in arb_loads(), seed in any::<u64>(), t in 0u32..50) {
+        let mut rng = SimRng::from_seed(seed);
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let mut p = PolicySpec::Threshold { threshold: t }.build();
+        let any_light = loads.iter().any(|&l| l <= t);
+        for _ in 0..16 {
+            let s = p.select(&view, &mut rng);
+            if any_light {
+                prop_assert!(loads[s] <= t);
+            }
+        }
+    }
+}

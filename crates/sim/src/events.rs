@@ -1,0 +1,183 @@
+//! A stable, time-ordered pending-event set.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A pending-event set ordered by simulation time.
+///
+/// Ties in time are broken by insertion order (FIFO), which keeps runs
+/// deterministic even when events coincide (e.g. a zero-length burst gap).
+///
+/// # Example
+///
+/// ```
+/// use staleload_sim::EventQueue;
+///
+/// let mut q = EventQueue::new();
+/// q.push(2.0, "late");
+/// q.push(1.0, "early");
+/// q.push(1.0, "early-tie");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((1.0, "early-tie")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event time must not be NaN")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Creates an empty queue with room for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN or negative; the simulation clock never runs
+    /// backwards past zero.
+    pub fn push(&mut self, time: f64, event: E) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(time >= 0.0, "event time must be non-negative, got {time}");
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        self.heap.pop().map(|e| (e.time, e.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0] {
+            q.push(t, t as i32);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        q.push(1.0, "a");
+        q.push(1.0, "b");
+        q.push(1.0, "c");
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(2.5, ());
+        q.push(1.5, ());
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.pop().unwrap().0, 1.5);
+        assert_eq!(q.peek_time(), Some(2.5));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1.0, ());
+        q.push(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan_time() {
+        let mut q = EventQueue::new();
+        q.push(f64::NAN, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_time() {
+        let mut q = EventQueue::new();
+        q.push(-1.0, ());
+    }
+}

@@ -1,0 +1,223 @@
+//! Log-bucketed histogram for response-time tails.
+
+use serde::{Deserialize, Serialize};
+
+/// A logarithmically bucketed histogram of non-negative values.
+///
+/// Designed for response-time distributions: fixed memory, O(1) record,
+/// and quantile queries with bounded relative error (the bucket width).
+/// Values below `min` land in the first bucket; values above the top
+/// bucket land in the overflow bucket (and are tracked exactly via
+/// [`Histogram::max`]).
+///
+/// # Example
+///
+/// ```
+/// use staleload_sim::Histogram;
+///
+/// let mut h = Histogram::new(0.01, 1e5, 10.0);
+/// for i in 1..=1000 {
+///     h.record(i as f64);
+/// }
+/// let p50 = h.quantile(0.5);
+/// assert!((400.0..630.0).contains(&p50), "{p50}");
+/// assert_eq!(h.count(), 1000);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    /// Buckets per decade.
+    per_decade: f64,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram covering `[min, max]` with `buckets_per_decade`
+    /// log buckets per factor of 10.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min <= 0`, `max <= min`, or `buckets_per_decade <= 0`.
+    pub fn new(min: f64, max: f64, buckets_per_decade: f64) -> Self {
+        assert!(min > 0.0 && min.is_finite(), "min must be positive");
+        assert!(max > min && max.is_finite(), "max must exceed min");
+        assert!(buckets_per_decade > 0.0, "need positive bucket resolution");
+        let decades = (max / min).log10();
+        let buckets = (decades * buckets_per_decade).ceil() as usize + 2;
+        Self {
+            min,
+            per_decade: buckets_per_decade,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0.0,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A histogram suitable for response times in service-time units
+    /// (0.01 … 100 000, 20 buckets/decade ⇒ ~12% resolution).
+    pub fn for_response_times() -> Self {
+        Self::new(0.01, 1e5, 20.0)
+    }
+
+    fn bucket(&self, x: f64) -> usize {
+        if x <= self.min {
+            return 0;
+        }
+        let idx = ((x / self.min).log10() * self.per_decade).floor() as usize + 1;
+        idx.min(self.counts.len() - 1)
+    }
+
+    /// Records one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is negative or NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(x >= 0.0, "histogram values must be non-negative, got {x}");
+        let b = self.bucket(x);
+        self.counts[b] += 1;
+        self.count += 1;
+        self.sum += x;
+        self.max = self.max.max(x);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest recorded value (−∞ when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate `q`-quantile (upper bucket edge of the bucket containing
+    /// the order statistic; exact for the maximum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "cannot take a quantile of an empty histogram");
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        if q >= 1.0 {
+            return self.max;
+        }
+        let target = (q * self.count as f64).floor() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen > target {
+                return self.bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    fn bucket_upper(&self, idx: usize) -> f64 {
+        if idx == 0 {
+            self.min
+        } else {
+            self.min * 10f64.powf(idx as f64 / self.per_decade)
+        }
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configurations differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.min, other.min, "histogram configs must match");
+        assert_eq!(self.per_decade, other.per_decade, "histogram configs must match");
+        assert_eq!(self.counts.len(), other.counts.len(), "histogram configs must match");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_true_values() {
+        let mut h = Histogram::for_response_times();
+        for i in 1..=10_000 {
+            h.record(i as f64 / 100.0); // 0.01 .. 100
+        }
+        // p50 true = 50.0; 12% resolution.
+        let p50 = h.quantile(0.5);
+        assert!((44.0..57.0).contains(&p50), "{p50}");
+        let p99 = h.quantile(0.99);
+        assert!((88.0..112.0).contains(&p99), "{p99}");
+        assert_eq!(h.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::for_response_times();
+        for x in [1.0, 2.0, 3.0] {
+            h.record(x);
+        }
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn tiny_and_huge_values_clamp() {
+        let mut h = Histogram::new(0.1, 10.0, 5.0);
+        h.record(0.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), 1e9);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = Histogram::for_response_times();
+        let mut b = Histogram::for_response_times();
+        for x in [1.0, 2.0] {
+            a.record(x);
+        }
+        for x in [3.0, 4.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert!((a.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(a.max(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_values_rejected() {
+        let mut h = Histogram::for_response_times();
+        h.record(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_quantile_panics() {
+        let h = Histogram::for_response_times();
+        let _ = h.quantile(0.5);
+    }
+}

@@ -1,0 +1,99 @@
+//! Time-weighted averages for piecewise-constant signals.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulates the time average of a piecewise-constant signal, e.g. a
+/// queue length: the signal holds each value until the next update.
+///
+/// # Example
+///
+/// ```
+/// use staleload_sim::TimeWeighted;
+///
+/// let mut q = TimeWeighted::new(0.0, 0.0);
+/// q.update(2.0, 4.0);   // value was 0 during [0, 2), becomes 4
+/// q.update(3.0, 0.0);   // value was 4 during [2, 3)
+/// assert!((q.average(4.0) - 1.0).abs() < 1e-12); // (0·2 + 4·1 + 0·1) / 4
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    start: f64,
+    last_time: f64,
+    current: f64,
+    integral: f64,
+    peak: f64,
+}
+
+impl TimeWeighted {
+    /// Starts accumulating at time `start` with initial value `value`.
+    pub fn new(start: f64, value: f64) -> Self {
+        Self { start, last_time: start, current: value, integral: 0.0, peak: value }
+    }
+
+    /// Sets the signal to `value` at time `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if time runs backwards.
+    pub fn update(&mut self, now: f64, value: f64) {
+        debug_assert!(now >= self.last_time, "time went backwards: {now} < {}", self.last_time);
+        self.integral += self.current * (now - self.last_time);
+        self.last_time = now;
+        self.current = value;
+        self.peak = self.peak.max(value);
+    }
+
+    /// The signal's current value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// The largest value seen.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time average over `[start, end]` (0 for an empty interval).
+    pub fn average(&self, end: f64) -> f64 {
+        let span = end - self.start;
+        if span <= 0.0 {
+            return 0.0;
+        }
+        (self.integral + self.current * (end - self.last_time)) / span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_signal_averages_to_itself() {
+        let q = TimeWeighted::new(0.0, 5.0);
+        assert!((q.average(10.0) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_signal_weights_by_duration() {
+        let mut q = TimeWeighted::new(10.0, 1.0);
+        q.update(12.0, 3.0);
+        // [10,12): 1, [12,14): 3 -> average 2 over [10,14].
+        assert!((q.average(14.0) - 2.0).abs() < 1e-12);
+        assert_eq!(q.peak(), 3.0);
+        assert_eq!(q.current(), 3.0);
+    }
+
+    #[test]
+    fn empty_interval_is_zero() {
+        let q = TimeWeighted::new(5.0, 7.0);
+        assert_eq!(q.average(5.0), 0.0);
+    }
+
+    #[test]
+    fn average_extends_from_last_update() {
+        let mut q = TimeWeighted::new(0.0, 0.0);
+        q.update(1.0, 10.0);
+        // [0,1): 0; [1,3]: 10 -> (0 + 20)/3.
+        assert!((q.average(3.0) - 20.0 / 3.0).abs() < 1e-12);
+    }
+}

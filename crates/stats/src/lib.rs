@@ -1,0 +1,218 @@
+//! Multi-trial experiment statistics and result rendering.
+//!
+//! The paper's protocol (§5): run every data point at least 10 times with
+//! different seeds and plot the mean with a 90% confidence interval; the
+//! Bounded-Pareto experiments (§5.5) run ≥ 30 trials and report median,
+//! quartiles, and extremes. [`Summary`] computes all of these from a set of
+//! per-trial metrics; [`Table`] renders aligned text and CSV for the
+//! reproduction harness.
+//!
+//! # Example
+//!
+//! ```
+//! use staleload_stats::Summary;
+//!
+//! let trials = [10.0, 11.0, 9.5, 10.5, 10.2, 9.8, 10.1, 9.9, 10.4, 9.6];
+//! let s = Summary::from_trials(&trials);
+//! assert!((s.mean - 10.1).abs() < 1e-9);
+//! assert!(s.ci90 > 0.0 && s.ci90 < 0.5);
+//! assert!(s.min <= s.q1 && s.q1 <= s.median && s.median <= s.q3 && s.q3 <= s.max);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod plot;
+mod table;
+
+pub use plot::LinePlot;
+pub use table::Table;
+
+use serde::{Deserialize, Serialize};
+
+/// Two-sided 90% Student-t critical values (`t_{0.95, df}`) for
+/// `df = 1..=30`; larger degrees of freedom fall back to the normal 1.645.
+const T_95: [f64; 30] = [
+    6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895, 1.860, 1.833, 1.812, 1.796, 1.782, 1.771,
+    1.761, 1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721, 1.717, 1.714, 1.711, 1.708, 1.706,
+    1.703, 1.701, 1.699, 1.697,
+];
+
+/// The two-sided 90% Student-t critical value for `df` degrees of freedom.
+///
+/// # Panics
+///
+/// Panics if `df == 0`.
+pub fn t_critical_90(df: usize) -> f64 {
+    assert!(df > 0, "degrees of freedom must be positive");
+    T_95.get(df - 1).copied().unwrap_or(1.645)
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `sorted` using linear interpolation
+/// between order statistics (the common "type 7" definition).
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "cannot take a quantile of no data");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Summary statistics over the per-trial metrics of one experiment point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean of the per-trial metrics.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub stddev: f64,
+    /// Half-width of the 90% confidence interval on the mean
+    /// (`t_{0.95, n-1}·s/√n`; 0 for a single trial).
+    pub ci90: f64,
+    /// Smallest trial value.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Largest trial value.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary from per-trial metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials` is empty or contains NaN.
+    pub fn from_trials(trials: &[f64]) -> Self {
+        assert!(!trials.is_empty(), "need at least one trial");
+        assert!(trials.iter().all(|x| !x.is_nan()), "trial metrics must not be NaN");
+        let n = trials.len();
+        let mean = trials.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            trials.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let stddev = var.sqrt();
+        let ci90 = if n > 1 { t_critical_90(n - 1) * stddev / (n as f64).sqrt() } else { 0.0 };
+        let mut sorted = trials.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        Self {
+            trials: n,
+            mean,
+            stddev,
+            ci90,
+            min: sorted[0],
+            q1: quantile(&sorted, 0.25),
+            median: quantile(&sorted, 0.5),
+            q3: quantile(&sorted, 0.75),
+            max: sorted[n - 1],
+        }
+    }
+
+    /// `mean ± ci90` formatted for tables.
+    pub fn mean_ci(&self) -> String {
+        format!("{:.3} ±{:.3}", self.mean, self.ci90)
+    }
+}
+
+/// Relative difference `(a - b) / b`, the "X% faster/slower" measure used
+/// when comparing policies in `EXPERIMENTS.md`.
+pub fn relative_difference(a: f64, b: f64) -> f64 {
+    (a - b) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_table_is_decreasing_toward_normal() {
+        let mut prev = f64::INFINITY;
+        for df in 1..=40 {
+            let t = t_critical_90(df);
+            assert!(t <= prev);
+            prev = t;
+        }
+        assert_eq!(t_critical_90(1000), 1.645);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0), 1.0);
+        assert_eq!(quantile(&data, 1.0), 4.0);
+        assert!((quantile(&data, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&data, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_constant_data() {
+        let s = Summary::from_trials(&[5.0; 10]);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.median, 5.0);
+        assert_eq!(s.min, 5.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn single_trial_has_no_interval() {
+        let s = Summary::from_trials(&[3.0]);
+        assert_eq!(s.trials, 1);
+        assert_eq!(s.ci90, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn ci_matches_hand_computation() {
+        // n = 4, values 1..4: mean 2.5, s = sqrt(5/3), t_{0.95,3} = 2.353.
+        let s = Summary::from_trials(&[1.0, 2.0, 3.0, 4.0]);
+        let expect = 2.353 * (5.0f64 / 3.0).sqrt() / 2.0;
+        assert!((s.ci90 - expect).abs() < 1e-9, "{} vs {expect}", s.ci90);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_trials() {
+        let few = Summary::from_trials(&[1.0, 2.0, 3.0]);
+        let many: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        let many = Summary::from_trials(&many);
+        assert!(many.ci90 < few.ci90);
+    }
+
+    #[test]
+    fn order_statistics_are_ordered() {
+        let s = Summary::from_trials(&[9.0, 1.0, 5.0, 3.0, 7.0]);
+        assert!(s.min <= s.q1);
+        assert!(s.q1 <= s.median);
+        assert!(s.median <= s.q3);
+        assert!(s.q3 <= s.max);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 5.0);
+    }
+
+    #[test]
+    fn relative_difference_signs() {
+        assert!((relative_difference(12.0, 10.0) - 0.2).abs() < 1e-12);
+        assert!((relative_difference(8.0, 10.0) + 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_trials_are_rejected() {
+        let _ = Summary::from_trials(&[1.0, f64::NAN]);
+    }
+}

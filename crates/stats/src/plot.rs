@@ -1,0 +1,320 @@
+//! Minimal SVG line plots for the reproduction harness.
+//!
+//! The figure binaries write one `.svg` per panel next to the `.csv`, so
+//! the reproduced figures can be eyeballed against the paper's. Hand-rolled
+//! (the dependency policy allows no plotting crate) but complete: axes,
+//! tick labels, legend, optional log-y.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const WIDTH: f64 = 720.0;
+const HEIGHT: f64 = 440.0;
+const MARGIN_L: f64 = 64.0;
+const MARGIN_R: f64 = 180.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 48.0;
+
+/// A qualitative palette (colorblind-safe Okabe–Ito).
+const COLORS: [&str; 8] = [
+    "#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9", "#F0E442", "#000000",
+];
+
+/// A simple multi-series line plot rendered to SVG.
+///
+/// # Example
+///
+/// ```
+/// use staleload_stats::LinePlot;
+///
+/// let mut p = LinePlot::new("Fig. 2", "T", "mean response");
+/// p.add_series("Random", vec![(1.0, 10.0), (10.0, 10.0)]);
+/// p.add_series("Basic LI", vec![(1.0, 2.5), (10.0, 4.9)]);
+/// let svg = p.to_svg();
+/// assert!(svg.starts_with("<svg"));
+/// assert!(svg.contains("Basic LI"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinePlot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>)>,
+    log_y: bool,
+}
+
+impl LinePlot {
+    /// Creates an empty plot.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            log_y: false,
+        }
+    }
+
+    /// Adds a named series of `(x, y)` points (sorted by x for sane lines).
+    pub fn add_series(&mut self, label: impl Into<String>, mut points: Vec<(f64, f64)>) -> &mut Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        self.series.push((label.into(), points));
+        self
+    }
+
+    /// Switches the y axis to log scale (useful when greedy's herding
+    /// dwarfs everything else, as in the paper's Fig. 2a regime).
+    pub fn log_y(&mut self, log: bool) -> &mut Self {
+        self.log_y = log;
+        self
+    }
+
+    /// Number of series added so far.
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    fn bounds(&self) -> (f64, f64, f64, f64) {
+        let mut x_min = f64::INFINITY;
+        let mut x_max = f64::NEG_INFINITY;
+        let mut y_min = f64::INFINITY;
+        let mut y_max = f64::NEG_INFINITY;
+        for (_, pts) in &self.series {
+            for &(x, y) in pts {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+        }
+        if !x_min.is_finite() {
+            return (0.0, 1.0, 0.0, 1.0);
+        }
+        if self.log_y {
+            y_min = y_min.max(1e-9);
+            y_max = y_max.max(y_min * 10.0);
+        } else {
+            y_min = 0.0;
+            if y_max <= y_min {
+                y_max = 1.0;
+            }
+        }
+        if x_max <= x_min {
+            x_max = x_min + 1.0;
+        }
+        (x_min, x_max, y_min, y_max)
+    }
+
+    fn sx(&self, x: f64, x_min: f64, x_max: f64) -> f64 {
+        MARGIN_L + (x - x_min) / (x_max - x_min) * (WIDTH - MARGIN_L - MARGIN_R)
+    }
+
+    fn sy(&self, y: f64, y_min: f64, y_max: f64) -> f64 {
+        let frac = if self.log_y {
+            ((y.max(1e-12)).ln() - y_min.ln()) / (y_max.ln() - y_min.ln())
+        } else {
+            (y - y_min) / (y_max - y_min)
+        };
+        HEIGHT - MARGIN_B - frac * (HEIGHT - MARGIN_T - MARGIN_B)
+    }
+
+    /// Renders the plot as an SVG document.
+    pub fn to_svg(&self) -> String {
+        let (x_min, x_max, y_min, y_max) = self.bounds();
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+        );
+        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="24" font-family="sans-serif" font-size="15" font-weight="bold">{}</text>"#,
+            MARGIN_L,
+            escape(&self.title)
+        );
+
+        // Axes.
+        let x0 = MARGIN_L;
+        let x1 = WIDTH - MARGIN_R;
+        let y0 = HEIGHT - MARGIN_B;
+        let y1 = MARGIN_T;
+        let _ = write!(
+            svg,
+            r#"<line x1="{x0}" y1="{y0}" x2="{x1}" y2="{y0}" stroke="black"/><line x1="{x0}" y1="{y0}" x2="{x0}" y2="{y1}" stroke="black"/>"#
+        );
+
+        // Ticks: 5 per axis.
+        for i in 0..=4 {
+            let fx = x_min + (x_max - x_min) * i as f64 / 4.0;
+            let px = self.sx(fx, x_min, x_max);
+            let _ = write!(
+                svg,
+                r#"<line x1="{px}" y1="{y0}" x2="{px}" y2="{}" stroke="black"/><text x="{px}" y="{}" font-family="sans-serif" font-size="11" text-anchor="middle">{}</text>"#,
+                y0 + 4.0,
+                y0 + 18.0,
+                tick_label(fx)
+            );
+            let fy = if self.log_y {
+                (y_min.ln() + (y_max.ln() - y_min.ln()) * i as f64 / 4.0).exp()
+            } else {
+                y_min + (y_max - y_min) * i as f64 / 4.0
+            };
+            let py = self.sy(fy, y_min, y_max);
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{py}" x2="{x0}" y2="{py}" stroke="black"/><text x="{}" y="{}" font-family="sans-serif" font-size="11" text-anchor="end">{}</text>"#,
+                x0 - 4.0,
+                x0 - 8.0,
+                py + 4.0,
+                tick_label(fy)
+            );
+        }
+        // Axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+            (x0 + x1) / 2.0,
+            HEIGHT - 10.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 {})">{}</text>"#,
+            (y0 + y1) / 2.0,
+            (y0 + y1) / 2.0,
+            escape(&self.y_label)
+        );
+
+        // Series + legend.
+        for (idx, (label, pts)) in self.series.iter().enumerate() {
+            let color = COLORS[idx % COLORS.len()];
+            let path: Vec<String> = pts
+                .iter()
+                .map(|&(x, y)| {
+                    format!("{:.1},{:.1}", self.sx(x, x_min, x_max), self.sy(y, y_min, y_max))
+                })
+                .collect();
+            let _ = write!(
+                svg,
+                r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
+                path.join(" ")
+            );
+            for &(x, y) in pts {
+                let _ = write!(
+                    svg,
+                    r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{color}"/>"#,
+                    self.sx(x, x_min, x_max),
+                    self.sy(y, y_min, y_max)
+                );
+            }
+            let ly = MARGIN_T + 16.0 * idx as f64;
+            let _ = write!(
+                svg,
+                r#"<line x1="{}" y1="{ly}" x2="{}" y2="{ly}" stroke="{color}" stroke-width="2"/><text x="{}" y="{}" font-family="sans-serif" font-size="11">{}</text>"#,
+                x1 + 10.0,
+                x1 + 34.0,
+                x1 + 40.0,
+                ly + 4.0,
+                escape(label)
+            );
+        }
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Writes the SVG to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating directories or writing the file.
+    pub fn write_svg(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_svg())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn tick_label(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plot() -> LinePlot {
+        let mut p = LinePlot::new("Test <plot>", "T", "response");
+        p.add_series("a & b", vec![(0.0, 1.0), (10.0, 5.0)]);
+        p.add_series("c", vec![(0.0, 2.0), (5.0, 3.0), (10.0, 2.5)]);
+        p
+    }
+
+    #[test]
+    fn svg_has_structure_and_escaping() {
+        let svg = sample_plot().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("a &amp; b"));
+        assert!(svg.contains("Test &lt;plot&gt;"));
+    }
+
+    #[test]
+    fn points_are_within_canvas() {
+        let plot = sample_plot();
+        let svg = plot.to_svg();
+        // All circle centers are inside the drawing area.
+        for part in svg.split("<circle cx=\"").skip(1) {
+            let cx: f64 = part.split('"').next().unwrap().parse().unwrap();
+            assert!((MARGIN_L..=WIDTH - MARGIN_R).contains(&cx), "{cx}");
+        }
+    }
+
+    #[test]
+    fn log_scale_handles_wide_ranges() {
+        let mut p = LinePlot::new("log", "T", "resp");
+        p.add_series("wide", vec![(1.0, 1.0), (2.0, 1000.0)]);
+        p.log_y(true);
+        let svg = p.to_svg();
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    fn empty_plot_renders() {
+        let p = LinePlot::new("empty", "x", "y");
+        let svg = p.to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(p.series_count(), 0);
+    }
+
+    #[test]
+    fn write_creates_file() {
+        let dir = std::env::temp_dir().join("staleload_plot_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/fig.svg");
+        sample_plot().write_svg(&path).unwrap();
+        assert!(std::fs::read_to_string(&path).unwrap().contains("</svg>"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,172 @@
+//! Aligned-text and CSV result tables.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple column-aligned result table that can also be written as CSV.
+///
+/// The reproduction harness prints one table per figure panel, with the
+/// x-axis (usually the update delay `T`) in the first column and one column
+/// per policy.
+///
+/// # Example
+///
+/// ```
+/// use staleload_stats::Table;
+///
+/// let mut t = Table::new(vec!["T".into(), "Random".into(), "Basic LI".into()]);
+/// t.push_row(vec!["1".into(), "9.98".into(), "2.71".into()]);
+/// let text = t.render();
+/// assert!(text.contains("Basic LI"));
+/// assert!(t.to_csv().starts_with("T,Random,Basic LI\n"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(headers: Vec<String>) -> Self {
+        assert!(!headers.is_empty(), "a table needs at least one column");
+        Self { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:>w$}", w = w);
+            }
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Serializes the table as CSV (RFC-4180-style quoting for cells that
+    /// need it).
+    pub fn to_csv(&self) -> String {
+        let quote = |cell: &str| -> String {
+            if cell.contains([',', '"', '\n']) {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        let write_row = |cells: &[String], out: &mut String| {
+            let line: Vec<String> = cells.iter().map(|c| quote(c)).collect();
+            out.push_str(&line.join(","));
+            out.push('\n');
+        };
+        write_row(&self.headers, &mut out);
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating directories or writing the file.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.to_csv())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(vec!["x".into(), "value".into()]);
+        t.push_row(vec!["1".into(), "10".into()]);
+        t.push_row(vec!["100".into(), "2".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows have equal width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.push_row(vec!["1,5".into(), "say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"1,5\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn write_csv_creates_dirs() {
+        let dir = std::env::temp_dir().join("staleload_stats_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("nested/out.csv");
+        let mut t = Table::new(vec!["a".into()]);
+        t.push_row(vec!["1".into()]);
+        t.write_csv(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "a\n1\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: compare load-balancing policies under stale information.
+//!
+//! Simulates the paper's default system (100 FIFO servers at 90% load) with
+//! a bulletin board that is refreshed only every 10 mean service times, and
+//! prints the mean response time of each policy. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use staleload::core::{ArrivalSpec, Experiment, SimConfig};
+use staleload::info::InfoSpec;
+use staleload::policies::PolicySpec;
+use staleload::stats::Table;
+
+fn main() {
+    let config = SimConfig::builder()
+        .servers(100)
+        .lambda(0.9)
+        .arrivals(200_000)
+        .seed(2026)
+        .build();
+    let info = InfoSpec::Periodic { period: 10.0 };
+
+    let policies = [
+        PolicySpec::Random,
+        PolicySpec::KSubset { k: 2 },
+        PolicySpec::Greedy,
+        PolicySpec::BasicLi { lambda: 0.9 },
+        PolicySpec::AggressiveLi { lambda: 0.9 },
+    ];
+
+    println!("100 servers, lambda = 0.9, board refreshed every T = 10 service times");
+    println!("(5 trials each; the paper's Figure 2 setting at moderate staleness)\n");
+
+    let mut table =
+        Table::new(vec!["policy".into(), "mean response".into(), "vs random".into()]);
+    let mut random_mean = None;
+    for policy in policies {
+        let label = policy.label();
+        let result =
+            Experiment::new(config.clone(), ArrivalSpec::Poisson, info, policy, 5).run();
+        let mean = result.summary.mean;
+        let baseline = *random_mean.get_or_insert(mean);
+        table.push_row(vec![
+            label,
+            format!("{:.3} ±{:.3}", mean, result.summary.ci90),
+            format!("{:+.0}%", 100.0 * (mean - baseline) / baseline),
+        ]);
+    }
+    print!("{}", table.render());
+
+    println!("\nInterpretation: with information this stale, chasing the apparently");
+    println!("least-loaded server (Greedy) causes a herd effect, while Load");
+    println!("Interpretation uses the same stale board safely and wins.");
+}

@@ -1,0 +1,60 @@
+//! How much load information does a dispatcher actually need? (paper §5.7)
+//!
+//! Scenario: a front-end dispatcher for 100 servers wants to minimize the
+//! load-report bandwidth it consumes. Instead of the full load vector it
+//! polls a random k-subset per request. The paper's finding: *interpreting*
+//! even 2–3 loads (LI-k) beats using 2–3 loads naively (k-subset), and
+//! modest k approaches full-information LI — so how much information to
+//! ship and how to interpret it are independent questions.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example reduced_information
+//! ```
+
+use staleload::core::{ArrivalSpec, Experiment, SimConfig};
+use staleload::info::InfoSpec;
+use staleload::policies::PolicySpec;
+use staleload::stats::Table;
+
+fn main() {
+    let lambda = 0.9;
+    let config = SimConfig::builder()
+        .servers(100)
+        .lambda(lambda)
+        .arrivals(200_000)
+        .seed(9001)
+        .build();
+    let info = InfoSpec::Periodic { period: 10.0 };
+    let run = |policy: PolicySpec| {
+        Experiment::new(config.clone(), ArrivalSpec::Poisson, info, policy, 5)
+            .run()
+            .summary
+            .mean
+    };
+
+    let mut table = Table::new(vec![
+        "loads consulted".into(),
+        "naive (k-subset)".into(),
+        "interpreted (LI-k)".into(),
+    ]);
+    for k in [2usize, 3, 10, 100] {
+        let naive = if k == 100 {
+            run(PolicySpec::Greedy)
+        } else {
+            run(PolicySpec::KSubset { k })
+        };
+        let li = if k == 100 {
+            run(PolicySpec::BasicLi { lambda })
+        } else {
+            run(PolicySpec::LiSubset { k, lambda })
+        };
+        table.push_row(vec![format!("{k}"), format!("{naive:.3}"), format!("{li:.3}")]);
+    }
+    print!("{}", table.render());
+
+    println!("\nInterpretation: at every information budget the interpreted column");
+    println!("wins, and unlike the naive policies LI only *improves* with more");
+    println!("information — there is no 'too much information' pathology.");
+}

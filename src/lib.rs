@@ -1,0 +1,75 @@
+//! **staleload** — a reproduction of Michael Dahlin, *Interpreting Stale
+//! Load Information* (ICDCS 1999 / IEEE TPDS).
+//!
+//! This facade re-exports the project's crates under one roof:
+//!
+//! * [`policies`] — every server-selection algorithm in the study
+//!   (random, k-subset, threshold, the Load Interpretation family, and
+//!   the extensions);
+//! * [`info`] — the models of old information (periodic board, continuous
+//!   delayed views, update-on-access, individual updates);
+//! * [`workloads`] — Poisson/bursty/MMPP arrivals and job-size
+//!   distributions (including Bounded Pareto);
+//! * [`cluster`] — the FIFO multi-server substrate;
+//! * [`core`] — the simulation driver and multi-trial experiment runner;
+//! * [`stats`] — experiment statistics, tables, and SVG plots;
+//! * [`analytic`] — closed-form queueing anchors (M/M/1, M/G/1, Erlang C,
+//!   the supermarket fluid limit);
+//! * [`sim`] — the discrete-event kernel underneath it all.
+//!
+//! # Example
+//!
+//! ```
+//! use staleload::prelude::*;
+//!
+//! let config = SimConfig::builder()
+//!     .servers(16)
+//!     .lambda(0.9)
+//!     .arrivals(30_000)
+//!     .seed(7)
+//!     .build();
+//! let result = Experiment::new(
+//!     config,
+//!     ArrivalSpec::Poisson,
+//!     InfoSpec::Periodic { period: 10.0 },
+//!     PolicySpec::BasicLi { lambda: 0.9 },
+//!     3,
+//! )
+//! .run();
+//! assert!(result.summary.mean > 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use staleload_analytic as analytic;
+pub use staleload_cluster as cluster;
+pub use staleload_core as core;
+pub use staleload_info as info;
+pub use staleload_policies as policies;
+pub use staleload_sim as sim;
+pub use staleload_stats as stats;
+pub use staleload_workloads as workloads;
+
+/// The types most programs need, in one `use`.
+pub mod prelude {
+    pub use staleload_core::{
+        clients_for_mean_age, run_simulation, ArrivalSpec, Experiment, ExperimentResult,
+        RunResult, SimConfig,
+    };
+    pub use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
+    pub use staleload_policies::{InfoAge, LoadView, Policy, PolicySpec};
+    pub use staleload_sim::{Dist, SimRng};
+    pub use staleload_stats::Summary;
+    pub use staleload_workloads::BurstConfig;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_reexports() {
+        use crate::prelude::*;
+        let cfg = SimConfig::builder().servers(2).lambda(0.5).arrivals(100).seed(1).build();
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        assert_eq!(r.generated, 100);
+    }
+}

@@ -1,0 +1,160 @@
+//! Reproducibility and cross-crate consistency checks.
+
+use staleload::core::{run_simulation, trial_seed, ArrivalSpec, Experiment, SimConfig};
+use staleload::info::{AgeKnowledge, DelaySpec, InfoSpec};
+use staleload::policies::PolicySpec;
+use staleload::workloads::BurstConfig;
+
+fn all_model_policy_pairs() -> Vec<(ArrivalSpec, InfoSpec, PolicySpec)> {
+    let burst = BurstConfig { burst_len: 5, intra_gap_mean: 0.5 };
+    vec![
+        (ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Greedy),
+        (ArrivalSpec::Poisson, InfoSpec::Periodic { period: 5.0 }, PolicySpec::BasicLi { lambda: 0.7 }),
+        (
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 5.0 },
+            PolicySpec::AggressiveLi { lambda: 0.7 },
+        ),
+        (
+            ArrivalSpec::Poisson,
+            InfoSpec::Continuous {
+                delay: DelaySpec::UniformWide { mean: 3.0 },
+                knowledge: AgeKnowledge::Actual,
+            },
+            PolicySpec::KSubset { k: 2 },
+        ),
+        (
+            ArrivalSpec::PoissonClients { clients: 20 },
+            InfoSpec::UpdateOnAccess,
+            PolicySpec::LiSubset { k: 3, lambda: 0.7 },
+        ),
+        (
+            ArrivalSpec::BurstyClients { clients: 20, burst },
+            InfoSpec::UpdateOnAccess,
+            PolicySpec::Threshold { threshold: 2 },
+        ),
+    ]
+}
+
+/// Every (model, policy) combination is bit-reproducible under a fixed seed.
+#[test]
+fn every_combination_is_deterministic() {
+    for (arrivals, info, policy) in all_model_policy_pairs() {
+        let cfg = SimConfig::builder().servers(16).lambda(0.7).arrivals(20_000).seed(55).build();
+        let a = run_simulation(&cfg, &arrivals, &info, &policy);
+        let b = run_simulation(&cfg, &arrivals, &info, &policy);
+        assert_eq!(
+            a.mean_response.to_bits(),
+            b.mean_response.to_bits(),
+            "{:?}/{} not reproducible",
+            info,
+            policy.label()
+        );
+        assert_eq!(a.measured_jobs, b.measured_jobs);
+        assert_eq!(a.generated, b.generated);
+    }
+}
+
+/// Changing only the policy must not change the arrival pattern (stream
+/// separation): total simulated horizon stays identical.
+#[test]
+fn policy_does_not_perturb_arrivals() {
+    let cfg = SimConfig::builder().servers(16).lambda(0.7).arrivals(30_000).seed(56).build();
+    let info = InfoSpec::Periodic { period: 5.0 };
+    let horizons: Vec<f64> = [
+        PolicySpec::Random,
+        PolicySpec::Greedy,
+        PolicySpec::BasicLi { lambda: 0.7 },
+        PolicySpec::KSubset { k: 2 },
+    ]
+    .into_iter()
+    .map(|p| {
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &p);
+        // The last arrival time is bounded by end_time; compare the count
+        // and an arrival-derived invariant instead: generated jobs.
+        assert_eq!(r.generated, 30_000);
+        r.end_time
+    })
+    .collect();
+    // End times differ (departures depend on placement), but all runs saw
+    // the same 30k arrivals; end_time must be within the same ballpark.
+    let min = horizons.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = horizons.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 1.5, "horizons diverged: {horizons:?}");
+}
+
+/// Experiments with more trials extend, not reshuffle, earlier trials.
+#[test]
+fn trials_are_prefix_stable() {
+    let cfg = SimConfig::builder().servers(8).lambda(0.5).arrivals(10_000).seed(57).build();
+    let make = |trials| {
+        Experiment::new(
+            cfg.clone(),
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 2.0 },
+            PolicySpec::BasicLi { lambda: 0.5 },
+            trials,
+        )
+        .run()
+        .trial_means
+    };
+    let three = make(3);
+    let five = make(5);
+    assert_eq!(three[..], five[..3]);
+}
+
+/// The k-subset policy with k = n matches Greedy statistically (same
+/// selection rule) — run both and compare means loosely.
+#[test]
+fn ksubset_n_equals_greedy() {
+    let cfg = SimConfig::builder().servers(12).lambda(0.8).arrivals(60_000).seed(58).build();
+    let info = InfoSpec::Periodic { period: 1.0 };
+    let greedy = Experiment::new(
+        cfg.clone(),
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::Greedy,
+        4,
+    )
+    .run()
+    .summary
+    .mean;
+    let k12 = Experiment::new(
+        cfg,
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::KSubset { k: 12 },
+        4,
+    )
+    .run()
+    .summary
+    .mean;
+    assert!((greedy - k12).abs() / greedy < 0.1, "greedy {greedy} vs k=n {k12}");
+}
+
+/// k-subset with k = 1 matches Random statistically.
+#[test]
+fn ksubset_1_equals_random() {
+    let cfg = SimConfig::builder().servers(12).lambda(0.8).arrivals(60_000).seed(59).build();
+    let info = InfoSpec::Periodic { period: 1.0 };
+    let random =
+        Experiment::new(cfg.clone(), ArrivalSpec::Poisson, info, PolicySpec::Random, 4)
+            .run()
+            .summary
+            .mean;
+    let k1 =
+        Experiment::new(cfg, ArrivalSpec::Poisson, info, PolicySpec::KSubset { k: 1 }, 4)
+            .run()
+            .summary
+            .mean;
+    assert!((random - k1).abs() / random < 0.1, "random {random} vs k=1 {k1}");
+}
+
+/// Trial seeds are unique across a wide range.
+#[test]
+fn trial_seeds_do_not_collide() {
+    let mut seeds: Vec<u64> = (0..10_000).map(|t| trial_seed(0xDEADBEEF, t)).collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    assert_eq!(seeds.len(), 10_000);
+}

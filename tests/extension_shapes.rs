@@ -1,0 +1,161 @@
+//! Integration tests for the extensions beyond the paper (DESIGN.md §5):
+//! each pins the qualitative result its `ext_*` experiment demonstrates.
+
+use staleload::core::{ArrivalSpec, Experiment, SimConfig};
+use staleload::info::InfoSpec;
+use staleload::policies::{PolicySpec, Sita};
+use staleload::sim::Dist;
+
+fn run(
+    cfg: &SimConfig,
+    arrivals: ArrivalSpec,
+    info: InfoSpec,
+    policy: PolicySpec,
+    trials: usize,
+) -> f64 {
+    Experiment::new(cfg.clone(), arrivals, info, policy, trials).run().summary.mean
+}
+
+/// `ext_sita`: under heavy-tailed job sizes, the *size* signal (which never
+/// goes stale) beats the stale *load* signal once information is old — but
+/// fresh load information still wins.
+#[test]
+fn sita_is_immune_to_staleness() {
+    let service = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).unwrap();
+    let n = 50;
+    let mut b = SimConfig::builder();
+    b.servers(n).lambda(0.7).arrivals(150_000).service(service).seed(301);
+    let cfg = b.build();
+    let sita = PolicySpec::Sita {
+        boundaries: Sita::equal_load(&service, n).boundaries().to_vec(),
+    };
+
+    // SITA's performance is independent of the information age.
+    let sita_fresh =
+        run(&cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 1.0 }, sita.clone(), 5);
+    let sita_stale =
+        run(&cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 40.0 }, sita.clone(), 5);
+    assert!(
+        (sita_fresh - sita_stale).abs() / sita_fresh < 0.05,
+        "SITA must not care about T: {sita_fresh} vs {sita_stale}"
+    );
+
+    // Stale regime: SITA beats Basic LI; fresh regime: load info wins.
+    let li_stale = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Periodic { period: 40.0 },
+        PolicySpec::BasicLi { lambda: 0.7 },
+        5,
+    );
+    assert!(sita_stale < li_stale, "stale: SITA {sita_stale} should beat LI {li_stale}");
+    let greedy_fresh = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Periodic { period: 0.5 },
+        PolicySpec::Greedy,
+        5,
+    );
+    assert!(
+        greedy_fresh < sita_fresh,
+        "fresh: greedy {greedy_fresh} should beat SITA {sita_fresh}"
+    );
+}
+
+/// `ext_mmpp`: LI keeps its lead over naive policies when the aggregate
+/// arrival rate is modulated (flash crowds), as long as the surges stay
+/// within capacity.
+#[test]
+fn li_is_robust_to_aggregate_burstiness() {
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(0.6)
+        .arrivals(250_000)
+        .seed(302)
+        .build();
+    let mmpp = ArrivalSpec::Mmpp { rate_ratio: 2.0, high_fraction: 0.25, cycle_mean: 20.0 };
+    let info = InfoSpec::Periodic { period: 30.0 };
+    let li = run(&cfg, mmpp, info, PolicySpec::BasicLi { lambda: 0.6 }, 5);
+    let k2 = run(&cfg, mmpp, info, PolicySpec::KSubset { k: 2 }, 5);
+    let random = run(&cfg, mmpp, info, PolicySpec::Random, 5);
+    assert!(li < k2, "under MMPP at T=30, LI {li} should beat k=2 {k2}");
+    assert!(li < random, "under MMPP, LI {li} should beat random {random}");
+}
+
+/// `ext_individual`: staggered per-server refreshes behave like the
+/// periodic board for the subset policies — the similarity the paper
+/// cites when omitting the model.
+#[test]
+fn individual_updates_match_periodic_for_ksubset() {
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(0.9)
+        .arrivals(150_000)
+        .seed(303)
+        .build();
+    for t in [2.0, 10.0] {
+        let periodic = run(
+            &cfg,
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: t },
+            PolicySpec::KSubset { k: 2 },
+            4,
+        );
+        let individual = run(
+            &cfg,
+            ArrivalSpec::Poisson,
+            InfoSpec::Individual { period: t },
+            PolicySpec::KSubset { k: 2 },
+            4,
+        );
+        assert!(
+            (periodic - individual).abs() / periodic < 0.12,
+            "T={t}: periodic {periodic} vs individual {individual}"
+        );
+    }
+}
+
+/// `ProbeThreshold`: with fresh information, a 3-probe threshold policy
+/// lands between oblivious random and full greedy, like its k-subset
+/// cousins.
+#[test]
+fn probe_threshold_sits_between_random_and_greedy() {
+    let cfg = SimConfig::builder()
+        .servers(50)
+        .lambda(0.9)
+        .arrivals(150_000)
+        .seed(304)
+        .build();
+    let probe = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Fresh,
+        PolicySpec::ProbeThreshold { probes: 3, threshold: 1 },
+        4,
+    );
+    let random = run(&cfg, ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Random, 4);
+    let greedy = run(&cfg, ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Greedy, 4);
+    assert!(probe < random * 0.6, "probing {probe} should crush random {random}");
+    assert!(greedy < probe, "full information {greedy} still beats 3 probes {probe}");
+}
+
+/// `ext_mechanisms`: receiver-driven stealing rescues even greedy's herd
+/// at extreme staleness (migration undoes bad placement).
+#[test]
+fn stealing_rescues_the_herd() {
+    let mut b = SimConfig::builder();
+    b.servers(50).lambda(0.9).arrivals(150_000).seed(305);
+    let info = InfoSpec::Periodic { period: 40.0 };
+    let herd = run(&b.build(), ArrivalSpec::Poisson, info, PolicySpec::Greedy, 4);
+    let rescued = run(
+        &b.work_stealing(2).build(),
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::Greedy,
+        4,
+    );
+    assert!(
+        rescued < herd / 3.0,
+        "stealing should cut the herd's damage: {rescued} vs {herd}"
+    );
+}

@@ -1,0 +1,189 @@
+//! The paper's qualitative results as executable assertions.
+//!
+//! Each test pins one of the four headline claims (§1/§6) or a section
+//! finding, at a scale small enough for CI but large enough that the effect
+//! dwarfs simulation noise.
+
+use staleload::core::{ArrivalSpec, Experiment, SimConfig};
+use staleload::info::{AgeKnowledge, DelaySpec, InfoSpec};
+use staleload::policies::PolicySpec;
+use staleload::workloads::BurstConfig;
+
+const LAMBDA: f64 = 0.9;
+
+fn periodic(t: f64, policy: PolicySpec, seed: u64) -> f64 {
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(LAMBDA)
+        .arrivals(150_000)
+        .seed(seed)
+        .build();
+    Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: t }, policy, 4)
+        .run()
+        .summary
+        .mean
+}
+
+/// Claim (1): with fresh information, LI matches the most aggressive
+/// algorithms (within noise) and far outperforms oblivious random.
+#[test]
+fn fresh_information_li_matches_greedy() {
+    let t = 0.1;
+    let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 1);
+    let greedy = periodic(t, PolicySpec::Greedy, 1);
+    let random = periodic(t, PolicySpec::Random, 1);
+    assert!(li < greedy * 1.15, "LI {li} should be within 15% of greedy {greedy}");
+    assert!(li < random / 3.0, "LI {li} should crush random {random}");
+}
+
+/// Claim (2): at moderate staleness LI outperforms every k-subset variant.
+#[test]
+fn moderate_staleness_li_beats_k_subsets() {
+    let t = 10.0;
+    let aggressive = periodic(t, PolicySpec::AggressiveLi { lambda: LAMBDA }, 2);
+    for k in [2usize, 3, 10] {
+        let ks = periodic(t, PolicySpec::KSubset { k }, 2);
+        assert!(
+            aggressive < ks,
+            "Aggressive LI {aggressive} should beat k={k} ({ks}) at T={t}"
+        );
+    }
+}
+
+/// Claim (3): with very stale information LI still beats random
+/// distribution (the paper reports 9–17% at T = 50-ish scales).
+#[test]
+fn stale_information_li_beats_random() {
+    let t = 50.0;
+    let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 3);
+    let random = periodic(t, PolicySpec::Random, 3);
+    assert!(li < random, "Basic LI {li} should still beat random {random} at T={t}");
+}
+
+/// Claim (4): LI avoids the pathological herd behaviour that greedy (and
+/// large-k subset) policies exhibit with extremely old information.
+#[test]
+fn extreme_staleness_li_avoids_pathology() {
+    let t = 50.0;
+    let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 4);
+    let greedy = periodic(t, PolicySpec::Greedy, 4);
+    let random = periodic(t, PolicySpec::Random, 4);
+    assert!(greedy > random * 3.0, "greedy {greedy} must herd badly vs random {random}");
+    assert!(li < random * 1.05, "LI {li} must stay no worse than random {random}");
+}
+
+/// §2: the best k of the k-subset family flips with staleness — the
+/// observation motivating LI. Fresher: k=10 beats k=2; staler: k=2 wins.
+#[test]
+fn best_k_depends_on_staleness() {
+    let k2_fresh = periodic(0.25, PolicySpec::KSubset { k: 2 }, 5);
+    let k10_fresh = periodic(0.25, PolicySpec::KSubset { k: 10 }, 5);
+    assert!(k10_fresh < k2_fresh, "fresh: k10 {k10_fresh} should beat k2 {k2_fresh}");
+    let k2_stale = periodic(20.0, PolicySpec::KSubset { k: 2 }, 5);
+    let k10_stale = periodic(20.0, PolicySpec::KSubset { k: 10 }, 5);
+    assert!(k2_stale < k10_stale, "stale: k2 {k2_stale} should beat k10 {k10_stale}");
+}
+
+/// §5.6: underestimating λ is much worse than overestimating it.
+#[test]
+fn lambda_misestimation_is_asymmetric() {
+    let t = 10.0;
+    let oracle = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 6);
+    let over = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA * 2.0 }, 6);
+    let under = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA / 4.0 }, 6);
+    let over_penalty = (over - oracle) / oracle;
+    let under_penalty = (under - oracle) / oracle;
+    assert!(over_penalty < 0.25, "2x overestimate costs {over_penalty:+.1}%");
+    assert!(
+        under_penalty > 2.0 * over_penalty,
+        "4x underestimate ({under_penalty:+.2}) must hurt far more than 2x overestimate ({over_penalty:+.2})"
+    );
+}
+
+/// §5.2: under the continuous model, knowing each request's actual age is
+/// at least as good as knowing only the mean (for high-variance delays).
+#[test]
+fn knowing_actual_age_helps() {
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(LAMBDA)
+        .arrivals(60_000)
+        .seed(7)
+        .build();
+    let run = |knowledge| {
+        Experiment::new(
+            cfg.clone(),
+            ArrivalSpec::Poisson,
+            InfoSpec::Continuous { delay: DelaySpec::Exponential { mean: 6.0 }, knowledge },
+            PolicySpec::BasicLi { lambda: LAMBDA },
+            4,
+        )
+        .run()
+        .summary
+        .mean
+    };
+    let actual = run(AgeKnowledge::Actual);
+    let mean_only = run(AgeKnowledge::MeanOnly);
+    assert!(
+        actual < mean_only * 1.02,
+        "actual-age LI {actual} should be no worse than mean-only {mean_only}"
+    );
+}
+
+/// §5.4: bursty clients make update-on-access information effectively
+/// fresher — at a mean information age of 8 service times, every
+/// load-aware policy improves *absolutely* versus smooth clients, and its
+/// lead over oblivious random (which only suffers from the burstier
+/// aggregate) widens. (At very large T the aggregate's burst variance
+/// dominates queueing and all policies converge — visible in Fig. 9's
+/// tail.)
+#[test]
+fn bursty_clients_help_load_aware_policies() {
+    let clients = staleload::core::clients_for_mean_age(LAMBDA, 100, 8.0);
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(LAMBDA)
+        .arrivals((clients as u64 * 150).max(100_000))
+        .seed(8)
+        .build();
+    let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+    let run = |arrivals: ArrivalSpec, policy: PolicySpec| {
+        Experiment::new(cfg.clone(), arrivals, InfoSpec::UpdateOnAccess, policy, 4)
+            .run()
+            .summary
+            .mean
+    };
+    let smooth = ArrivalSpec::PoissonClients { clients };
+    let bursty = ArrivalSpec::BurstyClients { clients, burst };
+    let li_smooth = run(smooth, PolicySpec::BasicLi { lambda: LAMBDA });
+    let li_bursty = run(bursty, PolicySpec::BasicLi { lambda: LAMBDA });
+    let random_smooth = run(smooth, PolicySpec::Random);
+    let random_bursty = run(bursty, PolicySpec::Random);
+    assert!(
+        li_bursty < li_smooth,
+        "bursty LI {li_bursty} should beat smooth LI {li_smooth}: most requests see fresh info"
+    );
+    let ratio_smooth = random_smooth / li_smooth;
+    let ratio_bursty = random_bursty / li_bursty;
+    assert!(
+        ratio_bursty > ratio_smooth * 1.2,
+        "LI's lead over random must widen under bursts: {ratio_bursty:.2}x vs {ratio_smooth:.2}x"
+    );
+}
+
+/// §5.7: once information is stale enough for naive use to hurt (T = 30),
+/// LI-k beats the plain k-subset policy at the same k, and more information
+/// only helps LI. (At mild staleness, e.g. T = 10, k = 2's rank-based
+/// aggressiveness still roughly ties LI-2 — the gap opens as T grows,
+/// exactly as Fig. 14c shows.)
+#[test]
+fn li_k_dominates_naive_k() {
+    let t = 30.0;
+    let li2 = periodic(t, PolicySpec::LiSubset { k: 2, lambda: LAMBDA }, 9);
+    let k2 = periodic(t, PolicySpec::KSubset { k: 2 }, 9);
+    assert!(li2 < k2, "LI-2 {li2} should beat k=2 {k2}");
+    let li10 = periodic(t, PolicySpec::LiSubset { k: 10, lambda: LAMBDA }, 9);
+    let full = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 9);
+    assert!(li10 < li2 * 1.02, "LI-10 {li10} should improve on LI-2 {li2}");
+    assert!(full < li2 * 1.02, "full-information LI {full} should be at least as good as LI-2 {li2}");
+}

@@ -1,0 +1,173 @@
+//! Cross-crate validation against closed-form queueing theory.
+//!
+//! These anchor the whole simulator: if arrival generation, FIFO service,
+//! response-time accounting, or the drain/warm-up logic were wrong, the
+//! M/M/1 and M/D/1 numbers below would not come out.
+
+use staleload::analytic::{md1_response, mg1_response, mm1_response, mmn_response};
+use staleload::core::{run_simulation, ArrivalSpec, SimConfig};
+use staleload::info::InfoSpec;
+use staleload::policies::PolicySpec;
+use staleload::sim::Dist;
+
+fn mean_response(cfg: &SimConfig, policy: PolicySpec) -> f64 {
+    run_simulation(cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &policy).mean_response
+}
+
+/// Random splitting of a Poisson stream over n servers makes each server an
+/// independent M/M/1 queue at load λ: mean response = 1/(1−λ).
+#[test]
+fn random_policy_matches_mm1() {
+    for (lambda, expect) in [(0.3, 1.0 / 0.7), (0.5, 2.0), (0.7, 1.0 / 0.3)] {
+        let cfg = SimConfig::builder()
+            .servers(16)
+            .lambda(lambda)
+            .arrivals(400_000)
+            .seed(100)
+            .build();
+        let got = mean_response(&cfg, PolicySpec::Random);
+        assert!(
+            (got - expect).abs() / expect < 0.06,
+            "lambda={lambda}: got {got}, want {expect}"
+        );
+    }
+}
+
+/// With deterministic service (M/D/1), the Pollaczek–Khinchine formula
+/// gives mean response = 1 + λ/(2(1−λ)).
+#[test]
+fn random_policy_matches_md1() {
+    let lambda = 0.5;
+    let cfg = SimConfig::builder()
+        .servers(16)
+        .lambda(lambda)
+        .arrivals(400_000)
+        .service(Dist::constant(1.0))
+        .seed(101)
+        .build();
+    let got = mean_response(&cfg, PolicySpec::Random);
+    let expect = 1.0 + lambda / (2.0 * (1.0 - lambda));
+    assert!((got - expect).abs() / expect < 0.05, "got {got}, want {expect}");
+}
+
+/// A single server is M/M/1 regardless of policy.
+#[test]
+fn single_server_is_mm1() {
+    let cfg = SimConfig::builder().servers(1).lambda(0.6).arrivals(400_000).seed(102).build();
+    for policy in [PolicySpec::Random, PolicySpec::Greedy, PolicySpec::BasicLi { lambda: 0.6 }] {
+        let got = mean_response(&cfg, policy.clone());
+        assert!(
+            (got - 2.5).abs() / 2.5 < 0.08,
+            "{}: got {got}, want 2.5",
+            policy.label()
+        );
+    }
+}
+
+/// Fresh-information greedy (join-least-loaded) approaches M/M/n behaviour:
+/// far better than M/M/1, and response approaches the bare service time as
+/// n grows at fixed λ.
+#[test]
+fn fresh_greedy_approaches_service_time() {
+    let cfg = SimConfig::builder().servers(64).lambda(0.7).arrivals(300_000).seed(103).build();
+    let got = mean_response(&cfg, PolicySpec::Greedy);
+    assert!(got < 1.3, "join-least-loaded over 64 servers should be near 1.0, got {got}");
+    let random = mean_response(&cfg, PolicySpec::Random);
+    assert!((random - 1.0 / 0.3).abs() / (1.0 / 0.3) < 0.06);
+}
+
+/// The closed-form anchors agree with the ones hand-coded in the earlier
+/// tests (guards against the analytic crate drifting from the tests).
+#[test]
+fn analytic_crate_matches_hand_formulas() {
+    assert!((mm1_response(0.5) - 2.0).abs() < 1e-12);
+    assert!((md1_response(0.5) - 1.5).abs() < 1e-12);
+    assert!((mg1_response(0.5, &Dist::exponential(1.0)) - 2.0).abs() < 1e-12);
+}
+
+/// Fresh-information greedy (join-shortest-queue) is sandwiched between
+/// the M/M/n central queue (a lower bound: it never idles a server while a
+/// job waits) and M/M/1 (what no balancing at all would give).
+#[test]
+fn fresh_greedy_is_between_mmn_and_mm1() {
+    for (n, lambda) in [(8usize, 0.8), (32, 0.9), (64, 0.7)] {
+        let cfg = SimConfig::builder()
+            .servers(n)
+            .lambda(lambda)
+            .arrivals(300_000)
+            .seed(110)
+            .build();
+        let jsq =
+            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy)
+                .mean_response;
+        let lower = mmn_response(n, lambda);
+        let upper = mm1_response(lambda);
+        assert!(
+            jsq >= lower * 0.98,
+            "n={n} λ={lambda}: JSQ {jsq} below the M/M/n bound {lower}"
+        );
+        assert!(jsq < upper, "n={n} λ={lambda}: JSQ {jsq} should beat M/M/1 {upper}");
+        // JSQ is known to sit close to the central queue at these loads.
+        assert!(
+            jsq < lower * 1.6 + 0.5,
+            "n={n} λ={lambda}: JSQ {jsq} too far above the M/M/n bound {lower}"
+        );
+    }
+}
+
+/// Random splitting with Bounded-Pareto sizes matches the M/G/1
+/// Pollaczek–Khinchine prediction — validating both the generator's
+/// moments and the FIFO accounting under heavy-tailed work.
+#[test]
+fn random_policy_matches_mg1_bounded_pareto() {
+    // Moderate variability keeps the needed sample size reasonable.
+    let service = Dist::bounded_pareto_with_mean(2.5, 30.0, 1.0).unwrap();
+    let lambda = 0.6;
+    let cfg = SimConfig::builder()
+        .servers(8)
+        .lambda(lambda)
+        .arrivals(800_000)
+        .service(service)
+        .seed(111)
+        .build();
+    let got =
+        run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random)
+            .mean_response;
+    let expect = mg1_response(lambda, &service);
+    assert!(
+        (got - expect).abs() / expect < 0.08,
+        "M/G/1: got {got}, Pollaczek–Khinchine predicts {expect}"
+    );
+}
+
+/// The measured job count honours the warm-up fraction exactly.
+#[test]
+fn warmup_jobs_are_excluded() {
+    let cfg = SimConfig::builder()
+        .servers(4)
+        .lambda(0.4)
+        .arrivals(50_000)
+        .warmup_fraction(0.25)
+        .seed(104)
+        .build();
+    let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+    assert_eq!(r.generated, 50_000);
+    assert_eq!(r.measured_jobs, 37_500);
+}
+
+/// Utilization sanity: higher λ produces proportionally longer runs of
+/// arrivals in the same simulated time (arrival-rate calibration).
+#[test]
+fn arrival_rate_is_calibrated() {
+    let run_time = |lambda: f64| {
+        let cfg =
+            SimConfig::builder().servers(10).lambda(lambda).arrivals(100_000).seed(105).build();
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        r.end_time
+    };
+    // 100k arrivals at total rate 10·λ ⇒ horizon ≈ 100_000/(10λ).
+    let t_half = run_time(0.5);
+    assert!((t_half - 20_000.0).abs() / 20_000.0 < 0.05, "{t_half}");
+    let t_quarter = run_time(0.25);
+    assert!((t_quarter - 40_000.0).abs() / 40_000.0 < 0.05, "{t_quarter}");
+}

@@ -1,0 +1,79 @@
+//! End-to-end validation of the k-subset rank distribution (paper Eq. 1):
+//! the *simulated* policy's selection frequencies must match the closed
+//! form that Figure 1 plots.
+
+use staleload::policies::{
+    empirical_rank_frequencies, rank_distribution, KSubset, LiSubset, Policy, Random,
+};
+use staleload::sim::SimRng;
+
+fn assert_matches_eq1(policy: &mut dyn Policy, n: usize, k: usize, tolerance: f64) {
+    // Strictly increasing loads: rank == index.
+    let loads: Vec<u32> = (0..n as u32).collect();
+    let analytic = rank_distribution(n, k);
+    let mut rng = SimRng::from_seed(0xE1);
+    let freq = empirical_rank_frequencies(policy, &loads, 300_000, &mut rng);
+    for r in 0..n {
+        assert!(
+            (freq[r] - analytic[r]).abs() < tolerance,
+            "k={k}, rank {r}: empirical {} vs Eq.1 {}",
+            freq[r],
+            analytic[r]
+        );
+    }
+}
+
+#[test]
+fn simulated_k2_matches_eq1() {
+    assert_matches_eq1(&mut KSubset::new(2), 100, 2, 0.004);
+}
+
+#[test]
+fn simulated_k3_matches_eq1() {
+    assert_matches_eq1(&mut KSubset::new(3), 100, 3, 0.004);
+}
+
+#[test]
+fn simulated_k10_matches_eq1() {
+    assert_matches_eq1(&mut KSubset::new(10), 100, 10, 0.005);
+}
+
+#[test]
+fn simulated_random_matches_eq1_k1() {
+    assert_matches_eq1(&mut Random, 100, 1, 0.004);
+}
+
+/// The paper's critique of k-subset (§2): the selection depends only on the
+/// servers' *ranks*, not the magnitude of imbalance. Verify: scaling all
+/// loads by 10 leaves the k-subset distribution unchanged, while LI-k
+/// responds to magnitude.
+#[test]
+fn ksubset_ignores_magnitude_li_does_not() {
+    let mut rng = SimRng::from_seed(0xE2);
+    let small: Vec<u32> = vec![0, 1, 2, 3];
+    let big: Vec<u32> = vec![0, 10, 20, 30];
+
+    let mut k2 = KSubset::new(2);
+    let f_small = empirical_rank_frequencies(&mut k2, &small, 200_000, &mut rng);
+    let f_big = empirical_rank_frequencies(&mut k2, &big, 200_000, &mut rng);
+    for r in 0..4 {
+        assert!(
+            (f_small[r] - f_big[r]).abs() < 0.01,
+            "k-subset must be magnitude-blind at rank {r}: {} vs {}",
+            f_small[r],
+            f_big[r]
+        );
+    }
+
+    let mut li = LiSubset::new(4, 1.0);
+    let f_small = empirical_rank_frequencies(&mut li, &small, 200_000, &mut rng);
+    let f_big = empirical_rank_frequencies(&mut li, &big, 200_000, &mut rng);
+    // With age 1 (R = 4) the widely imbalanced system concentrates far more
+    // mass on the least-loaded server.
+    assert!(
+        f_big[0] > f_small[0] + 0.2,
+        "LI must respond to imbalance magnitude: {} vs {}",
+        f_big[0],
+        f_small[0]
+    );
+}
