@@ -36,7 +36,10 @@
 /// ```
 pub fn supermarket_equilibrium(d: usize, lambda: f64, max_len: usize) -> Vec<f64> {
     assert!(d > 0, "need at least one choice");
-    assert!(lambda > 0.0 && lambda < 1.0, "load must be in (0, 1), got {lambda}");
+    assert!(
+        lambda > 0.0 && lambda < 1.0,
+        "load must be in (0, 1), got {lambda}"
+    );
     let mut out = Vec::with_capacity(max_len);
     let mut exponent = 1.0; // (d^i − 1)/(d − 1) built incrementally
     for _ in 0..max_len {
@@ -83,9 +86,16 @@ impl SupermarketFluid {
     /// Panics if `d == 0`, `λ ∉ (0, 1)`, or `truncation == 0`.
     pub fn new(d: usize, lambda: f64, truncation: usize) -> Self {
         assert!(d > 0, "need at least one choice");
-        assert!(lambda > 0.0 && lambda < 1.0, "load must be in (0, 1), got {lambda}");
+        assert!(
+            lambda > 0.0 && lambda < 1.0,
+            "load must be in (0, 1), got {lambda}"
+        );
         assert!(truncation > 0, "need a positive truncation length");
-        Self { d, lambda, truncation }
+        Self {
+            d,
+            lambda,
+            truncation,
+        }
     }
 
     fn derivative(&self, s: &[f64], out: &mut [f64]) {
@@ -104,11 +114,16 @@ impl SupermarketFluid {
     ///
     /// Panics if `initial.len() != truncation` or `dt <= 0`.
     pub fn integrate(&self, initial: &[f64], t_end: f64, dt: f64) -> Vec<f64> {
-        assert_eq!(initial.len(), self.truncation, "state length must match truncation");
+        assert_eq!(
+            initial.len(),
+            self.truncation,
+            "state length must match truncation"
+        );
         assert!(dt > 0.0, "need a positive step");
         let l = self.truncation;
         let mut s = initial.to_vec();
-        let (mut k1, mut k2, mut k3, mut k4) = (vec![0.0; l], vec![0.0; l], vec![0.0; l], vec![0.0; l]);
+        let (mut k1, mut k2, mut k3, mut k4) =
+            (vec![0.0; l], vec![0.0; l], vec![0.0; l], vec![0.0; l]);
         let mut tmp = vec![0.0; l];
         let steps = (t_end / dt).ceil() as usize;
         for _ in 0..steps {

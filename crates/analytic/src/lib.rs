@@ -172,7 +172,10 @@ mod tests {
         let lambda = 0.7;
         let det = mg1_response(lambda, &Dist::constant(1.0));
         let exp = mg1_response(lambda, &Dist::exponential(1.0));
-        let bp = mg1_response(lambda, &Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).unwrap());
+        let bp = mg1_response(
+            lambda,
+            &Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).unwrap(),
+        );
         assert!(det < exp && exp < bp, "{det} {exp} {bp}");
     }
 

@@ -22,9 +22,19 @@ fn bench_ablation(c: &mut Criterion) {
     // Phase cache: same epoch, so only the first call pays for the vector.
     let phase_view = LoadView {
         loads: &loads,
-        info: InfoAge::Phase { start: 0.0, length: 10.0, now: 3.0, epoch: 1 },
+        info: InfoAge::Phase {
+            start: 0.0,
+            length: 10.0,
+            now: 3.0,
+            epoch: 1,
+        },
+        ages: None,
     };
-    let aged_view = LoadView { loads: &loads, info: InfoAge::Aged { age: 10.0 } };
+    let aged_view = LoadView {
+        loads: &loads,
+        info: InfoAge::Aged { age: 10.0 },
+        ages: None,
+    };
 
     let variants = [
         ("basic_li", PolicySpec::BasicLi { lambda: 0.9 }),

@@ -8,10 +8,19 @@ use staleload_policies::PolicySpec;
 
 fn bench_engine(c: &mut Criterion) {
     const ARRIVALS: u64 = 20_000;
-    let cfg = SimConfig::builder().servers(100).lambda(0.9).arrivals(ARRIVALS).seed(3).build();
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(0.9)
+        .arrivals(ARRIVALS)
+        .seed(3)
+        .build();
     let cases: Vec<(&str, ArrivalSpec, InfoSpec)> = vec![
         ("fresh", ArrivalSpec::Poisson, InfoSpec::Fresh),
-        ("periodic", ArrivalSpec::Poisson, InfoSpec::Periodic { period: 10.0 }),
+        (
+            "periodic",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 10.0 },
+        ),
         (
             "continuous",
             ArrivalSpec::Poisson,
@@ -31,7 +40,10 @@ fn bench_engine(c: &mut Criterion) {
     group.sample_size(10);
     for (name, arrivals, info) in cases {
         group.bench_with_input(BenchmarkId::new("basic_li", name), &name, |b, _| {
-            b.iter(|| run_simulation(&cfg, &arrivals, &info, &PolicySpec::BasicLi { lambda: 0.9 }));
+            b.iter(|| {
+                run_simulation(&cfg, &arrivals, &info, &PolicySpec::BasicLi { lambda: 0.9 })
+                    .expect("valid config")
+            });
         });
     }
     group.finish();

@@ -22,7 +22,10 @@ fn bench_li_math(c: &mut Criterion) {
 
         group.bench_with_input(BenchmarkId::new("aggressive_schedule", n), &n, |b, _| {
             b.iter(|| {
-                std::hint::black_box(aggressive_schedule(std::hint::black_box(&loads), 0.9 * n as f64))
+                std::hint::black_box(aggressive_schedule(
+                    std::hint::black_box(&loads),
+                    0.9 * n as f64,
+                ))
             });
         });
     }

@@ -30,7 +30,11 @@ fn bench_policies(c: &mut Criterion) {
         for spec in specs {
             // Aged views defeat the per-phase cache, so this measures the
             // full interpretation cost per decision.
-            let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 5.0 } };
+            let view = LoadView {
+                loads: &loads,
+                info: InfoAge::Aged { age: 5.0 },
+                ages: None,
+            };
             let mut policy = spec.build();
             group.bench_with_input(
                 BenchmarkId::new(spec.label().replace(' ', "_"), n),

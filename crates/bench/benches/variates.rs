@@ -12,13 +12,22 @@ fn bench_variates(c: &mut Criterion) {
             "bounded_pareto",
             Dist::bounded_pareto_with_mean(1.1, 1024.0, 1.0).expect("valid parameters"),
         ),
-        ("hyperexp", Dist::HyperExp { p: 0.3, mean1: 0.5, mean2: 2.0 }),
+        (
+            "hyperexp",
+            Dist::HyperExp {
+                p: 0.3,
+                mean1: 0.5,
+                mean2: 2.0,
+            },
+        ),
     ];
     let mut group = c.benchmark_group("variates");
     group.throughput(Throughput::Elements(1));
     for (name, d) in dists {
         let mut rng = SimRng::from_seed(11);
-        group.bench_function(name, |b| b.iter(|| std::hint::black_box(d.sample(&mut rng))));
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(d.sample(&mut rng)))
+        });
     }
     group.finish();
 }

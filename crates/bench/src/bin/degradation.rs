@@ -1,0 +1,153 @@
+//! Degradation curve: mean response time as board updates are dropped.
+//!
+//! Sweeps the per-entry drop probability of a lossy periodic update channel
+//! (`FaultSpec::drop(p)`) and compares four policies at n = 16,
+//! lambda = 0.9, T = 10:
+//!
+//! * `random` — immune to stale boards by construction,
+//! * `basic-li` — reads the lossy board naively,
+//! * `gated basic-li` — hides entries older than the staleness cutoff,
+//! * `fresh basic-li` — perfect information lower bound (no faults).
+//!
+//! Usage: `degradation [quick|std|full]`. Writes
+//! `results/degradation.csv` and exits non-zero unless the gated policy
+//! strictly beats naive LI at drop probability 0.5.
+
+use std::process::ExitCode;
+
+use staleload_bench::{results_path, Scale};
+use staleload_core::{ArrivalSpec, Experiment, FaultSpec, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+use staleload_stats::Table;
+
+const N: usize = 16;
+const LAMBDA: f64 = 0.9;
+const PERIOD: f64 = 10.0;
+/// 0.15 T: trust the board only briefly after each refresh, then fall
+/// back to Random. Cutoffs in `[T, ~8 T]` are strictly worse than naive
+/// LI here: masking a dropped entry zeroes that server's share, and the
+/// expected masked fraction `p^floor(cutoff/T)` then exceeds the
+/// `1 - lambda` headroom, driving the surviving servers past
+/// saturation. A sub-period cutoff instead bounds the damage — LI while
+/// the information is demonstrably fresh, Random once it is not — and
+/// beats naive LI from drop 0.5 up and degrades toward Random instead
+/// of collapsing (naive LI is ~26x Random at drop 0.9).
+const CUTOFF: f64 = 0.15 * PERIOD;
+const SEED: u64 = 0xDE64;
+const DROPS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+
+fn main() -> ExitCode {
+    let scale = Scale::from_env();
+    let naive = PolicySpec::BasicLi { lambda: LAMBDA };
+    let gated = PolicySpec::Gated {
+        cutoff: CUTOFF,
+        inner: Box::new(naive.clone()),
+    };
+    let periodic = InfoSpec::Periodic { period: PERIOD };
+    // (label, policy, info model, subject to the lossy channel?). The
+    // fresh-info bound has no board, so the drop fault does not apply.
+    let series: Vec<(&str, PolicySpec, InfoSpec, bool)> = vec![
+        ("random", PolicySpec::Random, periodic, true),
+        ("basic-li", naive, periodic, true),
+        ("gated basic-li", gated, periodic, true),
+        (
+            "fresh basic-li",
+            PolicySpec::BasicLi { lambda: LAMBDA },
+            InfoSpec::Fresh,
+            false,
+        ),
+    ];
+
+    eprintln!(
+        "[degradation] n={N} lambda={LAMBDA} T={PERIOD} cutoff={CUTOFF} \
+         arrivals={} trials={} ({})",
+        scale.arrivals, scale.trials, scale.name
+    );
+    let mut table = Table::new({
+        let mut h = vec!["drop p".to_string()];
+        h.extend(series.iter().map(|(label, ..)| label.to_string()));
+        h
+    });
+    let mut csv = Table::new(vec![
+        "drop_p".into(),
+        "policy".into(),
+        "mean".into(),
+        "ci90".into(),
+        "median".into(),
+        "trials".into(),
+    ]);
+    // means[series][point], for the acceptance check below.
+    let mut means: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
+
+    for &p in &DROPS {
+        let mut row = vec![format!("{p}")];
+        for (idx, (label, policy, info, lossy)) in series.iter().enumerate() {
+            let faults = if *lossy {
+                FaultSpec::drop(p)
+            } else {
+                FaultSpec::none()
+            };
+            let cfg = SimConfig::builder()
+                .servers(N)
+                .lambda(LAMBDA)
+                .arrivals(scale.arrivals)
+                .seed(SEED)
+                .faults(faults)
+                .build();
+            let exp = Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                *info,
+                policy.clone(),
+                scale.trials,
+            );
+            let result = match exp.try_run() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[degradation] {label} at drop {p} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let s = &result.summary;
+            means[idx].push(s.mean);
+            row.push(format!("{:.3} ±{:.3}", s.mean, s.ci90));
+            csv.push_row(vec![
+                format!("{p}"),
+                label.to_string(),
+                format!("{}", s.mean),
+                format!("{}", s.ci90),
+                format!("{}", s.median),
+                format!("{}", s.trials),
+            ]);
+        }
+        table.push_row(row);
+        eprintln!("[degradation]   drop p = {p} done");
+    }
+
+    println!("\n== Degradation under dropped updates, n={N}, lambda={LAMBDA}, T={PERIOD} ==");
+    print!("{}", table.render());
+    let path = results_path("degradation");
+    match csv.write_csv(&path) {
+        Ok(()) => eprintln!("[degradation] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[degradation] failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Acceptance check: the staleness gate must pay for itself once half
+    // of all updates are lost.
+    let at = DROPS
+        .iter()
+        .position(|&p| p == 0.5)
+        .expect("0.5 is in the sweep");
+    let (naive_mean, gated_mean) = (means[1][at], means[2][at]);
+    if gated_mean < naive_mean {
+        println!("gate check: PASS — gated {gated_mean:.3} < naive {naive_mean:.3} at drop 0.5");
+        ExitCode::SUCCESS
+    } else {
+        println!("gate check: FAIL — gated {gated_mean:.3} >= naive {naive_mean:.3} at drop 0.5");
+        ExitCode::FAILURE
+    }
+}

@@ -14,9 +14,16 @@ fn main() {
     let scale = Scale::from_env();
     let variants: Vec<(&str, fn(f64) -> PolicySpec)> = vec![
         ("Basic LI (oracle)", |lambda| PolicySpec::BasicLi { lambda }),
-        ("Basic LI (assume 1.0)", |_| PolicySpec::BasicLi { lambda: 1.0 }),
-        ("Basic LI (lambda/4)", |lambda| PolicySpec::BasicLi { lambda: lambda / 4.0 }),
-        ("Adaptive LI (EWMA)", |_| PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 }),
+        ("Basic LI (assume 1.0)", |_| PolicySpec::BasicLi {
+            lambda: 1.0,
+        }),
+        ("Basic LI (lambda/4)", |lambda| PolicySpec::BasicLi {
+            lambda: lambda / 4.0,
+        }),
+        ("Adaptive LI (EWMA)", |_| PolicySpec::AdaptiveLi {
+            alpha: 0.01,
+            warmup: 1000,
+        }),
         ("Random", |_| PolicySpec::Random),
     ];
     let series: Vec<Series<'_>> = variants
@@ -25,7 +32,10 @@ fn main() {
             let scale = &scale;
             Series::new(label, move |lambda| {
                 let mut b = SimConfig::builder();
-                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE59);
+                b.servers(100)
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .seed(0xE59);
                 Experiment::new(
                     b.build(),
                     ArrivalSpec::Poisson,

@@ -16,13 +16,20 @@ fn main() {
     let lambda = 0.75;
     let n = 100usize;
     let caps_for = move |skew: f64| -> Vec<f64> {
-        (0..n).map(|i| if i < n / 2 { 1.0 + skew } else { 1.0 - skew }).collect()
+        (0..n)
+            .map(|i| if i < n / 2 { 1.0 + skew } else { 1.0 - skew })
+            .collect()
     };
     let variants: Vec<(&str, fn(f64, Vec<f64>) -> PolicySpec)> = vec![
         ("Random", |_, _| PolicySpec::Random),
         ("Greedy (queue length)", |_, _| PolicySpec::Greedy),
-        ("Basic LI (blind)", |lambda, _| PolicySpec::BasicLi { lambda }),
-        ("Hetero LI (aware)", |lambda, caps| PolicySpec::HeteroLi { lambda, capacities: caps }),
+        ("Basic LI (blind)", |lambda, _| PolicySpec::BasicLi {
+            lambda,
+        }),
+        ("Hetero LI (aware)", |lambda, caps| PolicySpec::HeteroLi {
+            lambda,
+            capacities: caps,
+        }),
     ];
     let series: Vec<Series<'_>> = variants
         .into_iter()
@@ -31,7 +38,10 @@ fn main() {
             Series::new(label, move |skew| {
                 let caps = caps_for(skew);
                 let mut b = SimConfig::builder();
-                b.capacities(caps.clone()).lambda(lambda).arrivals(scale.arrivals).seed(0xE58);
+                b.capacities(caps.clone())
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .seed(0xE58);
                 Experiment::new(
                     b.build(),
                     ArrivalSpec::Poisson,

@@ -34,13 +34,22 @@ fn main() {
             let scale = &scale;
             Series::new(label, move |t| {
                 let mut b = SimConfig::builder();
-                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE60);
+                b.servers(100)
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .seed(0xE60);
                 let info = if individual {
                     InfoSpec::Individual { period: t }
                 } else {
                     InfoSpec::Periodic { period: t }
                 };
-                Experiment::new(b.build(), ArrivalSpec::Poisson, info, policy.clone(), scale.trials)
+                Experiment::new(
+                    b.build(),
+                    ArrivalSpec::Poisson,
+                    info,
+                    policy.clone(),
+                    scale.trials,
+                )
             })
         })
         .collect();

@@ -26,7 +26,10 @@ fn main() {
             let scale = &scale;
             Series::new(label, move |t| {
                 let mut b = SimConfig::builder();
-                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE57);
+                b.servers(100)
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .seed(0xE57);
                 if steal {
                     b.work_stealing(2);
                 }

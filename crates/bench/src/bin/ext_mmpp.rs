@@ -39,9 +39,16 @@ fn main() {
             let scale = &scale;
             Series::new(label, move |t| {
                 let mut b = SimConfig::builder();
-                b.servers(100).lambda(lambda).arrivals(scale.arrivals).seed(0xE62);
+                b.servers(100)
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .seed(0xE62);
                 let arrivals = if mmpp {
-                    ArrivalSpec::Mmpp { rate_ratio: 2.0, high_fraction: 0.25, cycle_mean: 50.0 }
+                    ArrivalSpec::Mmpp {
+                        rate_ratio: 2.0,
+                        high_fraction: 0.25,
+                        cycle_mean: 50.0,
+                    }
                 } else {
                     ArrivalSpec::Poisson
                 };

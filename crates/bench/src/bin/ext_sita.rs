@@ -17,7 +17,9 @@ fn main() {
     let lambda = 0.7;
     let n = 100usize;
     let service = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).expect("valid BP parameters");
-    let sita = PolicySpec::Sita { boundaries: Sita::equal_load(&service, n).boundaries().to_vec() };
+    let sita = PolicySpec::Sita {
+        boundaries: Sita::equal_load(&service, n).boundaries().to_vec(),
+    };
 
     let variants: Vec<(&str, PolicySpec)> = vec![
         ("Random", PolicySpec::Random),
@@ -31,7 +33,11 @@ fn main() {
             let scale = &scale;
             Series::new(label, move |t| {
                 let mut b = SimConfig::builder();
-                b.servers(n).lambda(lambda).arrivals(scale.arrivals).service(service).seed(0xE61);
+                b.servers(n)
+                    .lambda(lambda)
+                    .arrivals(scale.arrivals)
+                    .service(service)
+                    .seed(0xE61);
                 Experiment::new(
                     b.build(),
                     ArrivalSpec::Poisson,

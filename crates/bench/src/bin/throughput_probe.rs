@@ -8,12 +8,33 @@ use staleload_policies::PolicySpec;
 
 fn main() {
     let arrivals = 200_000;
-    let cfg = SimConfig::builder().servers(100).lambda(0.9).arrivals(arrivals).seed(1).build();
+    let cfg = SimConfig::builder()
+        .servers(100)
+        .lambda(0.9)
+        .arrivals(arrivals)
+        .seed(1)
+        .build();
     let cases: Vec<(&str, InfoSpec, PolicySpec)> = vec![
-        ("periodic/random", InfoSpec::Periodic { period: 10.0 }, PolicySpec::Random),
-        ("periodic/basic-li", InfoSpec::Periodic { period: 10.0 }, PolicySpec::BasicLi { lambda: 0.9 }),
-        ("periodic/k2", InfoSpec::Periodic { period: 10.0 }, PolicySpec::KSubset { k: 2 }),
-        ("periodic/greedy", InfoSpec::Periodic { period: 10.0 }, PolicySpec::Greedy),
+        (
+            "periodic/random",
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::Random,
+        ),
+        (
+            "periodic/basic-li",
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+        ),
+        (
+            "periodic/k2",
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::KSubset { k: 2 },
+        ),
+        (
+            "periodic/greedy",
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::Greedy,
+        ),
         (
             "continuous/basic-li",
             InfoSpec::Continuous {
@@ -30,7 +51,11 @@ fn main() {
             },
             PolicySpec::AggressiveLi { lambda: 0.9 },
         ),
-        ("uoa/basic-li", InfoSpec::UpdateOnAccess, PolicySpec::BasicLi { lambda: 0.9 }),
+        (
+            "uoa/basic-li",
+            InfoSpec::UpdateOnAccess,
+            PolicySpec::BasicLi { lambda: 0.9 },
+        ),
     ];
     for (name, info, policy) in cases {
         let arrivals_spec = if matches!(info, InfoSpec::UpdateOnAccess) {
@@ -39,7 +64,7 @@ fn main() {
             ArrivalSpec::Poisson
         };
         let start = Instant::now();
-        let r = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+        let r = run_simulation(&cfg, &arrivals_spec, &info, &policy).expect("valid config");
         let dt = start.elapsed().as_secs_f64();
         println!(
             "{name:>26}: {:.2}s for {arrivals} arrivals = {:.0} arrivals/s (mean resp {:.3})",

@@ -23,7 +23,9 @@ const LAMBDA: f64 = 0.9;
 /// (x axis of Figs. 2–5, 10–12; spans the paper's fresh-to-very-stale
 /// range, with the dense low end of Fig. 2b).
 pub fn t_sweep_periodic() -> Vec<f64> {
-    vec![0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0]
+    vec![
+        0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 15.0, 20.0, 30.0, 40.0, 50.0,
+    ]
 }
 
 /// Delay sweep for the continuous-update figures (history-backed, costlier).
@@ -180,14 +182,23 @@ pub fn fig04(scale: &Scale) {
 /// **Figure 5** — the threshold policy across thresholds, with the k = 2
 /// and k = 10 subset curves and the LI curves for comparison.
 pub fn fig05(scale: &Scale) {
-    let mut policies: Vec<PolicySpec> =
-        [0u32, 1, 4, 8, 16, 24, 32, 40].iter().map(|&t| PolicySpec::Threshold { threshold: t }).collect();
+    let mut policies: Vec<PolicySpec> = [0u32, 1, 4, 8, 16, 24, 32, 40]
+        .iter()
+        .map(|&t| PolicySpec::Threshold { threshold: t })
+        .collect();
     policies.push(PolicySpec::KSubset { k: 2 });
     policies.push(PolicySpec::KSubset { k: 10 });
     policies.push(PolicySpec::BasicLi { lambda: LAMBDA });
     policies.push(PolicySpec::AggressiveLi { lambda: LAMBDA });
-    let series =
-        periodic_series(scale, 0xF05, LAMBDA, N, policies, Dist::exponential(1.0), scale.trials);
+    let series = periodic_series(
+        scale,
+        0xF05,
+        LAMBDA,
+        N,
+        policies,
+        Dist::exponential(1.0),
+        scale.trials,
+    );
     run_sweep(
         "fig05",
         "Fig. 5: threshold policy vs k-subset and LI, periodic, n=100, lambda=0.9",
@@ -215,14 +226,24 @@ fn continuous_panel(
                 Experiment::new(
                     cfg,
                     ArrivalSpec::Poisson,
-                    InfoSpec::Continuous { delay: delay_of(t), knowledge },
+                    InfoSpec::Continuous {
+                        delay: delay_of(t),
+                        knowledge,
+                    },
                     p.clone(),
                     scale.trials,
                 )
             })
         })
         .collect();
-    run_sweep(name, title, "T", &t_sweep_continuous(), &series, CellStyle::MeanCi);
+    run_sweep(
+        name,
+        title,
+        "T",
+        &t_sweep_continuous(),
+        &series,
+        CellStyle::MeanCi,
+    );
 }
 
 fn continuous_policies() -> Vec<PolicySpec> {
@@ -240,16 +261,26 @@ fn continuous_policies() -> Vec<PolicySpec> {
 #[allow(clippy::type_complexity)] // panel table: (name, title, delay builder)
 pub fn fig06(scale: &Scale) {
     let panels: [(&str, &str, fn(f64) -> DelaySpec); 4] = [
-        ("fig06a", "Fig. 6a: continuous, constant delay, mean known", |t| DelaySpec::Constant { mean: t }),
-        ("fig06b", "Fig. 6b: continuous, uniform(T/2,3T/2) delay, mean known", |t| {
-            DelaySpec::UniformNarrow { mean: t }
-        }),
-        ("fig06c", "Fig. 6c: continuous, uniform(0,2T) delay, mean known", |t| {
-            DelaySpec::UniformWide { mean: t }
-        }),
-        ("fig06d", "Fig. 6d: continuous, exponential delay, mean known", |t| {
-            DelaySpec::Exponential { mean: t }
-        }),
+        (
+            "fig06a",
+            "Fig. 6a: continuous, constant delay, mean known",
+            |t| DelaySpec::Constant { mean: t },
+        ),
+        (
+            "fig06b",
+            "Fig. 6b: continuous, uniform(T/2,3T/2) delay, mean known",
+            |t| DelaySpec::UniformNarrow { mean: t },
+        ),
+        (
+            "fig06c",
+            "Fig. 6c: continuous, uniform(0,2T) delay, mean known",
+            |t| DelaySpec::UniformWide { mean: t },
+        ),
+        (
+            "fig06d",
+            "Fig. 6d: continuous, exponential delay, mean known",
+            |t| DelaySpec::Exponential { mean: t },
+        ),
     ];
     for (i, (name, title, delay)) in panels.into_iter().enumerate() {
         continuous_panel(
@@ -269,15 +300,21 @@ pub fn fig06(scale: &Scale) {
 #[allow(clippy::type_complexity)] // panel table: (name, title, delay builder)
 pub fn fig07(scale: &Scale) {
     let panels: [(&str, &str, fn(f64) -> DelaySpec); 3] = [
-        ("fig07a", "Fig. 7a: continuous, uniform(T/2,3T/2) delay, age known", |t| {
-            DelaySpec::UniformNarrow { mean: t }
-        }),
-        ("fig07b", "Fig. 7b: continuous, uniform(0,2T) delay, age known", |t| {
-            DelaySpec::UniformWide { mean: t }
-        }),
-        ("fig07c", "Fig. 7c: continuous, exponential delay, age known", |t| {
-            DelaySpec::Exponential { mean: t }
-        }),
+        (
+            "fig07a",
+            "Fig. 7a: continuous, uniform(T/2,3T/2) delay, age known",
+            |t| DelaySpec::UniformNarrow { mean: t },
+        ),
+        (
+            "fig07b",
+            "Fig. 7b: continuous, uniform(0,2T) delay, age known",
+            |t| DelaySpec::UniformWide { mean: t },
+        ),
+        (
+            "fig07c",
+            "Fig. 7c: continuous, exponential delay, age known",
+            |t| DelaySpec::Exponential { mean: t },
+        ),
     ];
     for (i, (name, title, delay)) in panels.into_iter().enumerate() {
         continuous_panel(
@@ -309,7 +346,13 @@ fn uoa_series<'a>(
                     None => ArrivalSpec::PoissonClients { clients },
                     Some(b) => ArrivalSpec::BurstyClients { clients, burst: b },
                 };
-                Experiment::new(cfg, arrivals_spec, InfoSpec::UpdateOnAccess, p.clone(), scale.trials)
+                Experiment::new(
+                    cfg,
+                    arrivals_spec,
+                    InfoSpec::UpdateOnAccess,
+                    p.clone(),
+                    scale.trials,
+                )
             })
         })
         .collect()
@@ -333,7 +376,10 @@ pub fn fig08(scale: &Scale) {
 /// requests, intra-burst gaps Exponential(1); paper's burst constants lost
 /// to OCR, see DESIGN.md).
 pub fn fig09(scale: &Scale) {
-    let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+    let burst = BurstConfig {
+        burst_len: 10,
+        intra_gap_mean: 1.0,
+    };
     let series = uoa_series(scale, 0xF09, standard_policies(LAMBDA), Some(burst));
     // T must exceed (B-1)/B * intra gap; the sweep starts at 2.
     let xs: Vec<f64> = t_sweep_uoa().into_iter().filter(|&t| t >= 2.0).collect();
@@ -418,7 +464,9 @@ pub fn fig12(scale: &Scale) {
                     cfg,
                     ArrivalSpec::Poisson,
                     InfoSpec::Periodic { period: t },
-                    PolicySpec::BasicLi { lambda: LAMBDA * factor },
+                    PolicySpec::BasicLi {
+                        lambda: LAMBDA * factor,
+                    },
                     scale.trials,
                 )
             })
@@ -453,23 +501,53 @@ pub fn fig13(scale: &Scale) {
     let series: Vec<Series<'_>> = vec![
         Series::new("Random (k=1)", move |lambda| {
             let cfg = base_config(scale, 0xF13, lambda, N, scale.arrivals);
-            Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: T }, PolicySpec::Random, scale.trials)
+            Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                InfoSpec::Periodic { period: T },
+                PolicySpec::Random,
+                scale.trials,
+            )
         }),
         Series::new("k=2", move |lambda| {
             let cfg = base_config(scale, 0xF13, lambda, N, scale.arrivals);
-            Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: T }, PolicySpec::KSubset { k: 2 }, scale.trials)
+            Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                InfoSpec::Periodic { period: T },
+                PolicySpec::KSubset { k: 2 },
+                scale.trials,
+            )
         }),
         Series::new("Greedy (k=n)", move |lambda| {
             let cfg = base_config(scale, 0xF13, lambda, N, scale.arrivals);
-            Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: T }, PolicySpec::Greedy, scale.trials)
+            Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                InfoSpec::Periodic { period: T },
+                PolicySpec::Greedy,
+                scale.trials,
+            )
         }),
         Series::new("Basic LI (actual lambda)", move |lambda| {
             let cfg = base_config(scale, 0xF13, lambda, N, scale.arrivals);
-            Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: T }, PolicySpec::BasicLi { lambda }, scale.trials)
+            Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                InfoSpec::Periodic { period: T },
+                PolicySpec::BasicLi { lambda },
+                scale.trials,
+            )
         }),
         Series::new("Basic LI (assume lambda=1.0)", move |lambda| {
             let cfg = base_config(scale, 0xF13, lambda, N, scale.arrivals);
-            Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: T }, PolicySpec::BasicLi { lambda: 1.0 }, scale.trials)
+            Experiment::new(
+                cfg,
+                ArrivalSpec::Poisson,
+                InfoSpec::Periodic { period: T },
+                PolicySpec::BasicLi { lambda: 1.0 },
+                scale.trials,
+            )
         }),
     ];
     run_sweep(
@@ -490,9 +568,18 @@ pub fn fig14(scale: &Scale) {
         vec![
             PolicySpec::KSubset { k: 2 },
             PolicySpec::KSubset { k: 3 },
-            PolicySpec::LiSubset { k: 2, lambda: LAMBDA },
-            PolicySpec::LiSubset { k: 3, lambda: LAMBDA },
-            PolicySpec::LiSubset { k: 10, lambda: LAMBDA },
+            PolicySpec::LiSubset {
+                k: 2,
+                lambda: LAMBDA,
+            },
+            PolicySpec::LiSubset {
+                k: 3,
+                lambda: LAMBDA,
+            },
+            PolicySpec::LiSubset {
+                k: 10,
+                lambda: LAMBDA,
+            },
             PolicySpec::BasicLi { lambda: LAMBDA },
         ]
     };
@@ -520,8 +607,15 @@ pub fn fig14(scale: &Scale) {
     );
 
     // (c) periodic bulletin board
-    let series =
-        periodic_series(scale, 0xF14 + 2, LAMBDA, N, policies(), Dist::exponential(1.0), scale.trials);
+    let series = periodic_series(
+        scale,
+        0xF14 + 2,
+        LAMBDA,
+        N,
+        policies(),
+        Dist::exponential(1.0),
+        scale.trials,
+    );
     run_sweep(
         "fig14c",
         "Fig. 14c: LI-k, periodic bulletin board, n=100, lambda=0.9",

@@ -117,7 +117,10 @@ pub struct Series<'a> {
 impl<'a> Series<'a> {
     /// Creates a labelled series.
     pub fn new(label: impl Into<String>, make: impl Fn(f64) -> Experiment + 'a) -> Self {
-        Self { label: label.into(), make: Box::new(make) }
+        Self {
+            label: label.into(),
+            make: Box::new(make),
+        }
     }
 }
 
@@ -196,7 +199,11 @@ pub fn run_sweep(
             ]);
         }
         table.push_row(row);
-        eprintln!("[{name}]   {x_label} = {} done ({:.1}s elapsed)", format_x(x), start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name}]   {x_label} = {} done ({:.1}s elapsed)",
+            format_x(x),
+            start.elapsed().as_secs_f64()
+        );
     }
 
     println!("\n== {title} ==");
@@ -205,7 +212,11 @@ pub fn run_sweep(
     if let Err(e) = csv.write_csv(&path) {
         eprintln!("[{name}] failed to write {}: {e}", path.display());
     } else {
-        eprintln!("[{name}] wrote {} ({:.1}s total)", path.display(), start.elapsed().as_secs_f64());
+        eprintln!(
+            "[{name}] wrote {} ({:.1}s total)",
+            path.display(),
+            start.elapsed().as_secs_f64()
+        );
     }
 
     // A rendered figure next to the CSV; log-y when curves span decades

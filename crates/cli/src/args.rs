@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (the project's dependency policy allows no
 //! CLI crate, and the grammar is small).
 
-use staleload_core::{clients_for_mean_age, ArrivalSpec, SimConfig};
+use staleload_core::{clients_for_mean_age, ArrivalSpec, FaultSpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
 use staleload_sim::Dist;
@@ -33,31 +33,50 @@ pub struct RunArgs {
 /// # Errors
 ///
 /// Returns a message describing the malformed spec.
-pub fn parse_policy(s: &str, lambda: f64, capacities: Option<&[f64]>) -> Result<PolicySpec, String> {
+pub fn parse_policy(
+    s: &str,
+    lambda: f64,
+    capacities: Option<&[f64]>,
+) -> Result<PolicySpec, String> {
     let (head, tail) = split_spec(s);
     match head {
         "random" => Ok(PolicySpec::Random),
         "greedy" => Ok(PolicySpec::Greedy),
-        "k" => Ok(PolicySpec::KSubset { k: parse_field(tail, "k", "subset size")? }),
-        "threshold" => {
-            Ok(PolicySpec::Threshold { threshold: parse_field(tail, "threshold", "threshold")? })
-        }
+        "k" => Ok(PolicySpec::KSubset {
+            k: parse_field(tail, "k", "subset size")?,
+        }),
+        "threshold" => Ok(PolicySpec::Threshold {
+            threshold: parse_field(tail, "threshold", "threshold")?,
+        }),
         "basic-li" => Ok(PolicySpec::BasicLi { lambda }),
         "aggressive-li" => Ok(PolicySpec::AggressiveLi { lambda }),
         "hybrid-li" => Ok(PolicySpec::HybridLi { lambda }),
-        "li" => Ok(PolicySpec::LiSubset { k: parse_field(tail, "li", "subset size")?, lambda }),
-        "decay" => Ok(PolicySpec::WeightedDecay { tau: parse_field(tail, "decay", "tau")? }),
-        "adaptive-li" => Ok(PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 }),
+        "li" => Ok(PolicySpec::LiSubset {
+            k: parse_field(tail, "li", "subset size")?,
+            lambda,
+        }),
+        "decay" => Ok(PolicySpec::WeightedDecay {
+            tau: parse_field(tail, "decay", "tau")?,
+        }),
+        "adaptive-li" => Ok(PolicySpec::AdaptiveLi {
+            alpha: 0.01,
+            warmup: 1000,
+        }),
         "probe" => {
             let rest = tail.ok_or("probe needs <PROBES>:<THRESHOLD> (e.g. probe:3:1)")?;
-            let (p, t) = rest.split_once(':').ok_or("probe needs <PROBES>:<THRESHOLD>")?;
+            let (p, t) = rest
+                .split_once(':')
+                .ok_or("probe needs <PROBES>:<THRESHOLD>")?;
             Ok(PolicySpec::ProbeThreshold {
                 probes: p.parse().map_err(|_| format!("bad probe count '{p}'"))?,
                 threshold: t.parse().map_err(|_| format!("bad threshold '{t}'"))?,
             })
         }
         "hetero-li" => match capacities {
-            Some(caps) => Ok(PolicySpec::HeteroLi { lambda, capacities: caps.to_vec() }),
+            Some(caps) => Ok(PolicySpec::HeteroLi {
+                lambda,
+                capacities: caps.to_vec(),
+            }),
             None => Err("hetero-li requires --capacities".to_string()),
         },
         other => Err(format!(
@@ -85,7 +104,9 @@ pub fn parse_info(s: &str) -> Result<InfoSpec, String> {
             Ok(InfoSpec::Periodic { period: t })
         }
         "continuous" => {
-            let dist = *parts.get(1).ok_or("continuous needs a delay distribution")?;
+            let dist = *parts
+                .get(1)
+                .ok_or("continuous needs a delay distribution")?;
             let t: f64 = parse_field(parts.get(2).copied(), "continuous", "mean delay")?;
             let delay = match dist {
                 "const" => DelaySpec::Constant { mean: t },
@@ -141,7 +162,9 @@ pub fn parse_service(s: &str) -> Result<Dist, String> {
             let max: f64 = parse_field(parts.get(2).copied(), "bp", "max size")?;
             Dist::bounded_pareto_with_mean(alpha, max, 1.0).map_err(|e| e.to_string())
         }
-        other => Err(format!("unknown service distribution '{other}' (expected exp, det, bp:<A>:<M>)")),
+        other => Err(format!(
+            "unknown service distribution '{other}' (expected exp, det, bp:<A>:<M>)"
+        )),
     }
 }
 
@@ -154,14 +177,20 @@ pub fn parse_capacities(s: &str) -> Result<Vec<f64>, String> {
     let mut out = Vec::new();
     for group in s.split(',') {
         if let Some((count, rate)) = group.split_once('x') {
-            let count: usize =
-                count.trim().parse().map_err(|_| format!("bad capacity count '{count}'"))?;
-            let rate: f64 =
-                rate.trim().parse().map_err(|_| format!("bad capacity rate '{rate}'"))?;
+            let count: usize = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad capacity count '{count}'"))?;
+            let rate: f64 = rate
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad capacity rate '{rate}'"))?;
             out.extend(std::iter::repeat_n(rate, count));
         } else {
-            let rate: f64 =
-                group.trim().parse().map_err(|_| format!("bad capacity '{group}'"))?;
+            let rate: f64 = group
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad capacity '{group}'"))?;
             out.push(rate);
         }
     }
@@ -184,7 +213,8 @@ fn parse_field<T: std::str::FromStr>(
     field: &str,
 ) -> Result<T, String> {
     let v = value.ok_or_else(|| format!("{what} needs a {field} (e.g. {what}:10)"))?;
-    v.parse().map_err(|_| format!("bad {field} '{v}' for {what}"))
+    v.parse()
+        .map_err(|_| format!("bad {field} '{v}' for {what}"))
 }
 
 /// Parses the flags of `staleload run`/`compare`.
@@ -204,6 +234,8 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut capacities: Option<Vec<f64>> = None;
     let mut stealing: Option<u32> = None;
     let mut burst: Option<BurstConfig> = None;
+    let mut faults = FaultSpec::none();
+    let mut staleness_cutoff: Option<f64> = None;
     let mut detail = false;
 
     let mut it = args.iter();
@@ -212,25 +244,65 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             it.next().ok_or_else(|| format!("{name} needs a value"))
         };
         match flag.as_str() {
-            "--servers" => servers = take("--servers")?.parse().map_err(|e| format!("--servers: {e}"))?,
-            "--lambda" => lambda = take("--lambda")?.parse().map_err(|e| format!("--lambda: {e}"))?,
-            "--arrivals" => arrivals = take("--arrivals")?.parse().map_err(|e| format!("--arrivals: {e}"))?,
-            "--trials" => trials = take("--trials")?.parse().map_err(|e| format!("--trials: {e}"))?,
-            "--seed" => seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--servers" => {
+                servers = take("--servers")?
+                    .parse()
+                    .map_err(|e| format!("--servers: {e}"))?
+            }
+            "--lambda" => {
+                lambda = take("--lambda")?
+                    .parse()
+                    .map_err(|e| format!("--lambda: {e}"))?
+            }
+            "--arrivals" => {
+                arrivals = take("--arrivals")?
+                    .parse()
+                    .map_err(|e| format!("--arrivals: {e}"))?
+            }
+            "--trials" => {
+                trials = take("--trials")?
+                    .parse()
+                    .map_err(|e| format!("--trials: {e}"))?
+            }
+            "--seed" => {
+                seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--policy" => policy_spec = take("--policy")?.clone(),
             "--info" => info_spec = take("--info")?.clone(),
             "--service" => service_spec = take("--service")?.clone(),
             "--capacities" => capacities = Some(parse_capacities(take("--capacities")?)?),
-            "--stealing" => stealing = Some(take("--stealing")?.parse().map_err(|e| format!("--stealing: {e}"))?),
+            "--stealing" => {
+                stealing = Some(
+                    take("--stealing")?
+                        .parse()
+                        .map_err(|e| format!("--stealing: {e}"))?,
+                )
+            }
             "--burst" => {
                 let v = take("--burst")?;
                 let (len, gap) = v
                     .split_once(':')
                     .ok_or("--burst expects <LEN>:<INTRA_GAP> (e.g. 10:1.0)")?;
                 burst = Some(BurstConfig {
-                    burst_len: len.parse().map_err(|_| format!("bad burst length '{len}'"))?,
+                    burst_len: len
+                        .parse()
+                        .map_err(|_| format!("bad burst length '{len}'"))?,
                     intra_gap_mean: gap.parse().map_err(|_| format!("bad intra gap '{gap}'"))?,
                 });
+            }
+            "--faults" => {
+                faults = take("--faults")?
+                    .parse::<FaultSpec>()
+                    .map_err(|e| e.to_string())?;
+            }
+            "--staleness-cutoff" => {
+                staleness_cutoff = Some(
+                    take("--staleness-cutoff")?
+                        .parse()
+                        .map_err(|e| format!("--staleness-cutoff: {e}"))?,
+                );
             }
             "--detail" => detail = true,
             other => return Err(format!("unknown flag '{other}'")),
@@ -250,6 +322,16 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     } else {
         parse_policy(&policy_spec, lambda, capacities.as_deref())?
     };
+    // Gating composes over any base policy; it matters under fault
+    // injection, where board entries age independently.
+    let policy = match staleness_cutoff {
+        Some(cutoff) => PolicySpec::Gated {
+            cutoff,
+            inner: Box::new(policy),
+        },
+        None => policy,
+    };
+    policy.validate()?;
 
     let arrivals_spec = match parse_uoa_age(&info_spec)? {
         Some(age) => {
@@ -264,7 +346,13 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     };
 
     let mut builder = SimConfig::builder();
-    builder.servers(servers).lambda(lambda).arrivals(arrivals).service(service).seed(seed);
+    builder
+        .servers(servers)
+        .lambda(lambda)
+        .arrivals(arrivals)
+        .service(service)
+        .seed(seed)
+        .faults(faults);
     if let Some(caps) = capacities {
         builder.capacities(caps);
     }
@@ -273,7 +361,14 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
     let config = builder.try_build().map_err(|e| e.to_string())?;
 
-    Ok(RunArgs { config, arrivals: arrivals_spec, info, policy, trials, detail })
+    Ok(RunArgs {
+        config,
+        arrivals: arrivals_spec,
+        info,
+        policy,
+        trials,
+        detail,
+    })
 }
 
 #[cfg(test)]
@@ -295,8 +390,14 @@ mod tests {
 
     #[test]
     fn policy_grammar() {
-        assert_eq!(parse_policy("random", 0.9, None).unwrap(), PolicySpec::Random);
-        assert_eq!(parse_policy("k:3", 0.9, None).unwrap(), PolicySpec::KSubset { k: 3 });
+        assert_eq!(
+            parse_policy("random", 0.9, None).unwrap(),
+            PolicySpec::Random
+        );
+        assert_eq!(
+            parse_policy("k:3", 0.9, None).unwrap(),
+            PolicySpec::KSubset { k: 3 }
+        );
         assert_eq!(
             parse_policy("threshold:8", 0.9, None).unwrap(),
             PolicySpec::Threshold { threshold: 8 }
@@ -314,7 +415,10 @@ mod tests {
     #[test]
     fn info_grammar() {
         assert_eq!(parse_info("fresh").unwrap(), InfoSpec::Fresh);
-        assert_eq!(parse_info("periodic:5").unwrap(), InfoSpec::Periodic { period: 5.0 });
+        assert_eq!(
+            parse_info("periodic:5").unwrap(),
+            InfoSpec::Periodic { period: 5.0 }
+        );
         assert_eq!(
             parse_info("continuous:exp:3:actual").unwrap(),
             InfoSpec::Continuous {
@@ -346,8 +450,7 @@ mod tests {
 
     #[test]
     fn uoa_with_burst() {
-        let args =
-            parse_run(&strings(&["--info", "uoa:8", "--burst", "10:1.0"])).unwrap();
+        let args = parse_run(&strings(&["--info", "uoa:8", "--burst", "10:1.0"])).unwrap();
         match args.arrivals {
             ArrivalSpec::BurstyClients { burst, .. } => {
                 assert_eq!(burst.burst_len, 10);
@@ -360,7 +463,10 @@ mod tests {
     #[test]
     fn capacity_grammar() {
         assert_eq!(parse_capacities("1.0,2.0").unwrap(), vec![1.0, 2.0]);
-        assert_eq!(parse_capacities("2x1.5,1x0.5").unwrap(), vec![1.5, 1.5, 0.5]);
+        assert_eq!(
+            parse_capacities("2x1.5,1x0.5").unwrap(),
+            vec![1.5, 1.5, 0.5]
+        );
         assert!(parse_capacities("").is_err());
         assert!(parse_capacities("axb").is_err());
     }
@@ -377,9 +483,12 @@ mod tests {
     #[test]
     fn hetero_capacities_resize_servers() {
         let args = parse_run(&strings(&[
-            "--capacities", "4x1.5,4x0.5",
-            "--policy", "hetero-li",
-            "--lambda", "0.7",
+            "--capacities",
+            "4x1.5,4x0.5",
+            "--policy",
+            "hetero-li",
+            "--lambda",
+            "0.7",
         ]))
         .unwrap();
         assert_eq!(args.config.servers, 8);
@@ -390,13 +499,19 @@ mod tests {
     fn probe_and_sita_grammar() {
         assert_eq!(
             parse_policy("probe:3:1", 0.9, None).unwrap(),
-            PolicySpec::ProbeThreshold { probes: 3, threshold: 1 }
+            PolicySpec::ProbeThreshold {
+                probes: 3,
+                threshold: 1
+            }
         );
         assert!(parse_policy("probe:3", 0.9, None).is_err());
         let args = parse_run(&strings(&[
-            "--policy", "sita",
-            "--service", "bp:1.1:100",
-            "--servers", "10",
+            "--policy",
+            "sita",
+            "--service",
+            "bp:1.1:100",
+            "--servers",
+            "10",
         ]))
         .unwrap();
         match args.policy {
@@ -409,5 +524,30 @@ mod tests {
     fn unknown_flag_is_rejected() {
         assert!(parse_run(&strings(&["--frobnicate", "1"])).is_err());
         assert!(parse_run(&strings(&["--servers"])).is_err());
+    }
+
+    #[test]
+    fn fault_grammar() {
+        let args = parse_run(&strings(&["--faults", "crash:500:20"])).unwrap();
+        assert_eq!(args.config.faults, FaultSpec::crash(500.0, 20.0));
+        let args = parse_run(&strings(&["--faults", "crash:500:20:redispatch,drop:0.3"])).unwrap();
+        let crash = args.config.faults.crash.unwrap();
+        assert!(crash.redispatch);
+        assert_eq!(args.config.faults.loss.unwrap().drop_prob, 0.3);
+        assert!(parse_run(&strings(&["--faults", "crash:0:20"])).is_err());
+        assert!(parse_run(&strings(&["--faults", "meteor:1"])).is_err());
+    }
+
+    #[test]
+    fn staleness_cutoff_wraps_policy() {
+        let args = parse_run(&strings(&["--staleness-cutoff", "25"])).unwrap();
+        match args.policy {
+            PolicySpec::Gated { cutoff, inner } => {
+                assert_eq!(cutoff, 25.0);
+                assert_eq!(*inner, PolicySpec::BasicLi { lambda: 0.9 });
+            }
+            other => panic!("expected gated policy, got {other:?}"),
+        }
+        assert!(parse_run(&strings(&["--staleness-cutoff", "-3"])).is_err());
     }
 }

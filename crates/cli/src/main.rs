@@ -31,8 +31,8 @@ fn main() -> ExitCode {
         None => ("help", &[][..]),
     };
     let result = match command {
-        "run" => parse_run(rest).map(|a| cmd_run(&a)),
-        "compare" => parse_run(rest).map(|a| cmd_compare(&a)),
+        "run" => parse_run(rest).and_then(|a| cmd_run(&a)),
+        "compare" => parse_run(rest).and_then(|a| cmd_compare(&a)),
         "rank" => cmd_rank(rest),
         "theory" => cmd_theory(rest),
         "help" | "--help" | "-h" => {
@@ -71,15 +71,19 @@ fn print_help() {
          --capacities SPEC  e.g. 50x1.6,50x0.4 (enables heterogeneous cluster)\n  \
          --stealing MIN     idle servers steal from queues of length >= MIN\n  \
          --burst LEN:GAP    bursty update-on-access clients\n  \
+         --faults SPEC      none | crash:<MTBF>:<MTTR>[:redispatch] | drop:<P> |\n                     \
+         delay:<MEAN> (combine with commas, e.g. crash:500:20,drop:0.3)\n  \
+         --staleness-cutoff AGE  hide board entries older than AGE from the policy\n  \
          --detail           print tail latencies, fairness, occupancy\n\n\
          EXAMPLES:\n  \
          staleload compare --info periodic:10\n  \
          staleload run --policy basic-li --info continuous:exp:5:actual --detail\n  \
-         staleload run --policy hetero-li --capacities 50x1.6,50x0.4 --lambda 0.7"
+         staleload run --policy hetero-li --capacities 50x1.6,50x0.4 --lambda 0.7\n  \
+         staleload run --faults crash:500:20,drop:0.5 --staleness-cutoff 25"
     );
 }
 
-fn cmd_run(args: &RunArgs) {
+fn cmd_run(args: &RunArgs) -> Result<(), String> {
     let exp = Experiment::new(
         args.config.clone(),
         args.arrivals,
@@ -96,19 +100,24 @@ fn cmd_run(args: &RunArgs) {
         args.config.arrivals,
         args.trials
     );
-    let result = exp.run();
+    let result = exp.try_run().map_err(|e| e.to_string())?;
     let s = &result.summary;
-    println!("mean response : {:.4} ±{:.4} (90% CI over {} trials)", s.mean, s.ci90, s.trials);
-    println!("median        : {:.4}  [q1 {:.4}, q3 {:.4}]", s.median, s.q1, s.q3);
+    println!(
+        "mean response : {:.4} ±{:.4} (90% CI over {} trials)",
+        s.mean, s.ci90, s.trials
+    );
+    println!(
+        "median        : {:.4}  [q1 {:.4}, q3 {:.4}]",
+        s.median, s.q1, s.q3
+    );
     println!("range         : [{:.4}, {:.4}]", s.min, s.max);
-    if result.history_misses > 0 {
-        println!("WARNING       : {} stale-view history misses", result.history_misses);
-    }
+    report_anomalies(&result);
     if args.detail {
         // One representative run for tails/fairness (trial 0's seed).
         let mut cfg = args.config.clone();
         cfg.seed = staleload_core::trial_seed(args.config.seed, 0);
-        let r = staleload_core::run_simulation(&cfg, &args.arrivals, &args.info, &args.policy);
+        let r = staleload_core::run_simulation(&cfg, &args.arrivals, &args.info, &args.policy)
+            .map_err(|e| e.to_string())?;
         let d = &r.detail;
         println!("--- detail (trial 0) ---");
         println!(
@@ -118,15 +127,48 @@ fn cmd_run(args: &RunArgs) {
             d.response_quantile(0.99),
             r.response.max()
         );
-        println!("mean in system: {:.2} (peak {:.0})", d.mean_jobs_in_system(r.end_time), d.peak_jobs_in_system());
+        println!(
+            "mean in system: {:.2} (peak {:.0})",
+            d.mean_jobs_in_system(r.end_time),
+            d.peak_jobs_in_system()
+        );
         let utils = d.utilizations(r.end_time);
         let mean_u = utils.iter().sum::<f64>() / utils.len() as f64;
         println!("utilization   : mean {:.3}", mean_u);
-        println!("fairness      : {:.4} (Jain index of per-server throughput)", d.throughput_fairness());
+        println!(
+            "fairness      : {:.4} (Jain index of per-server throughput)",
+            d.throughput_fairness()
+        );
+        if r.faults != staleload_core::FaultStats::default() {
+            let f = &r.faults;
+            println!(
+                "faults        : {} crashes, {} recoveries, {:.1} downtime, {} redispatched, {} redirected",
+                f.crashes, f.recoveries, f.downtime, f.redispatched, f.redirected
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Prints the loud warnings: failed trials and per-run diagnostics (e.g.
+/// history misses, which mean the staleness numbers cannot be trusted).
+fn report_anomalies(result: &staleload_core::ExperimentResult) {
+    for failure in &result.failures {
+        eprintln!("WARNING       : {failure}");
+    }
+    if !result.failures.is_empty() {
+        eprintln!(
+            "WARNING       : {} of {} trials failed; aggregates cover the survivors only",
+            result.failures.len(),
+            result.failures.len() + result.trial_means.len()
+        );
+    }
+    for diagnostic in &result.diagnostics {
+        eprintln!("WARNING       : {diagnostic}");
     }
 }
 
-fn cmd_compare(args: &RunArgs) {
+fn cmd_compare(args: &RunArgs) -> Result<(), String> {
     let lambda = args.config.lambda;
     let panel: Vec<PolicySpec> = vec![
         PolicySpec::Random,
@@ -144,13 +186,24 @@ fn cmd_compare(args: &RunArgs) {
         args.config.arrivals,
         args.trials
     );
-    let mut table =
-        Table::new(vec!["policy".into(), "mean response".into(), "vs random".into()]);
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "mean response".into(),
+        "vs random".into(),
+    ]);
     let mut baseline = None;
     for policy in panel {
         let label = policy.label();
-        let r = Experiment::new(args.config.clone(), args.arrivals, args.info, policy, args.trials)
-            .run();
+        let r = Experiment::new(
+            args.config.clone(),
+            args.arrivals,
+            args.info,
+            policy,
+            args.trials,
+        )
+        .try_run()
+        .map_err(|e| e.to_string())?;
+        report_anomalies(&r);
         let mean = r.summary.mean;
         let base = *baseline.get_or_insert(mean);
         table.push_row(vec![
@@ -160,6 +213,7 @@ fn cmd_compare(args: &RunArgs) {
         ]);
     }
     print!("{}", table.render());
+    Ok(())
 }
 
 fn cmd_rank(rest: &[String]) -> Result<(), String> {
@@ -232,8 +286,14 @@ fn cmd_theory(rest: &[String]) -> Result<(), String> {
         return Err(format!("lambda must be in (0,1), got {lambda}"));
     }
     println!("closed-form anchors at per-server load {lambda}, n = {servers}:");
-    println!("  M/M/1 (random split) mean response : {:.4}", staleload_analytic::mm1_response(lambda));
-    println!("  M/D/1 (deterministic service)      : {:.4}", staleload_analytic::md1_response(lambda));
+    println!(
+        "  M/M/1 (random split) mean response : {:.4}",
+        staleload_analytic::mm1_response(lambda)
+    );
+    println!(
+        "  M/D/1 (deterministic service)      : {:.4}",
+        staleload_analytic::md1_response(lambda)
+    );
     println!(
         "  M/M/n central queue (lower bound)  : {:.4}",
         staleload_analytic::mmn_response(servers, lambda)

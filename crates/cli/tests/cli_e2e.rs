@@ -37,19 +37,28 @@ fn rank_prints_eq1_table() {
     assert!(ok);
     assert!(stdout.contains("k=1"));
     assert!(stdout.contains("0.10000"), "uniform k=1 row:\n{stdout}");
-    assert!(stdout.contains("0.20000"), "k=2 rank 0 is k/n = 0.2:\n{stdout}");
+    assert!(
+        stdout.contains("0.20000"),
+        "k=2 rank 0 is k/n = 0.2:\n{stdout}"
+    );
 }
 
 #[test]
 fn run_reports_mean_response() {
     let (ok, stdout, stderr) = staleload(&[
         "run",
-        "--servers", "8",
-        "--lambda", "0.5",
-        "--arrivals", "20000",
-        "--trials", "2",
-        "--policy", "basic-li",
-        "--info", "periodic:2",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "20000",
+        "--trials",
+        "2",
+        "--policy",
+        "basic-li",
+        "--info",
+        "periodic:2",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("mean response"), "{stdout}");
@@ -60,12 +69,18 @@ fn run_reports_mean_response() {
 fn run_detail_prints_tails() {
     let (ok, stdout, _) = staleload(&[
         "run",
-        "--servers", "4",
-        "--lambda", "0.5",
-        "--arrivals", "10000",
-        "--trials", "1",
-        "--policy", "random",
-        "--info", "fresh",
+        "--servers",
+        "4",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "10000",
+        "--trials",
+        "1",
+        "--policy",
+        "random",
+        "--info",
+        "fresh",
         "--detail",
     ]);
     assert!(ok);
@@ -91,11 +106,16 @@ fn bad_command_fails() {
 fn compare_prints_policy_panel() {
     let (ok, stdout, stderr) = staleload(&[
         "compare",
-        "--servers", "8",
-        "--lambda", "0.5",
-        "--arrivals", "15000",
-        "--trials", "2",
-        "--info", "periodic:2",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "15000",
+        "--trials",
+        "2",
+        "--info",
+        "periodic:2",
     ]);
     assert!(ok, "stderr: {stderr}");
     for needle in ["Random", "k=2", "Greedy", "Basic LI", "vs random"] {

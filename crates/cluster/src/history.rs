@@ -45,7 +45,10 @@ impl LoadHistory {
     /// backwards).
     pub fn record(&mut self, server: usize, now: f64, load: u32) {
         let h = &mut self.per_server[server];
-        debug_assert!(h.back().is_none_or(|&(t, _)| t <= now), "history time went backwards");
+        debug_assert!(
+            h.back().is_none_or(|&(t, _)| t <= now),
+            "history time went backwards"
+        );
         h.push_back((now, load));
         // Prune, but always keep at least one entry at or before the window
         // start so old queries still resolve to the correct value.
@@ -142,7 +145,11 @@ mod tests {
             h.record(0, i as f64 * 0.01, 1 + (i % 3) as u32);
         }
         // 5.0 time units at 0.01 spacing is ~500 entries, plus slack.
-        assert!(h.per_server[0].len() < 1000, "len {}", h.per_server[0].len());
+        assert!(
+            h.per_server[0].len() < 1000,
+            "len {}",
+            h.per_server[0].len()
+        );
     }
 
     #[test]

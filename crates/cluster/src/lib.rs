@@ -65,8 +65,15 @@ impl Job {
     /// Panics if `service` is negative or not finite — a malformed workload
     /// generator should fail loudly, not corrupt the simulation.
     pub fn new(id: u64, arrival: f64, service: f64) -> Self {
-        assert!(service.is_finite() && service >= 0.0, "invalid service demand {service}");
-        Self { id, arrival, service }
+        assert!(
+            service.is_finite() && service >= 0.0,
+            "invalid service demand {service}"
+        );
+        Self {
+            id,
+            arrival,
+            service,
+        }
     }
 }
 
@@ -89,6 +96,7 @@ pub struct Cluster {
     servers: Vec<Server>,
     loads: Vec<u32>,
     capacities: Vec<f64>,
+    up: Vec<bool>,
     history: Option<LoadHistory>,
     arrivals: u64,
     departures: u64,
@@ -106,6 +114,7 @@ impl Cluster {
             servers: vec![Server::default(); n],
             loads: vec![0; n],
             capacities: vec![1.0; n],
+            up: vec![true; n],
             history: None,
             arrivals: 0,
             departures: 0,
@@ -121,7 +130,10 @@ impl Cluster {
     /// Panics if `capacities` is empty or contains a non-positive or
     /// non-finite rate.
     pub fn with_capacities(capacities: &[f64]) -> Self {
-        assert!(!capacities.is_empty(), "a cluster needs at least one server");
+        assert!(
+            !capacities.is_empty(),
+            "a cluster needs at least one server"
+        );
         assert!(
             capacities.iter().all(|&c| c.is_finite() && c > 0.0),
             "capacities must be positive and finite"
@@ -151,7 +163,10 @@ impl Cluster {
     ///
     /// Panics if jobs have already been processed.
     pub fn enable_history(&mut self, keep_window: f64) {
-        assert_eq!(self.arrivals, 0, "history must be enabled before the first arrival");
+        assert_eq!(
+            self.arrivals, 0,
+            "history must be enabled before the first arrival"
+        );
         self.history = Some(LoadHistory::new(self.servers.len(), keep_window));
     }
 
@@ -205,19 +220,39 @@ impl Cluster {
     ///
     /// Panics if `server` is out of range.
     pub fn enqueue(&mut self, server: ServerId, job: Job, now: f64) -> Option<f64> {
+        self.arrivals += 1;
+        self.place(server, job, now)
+    }
+
+    /// Places `job` on `server` without counting a new arrival — for jobs
+    /// *migrating* within the system (work stealing, crash re-dispatch).
+    ///
+    /// Same contract as [`Cluster::enqueue`] otherwise: returns the
+    /// departure time if the job enters service immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn requeue(&mut self, server: ServerId, job: Job, now: f64) -> Option<f64> {
+        self.place(server, job, now)
+    }
+
+    fn place(&mut self, server: ServerId, job: Job, now: f64) -> Option<f64> {
         let capacity = self.capacities[server];
+        let up = self.up[server];
         let s = &mut self.servers[server];
-        let was_idle = s.queue.is_empty();
-        if was_idle {
+        // A job only enters service on an up, idle server; a down server
+        // queues it for its recovery.
+        let starts = up && s.queue.is_empty();
+        if starts {
             s.busy_since = Some(now);
         }
         s.queue.push_back(job);
         self.loads[server] += 1;
-        self.arrivals += 1;
         if let Some(h) = &mut self.history {
             h.record(server, now, self.loads[server]);
         }
-        was_idle.then_some(now + job.service / capacity)
+        starts.then_some(now + job.service / capacity)
     }
 
     /// Completes the in-service job on `server` at time `now`.
@@ -230,6 +265,7 @@ impl Cluster {
     /// Panics if `server` is out of range or idle — completing a job on an
     /// idle server indicates a corrupted event schedule.
     pub fn complete(&mut self, server: ServerId, now: f64) -> (Job, Option<f64>) {
+        debug_assert!(self.up[server], "a down server cannot complete a job");
         let s = &mut self.servers[server];
         let done = s.queue.pop_front().expect("complete() on an idle server");
         s.completed += 1;
@@ -287,6 +323,84 @@ impl Cluster {
         &self.capacities
     }
 
+    /// Whether `server` is up (servers only go down under fault
+    /// injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn is_up(&self, server: ServerId) -> bool {
+        self.up[server]
+    }
+
+    /// Number of servers currently up.
+    pub fn up_count(&self) -> usize {
+        self.up.iter().filter(|&&u| u).count()
+    }
+
+    /// Takes `server` down at time `now` (fault injection).
+    ///
+    /// Service stops immediately: the in-service job keeps its place at
+    /// the head of the queue (the caller tracks its remaining work), and
+    /// the server's busy period is closed for utilization accounting.
+    /// Queued jobs stay put unless the caller drains them with
+    /// [`Cluster::drain`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or already down.
+    pub fn crash(&mut self, server: ServerId, now: f64) {
+        assert!(self.up[server], "crash() on a server that is already down");
+        self.up[server] = false;
+        let s = &mut self.servers[server];
+        if let Some(since) = s.busy_since.take() {
+            s.busy_time += now - since;
+        }
+    }
+
+    /// Removes and returns every job queued on a *down* server
+    /// (crash re-dispatch mode), head first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or still up.
+    pub fn drain(&mut self, server: ServerId, now: f64) -> Vec<Job> {
+        assert!(!self.up[server], "drain() is only for crashed servers");
+        let s = &mut self.servers[server];
+        let jobs: Vec<Job> = s.queue.drain(..).collect();
+        self.loads[server] = 0;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, 0);
+        }
+        jobs
+    }
+
+    /// Brings `server` back up at time `now`.
+    ///
+    /// If jobs are waiting, the head re-enters service: it completes after
+    /// `frozen_remaining` if given (the wall-clock work it had left when
+    /// the crash interrupted it), otherwise after its full service demand.
+    /// Returns the departure time to schedule, or `None` if the server
+    /// comes back idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range or already up.
+    pub fn recover(
+        &mut self,
+        server: ServerId,
+        now: f64,
+        frozen_remaining: Option<f64>,
+    ) -> Option<f64> {
+        assert!(!self.up[server], "recover() on a server that is already up");
+        self.up[server] = true;
+        let capacity = self.capacities[server];
+        let s = &mut self.servers[server];
+        let head = s.queue.front()?;
+        s.busy_since = Some(now);
+        Some(now + frozen_remaining.unwrap_or(head.service / capacity))
+    }
+
     /// Receiver-driven rebalancing (paper §2, option 3 — future work we
     /// implement as an extension): the idle server `thief` pulls the most
     /// recently queued *waiting* job from the server with the longest
@@ -305,6 +419,7 @@ impl Cluster {
         min_victim_load: u32,
     ) -> Option<f64> {
         assert!(self.loads[thief] == 0, "only an idle server may steal");
+        assert!(self.up[thief], "a down server cannot steal");
         let (victim, &load) = self
             .loads
             .iter()
@@ -322,16 +437,8 @@ impl Cluster {
         if let Some(h) = &mut self.history {
             h.record(victim, now, self.loads[victim]);
         }
-        // Not via enqueue(): a migration is not a new arrival.
-        let capacity = self.capacities[thief];
-        let s = &mut self.servers[thief];
-        s.busy_since = Some(now);
-        s.queue.push_back(job);
-        self.loads[thief] += 1;
-        if let Some(h) = &mut self.history {
-            h.record(thief, now, self.loads[thief]);
-        }
-        Some(now + job.service / capacity)
+        // Via requeue(), not enqueue(): a migration is not a new arrival.
+        self.requeue(thief, job, now)
     }
 }
 
@@ -367,7 +474,11 @@ mod tests {
     fn conservation_counters() {
         let mut c = Cluster::new(2);
         for i in 0..5 {
-            c.enqueue((i % 2) as usize, Job::new(i, i as f64 * 0.1, 1.0), i as f64 * 0.1);
+            c.enqueue(
+                (i % 2) as usize,
+                Job::new(i, i as f64 * 0.1, 1.0),
+                i as f64 * 0.1,
+            );
         }
         assert_eq!(c.arrivals(), 5);
         assert_eq!(c.in_system(), 5);
@@ -486,5 +597,80 @@ mod tests {
         let mut c = Cluster::new(1);
         let mut out = Vec::new();
         c.loads_at(0.0, &mut out);
+    }
+
+    #[test]
+    fn crash_freezes_service_and_recover_resumes() {
+        let mut c = Cluster::new(2);
+        // Job of demand 4 starts at t=0, would finish at t=4.
+        assert_eq!(c.enqueue(0, Job::new(0, 0.0, 4.0), 0.0), Some(4.0));
+        c.enqueue(0, Job::new(1, 0.5, 1.0), 0.5);
+        assert!(c.is_up(1));
+        c.crash(0, 1.0);
+        assert!(!c.is_up(0));
+        assert_eq!(c.up_count(), 1);
+        // Busy period closed at the crash: 1.0 of busy time so far.
+        assert!((c.busy_time(0) - 1.0).abs() < 1e-12);
+        // Loads are untouched: the jobs still occupy the queue.
+        assert_eq!(c.loads(), &[2, 0]);
+        // Recovery at t=10 resumes the head with its remaining 3.0.
+        let dep = c.recover(0, 10.0, Some(3.0));
+        assert_eq!(dep, Some(13.0));
+        let (j, next) = c.complete(0, 13.0);
+        assert_eq!(j.id, 0);
+        assert_eq!(next, Some(14.0));
+    }
+
+    #[test]
+    fn down_server_queues_without_serving() {
+        let mut c = Cluster::new(1);
+        c.crash(0, 0.0);
+        // An idle but down server must not start service.
+        assert_eq!(c.enqueue(0, Job::new(0, 1.0, 2.0), 1.0), None);
+        assert_eq!(c.loads(), &[1]);
+        // It comes back with a never-started head: full demand from now.
+        assert_eq!(c.recover(0, 5.0, None), Some(7.0));
+    }
+
+    #[test]
+    fn recover_on_empty_queue_returns_none() {
+        let mut c = Cluster::new(1);
+        c.crash(0, 0.0);
+        assert_eq!(c.recover(0, 1.0, None), None);
+        assert!(c.is_up(0));
+    }
+
+    #[test]
+    fn drain_empties_a_crashed_server() {
+        let mut c = Cluster::new(2);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        c.enqueue(0, Job::new(1, 0.1, 1.0), 0.1);
+        c.enqueue(0, Job::new(2, 0.2, 2.0), 0.2);
+        c.crash(0, 1.0);
+        let jobs = c.drain(0, 1.0);
+        assert_eq!(jobs.iter().map(|j| j.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(c.loads(), &[0, 0]);
+        // The displaced jobs migrate without counting as arrivals.
+        for job in jobs {
+            c.requeue(1, job, 1.0);
+        }
+        assert_eq!(c.arrivals(), 3);
+        assert_eq!(c.loads(), &[0, 3]);
+        assert_eq!(c.in_system(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already down")]
+    fn double_crash_panics() {
+        let mut c = Cluster::new(1);
+        c.crash(0, 0.0);
+        c.crash(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already up")]
+    fn recover_up_server_panics() {
+        let mut c = Cluster::new(1);
+        c.recover(0, 0.0, None);
     }
 }

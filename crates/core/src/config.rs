@@ -6,6 +6,8 @@ use serde::{Deserialize, Serialize};
 use staleload_sim::Dist;
 use staleload_workloads::BurstConfig;
 
+use crate::FaultSpec;
+
 /// How jobs arrive at the system.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum ArrivalSpec {
@@ -44,9 +46,8 @@ impl ArrivalSpec {
     pub fn clients(&self) -> usize {
         match *self {
             ArrivalSpec::Poisson | ArrivalSpec::Mmpp { .. } => 1,
-            ArrivalSpec::PoissonClients { clients } | ArrivalSpec::BurstyClients { clients, .. } => {
-                clients
-            }
+            ArrivalSpec::PoissonClients { clients }
+            | ArrivalSpec::BurstyClients { clients, .. } => clients,
         }
     }
 }
@@ -58,7 +59,7 @@ pub struct ConfigError {
 }
 
 impl ConfigError {
-    fn new(what: impl Into<String>) -> Self {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
         Self { what: what.into() }
     }
 }
@@ -94,6 +95,10 @@ pub struct SimConfig {
     /// server goes idle it steals a waiting job from the longest queue if
     /// that queue holds at least this many jobs. `None` disables stealing.
     pub work_stealing: Option<u32>,
+    /// Fault injection (extension): server crashes and lossy update
+    /// channels. [`FaultSpec::none`] (the default) reproduces the
+    /// fault-free simulator bit for bit.
+    pub faults: FaultSpec,
     /// Master seed; trials derive their own seeds from it.
     pub seed: u64,
 }
@@ -136,6 +141,7 @@ pub struct SimConfigBuilder {
     service: Dist,
     capacities: Option<Vec<f64>>,
     work_stealing: Option<u32>,
+    faults: FaultSpec,
     seed: u64,
 }
 
@@ -149,6 +155,7 @@ impl Default for SimConfigBuilder {
             service: Dist::exponential(1.0),
             capacities: None,
             work_stealing: None,
+            faults: FaultSpec::none(),
             seed: 1,
         }
     }
@@ -198,6 +205,13 @@ impl SimConfigBuilder {
     /// `min_victim_load` jobs (≥ 2).
     pub fn work_stealing(&mut self, min_victim_load: u32) -> &mut Self {
         self.work_stealing = Some(min_victim_load);
+        self
+    }
+
+    /// Enables fault injection (server crashes and/or a lossy update
+    /// channel); see [`FaultSpec`].
+    pub fn faults(&mut self, faults: FaultSpec) -> &mut Self {
+        self.faults = faults;
         self
     }
 
@@ -252,6 +266,7 @@ impl SimConfigBuilder {
                 ));
             }
         }
+        self.faults.validate()?;
         Ok(SimConfig {
             servers: self.servers,
             lambda: self.lambda,
@@ -260,6 +275,7 @@ impl SimConfigBuilder {
             service: self.service,
             capacities: self.capacities.clone(),
             work_stealing: self.work_stealing,
+            faults: self.faults,
             seed: self.seed,
         })
     }
@@ -309,14 +325,23 @@ mod tests {
         assert!(SimConfig::builder().lambda(0.0).try_build().is_err());
         assert!(SimConfig::builder().lambda(5.0).try_build().is_err());
         assert!(SimConfig::builder().arrivals(0).try_build().is_err());
-        assert!(SimConfig::builder().warmup_fraction(1.0).try_build().is_err());
+        assert!(SimConfig::builder()
+            .warmup_fraction(1.0)
+            .try_build()
+            .is_err());
     }
 
     #[test]
     fn arrival_spec_client_counts() {
         assert_eq!(ArrivalSpec::Poisson.clients(), 1);
         assert_eq!(ArrivalSpec::PoissonClients { clients: 7 }.clients(), 7);
-        let burst = BurstConfig { burst_len: 5, intra_gap_mean: 1.0 };
-        assert_eq!(ArrivalSpec::BurstyClients { clients: 3, burst }.clients(), 3);
+        let burst = BurstConfig {
+            burst_len: 5,
+            intra_gap_mean: 1.0,
+        };
+        assert_eq!(
+            ArrivalSpec::BurstyClients { clients: 3, burst }.clients(),
+            3
+        );
     }
 }

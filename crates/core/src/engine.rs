@@ -6,7 +6,45 @@ use staleload_policies::PolicySpec;
 use staleload_sim::{EventQueue, OnlineStats, SimRng};
 use staleload_workloads::ArrivalProcess;
 
-use crate::{ArrivalSpec, RunDetail, SimConfig};
+use crate::config::ConfigError;
+use crate::{ArrivalSpec, CrashSpec, RunDetail, SimConfig, SimError};
+
+/// Counters for the fault process of one run (all zero when the run was
+/// fault-free).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultStats {
+    /// Server crashes injected.
+    pub crashes: u64,
+    /// Servers brought back up.
+    pub recoveries: u64,
+    /// Jobs moved off a crashed server's queue (re-dispatch mode only).
+    pub redispatched: u64,
+    /// Arrivals routed to a down server and redirected to an up one.
+    pub redirected: u64,
+    /// Summed server-down time (a server down for 2 time units counts 2,
+    /// whether or not others were down simultaneously).
+    pub downtime: f64,
+}
+
+/// A non-fatal data-quality warning attached to a [`RunResult`].
+///
+/// Diagnostics flag results that are *valid but suspect* — the run
+/// completed, yet something the experimenter should know about happened
+/// (e.g. the load-history window was too small, so some delayed views were
+/// answered inexactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable machine-readable tag (e.g. `"history-misses"`).
+    pub code: &'static str,
+    /// Human-readable explanation with the relevant numbers.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
 
 /// The outcome of one seeded simulation run.
 #[derive(Debug, Clone)]
@@ -25,8 +63,76 @@ pub struct RunResult {
     /// Delayed-view queries answered inexactly (should be 0; > 0 means the
     /// history window was too small for the delay distribution).
     pub history_misses: u64,
+    /// Fault-process counters (all zero for a fault-free run).
+    pub faults: FaultStats,
+    /// Non-fatal warnings about the run's data quality.
+    pub diagnostics: Vec<Diagnostic>,
     /// Tail/fairness/occupancy metrics (see [`RunDetail`]).
     pub detail: RunDetail,
+}
+
+/// The crash/recovery process: each server alternates between up and down
+/// with exponential time-to-failure (`mtbf`) and time-to-repair (`mttr`),
+/// independently of the others.
+///
+/// All randomness is drawn from the engine's dedicated fault stream, in a
+/// deterministic order (ties broken by server id), so the rest of the run
+/// is unperturbed by the fault process.
+struct CrashProcess {
+    spec: CrashSpec,
+    /// Next up→down or down→up transition time per server.
+    next: Vec<f64>,
+    down_since: Vec<Option<f64>>,
+}
+
+impl CrashProcess {
+    fn new(spec: CrashSpec, n: usize, rng: &mut SimRng) -> Self {
+        let next = (0..n).map(|_| rng.exp(spec.mtbf)).collect();
+        Self {
+            spec,
+            next,
+            down_since: vec![None; n],
+        }
+    }
+
+    /// The next transition (time, server); ties broken by lowest id.
+    fn peek(&self) -> (f64, ServerId) {
+        let mut best = (f64::INFINITY, 0);
+        for (s, &t) in self.next.iter().enumerate() {
+            if t < best.0 {
+                best = (t, s);
+            }
+        }
+        best
+    }
+
+    fn schedule_crash(&mut self, server: ServerId, now: f64, rng: &mut SimRng) {
+        self.next[server] = now + rng.exp(self.spec.mtbf);
+    }
+
+    fn schedule_recovery(&mut self, server: ServerId, now: f64, rng: &mut SimRng) {
+        self.next[server] = now + rng.exp(self.spec.mttr);
+    }
+}
+
+/// Picks a uniformly random *up* server, or `None` if the whole cluster is
+/// down. Used to re-route work around crashed servers; draws only from the
+/// fault stream so placement policy streams stay unperturbed.
+fn random_up_server(cluster: &Cluster, rng: &mut SimRng) -> Option<ServerId> {
+    let ups = cluster.up_count();
+    if ups == 0 {
+        return None;
+    }
+    let mut k = rng.index(ups);
+    for s in 0..cluster.len() {
+        if cluster.is_up(s) {
+            if k == 0 {
+                return Some(s);
+            }
+            k -= 1;
+        }
+    }
+    unreachable!("up_count() counted the up servers")
 }
 
 /// Runs one simulation: `cfg.arrivals` jobs through `cfg.servers` FIFO
@@ -37,24 +143,42 @@ pub struct RunResult {
 ///
 /// Determinism: the run is a pure function of the configuration (including
 /// `cfg.seed`). Independent RNG streams are forked for the arrival process,
-/// service times, the policy, and the information model, so e.g. changing
-/// the policy does not perturb the arrival pattern.
+/// service times, the policy, the information model, and the fault process,
+/// so e.g. changing the policy does not perturb the arrival pattern — and a
+/// run with `FaultSpec::none()` is bit-identical to one without the fault
+/// machinery (the fault stream is forked last and never drawn from).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the configuration is inconsistent (e.g. a bursty arrival spec
-/// whose burst cannot attain the required mean inter-request time).
+/// Returns [`SimError::Config`] when the specs are inconsistent: bad policy
+/// or info-model parameters, a bursty/MMPP arrival spec that cannot attain
+/// the configured load, or loss injection on an info model without an
+/// update channel.
 pub fn run_simulation(
     cfg: &SimConfig,
     arrivals: &ArrivalSpec,
     info: &InfoSpec,
     policy: &PolicySpec,
-) -> RunResult {
+) -> Result<RunResult, SimError> {
+    info.validate().map_err(ConfigError::new)?;
+    policy.validate().map_err(ConfigError::new)?;
+    cfg.faults.validate()?;
+    if cfg.faults.loss.is_some() && !info.supports_loss() {
+        return Err(ConfigError::new(format!(
+            "loss injection needs a bulletin-board info model (periodic or individual), got {}",
+            info.label()
+        ))
+        .into());
+    }
+
     let mut master = SimRng::from_seed(cfg.seed);
     let mut arrival_rng = master.fork();
     let mut service_rng = master.fork();
     let mut policy_rng = master.fork();
     let mut model_rng = master.fork();
+    // Forked last, and the master is used only for forking, so fault-free
+    // runs replay historical trajectories bit-for-bit.
+    let mut fault_rng = master.fork();
 
     let n = cfg.servers;
     let mut cluster = match &cfg.capacities {
@@ -66,8 +190,17 @@ pub fn run_simulation(
     }
 
     let clients = arrivals.clients();
-    let mut model = info.build(n, clients);
+    let mut model = match cfg.faults.loss {
+        Some(loss) => info
+            .build_lossy(n, loss, fault_rng.fork())
+            .expect("supports_loss() was checked above"),
+        None => info.build(n, clients),
+    };
     let mut policy = policy.build();
+    let mut crash_process = cfg
+        .faults
+        .crash
+        .map(|spec| CrashProcess::new(spec, n, &mut fault_rng));
 
     let total_rate = cfg.total_rate();
     let mut process = match *arrivals {
@@ -78,14 +211,25 @@ pub fn run_simulation(
         ArrivalSpec::BurstyClients { clients, burst } => {
             let mean_inter_request = clients as f64 / total_rate;
             ArrivalProcess::bursty_clients(clients, mean_inter_request, burst, &mut arrival_rng)
-                .expect("bursty arrival spec inconsistent with the configured load")
+                .map_err(|e| ConfigError::new(format!("bursty arrival spec: {e}")))?
         }
-        ArrivalSpec::Mmpp { rate_ratio, high_fraction, cycle_mean } => {
-            assert!(rate_ratio >= 1.0, "rate ratio must be at least 1, got {rate_ratio}");
-            assert!(
-                (0.0..1.0).contains(&high_fraction) && high_fraction > 0.0,
-                "high fraction must be in (0, 1), got {high_fraction}"
-            );
+        ArrivalSpec::Mmpp {
+            rate_ratio,
+            high_fraction,
+            cycle_mean,
+        } => {
+            if rate_ratio < 1.0 {
+                return Err(ConfigError::new(format!(
+                    "MMPP rate ratio must be at least 1, got {rate_ratio}"
+                ))
+                .into());
+            }
+            if !((0.0..1.0).contains(&high_fraction) && high_fraction > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "MMPP high fraction must be in (0, 1), got {high_fraction}"
+                ))
+                .into());
+            }
             // Solve the low rate so the sojourn-weighted mean is λ·n.
             let low = total_rate / (1.0 - high_fraction + high_fraction * rate_ratio);
             let high = rate_ratio * low;
@@ -95,12 +239,20 @@ pub fn run_simulation(
                 low,
                 (1.0 - high_fraction) * cycle_mean,
             )
-            .expect("MMPP arrival spec inconsistent with the configured load")
+            .map_err(|e| ConfigError::new(format!("MMPP arrival spec: {e}")))?
         }
     };
 
     let warmup = cfg.warmup_jobs();
     let mut departures: EventQueue<ServerId> = EventQueue::with_capacity(n);
+    // The departure each server currently has in the queue. Crashes
+    // invalidate scheduled departures; rather than remove them from the
+    // queue we drop any popped/peeked entry that no longer matches.
+    let mut scheduled: Vec<Option<f64>> = vec![None; n];
+    // Wall-clock work the interrupted head job had left at crash time
+    // (stall mode resumes it on recovery).
+    let mut frozen: Vec<Option<f64>> = vec![None; n];
+    let mut stats = FaultStats::default();
     let mut response = OnlineStats::new();
     let mut detail = RunDetail::new(n);
     let mut next_id: u64 = 0;
@@ -108,24 +260,103 @@ pub fn run_simulation(
     let mut end_time: f64 = 0.0;
 
     loop {
+        // Discard departures a crash invalidated (their server's scheduled
+        // slot was cleared or rescheduled) so peek_time sees a live event.
+        while let Some((t, &server)) = departures.peek() {
+            if scheduled[server] == Some(t) {
+                break;
+            }
+            departures.pop();
+        }
+
         let arrival_time = next_arrival.map(|(t, _)| t);
         let departure_time = departures.peek_time();
         let system_next = match (arrival_time, departure_time) {
+            (None, None) => None,
+            (Some(a), None) => Some(a),
+            (None, Some(d)) => Some(d),
+            (Some(a), Some(d)) => Some(a.min(d)),
+        };
+        let fault_next = crash_process.as_ref().map(|c| c.peek().0);
+
+        // Ties: system events before fault events, so a departure "at" the
+        // crash instant completes and an arrival still sees the old regime.
+        let (step_time, fault_step) = match (system_next, fault_next) {
             (None, None) => break,
-            (Some(a), None) => a,
-            (None, Some(d)) => d,
-            (Some(a), Some(d)) => a.min(d),
+            (None, Some(f)) => {
+                if next_arrival.is_none() && cluster.in_system() == 0 {
+                    // Fully drained: don't chase crash events forever.
+                    break;
+                }
+                // Jobs are stranded on down servers (stall mode); only
+                // fault events can advance the clock now.
+                (f, true)
+            }
+            (Some(s), None) => (s, false),
+            (Some(s), Some(f)) => {
+                if f < s {
+                    (f, true)
+                } else {
+                    (s, false)
+                }
+            }
         };
 
         // Let the information model catch up first (ties: model before
         // system events, so a board refreshed "at" an arrival's instant is
         // visible to that arrival).
         while let Some(t) = model.next_event() {
-            if t <= system_next {
+            if t <= step_time {
                 model.on_event(t, &cluster);
             } else {
                 break;
             }
+        }
+
+        if fault_step {
+            let process = crash_process
+                .as_mut()
+                .expect("fault_step implies a crash process");
+            let (t, server) = process.peek();
+            if cluster.is_up(server) {
+                stats.crashes += 1;
+                process.down_since[server] = Some(t);
+                cluster.crash(server, t);
+                if let Some(dep) = scheduled[server].take() {
+                    // The in-service job is interrupted; remember its
+                    // remaining work so stall mode can resume it.
+                    frozen[server] = Some(dep - t);
+                }
+                if process.spec.redispatch && cluster.up_count() > 0 {
+                    // Move the whole queue (head included: it restarts from
+                    // scratch elsewhere — re-execution semantics) to
+                    // uniformly random up servers.
+                    frozen[server] = None;
+                    for job in cluster.drain(server, t) {
+                        let target = random_up_server(&cluster, &mut fault_rng)
+                            .expect("up_count() > 0 was checked");
+                        stats.redispatched += 1;
+                        if let Some(dep) = cluster.requeue(target, job, t) {
+                            departures.push(dep, target);
+                            scheduled[target] = Some(dep);
+                        }
+                    }
+                    detail.jobs_in_system.update(t, cluster.in_system() as f64);
+                }
+                process.schedule_recovery(server, t, &mut fault_rng);
+            } else {
+                stats.recoveries += 1;
+                let since = process.down_since[server]
+                    .take()
+                    .expect("a down server recorded when it went down");
+                stats.downtime += t - since;
+                if let Some(dep) = cluster.recover(server, t, frozen[server].take()) {
+                    departures.push(dep, server);
+                    scheduled[server] = Some(dep);
+                }
+                process.schedule_crash(server, t, &mut fault_rng);
+            }
+            continue;
         }
 
         let take_arrival = match (arrival_time, departure_time) {
@@ -138,14 +369,24 @@ pub fn run_simulation(
             let (t, client) = next_arrival.take().expect("arrival is present");
             let service = cfg.service.sample(&mut service_rng);
             policy.observe_arrival(t);
-            let server = {
+            let mut server = {
                 let view = model.view(t, client, &mut cluster, &mut model_rng);
                 policy.select_sized(&view, service, &mut policy_rng)
             };
+            if !cluster.is_up(server) {
+                // The policy picked a dead server (its board entry lives
+                // on). Fail the placement over to a random up server — the
+                // client's retry — or let the job wait out a full outage.
+                if let Some(alive) = random_up_server(&cluster, &mut fault_rng) {
+                    server = alive;
+                    stats.redirected += 1;
+                }
+            }
             let job = Job::new(next_id, t, service);
             next_id += 1;
             if let Some(dep) = cluster.enqueue(server, job, t) {
                 departures.push(dep, server);
+                scheduled[server] = Some(dep);
             }
             model.after_placement(t, client, &cluster);
             detail.jobs_in_system.update(t, cluster.in_system() as f64);
@@ -154,9 +395,13 @@ pub fn run_simulation(
             }
         } else {
             let (t, server) = departures.pop().expect("departure is present");
+            scheduled[server] = None;
             let (job, next) = cluster.complete(server, t);
             match next {
-                Some(dep) => departures.push(dep, server),
+                Some(dep) => {
+                    departures.push(dep, server);
+                    scheduled[server] = Some(dep);
+                }
                 None => {
                     // Receiver-driven rebalancing (extension): a server
                     // going idle pulls a waiting job from the longest
@@ -164,6 +409,7 @@ pub fn run_simulation(
                     if let Some(min_victim) = cfg.work_stealing {
                         if let Some(dep) = cluster.steal_for_idle(server, t, min_victim) {
                             departures.push(dep, server);
+                            scheduled[server] = Some(dep);
                         }
                     }
                 }
@@ -178,24 +424,55 @@ pub fn run_simulation(
     }
 
     debug_assert_eq!(cluster.in_system(), 0, "drain must empty the system");
+    if let Some(process) = &crash_process {
+        // Servers still down when the run ends contribute their partial
+        // outage.
+        for since in process.down_since.iter().flatten() {
+            stats.downtime += (end_time - since).max(0.0);
+        }
+    }
+    let mut diagnostics = Vec::new();
+    let history_misses = cluster.history_misses();
+    if history_misses > 0 {
+        diagnostics.push(Diagnostic {
+            code: "history-misses",
+            message: format!(
+                "{history_misses} delayed-view queries fell outside the retained load history; \
+                 increase the history window (results may understate staleness effects)"
+            ),
+        });
+    }
     for s in 0..n {
         detail.per_server_completed[s] = cluster.completed(s);
         detail.per_server_busy[s] = cluster.busy_time(s);
     }
-    RunResult {
+    Ok(RunResult {
         mean_response: response.mean(),
         response,
         measured_jobs: response.count(),
         generated: next_id,
         end_time,
-        history_misses: cluster.history_misses(),
+        history_misses,
+        faults: stats,
+        diagnostics,
         detail,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultSpec;
+
+    /// Test shorthand: run a configuration that is known to be valid.
+    fn run(
+        cfg: &SimConfig,
+        arrivals: &ArrivalSpec,
+        info: &InfoSpec,
+        policy: &PolicySpec,
+    ) -> RunResult {
+        run_simulation(cfg, arrivals, info, policy).expect("test config is valid")
+    }
 
     fn quick_cfg(seed: u64) -> SimConfig {
         SimConfig::builder()
@@ -211,7 +488,12 @@ mod tests {
         // Random splitting of Poisson(λ·n) over n servers makes each an
         // independent M/M/1 at load λ: mean response = 1/(1-λ) = 2 at λ=0.5.
         let cfg = quick_cfg(11);
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
         assert!(
             (r.mean_response - 2.0).abs() < 0.15,
             "mean response {} should be near 2.0",
@@ -220,15 +502,25 @@ mod tests {
         assert_eq!(r.measured_jobs, 27_000);
         assert_eq!(r.generated, 30_000);
         assert_eq!(r.history_misses, 0);
+        assert_eq!(r.faults, FaultStats::default());
+        assert!(r.diagnostics.is_empty());
     }
 
     #[test]
     fn fresh_greedy_beats_random() {
         let cfg = quick_cfg(12);
-        let greedy =
-            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy);
-        let random =
-            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let greedy = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Greedy,
+        );
+        let random = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
         assert!(
             greedy.mean_response < random.mean_response,
             "greedy {} should beat random {}",
@@ -242,21 +534,21 @@ mod tests {
         let cfg = quick_cfg(13);
         let spec = PolicySpec::BasicLi { lambda: 0.5 };
         let info = InfoSpec::Periodic { period: 5.0 };
-        let a = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &spec);
-        let b = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        let a = run(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        let b = run(&cfg, &ArrivalSpec::Poisson, &info, &spec);
         assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
         assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = run_simulation(
+        let a = run(
             &quick_cfg(1),
             &ArrivalSpec::Poisson,
             &InfoSpec::Fresh,
             &PolicySpec::Random,
         );
-        let b = run_simulation(
+        let b = run(
             &quick_cfg(2),
             &ArrivalSpec::Poisson,
             &InfoSpec::Fresh,
@@ -266,14 +558,208 @@ mod tests {
     }
 
     #[test]
+    fn invalid_specs_error_instead_of_panicking() {
+        let cfg = quick_cfg(1);
+        let bad_policy = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::KSubset { k: 0 },
+        );
+        assert!(
+            matches!(bad_policy, Err(SimError::Config(_))),
+            "{bad_policy:?}"
+        );
+
+        let bad_info = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 0.0 },
+            &PolicySpec::Random,
+        );
+        assert!(matches!(bad_info, Err(SimError::Config(_))), "{bad_info:?}");
+
+        let bad_mmpp = run_simulation(
+            &cfg,
+            &ArrivalSpec::Mmpp {
+                rate_ratio: 0.5,
+                high_fraction: 0.2,
+                cycle_mean: 20.0,
+            },
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(matches!(bad_mmpp, Err(SimError::Config(_))), "{bad_mmpp:?}");
+    }
+
+    #[test]
+    fn loss_faults_need_a_board_model() {
+        let mut builder = SimConfig::builder();
+        let cfg = builder
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(1_000)
+            .seed(1)
+            .faults(FaultSpec::drop(0.5))
+            .build();
+        let err = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(matches!(err, Err(SimError::Config(_))), "{err:?}");
+        let ok = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::Random,
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn fault_none_is_bit_identical_to_fault_free() {
+        // The fault stream is forked but never drawn from, so the FaultSpec
+        // plumbing must not perturb historical trajectories.
+        let cfg = quick_cfg(13);
+        let mut builder = SimConfig::builder();
+        let cfg_none = builder
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(30_000)
+            .seed(13)
+            .faults(FaultSpec::none())
+            .build();
+        let spec = PolicySpec::BasicLi { lambda: 0.5 };
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let a = run(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        let b = run(&cfg_none, &ArrivalSpec::Poisson, &info, &spec);
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+    }
+
+    fn faulty_cfg(seed: u64, faults: FaultSpec) -> SimConfig {
+        SimConfig::builder()
+            .servers(10)
+            .lambda(0.5)
+            .arrivals(30_000)
+            .seed(seed)
+            .faults(faults)
+            .build()
+    }
+
+    #[test]
+    fn crashes_complete_every_job_in_stall_mode() {
+        let cfg = faulty_cfg(31, FaultSpec::crash(200.0, 20.0));
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        assert!(
+            r.faults.crashes > 0,
+            "MTBF 200 over a long run must crash someone"
+        );
+        assert!(r.faults.recoveries <= r.faults.crashes);
+        assert_eq!(r.faults.redispatched, 0, "stall mode never moves jobs");
+        assert_eq!(r.generated, 30_000);
+        assert_eq!(
+            r.detail.per_server_completed.iter().sum::<u64>(),
+            30_000,
+            "every generated job completes despite crashes"
+        );
+        assert!(r.faults.downtime > 0.0);
+        // Outages stall jobs, so response must be worse than fault-free.
+        let fault_free = run(
+            &faulty_cfg(31, FaultSpec::none()),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        assert!(r.mean_response > fault_free.mean_response);
+    }
+
+    #[test]
+    fn redispatch_moves_jobs_and_completes_them_all() {
+        let mut faults = FaultSpec::crash(150.0, 30.0);
+        faults.crash = faults.crash.map(|mut c| {
+            c.redispatch = true;
+            c
+        });
+        let cfg = faulty_cfg(32, faults);
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        assert!(r.faults.crashes > 0);
+        assert!(
+            r.faults.redispatched > 0,
+            "busy servers crash with queued jobs"
+        );
+        assert_eq!(
+            r.detail.per_server_completed.iter().sum::<u64>(),
+            30_000,
+            "re-dispatched jobs complete elsewhere"
+        );
+    }
+
+    #[test]
+    fn crash_faults_are_deterministic() {
+        let cfg = faulty_cfg(33, FaultSpec::crash(100.0, 10.0));
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let spec = PolicySpec::BasicLi { lambda: 0.5 };
+        let a = run(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        let b = run(&cfg, &ArrivalSpec::Poisson, &info, &spec);
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.faults, b.faults);
+    }
+
+    #[test]
+    fn dropped_updates_degrade_li() {
+        let mk = |faults: FaultSpec, seed: u64| {
+            run(
+                &SimConfig::builder()
+                    .servers(16)
+                    .lambda(0.9)
+                    .arrivals(60_000)
+                    .seed(seed)
+                    .faults(faults)
+                    .build(),
+                &ArrivalSpec::Poisson,
+                &InfoSpec::Periodic { period: 10.0 },
+                &PolicySpec::BasicLi { lambda: 0.9 },
+            )
+            .mean_response
+        };
+        let clean: f64 = (40..43).map(|s| mk(FaultSpec::none(), s)).sum::<f64>() / 3.0;
+        let lossy: f64 = (40..43).map(|s| mk(FaultSpec::drop(0.9), s)).sum::<f64>() / 3.0;
+        assert!(
+            lossy > clean,
+            "losing 90% of board refreshes must hurt LI: lossy {lossy} vs clean {clean}"
+        );
+    }
+
+    #[test]
     fn continuous_model_reports_no_history_misses() {
         let cfg = quick_cfg(14);
         let info = InfoSpec::Continuous {
             delay: staleload_info::DelaySpec::Exponential { mean: 2.0 },
             knowledge: staleload_info::AgeKnowledge::Actual,
         };
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::KSubset { k: 2 });
-        assert_eq!(r.history_misses, 0, "window must cover the delay distribution");
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &info,
+            &PolicySpec::KSubset { k: 2 },
+        );
+        assert_eq!(
+            r.history_misses, 0,
+            "window must cover the delay distribution"
+        );
         assert!(r.mean_response > 1.0);
     }
 
@@ -285,7 +771,7 @@ mod tests {
             .arrivals(20_000)
             .seed(15)
             .build();
-        let r = run_simulation(
+        let r = run(
             &cfg,
             &ArrivalSpec::PoissonClients { clients: 25 },
             &InfoSpec::UpdateOnAccess,
@@ -303,8 +789,12 @@ mod tests {
             .arrivals(120_000)
             .seed(25)
             .build();
-        let spec = ArrivalSpec::Mmpp { rate_ratio: 4.0, high_fraction: 0.2, cycle_mean: 20.0 };
-        let r = run_simulation(&cfg, &spec, &InfoSpec::Fresh, &PolicySpec::Random);
+        let spec = ArrivalSpec::Mmpp {
+            rate_ratio: 4.0,
+            high_fraction: 0.2,
+            cycle_mean: 20.0,
+        };
+        let r = run(&cfg, &spec, &InfoSpec::Fresh, &PolicySpec::Random);
         // Realized horizon matches arrivals / (λ·n) within a few percent.
         let expect = 120_000.0 / 5.0;
         assert!(
@@ -313,8 +803,12 @@ mod tests {
             r.end_time
         );
         // Burstier arrivals queue more than plain Poisson at the same load.
-        let poisson =
-            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let poisson = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
         assert!(
             r.mean_response > poisson.mean_response,
             "MMPP {} should exceed Poisson {}",
@@ -326,7 +820,12 @@ mod tests {
     #[test]
     fn detail_metrics_are_consistent() {
         let cfg = quick_cfg(23);
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
         // Little's law: E[N] = (total arrival rate) · E[T] over the run.
         let rate = r.generated as f64 / r.end_time;
         let little = rate * r.mean_response;
@@ -338,7 +837,10 @@ mod tests {
         // Utilization per server ≈ λ = 0.5.
         let utils = r.detail.utilizations(r.end_time);
         let mean_util = utils.iter().sum::<f64>() / utils.len() as f64;
-        assert!((mean_util - 0.5).abs() < 0.05, "mean utilization {mean_util}");
+        assert!(
+            (mean_util - 0.5).abs() < 0.05,
+            "mean utilization {mean_util}"
+        );
         // Random placement over identical servers is fair.
         assert!(r.detail.throughput_fairness() > 0.99);
         // Histogram agrees with the Welford stats.
@@ -363,8 +865,8 @@ mod tests {
             .seed(24)
             .build();
         let info = InfoSpec::Periodic { period: 30.0 };
-        let greedy = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::Greedy);
-        let li = run_simulation(
+        let greedy = run(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::Greedy);
+        let li = run(
             &cfg,
             &ArrivalSpec::Poisson,
             &info,
@@ -382,13 +884,13 @@ mod tests {
     fn work_stealing_helps_oblivious_random() {
         let mut builder = SimConfig::builder();
         let base = builder.servers(10).lambda(0.8).arrivals(60_000).seed(17);
-        let plain = run_simulation(
+        let plain = run(
             &base.build(),
             &ArrivalSpec::Poisson,
             &InfoSpec::Fresh,
             &PolicySpec::Random,
         );
-        let stealing = run_simulation(
+        let stealing = run(
             &base.work_stealing(2).build(),
             &ArrivalSpec::Poisson,
             &InfoSpec::Fresh,
@@ -415,17 +917,20 @@ mod tests {
             .seed(18)
             .build();
         let info = InfoSpec::Periodic { period: 2.0 };
-        let blind = run_simulation(
+        let blind = run(
             &cfg,
             &ArrivalSpec::Poisson,
             &info,
             &PolicySpec::BasicLi { lambda: 0.7 },
         );
-        let aware = run_simulation(
+        let aware = run(
             &cfg,
             &ArrivalSpec::Poisson,
             &info,
-            &PolicySpec::HeteroLi { lambda: 0.7, capacities: caps },
+            &PolicySpec::HeteroLi {
+                lambda: 0.7,
+                capacities: caps,
+            },
         );
         assert!(
             aware.mean_response < blind.mean_response,
@@ -444,17 +949,20 @@ mod tests {
             .seed(19)
             .build();
         let info = InfoSpec::Periodic { period: 10.0 };
-        let oracle = run_simulation(
+        let oracle = run(
             &cfg,
             &ArrivalSpec::Poisson,
             &info,
             &PolicySpec::BasicLi { lambda: 0.9 },
         );
-        let adaptive = run_simulation(
+        let adaptive = run(
             &cfg,
             &ArrivalSpec::Poisson,
             &info,
-            &PolicySpec::AdaptiveLi { alpha: 0.01, warmup: 1000 },
+            &PolicySpec::AdaptiveLi {
+                alpha: 0.01,
+                warmup: 1000,
+            },
         );
         let gap = (adaptive.mean_response - oracle.mean_response) / oracle.mean_response;
         assert!(
@@ -475,7 +983,16 @@ mod tests {
             .service(staleload_sim::Dist::constant(1.0))
             .seed(16)
             .build();
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy);
-        assert!(r.response.min() >= 1.0 - 1e-9, "min response {}", r.response.min());
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Greedy,
+        );
+        assert!(
+            r.response.min() >= 1.0 - 1e-9,
+            "min response {}",
+            r.response.min()
+        );
     }
 }

@@ -1,0 +1,101 @@
+//! Typed errors for the simulation driver and experiment runner.
+
+use std::fmt;
+
+use crate::ConfigError;
+
+/// An error from [`crate::run_simulation`] or [`crate::Experiment`].
+///
+/// Configuration problems that previously aborted the process through
+/// `assert!`/`expect` surface here instead, so a batch driver can report
+/// one bad point and keep going.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The run was asked for an inconsistent or out-of-range
+    /// configuration.
+    Config(ConfigError),
+    /// A trial panicked; the panic was caught and the remaining trials
+    /// ran to completion.
+    TrialPanicked {
+        /// Zero-based trial index within the experiment.
+        trial: usize,
+        /// The trial's derived seed (for standalone reproduction).
+        seed: u64,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// Every trial of an experiment failed, so there is nothing to
+    /// aggregate.
+    NoSuccessfulTrials {
+        /// Number of trials attempted.
+        trials: usize,
+        /// The first failure, as a human-readable message.
+        first_error: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::TrialPanicked {
+                trial,
+                seed,
+                message,
+            } => {
+                write!(f, "trial {trial} (seed {seed:#x}) panicked: {message}")
+            }
+            SimError::NoSuccessfulTrials {
+                trials,
+                first_error,
+            } => {
+                write!(f, "all {trials} trials failed; first error: {first_error}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        let e = SimError::TrialPanicked {
+            trial: 3,
+            seed: 0xab,
+            message: "boom".into(),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("trial 3") && s.contains("0xab") && s.contains("boom"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn config_errors_convert() {
+        let c = crate::SimConfig::builder()
+            .servers(0)
+            .try_build()
+            .unwrap_err();
+        let e: SimError = c.clone().into();
+        assert_eq!(e, SimError::Config(c));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

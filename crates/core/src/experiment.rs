@@ -1,16 +1,21 @@
 //! Multi-trial experiments with the paper's statistical protocol.
 
+use std::panic::{self, AssertUnwindSafe};
+
 use serde::{Deserialize, Serialize};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 use staleload_stats::Summary;
 
-use crate::{run_simulation, ArrivalSpec, SimConfig};
+use crate::{run_simulation, ArrivalSpec, ConfigError, Diagnostic, SimConfig, SimError};
 
 /// Derives the seed of trial `trial` from a master seed (SplitMix-style
 /// stride keeps nearby trials uncorrelated).
 pub fn trial_seed(master: u64, trial: usize) -> u64 {
-    master ^ (trial as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0x1234_5678_9ABC_DEF1)
+    master
+        ^ (trial as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0x1234_5678_9ABC_DEF1)
 }
 
 /// Number of update-on-access clients that makes the mean information age
@@ -37,23 +42,59 @@ pub struct Experiment {
     pub trials: usize,
 }
 
+/// A trial that did not produce a result: it either returned a
+/// configuration error or panicked outright.
+///
+/// Panic isolation means one bad trial (a bug tickled by one seed, say)
+/// costs that data point, not the whole batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// Trial index within the experiment.
+    pub trial: usize,
+    /// The derived seed the trial ran with (reproduce with this).
+    pub seed: u64,
+    /// The error or panic message.
+    pub error: String,
+}
+
+impl std::fmt::Display for TrialFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trial {} (seed {:#018x}) failed: {}",
+            self.trial, self.seed, self.error
+        )
+    }
+}
+
 /// The aggregated outcome of an [`Experiment`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentResult {
-    /// Per-trial mean response times.
+    /// Per-trial mean response times (successful trials only).
     pub trial_means: Vec<f64>,
     /// Summary statistics over the trials (mean ± 90% CI, quartiles…).
     pub summary: Summary,
     /// Total history misses across trials (should be 0).
     pub history_misses: u64,
+    /// Trials that errored or panicked (skipped in the aggregates).
+    pub failures: Vec<TrialFailure>,
+    /// Deduplicated per-run warnings (one representative per code).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+/// What one trial produced.
+enum TrialOutcome {
+    Ok {
+        mean: f64,
+        history_misses: u64,
+        diagnostics: Vec<Diagnostic>,
+    },
+    Failed(TrialFailure),
 }
 
 impl Experiment {
-    /// Creates an experiment point.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `trials == 0`.
+    /// Creates an experiment point. A `trials` of zero is reported by
+    /// [`Experiment::try_run`] as a config error, not here.
     pub fn new(
         config: SimConfig,
         arrivals: ArrivalSpec,
@@ -61,70 +102,196 @@ impl Experiment {
         policy: PolicySpec,
         trials: usize,
     ) -> Self {
-        assert!(trials > 0, "need at least one trial");
-        Self { config, arrivals, info, policy, trials }
+        Self {
+            config,
+            arrivals,
+            info,
+            policy,
+            trials,
+        }
     }
 
     /// Runs all trials (in parallel when more than one hardware thread is
     /// available) and aggregates the per-trial mean response times.
-    pub fn run(&self) -> ExperimentResult {
-        let threads = std::thread::available_parallelism().map_or(1, |p| p.get()).min(self.trials);
-        let results = if threads <= 1 {
-            (0..self.trials).map(|t| self.run_trial(t)).collect::<Vec<_>>()
+    ///
+    /// Each trial is isolated: a trial that returns a config error or
+    /// panics is recorded in [`ExperimentResult::failures`] and excluded
+    /// from the aggregates instead of aborting the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuccessfulTrials`] when *every* trial failed
+    /// (there is nothing to aggregate).
+    pub fn try_run(&self) -> Result<ExperimentResult, SimError> {
+        if self.trials == 0 {
+            return Err(ConfigError::new("need at least one trial").into());
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(1, |p| p.get())
+            .min(self.trials);
+        let outcomes = if threads <= 1 {
+            (0..self.trials)
+                .map(|t| self.run_trial(t))
+                .collect::<Vec<_>>()
         } else {
             self.run_parallel(threads)
         };
-        let trial_means: Vec<f64> = results.iter().map(|r| r.0).collect();
-        let history_misses = results.iter().map(|r| r.1).sum();
-        ExperimentResult {
+        let mut trial_means = Vec::with_capacity(self.trials);
+        let mut history_misses = 0;
+        let mut failures = Vec::new();
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        for outcome in outcomes {
+            match outcome {
+                TrialOutcome::Ok {
+                    mean,
+                    history_misses: misses,
+                    diagnostics: diags,
+                } => {
+                    trial_means.push(mean);
+                    history_misses += misses;
+                    for d in diags {
+                        if !diagnostics.iter().any(|seen| seen.code == d.code) {
+                            diagnostics.push(d);
+                        }
+                    }
+                }
+                TrialOutcome::Failed(failure) => failures.push(failure),
+            }
+        }
+        if trial_means.is_empty() {
+            return Err(SimError::NoSuccessfulTrials {
+                trials: self.trials,
+                first_error: failures
+                    .first()
+                    .map_or_else(|| "no trials ran".to_string(), |f| f.to_string()),
+            });
+        }
+        Ok(ExperimentResult {
             summary: Summary::from_trials(&trial_means),
             trial_means,
             history_misses,
-        }
+            failures,
+            diagnostics,
+        })
     }
 
-    fn run_trial(&self, trial: usize) -> (f64, u64) {
+    /// Like [`Experiment::try_run`], but panics on error — the convenient
+    /// entry point for experiment scripts with known-good configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every trial failed or the configuration is invalid.
+    pub fn run(&self) -> ExperimentResult {
+        self.try_run()
+            .unwrap_or_else(|e| panic!("experiment failed: {e}"))
+    }
+
+    fn run_trial(&self, trial: usize) -> TrialOutcome {
         let mut cfg = self.config.clone();
         cfg.seed = trial_seed(self.config.seed, trial);
-        let r = run_simulation(&cfg, &self.arrivals, &self.info, &self.policy);
-        (r.mean_response, r.history_misses)
+        let seed = cfg.seed;
+        // AssertUnwindSafe: everything captured is either owned by this
+        // trial (cfg) or read-only (&self), so no shared state can be
+        // observed half-mutated after an unwind.
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            run_simulation(&cfg, &self.arrivals, &self.info, &self.policy)
+        }));
+        match caught {
+            Ok(Ok(r)) => TrialOutcome::Ok {
+                mean: r.mean_response,
+                history_misses: r.history_misses,
+                diagnostics: r.diagnostics,
+            },
+            Ok(Err(e)) => TrialOutcome::Failed(TrialFailure {
+                trial,
+                seed,
+                error: e.to_string(),
+            }),
+            Err(payload) => {
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                TrialOutcome::Failed(TrialFailure {
+                    trial,
+                    seed,
+                    error: format!("panicked: {message}"),
+                })
+            }
+        }
     }
 
-    fn run_parallel(&self, threads: usize) -> Vec<(f64, u64)> {
-        let (tx, rx) = crossbeam::channel::unbounded::<usize>();
-        for t in 0..self.trials {
-            tx.send(t).expect("channel is open");
-        }
-        drop(tx);
-        let mut results = vec![(0.0, 0u64); self.trials];
-        let collected: std::sync::Mutex<Vec<(usize, (f64, u64))>> =
+    fn run_parallel(&self, threads: usize) -> Vec<TrialOutcome> {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let collected: std::sync::Mutex<Vec<(usize, TrialOutcome)>> =
             std::sync::Mutex::new(Vec::with_capacity(self.trials));
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                let rx = rx.clone();
+                let next = &next;
                 let collected = &collected;
-                scope.spawn(move || {
-                    while let Ok(trial) = rx.recv() {
-                        let out = self.run_trial(trial);
-                        collected.lock().expect("no poisoned lock").push((trial, out));
+                scope.spawn(move || loop {
+                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if trial >= self.trials {
+                        break;
                     }
+                    let out = self.run_trial(trial);
+                    collected
+                        .lock()
+                        .expect("no poisoned lock")
+                        .push((trial, out));
                 });
             }
         });
+        let mut slots: Vec<Option<TrialOutcome>> = (0..self.trials).map(|_| None).collect();
         for (trial, out) in collected.into_inner().expect("no poisoned lock") {
-            results[trial] = out;
+            slots[trial] = Some(out);
         }
-        results
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(trial, slot)| {
+                slot.unwrap_or_else(|| {
+                    // A worker thread died before storing its outcome
+                    // (catch_unwind should make this unreachable).
+                    TrialOutcome::Failed(TrialFailure {
+                        trial,
+                        seed: trial_seed(self.config.seed, trial),
+                        error: "trial produced no outcome".to_string(),
+                    })
+                })
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::FaultSpec;
 
     fn quick_experiment(policy: PolicySpec, trials: usize) -> Experiment {
-        let cfg = SimConfig::builder().servers(8).lambda(0.5).arrivals(15_000).seed(21).build();
-        Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 2.0 }, policy, trials)
+        let cfg = SimConfig::builder()
+            .servers(8)
+            .lambda(0.5)
+            .arrivals(15_000)
+            .seed(21)
+            .build();
+        Experiment::new(
+            cfg,
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 2.0 },
+            policy,
+            trials,
+        )
+    }
+
+    #[test]
+    fn zero_trials_is_a_config_error() {
+        let err = quick_experiment(PolicySpec::Random, 0)
+            .try_run()
+            .unwrap_err();
+        assert!(err.to_string().contains("at least one trial"), "{err}");
     }
 
     #[test]
@@ -142,8 +309,14 @@ mod tests {
         let mut means = r.trial_means.clone();
         means.sort_by(|a, b| a.partial_cmp(b).unwrap());
         means.dedup();
-        assert_eq!(means.len(), 4, "all trial means distinct: {:?}", r.trial_means);
+        assert_eq!(
+            means.len(),
+            4,
+            "all trial means distinct: {:?}",
+            r.trial_means
+        );
         assert_eq!(r.summary.trials, 4);
+        assert!(r.failures.is_empty());
     }
 
     #[test]
@@ -171,5 +344,70 @@ mod tests {
         let mean = r.trial_means.iter().sum::<f64>() / 5.0;
         assert!((r.summary.mean - mean).abs() < 1e-12);
         assert_eq!(r.history_misses, 0);
+    }
+
+    #[test]
+    fn invalid_config_fails_every_trial_with_typed_error() {
+        let e = quick_experiment(PolicySpec::KSubset { k: 0 }, 3);
+        match e.try_run() {
+            Err(SimError::NoSuccessfulTrials {
+                trials,
+                first_error,
+            }) => {
+                assert_eq!(trials, 3);
+                assert!(first_error.contains("subset size"), "{first_error}");
+            }
+            other => panic!("expected NoSuccessfulTrials, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_trials_still_aggregate() {
+        let mut e = quick_experiment(PolicySpec::BasicLi { lambda: 0.5 }, 3);
+        e.config.faults = FaultSpec::crash(300.0, 30.0);
+        let r = e.try_run().expect("crash faults are a valid configuration");
+        assert_eq!(r.trial_means.len(), 3);
+        assert!(r.failures.is_empty());
+    }
+
+    #[test]
+    fn one_panicking_trial_does_not_abort_the_batch() {
+        // SITA boundaries pass validation (positive, ascending) but with 3
+        // boundaries SITA needs 4 servers — selecting on an 8-server
+        // cluster is fine, but 9 boundaries on 8 servers panics in
+        // select(). Craft a policy that validates yet panics at runtime.
+        let cfg = SimConfig::builder()
+            .servers(2)
+            .lambda(0.5)
+            .arrivals(500)
+            .seed(7)
+            .build();
+        // 4 boundaries → 5 virtual servers, but the cluster has 2: SITA
+        // returns indices ≥ 2 and the cluster panics on out-of-range.
+        let e = Experiment::new(
+            cfg,
+            ArrivalSpec::Poisson,
+            InfoSpec::Fresh,
+            PolicySpec::Sita {
+                boundaries: vec![0.5, 1.0, 2.0, 4.0],
+            },
+            2,
+        );
+        match e.try_run() {
+            Err(SimError::NoSuccessfulTrials {
+                trials,
+                first_error,
+            }) => {
+                // Every trial hits the same panic — the point is the panic
+                // was *caught* and reported, not propagated.
+                assert_eq!(trials, 2);
+                assert!(first_error.contains("panicked"), "{first_error}");
+            }
+            Ok(r) => panic!(
+                "expected failures, got {} clean trials",
+                r.trial_means.len()
+            ),
+            Err(other) => panic!("unexpected error {other}"),
+        }
     }
 }

@@ -1,0 +1,267 @@
+//! Fault-injection specifications: server crashes and lossy update channels.
+//!
+//! The paper's model assumes servers never fail and every load report
+//! reaches the information system. [`FaultSpec`] relaxes both assumptions
+//! so the interpretation algorithms can be stress-tested:
+//!
+//! * **Crashes** — each server independently alternates between up and
+//!   down periods with exponential mean time between failures (MTBF) and
+//!   mean time to repair (MTTR). A down server stops serving; its queued
+//!   jobs either stall until recovery (default) or are re-dispatched to
+//!   surviving servers at the crash instant.
+//! * **Losses** — board refreshes are dropped or delayed per entry (see
+//!   [`LossSpec`]).
+//!
+//! Fault randomness comes from its own forked RNG stream, drawn *after*
+//! the four streams the fault-free engine forks, so
+//! [`FaultSpec::none`] reproduces fault-free trajectories bit for bit.
+//!
+//! The textual grammar (used by `--faults` on the CLI and round-tripped by
+//! `Display`/`FromStr`) is a comma-separated list of clauses:
+//!
+//! ```text
+//! none
+//! crash:<mtbf>:<mttr>[:redispatch]
+//! drop:<p>
+//! delay:<mean>
+//! ```
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+pub use staleload_info::LossSpec;
+
+use crate::ConfigError;
+
+/// Exponential crash/recovery process parameters for every server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashSpec {
+    /// Mean up time before a crash (exponential).
+    pub mtbf: f64,
+    /// Mean down time before recovery (exponential).
+    pub mttr: f64,
+    /// If `true`, jobs queued at a crashing server are immediately
+    /// re-dispatched to a surviving server (losing any partial service);
+    /// if `false` (default), they stall in place until the server
+    /// recovers.
+    pub redispatch: bool,
+}
+
+/// A complete fault-injection configuration; [`FaultSpec::none`] disables
+/// every fault and is the default.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Server crash/recovery process, if any.
+    pub crash: Option<CrashSpec>,
+    /// Lossy/delayed update channel, if any.
+    pub loss: Option<LossSpec>,
+}
+
+impl FaultSpec {
+    /// No faults: the engine behaves exactly like the fault-free
+    /// simulator (bit-identical trajectories for equal seeds).
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether any fault is active.
+    pub fn is_none(&self) -> bool {
+        self.crash.is_none() && self.loss.is_none_or(|l| l.is_noop())
+    }
+
+    /// A pure crash/recovery fault (stall mode).
+    pub fn crash(mtbf: f64, mttr: f64) -> Self {
+        Self {
+            crash: Some(CrashSpec {
+                mtbf,
+                mttr,
+                redispatch: false,
+            }),
+            loss: None,
+        }
+    }
+
+    /// A pure drop-loss fault.
+    pub fn drop(p: f64) -> Self {
+        Self {
+            crash: None,
+            loss: Some(LossSpec::drop(p)),
+        }
+    }
+
+    /// Checks every parameter is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] naming the out-of-range field.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if let Some(crash) = &self.crash {
+            if !(crash.mtbf.is_finite() && crash.mtbf > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "crash MTBF must be finite and positive, got {}",
+                    crash.mtbf
+                )));
+            }
+            if !(crash.mttr.is_finite() && crash.mttr > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "crash MTTR must be finite and positive, got {}",
+                    crash.mttr
+                )));
+            }
+        }
+        if let Some(loss) = &self.loss {
+            loss.validate().map_err(ConfigError::new)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.crash.is_none() && self.loss.is_none() {
+            return write!(f, "none");
+        }
+        let mut sep = "";
+        if let Some(c) = &self.crash {
+            let mode = if c.redispatch { ":redispatch" } else { "" };
+            write!(f, "crash:{}:{}{}", c.mtbf, c.mttr, mode)?;
+            sep = ",";
+        }
+        if let Some(l) = &self.loss {
+            write!(f, "{sep}drop:{}", l.drop_prob)?;
+            if l.delay_mean > 0.0 {
+                write!(f, ",delay:{}", l.delay_mean)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn parse_f64(v: &str, what: &str) -> Result<f64, ConfigError> {
+    v.parse()
+        .map_err(|_| ConfigError::new(format!("bad {what} '{v}' in fault spec")))
+}
+
+impl FromStr for FaultSpec {
+    type Err = ConfigError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "none" {
+            return Ok(Self::none());
+        }
+        let mut spec = Self::none();
+        let mut delay: Option<f64> = None;
+        for clause in s.split(',') {
+            let mut parts = clause.trim().split(':');
+            let head = parts.next().unwrap_or("");
+            let rest: Vec<&str> = parts.collect();
+            match (head, rest.as_slice()) {
+                ("crash", [mtbf, mttr]) | ("crash", [mtbf, mttr, "redispatch"]) => {
+                    if spec.crash.is_some() {
+                        return Err(ConfigError::new("duplicate crash clause in fault spec"));
+                    }
+                    spec.crash = Some(CrashSpec {
+                        mtbf: parse_f64(mtbf, "MTBF")?,
+                        mttr: parse_f64(mttr, "MTTR")?,
+                        redispatch: rest.len() == 3,
+                    });
+                }
+                ("drop", [p]) => {
+                    if spec.loss.is_some() {
+                        return Err(ConfigError::new("duplicate drop clause in fault spec"));
+                    }
+                    spec.loss = Some(LossSpec::drop(parse_f64(p, "drop probability")?));
+                }
+                ("delay", [mean]) => {
+                    if delay.is_some() {
+                        return Err(ConfigError::new("duplicate delay clause in fault spec"));
+                    }
+                    delay = Some(parse_f64(mean, "delay mean")?);
+                }
+                _ => {
+                    return Err(ConfigError::new(format!(
+                        "bad fault clause '{}' (expected none, crash:<mtbf>:<mttr>[:redispatch], \
+                         drop:<p>, delay:<mean>)",
+                        clause.trim()
+                    )));
+                }
+            }
+        }
+        if let Some(mean) = delay {
+            let loss = spec.loss.get_or_insert(LossSpec::default());
+            loss.delay_mean = mean;
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_round_trips() {
+        let none = FaultSpec::none();
+        assert!(none.is_none());
+        assert_eq!(none.to_string(), "none");
+        assert_eq!("none".parse::<FaultSpec>().unwrap(), none);
+        assert_eq!("".parse::<FaultSpec>().unwrap(), none);
+    }
+
+    #[test]
+    fn grammar_round_trips() {
+        for s in [
+            "crash:1000:50",
+            "crash:1000:50:redispatch",
+            "drop:0.5",
+            "crash:1000:50,drop:0.25",
+            "drop:0.25,delay:2",
+            "crash:500:10:redispatch,drop:0.1,delay:0.5",
+        ] {
+            let spec: FaultSpec = s.parse().unwrap();
+            assert_eq!(spec.to_string(), s, "display must round-trip '{s}'");
+            assert_eq!(spec.to_string().parse::<FaultSpec>().unwrap(), spec);
+        }
+    }
+
+    #[test]
+    fn delay_alone_parses_as_lossless_delay() {
+        let spec: FaultSpec = "delay:3".parse().unwrap();
+        let loss = spec.loss.unwrap();
+        assert_eq!(loss.drop_prob, 0.0);
+        assert_eq!(loss.delay_mean, 3.0);
+        // Display emits the canonical drop:0,delay:3 form.
+        assert_eq!(spec.to_string().parse::<FaultSpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for s in [
+            "crash",
+            "crash:10",
+            "crash:10:5:now",
+            "drop",
+            "drop:1.5",
+            "drop:-0.1",
+            "crash:0:5",
+            "crash:10:0",
+            "crash:inf:5",
+            "delay:-1",
+            "warp",
+            "drop:0.1,drop:0.2",
+        ] {
+            assert!(s.parse::<FaultSpec>().is_err(), "'{s}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn validate_checks_ranges() {
+        assert!(FaultSpec::crash(100.0, 5.0).validate().is_ok());
+        assert!(FaultSpec::crash(-1.0, 5.0).validate().is_err());
+        assert!(FaultSpec::drop(0.5).validate().is_ok());
+        assert!(FaultSpec::drop(2.0).validate().is_err());
+    }
+}

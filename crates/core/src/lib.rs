@@ -43,10 +43,16 @@
 
 mod config;
 mod engine;
+mod error;
 mod experiment;
+mod fault;
 mod metrics;
 
 pub use config::{ArrivalSpec, ConfigError, SimConfig, SimConfigBuilder};
-pub use engine::{run_simulation, RunResult};
-pub use experiment::{clients_for_mean_age, trial_seed, Experiment, ExperimentResult};
+pub use engine::{run_simulation, Diagnostic, FaultStats, RunResult};
+pub use error::SimError;
+pub use experiment::{
+    clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure,
+};
+pub use fault::{CrashSpec, FaultSpec, LossSpec};
 pub use metrics::{jain_fairness, RunDetail};

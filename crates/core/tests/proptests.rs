@@ -3,7 +3,7 @@
 //! invariants.
 
 use proptest::prelude::*;
-use staleload_core::{run_simulation, ArrivalSpec, SimConfig};
+use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
 use staleload_sim::Dist;
@@ -19,7 +19,10 @@ fn arb_policy() -> impl Strategy<Value = PolicySpec> {
         (0.1f64..1.5).prop_map(|lambda| PolicySpec::HybridLi { lambda }),
         (1usize..8, 0.1f64..1.5).prop_map(|(k, lambda)| PolicySpec::LiSubset { k, lambda }),
         (0.5f64..20.0).prop_map(|tau| PolicySpec::WeightedDecay { tau }),
-        Just(PolicySpec::AdaptiveLi { alpha: 0.05, warmup: 50 }),
+        Just(PolicySpec::AdaptiveLi {
+            alpha: 0.05,
+            warmup: 50
+        }),
     ]
 }
 
@@ -81,7 +84,7 @@ proptest! {
             b.work_stealing(min);
         }
         let cfg = b.build();
-        let r = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+        let r = run_simulation(&cfg, &arrivals_spec, &info, &policy).expect("valid config");
 
         prop_assert_eq!(r.generated, arrivals);
         prop_assert_eq!(r.measured_jobs, arrivals - cfg.warmup_jobs());
@@ -121,8 +124,8 @@ proptest! {
             .arrivals(2_000)
             .seed(seed)
             .build();
-        let a = run_simulation(&cfg, &arrivals_spec, &info, &policy);
-        let b = run_simulation(&cfg, &arrivals_spec, &info, &policy);
+        let a = run_simulation(&cfg, &arrivals_spec, &info, &policy).expect("valid config");
+        let b = run_simulation(&cfg, &arrivals_spec, &info, &policy).expect("valid config");
         prop_assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
         prop_assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
         prop_assert_eq!(a.detail.per_server_completed, b.detail.per_server_completed);
@@ -151,10 +154,107 @@ proptest! {
         b.capacities(caps.clone()).lambda(lambda).arrivals(3_000).seed(seed).work_stealing(2);
         let cfg = b.build();
         let policy = PolicySpec::HeteroLi { lambda, capacities: caps };
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy);
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy).expect("valid config");
         prop_assert_eq!(r.generated, 3_000);
         let completed: u64 = r.detail.per_server_completed.iter().sum();
         prop_assert_eq!(completed, 3_000);
         prop_assert_eq!(r.history_misses, 0);
+    }
+
+    /// `FaultSpec::none()` is bit-identical to never-failing fault specs:
+    /// the fault machinery must not perturb fault-free trajectories, and a
+    /// zero-probability loss channel must degenerate to the plain board.
+    #[test]
+    fn noop_faults_are_bit_identical_to_none(
+        servers in 2usize..16,
+        lambda in 0.1f64..0.9,
+        period in 0.5f64..15.0,
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let info = InfoSpec::Periodic { period };
+        let run_with = |faults: FaultSpec| {
+            let cfg = SimConfig::builder()
+                .servers(servers)
+                .lambda(lambda)
+                .arrivals(2_000)
+                .seed(seed)
+                .faults(faults)
+                .build();
+            run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy).expect("valid config")
+        };
+        let base = run_with(FaultSpec::none());
+        // MTBF far beyond the horizon: the first crash never fires.
+        let never_crash = run_with(FaultSpec::crash(1e15, 1.0));
+        prop_assert_eq!(base.mean_response.to_bits(), never_crash.mean_response.to_bits());
+        prop_assert_eq!(base.end_time.to_bits(), never_crash.end_time.to_bits());
+        prop_assert_eq!(never_crash.faults.crashes, 0);
+        // Zero drop probability: every refresh lands immediately.
+        let lossless = run_with(FaultSpec::drop(0.0));
+        prop_assert_eq!(base.mean_response.to_bits(), lossless.mean_response.to_bits());
+        prop_assert_eq!(base.end_time.to_bits(), lossless.end_time.to_bits());
+    }
+
+    /// Crash/recovery bookkeeping conserves jobs in both modes: everything
+    /// generated completes, recoveries never outnumber crashes, downtime
+    /// is non-negative, and the run is reproducible.
+    #[test]
+    fn crash_faults_conserve_jobs(
+        servers in 2usize..12,
+        lambda in 0.1f64..0.8,
+        mtbf in 50.0f64..400.0,
+        mttr in 1.0f64..40.0,
+        redispatch in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let mut faults = FaultSpec::crash(mtbf, mttr);
+        faults.crash = faults.crash.map(|mut c| { c.redispatch = redispatch; c });
+        let cfg = SimConfig::builder()
+            .servers(servers)
+            .lambda(lambda)
+            .arrivals(4_000)
+            .seed(seed)
+            .faults(faults)
+            .build();
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let policy = PolicySpec::BasicLi { lambda };
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+        prop_assert_eq!(r.generated, 4_000);
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed, 4_000);
+        prop_assert!(r.faults.recoveries <= r.faults.crashes);
+        prop_assert!(r.faults.downtime >= 0.0);
+        if !redispatch {
+            prop_assert_eq!(r.faults.redispatched, 0);
+        }
+        let again = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+        prop_assert_eq!(r.mean_response.to_bits(), again.mean_response.to_bits());
+        prop_assert_eq!(r.faults.crashes, again.faults.crashes);
+    }
+
+    /// The `--faults` grammar round-trips through Display and FromStr.
+    #[test]
+    fn fault_spec_round_trips(
+        mtbf in 1.0f64..1e6,
+        mttr in 1.0f64..1e4,
+        redispatch in any::<bool>(),
+        drop in proptest::option::of(0.0f64..1.0),
+        with_crash in any::<bool>(),
+    ) {
+        let mut spec = if with_crash {
+            let mut s = FaultSpec::crash(mtbf, mttr);
+            s.crash = s.crash.map(|mut c| { c.redispatch = redispatch; c });
+            s
+        } else {
+            FaultSpec::none()
+        };
+        if let Some(p) = drop {
+            spec.loss = Some(staleload_core::LossSpec::drop(p));
+        }
+        let text = spec.to_string();
+        let parsed: FaultSpec = text.parse().expect("display output must parse");
+        prop_assert_eq!(parsed, spec, "{}", text);
     }
 }

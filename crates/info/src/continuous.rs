@@ -115,8 +115,16 @@ impl ContinuousView {
     /// Panics if the delay mean is not positive and finite.
     pub fn new(delay: DelaySpec, knowledge: AgeKnowledge) -> Self {
         let mean = delay.mean();
-        assert!(mean.is_finite() && mean > 0.0, "delay mean must be positive, got {mean}");
-        Self { delay, dist: delay.dist(), knowledge, buf: Vec::new() }
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "delay mean must be positive, got {mean}"
+        );
+        Self {
+            delay,
+            dist: delay.dist(),
+            knowledge,
+            buf: Vec::new(),
+        }
     }
 
     /// The configured delay distribution.
@@ -145,7 +153,11 @@ impl InfoModel for ContinuousView {
             AgeKnowledge::MeanOnly => self.delay.mean(),
             AgeKnowledge::Actual => d,
         };
-        LoadView { loads: &self.buf, info: InfoAge::Aged { age } }
+        LoadView {
+            loads: &self.buf,
+            info: InfoAge::Aged { age },
+            ages: None,
+        }
     }
 
     fn after_placement(&mut self, _now: f64, _client: usize, _cluster: &Cluster) {}
@@ -164,7 +176,8 @@ mod tests {
     fn constant_delay_sees_past_state() {
         let mut rng = SimRng::from_seed(1);
         let mut cluster = Cluster::with_history(2, 100.0);
-        let mut model = ContinuousView::new(DelaySpec::Constant { mean: 5.0 }, AgeKnowledge::Actual);
+        let mut model =
+            ContinuousView::new(DelaySpec::Constant { mean: 5.0 }, AgeKnowledge::Actual);
         cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
         cluster.enqueue(1, Job::new(1, 4.0, 100.0), 4.0);
         // At t = 7 with delay 5 the view is the state at t = 2: only job 0.
@@ -210,7 +223,8 @@ mod tests {
     fn delay_before_time_zero_clamps_to_idle_state() {
         let mut rng = SimRng::from_seed(4);
         let mut cluster = Cluster::with_history(2, 100.0);
-        let mut model = ContinuousView::new(DelaySpec::Constant { mean: 50.0 }, AgeKnowledge::Actual);
+        let mut model =
+            ContinuousView::new(DelaySpec::Constant { mean: 50.0 }, AgeKnowledge::Actual);
         cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
         let view = model.view(2.0, 0, &mut cluster, &mut rng);
         assert_eq!(view.loads, &[0, 0], "state before t=0 is an idle cluster");

@@ -8,7 +8,8 @@ use staleload_cluster::Cluster;
 use staleload_policies::{InfoAge, LoadView};
 use staleload_sim::{EventQueue, SimRng};
 
-use crate::InfoModel;
+use crate::loss::LossChannel;
+use crate::{InfoModel, LossSpec};
 
 /// Individual updates: every server refreshes *its own* bulletin-board
 /// entry once per `period`, on its own schedule, so entries have mixed
@@ -19,14 +20,25 @@ use crate::InfoModel;
 /// single phase for LI to plan over; the view reports the *current mean
 /// entry age* (tracked exactly), which Basic LI interprets as its horizon —
 /// the natural generalization, and the one that makes the model comparable
-/// to `periodic` with the same `T`.
+/// to `periodic` with the same `T`. Per-entry ages ride along in
+/// [`LoadView::ages`] for age-aware policies.
+///
+/// With a lossy channel ([`IndividualBoard::with_loss`]) each refresh is
+/// independently dropped or delayed, and a crashed server skips its
+/// refreshes entirely (the schedule keeps ticking so it resumes after
+/// recovery).
 #[derive(Debug, Clone)]
 pub struct IndividualBoard {
     period: f64,
     board: Vec<u32>,
+    /// When each entry's current value was sampled from the cluster.
     refreshed_at: Vec<f64>,
+    /// Invariant: `refresh_sum == refreshed_at.iter().sum()`.
     refresh_sum: f64,
+    /// Scratch buffer for per-entry ages handed out by `view`.
+    ages: Vec<f64>,
     pending: EventQueue<usize>,
+    channel: Option<LossChannel>,
 }
 
 impl IndividualBoard {
@@ -37,7 +49,10 @@ impl IndividualBoard {
     /// Panics if `n == 0` or `period` is not positive and finite.
     pub fn new(n: usize, period: f64) -> Self {
         assert!(n > 0, "need at least one server");
-        assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period must be positive, got {period}"
+        );
         let mut pending = EventQueue::with_capacity(n);
         for server in 0..n {
             pending.push(server as f64 * period / n as f64, server);
@@ -47,8 +62,23 @@ impl IndividualBoard {
             board: vec![0; n],
             refreshed_at: vec![0.0; n],
             refresh_sum: 0.0,
+            ages: vec![0.0; n],
             pending,
+            channel: None,
         }
+    }
+
+    /// Creates a board whose refreshes traverse a lossy/delayed channel
+    /// (see [`LossSpec`]); `rng` should be forked from the engine's fault
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `period` is not positive and finite.
+    pub fn with_loss(n: usize, period: f64, loss: LossSpec, rng: SimRng) -> Self {
+        let mut board = Self::new(n, period);
+        board.channel = Some(LossChannel::new(loss, rng));
+        board
     }
 
     /// The per-server refresh period `T`.
@@ -60,19 +90,59 @@ impl IndividualBoard {
     pub fn mean_age(&self, now: f64) -> f64 {
         (now - self.refresh_sum / self.board.len() as f64).max(0.0)
     }
+
+    fn land(&mut self, server: usize, value: u32, sampled: f64) {
+        // Deliveries can arrive out of order; a landing older than the
+        // entry's current value is obsolete and discarded.
+        if sampled >= self.refreshed_at[server] {
+            self.board[server] = value;
+            self.refresh_sum += sampled - self.refreshed_at[server];
+            self.refreshed_at[server] = sampled;
+        }
+    }
+
+    fn next_refresh(&self) -> f64 {
+        self.pending
+            .peek_time()
+            .expect("a refresh is always scheduled")
+    }
 }
 
 impl InfoModel for IndividualBoard {
     fn next_event(&self) -> Option<f64> {
-        self.pending.peek_time()
+        let refresh = self.next_refresh();
+        match self.channel.as_ref().and_then(LossChannel::next_delivery) {
+            Some(t) if t < refresh => Some(t),
+            _ => Some(refresh),
+        }
     }
 
     fn on_event(&mut self, now: f64, cluster: &Cluster) {
+        // Delayed deliveries fire between refreshes (refresh wins ties;
+        // the obsolete-landing check makes the order immaterial).
+        let next_refresh = self.next_refresh();
+        if let Some(channel) = &mut self.channel {
+            if channel.next_delivery().is_some_and(|t| t < next_refresh) {
+                let landing = channel.pop_delivery().expect("delivery was peeked");
+                self.land(landing.server, landing.value, landing.sampled);
+                return;
+            }
+        }
         let (_, server) = self.pending.pop().expect("a refresh is always scheduled");
-        self.board[server] = cluster.load(server);
-        self.refresh_sum += now - self.refreshed_at[server];
-        self.refreshed_at[server] = now;
         self.pending.push(now + self.period, server);
+        // A crashed server skips its refresh; the entry decays in place.
+        if !cluster.is_up(server) {
+            return;
+        }
+        let value = cluster.load(server);
+        match &mut self.channel {
+            None => self.land(server, value, now),
+            Some(channel) => {
+                if let Some(l) = channel.send(now, server, value) {
+                    self.land(l.server, l.value, l.sampled);
+                }
+            }
+        }
     }
 
     fn view<'a>(
@@ -83,7 +153,14 @@ impl InfoModel for IndividualBoard {
         _rng: &mut SimRng,
     ) -> LoadView<'a> {
         let age = self.mean_age(now);
-        LoadView { loads: &self.board, info: InfoAge::Aged { age } }
+        for (slot, &at) in self.ages.iter_mut().zip(&self.refreshed_at) {
+            *slot = (now - at).max(0.0);
+        }
+        LoadView {
+            loads: &self.board,
+            info: InfoAge::Aged { age },
+            ages: Some(&self.ages),
+        }
     }
 
     fn after_placement(&mut self, _now: f64, _client: usize, _cluster: &Cluster) {}
@@ -123,7 +200,7 @@ mod tests {
         let mut board = IndividualBoard::new(2, 10.0);
         board.on_event(0.0, &cluster); // server 0 at t=0
         board.on_event(5.0, &cluster); // server 1 at t=5
-        // At t = 7: ages are 7 and 2, mean 4.5.
+                                       // At t = 7: ages are 7 and 2, mean 4.5.
         assert!((board.mean_age(7.0) - 4.5).abs() < 1e-12);
     }
 
@@ -136,5 +213,52 @@ mod tests {
         assert_eq!(board.next_event(), Some(4.0));
         board.on_event(4.0, &cluster);
         assert_eq!(board.next_event(), Some(8.0));
+    }
+
+    #[test]
+    fn per_entry_ages_match_refresh_history() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = IndividualBoard::new(2, 10.0);
+        board.on_event(0.0, &cluster);
+        board.on_event(5.0, &cluster);
+        let v = board.view(7.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.ages.unwrap(), &[7.0, 2.0]);
+    }
+
+    #[test]
+    fn down_server_skips_refresh_but_schedule_continues() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = IndividualBoard::new(2, 10.0);
+        cluster.enqueue(0, Job::new(0, 0.1, 100.0), 0.1);
+        cluster.crash(0, 0.5);
+        // Server 0's refresh at t=10 is skipped (it is down)...
+        board.on_event(0.0, &cluster);
+        board.on_event(5.0, &cluster);
+        board.on_event(10.0, &cluster);
+        let v = board.view(10.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.loads, &[0, 0]);
+        // ...but the schedule keeps ticking for after its recovery.
+        cluster.recover(0, 12.0, None);
+        board.on_event(15.0, &cluster); // server 1
+        board.on_event(20.0, &cluster); // server 0, now up again
+        let v = board.view(20.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.loads, &[1, 0]);
+    }
+
+    #[test]
+    fn full_drop_channel_never_updates() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(1);
+        let mut board =
+            IndividualBoard::with_loss(1, 5.0, LossSpec::drop(1.0), SimRng::from_seed(4));
+        cluster.enqueue(0, Job::new(0, 0.1, 100.0), 0.1);
+        for t in [0.0, 5.0, 10.0] {
+            board.on_event(t, &cluster);
+        }
+        let v = board.view(10.0, 0, &mut cluster, &mut rng);
+        assert_eq!(v.loads, &[0]);
+        assert_eq!(v.ages.unwrap(), &[10.0]);
     }
 }

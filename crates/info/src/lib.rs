@@ -48,12 +48,14 @@
 
 mod continuous;
 mod individual;
+mod loss;
 mod periodic;
 mod spec;
 mod update_on_access;
 
 pub use continuous::{AgeKnowledge, ContinuousView, DelaySpec};
 pub use individual::IndividualBoard;
+pub use loss::LossSpec;
 pub use periodic::PeriodicBoard;
 pub use spec::InfoSpec;
 pub use update_on_access::UpdateOnAccess;
@@ -118,7 +120,11 @@ impl InfoModel for FreshView {
         cluster: &'a mut Cluster,
         _rng: &mut SimRng,
     ) -> LoadView<'a> {
-        LoadView { loads: cluster.loads(), info: InfoAge::Aged { age: 0.0 } }
+        LoadView {
+            loads: cluster.loads(),
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        }
     }
 
     fn after_placement(&mut self, _now: f64, _client: usize, _cluster: &Cluster) {}

@@ -4,7 +4,8 @@ use staleload_cluster::Cluster;
 use staleload_policies::{InfoAge, LoadView};
 use staleload_sim::SimRng;
 
-use crate::InfoModel;
+use crate::loss::LossChannel;
+use crate::{InfoModel, LossSpec};
 
 /// A bulletin board visible to all arrivals, refreshed with the true server
 /// loads every `period` time units.
@@ -15,12 +16,26 @@ use crate::InfoModel;
 ///
 /// The board starts at time 0 showing an idle cluster (epoch 0) with the
 /// first refresh at `period` — i.e. time 0 is itself a phase boundary.
+///
+/// # Fault injection
+///
+/// With a lossy channel ([`PeriodicBoard::with_loss`]) each entry's refresh
+/// is independently dropped or delayed, so entries silently keep stale
+/// values past the phase boundary; a crashed server's entry is never
+/// refreshed while it is down. The view's per-entry [`LoadView::ages`]
+/// report the true staleness so an age-aware policy can discount what the
+/// phase metadata over-promises.
 #[derive(Debug, Clone)]
 pub struct PeriodicBoard {
     period: f64,
     board: Vec<u32>,
+    /// When each entry's current value was sampled from the cluster.
+    entry_times: Vec<f64>,
+    /// Scratch buffer for per-entry ages handed out by `view`.
+    ages: Vec<f64>,
     phase_start: f64,
     epoch: u64,
+    channel: Option<LossChannel>,
 }
 
 impl PeriodicBoard {
@@ -31,8 +46,32 @@ impl PeriodicBoard {
     /// Panics if `period` is not positive and finite or `n == 0`.
     pub fn new(n: usize, period: f64) -> Self {
         assert!(n > 0, "need at least one server");
-        assert!(period.is_finite() && period > 0.0, "period must be positive, got {period}");
-        Self { period, board: vec![0; n], phase_start: 0.0, epoch: 0 }
+        assert!(
+            period.is_finite() && period > 0.0,
+            "period must be positive, got {period}"
+        );
+        Self {
+            period,
+            board: vec![0; n],
+            entry_times: vec![0.0; n],
+            ages: vec![0.0; n],
+            phase_start: 0.0,
+            epoch: 0,
+            channel: None,
+        }
+    }
+
+    /// Creates a board whose refreshes traverse a lossy/delayed channel
+    /// (see [`LossSpec`]); `rng` should be forked from the engine's fault
+    /// stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is not positive and finite or `n == 0`.
+    pub fn with_loss(n: usize, period: f64, loss: LossSpec, rng: SimRng) -> Self {
+        let mut board = Self::new(n, period);
+        board.channel = Some(LossChannel::new(loss, rng));
+        board
     }
 
     /// The refresh period `T`.
@@ -44,16 +83,67 @@ impl PeriodicBoard {
     pub fn epoch(&self) -> u64 {
         self.epoch
     }
+
+    /// When each entry's current value was sampled.
+    pub fn entry_times(&self) -> &[f64] {
+        &self.entry_times
+    }
+
+    fn land(&mut self, server: usize, value: u32, sampled: f64) {
+        // Deliveries can arrive out of order; a landing older than the
+        // entry's current value is obsolete and discarded.
+        if sampled >= self.entry_times[server] {
+            self.board[server] = value;
+            self.entry_times[server] = sampled;
+        }
+    }
+
+    fn next_refresh(&self) -> f64 {
+        self.phase_start + self.period
+    }
 }
 
 impl InfoModel for PeriodicBoard {
     fn next_event(&self) -> Option<f64> {
-        Some(self.phase_start + self.period)
+        let refresh = self.next_refresh();
+        match self.channel.as_ref().and_then(LossChannel::next_delivery) {
+            Some(t) if t < refresh => Some(t),
+            _ => Some(refresh),
+        }
     }
 
     fn on_event(&mut self, now: f64, cluster: &Cluster) {
-        self.board.clear();
-        self.board.extend_from_slice(cluster.loads());
+        // Delayed deliveries fire between refreshes (refresh wins ties;
+        // the obsolete-landing check makes the order immaterial).
+        let next_refresh = self.next_refresh();
+        if let Some(channel) = &mut self.channel {
+            if channel.next_delivery().is_some_and(|t| t < next_refresh) {
+                let landing = channel.pop_delivery().expect("delivery was peeked");
+                self.land(landing.server, landing.value, landing.sampled);
+                // Any board mutation starts a new cache epoch for the
+                // policies even though the phase itself continues.
+                self.epoch += 1;
+                return;
+            }
+        }
+        for server in 0..self.board.len() {
+            // A crashed server sends no refresh; its entry decays in place.
+            if !cluster.is_up(server) {
+                continue;
+            }
+            let value = cluster.load(server);
+            match &mut self.channel {
+                None => {
+                    self.board[server] = value;
+                    self.entry_times[server] = now;
+                }
+                Some(channel) => {
+                    if let Some(l) = channel.send(now, server, value) {
+                        self.land(l.server, l.value, l.sampled);
+                    }
+                }
+            }
+        }
         self.phase_start = now;
         self.epoch += 1;
     }
@@ -65,6 +155,9 @@ impl InfoModel for PeriodicBoard {
         _cluster: &'a mut Cluster,
         _rng: &mut SimRng,
     ) -> LoadView<'a> {
+        for (age, &at) in self.ages.iter_mut().zip(&self.entry_times) {
+            *age = (now - at).max(0.0);
+        }
         LoadView {
             loads: &self.board,
             info: InfoAge::Phase {
@@ -73,6 +166,7 @@ impl InfoModel for PeriodicBoard {
                 now,
                 epoch: self.epoch,
             },
+            ages: Some(&self.ages),
         }
     }
 
@@ -96,7 +190,11 @@ mod tests {
         cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
         cluster.enqueue(0, Job::new(1, 2.0, 100.0), 2.0);
         let view = board.view(3.0, 0, &mut cluster, &mut rng);
-        assert_eq!(view.loads, &[0, 0, 0], "phase-start snapshot, not live loads");
+        assert_eq!(
+            view.loads,
+            &[0, 0, 0],
+            "phase-start snapshot, not live loads"
+        );
     }
 
     #[test]
@@ -112,7 +210,12 @@ mod tests {
         let view = board.view(10.5, 0, &mut cluster, &mut rng);
         assert_eq!(view.loads, &[0, 1]);
         match view.info {
-            InfoAge::Phase { start, length, now, epoch } => {
+            InfoAge::Phase {
+                start,
+                length,
+                now,
+                epoch,
+            } => {
                 assert_eq!(start, 10.0);
                 assert_eq!(length, 10.0);
                 assert_eq!(now, 10.5);
@@ -120,5 +223,96 @@ mod tests {
             }
             other => panic!("expected phase info, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn entry_ages_track_refreshes() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = PeriodicBoard::new(2, 10.0);
+        board.on_event(10.0, &cluster);
+        let view = board.view(13.0, 0, &mut cluster, &mut rng);
+        let ages = view.ages.expect("boards report per-entry ages");
+        assert_eq!(ages, &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn down_server_entry_goes_stale() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board = PeriodicBoard::new(2, 10.0);
+        cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
+        cluster.enqueue(1, Job::new(1, 1.0, 100.0), 1.0);
+        cluster.crash(1, 2.0);
+        board.on_event(10.0, &cluster);
+        let view = board.view(10.0, 0, &mut cluster, &mut rng);
+        assert_eq!(
+            view.loads,
+            &[1, 0],
+            "down server's entry keeps its cold value"
+        );
+        let ages = view.ages.unwrap();
+        assert_eq!(ages[0], 0.0);
+        assert_eq!(ages[1], 10.0, "the stale entry's age keeps growing");
+    }
+
+    #[test]
+    fn full_drop_channel_never_updates() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(2);
+        let mut board =
+            PeriodicBoard::with_loss(2, 10.0, LossSpec::drop(1.0), SimRng::from_seed(7));
+        cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
+        board.on_event(10.0, &cluster);
+        board.on_event(20.0, &cluster);
+        let view = board.view(20.0, 0, &mut cluster, &mut rng);
+        assert_eq!(view.loads, &[0, 0], "every refresh was dropped");
+        assert_eq!(view.ages.unwrap(), &[20.0, 20.0]);
+    }
+
+    #[test]
+    fn lossless_channel_matches_plain_board() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(3);
+        let mut plain = PeriodicBoard::new(3, 5.0);
+        let mut lossy = PeriodicBoard::with_loss(3, 5.0, LossSpec::drop(0.0), SimRng::from_seed(9));
+        cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
+        cluster.enqueue(2, Job::new(1, 1.5, 100.0), 1.5);
+        for t in [5.0, 10.0] {
+            plain.on_event(t, &cluster);
+            lossy.on_event(t, &cluster);
+        }
+        let a = plain.view(11.0, 0, &mut cluster, &mut rng).loads.to_vec();
+        let b = lossy.view(11.0, 0, &mut cluster, &mut rng).loads.to_vec();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn delayed_refresh_lands_later_with_sample_age() {
+        let mut rng = SimRng::from_seed(1);
+        let mut cluster = Cluster::new(1);
+        let mut board =
+            PeriodicBoard::with_loss(1, 10.0, LossSpec::delay(2.0), SimRng::from_seed(3));
+        cluster.enqueue(0, Job::new(0, 1.0, 100.0), 1.0);
+        // The refresh at t=10 samples load 1 but is still in flight.
+        board.on_event(10.0, &cluster);
+        assert_eq!(board.view(10.0, 0, &mut cluster, &mut rng).loads, &[0]);
+        // Drive events until the delivery lands (before the next refresh
+        // or after — either way the value eventually appears).
+        let mut guard = 0;
+        while board.view(0.0, 0, &mut cluster, &mut rng).loads[0] == 0 {
+            let t = board.next_event().unwrap();
+            board.on_event(t, &cluster);
+            guard += 1;
+            assert!(guard < 100, "delivery must land eventually");
+        }
+        // The entry's age baseline is a refresh instant (a multiple of the
+        // period — whichever in-flight sample landed first), never the
+        // landing time itself.
+        let sampled = board.entry_times()[0];
+        assert!(
+            sampled >= 10.0 && sampled % 10.0 == 0.0,
+            "sample time {sampled}"
+        );
     }
 }

@@ -2,9 +2,11 @@
 
 use serde::{Deserialize, Serialize};
 
+use staleload_sim::SimRng;
+
 use crate::{
-    AgeKnowledge, ContinuousView, DelaySpec, FreshView, IndividualBoard, InfoModel, PeriodicBoard,
-    UpdateOnAccess,
+    AgeKnowledge, ContinuousView, DelaySpec, FreshView, IndividualBoard, InfoModel, LossSpec,
+    PeriodicBoard, UpdateOnAccess,
 };
 
 /// A serializable description of an information model, used by the
@@ -60,6 +62,68 @@ impl InfoSpec {
         }
     }
 
+    /// Instantiates the model with its board refreshes routed through a
+    /// lossy/delayed update channel (fault injection).
+    ///
+    /// Only the bulletin-board models have an update channel to disturb;
+    /// returns `None` for the others (the caller should surface that as a
+    /// configuration error). `rng` should be forked from the engine's
+    /// fault stream so the channel's draws stay off the fault-free
+    /// streams.
+    pub fn build_lossy(
+        &self,
+        servers: usize,
+        loss: LossSpec,
+        rng: SimRng,
+    ) -> Option<Box<dyn InfoModel + Send>> {
+        match *self {
+            InfoSpec::Periodic { period } => Some(Box::new(PeriodicBoard::with_loss(
+                servers, period, loss, rng,
+            ))),
+            InfoSpec::Individual { period } => Some(Box::new(IndividualBoard::with_loss(
+                servers, period, loss, rng,
+            ))),
+            _ => None,
+        }
+    }
+
+    /// Whether [`InfoSpec::build_lossy`] supports this model.
+    pub fn supports_loss(&self) -> bool {
+        matches!(
+            self,
+            InfoSpec::Periodic { .. } | InfoSpec::Individual { .. }
+        )
+    }
+
+    /// Checks the spec's parameters are in range, so a driver can reject
+    /// a bad configuration with an error instead of the constructor
+    /// assertions firing mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            InfoSpec::Periodic { period } | InfoSpec::Individual { period } => {
+                if !(period.is_finite() && *period > 0.0) {
+                    return Err(format!(
+                        "refresh period must be positive and finite, got {period}"
+                    ));
+                }
+            }
+            InfoSpec::Continuous { delay, .. } => {
+                let mean = delay.mean();
+                if !(mean.is_finite() && mean >= 0.0) {
+                    return Err(format!(
+                        "delay mean must be non-negative and finite, got {mean}"
+                    ));
+                }
+            }
+            InfoSpec::UpdateOnAccess | InfoSpec::Fresh => {}
+        }
+        Ok(())
+    }
+
     /// History window the cluster must retain for this model.
     pub fn history_window(&self) -> Option<f64> {
         match self {
@@ -110,8 +174,35 @@ mod tests {
     }
 
     #[test]
+    fn lossy_builds_only_for_boards() {
+        let loss = LossSpec::drop(0.5);
+        assert!(InfoSpec::Periodic { period: 5.0 }.supports_loss());
+        assert!(InfoSpec::Individual { period: 5.0 }.supports_loss());
+        assert!(!InfoSpec::Fresh.supports_loss());
+        assert!(!InfoSpec::UpdateOnAccess.supports_loss());
+        assert!(InfoSpec::Periodic { period: 5.0 }
+            .build_lossy(4, loss, SimRng::from_seed(1))
+            .is_some());
+        assert!(InfoSpec::Fresh
+            .build_lossy(4, loss, SimRng::from_seed(1))
+            .is_none());
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert!(InfoSpec::Periodic { period: 5.0 }.validate().is_ok());
+        assert!(InfoSpec::Periodic { period: 0.0 }.validate().is_err());
+        assert!(InfoSpec::Individual { period: f64::NAN }
+            .validate()
+            .is_err());
+        assert!(InfoSpec::Fresh.validate().is_ok());
+    }
+
+    #[test]
     fn history_window_only_for_continuous() {
-        assert!(InfoSpec::Periodic { period: 1.0 }.history_window().is_none());
+        assert!(InfoSpec::Periodic { period: 1.0 }
+            .history_window()
+            .is_none());
         assert!(InfoSpec::UpdateOnAccess.history_window().is_none());
         let c = InfoSpec::Continuous {
             delay: DelaySpec::Constant { mean: 3.0 },

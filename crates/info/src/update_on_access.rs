@@ -34,7 +34,11 @@ impl UpdateOnAccess {
     pub fn new(clients: usize, servers: usize) -> Self {
         assert!(clients > 0, "need at least one client");
         assert!(servers > 0, "need at least one server");
-        Self { snapshots: vec![0; clients * servers], taken_at: vec![0.0; clients], servers }
+        Self {
+            snapshots: vec![0; clients * servers],
+            taken_at: vec![0.0; clients],
+            servers,
+        }
     }
 
     /// Number of clients.
@@ -62,7 +66,11 @@ impl InfoModel for UpdateOnAccess {
         _rng: &mut SimRng,
     ) -> LoadView<'a> {
         let age = (now - self.taken_at[client]).max(0.0);
-        LoadView { loads: self.snapshot(client), info: InfoAge::Aged { age } }
+        LoadView {
+            loads: self.snapshot(client),
+            info: InfoAge::Aged { age },
+            ages: None,
+        }
     }
 
     fn after_placement(&mut self, now: f64, client: usize, cluster: &Cluster) {

@@ -22,7 +22,7 @@ use crate::{LoadView, Policy};
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [10, 0];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.1 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.1 }, ages: None };
 /// let mut policy = WeightedDecay::new(5.0);
 /// let picks = (0..100).filter(|_| policy.select(&view, &mut rng) == 1).count();
 /// assert!(picks > 60, "short queue should dominate while info is fresh");
@@ -41,8 +41,14 @@ impl WeightedDecay {
     ///
     /// Panics if `tau` is not positive and finite.
     pub fn new(tau: f64) -> Self {
-        assert!(tau.is_finite() && tau > 0.0, "tau must be positive, got {tau}");
-        Self { tau, weights: Vec::new() }
+        assert!(
+            tau.is_finite() && tau > 0.0,
+            "tau must be positive, got {tau}"
+        );
+        Self {
+            tau,
+            weights: Vec::new(),
+        }
     }
 
     /// The decay time constant.
@@ -74,7 +80,11 @@ mod tests {
     fn freq_of_zero(age: f64, tau: f64) -> f64 {
         let mut rng = SimRng::from_seed(1);
         let loads = [0u32, 9];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age },
+            ages: None,
+        };
         let mut p = WeightedDecay::new(tau);
         let n = 20_000;
         let hits = (0..n).filter(|_| p.select(&view, &mut rng) == 0).count();

@@ -28,7 +28,7 @@ use crate::{InfoAge, LoadView, Policy};
 /// // fast server has the lower expected wait and receives the traffic.
 /// let mut li = HeteroLi::new(0.9, vec![2.0, 0.5]);
 /// let loads = [2, 2];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 }, ages: None };
 /// assert_eq!(li.select(&view, &mut rng), 0);
 /// ```
 #[derive(Debug, Clone)]
@@ -60,14 +60,25 @@ impl HeteroLi {
             "capacities must be positive and finite"
         );
         let total_capacity = capacities.iter().sum();
-        Self { lambda, capacities, total_capacity, epoch: None, probs: Vec::new(), order: Vec::new() }
+        Self {
+            lambda,
+            capacities,
+            total_capacity,
+            epoch: None,
+            probs: Vec::new(),
+            order: Vec::new(),
+        }
     }
 
     /// Computes the weighted water-fill probabilities for the given loads
     /// and expected arrivals.
     fn fill(&mut self, loads: &[u32], r: f64) {
         let n = loads.len();
-        assert_eq!(n, self.capacities.len(), "view size must match configured capacities");
+        assert_eq!(
+            n,
+            self.capacities.len(),
+            "view size must match configured capacities"
+        );
         self.probs.clear();
         self.probs.resize(n, 0.0);
 
@@ -75,15 +86,24 @@ impl HeteroLi {
         self.order.clear();
         self.order.extend(0..n);
         let wait = |i: usize| f64::from(loads[i]) / self.capacities[i];
-        self.order.sort_by(|&a, &b| wait(a).partial_cmp(&wait(b)).expect("finite waits").then(a.cmp(&b)));
+        self.order.sort_by(|&a, &b| {
+            wait(a)
+                .partial_cmp(&wait(b))
+                .expect("finite waits")
+                .then(a.cmp(&b))
+        });
 
         if r <= MIN_EXPECTED_ARRIVALS {
             // Fresh information: pick the minimum-wait servers, weighted by
             // capacity (a 2x server should absorb 2x of the instantaneous
             // traffic among tied minima).
             let w0 = wait(self.order[0]);
-            let tied: Vec<usize> =
-                self.order.iter().copied().filter(|&i| wait(i) <= w0 + 1e-12).collect();
+            let tied: Vec<usize> = self
+                .order
+                .iter()
+                .copied()
+                .filter(|&i| wait(i) <= w0 + 1e-12)
+                .collect();
             let cap_sum: f64 = tied.iter().map(|&i| self.capacities[i]).sum();
             for &i in &tied {
                 self.probs[i] = self.capacities[i] / cap_sum;
@@ -137,7 +157,11 @@ mod tests {
 
     fn probs(caps: &[f64], loads: &[u32], r_per_unit_cap_time: f64, age: f64) -> Vec<f64> {
         let mut li = HeteroLi::new(r_per_unit_cap_time, caps.to_vec());
-        let view = LoadView { loads, info: InfoAge::Aged { age } };
+        let view = LoadView {
+            loads,
+            info: InfoAge::Aged { age },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(1);
         let n = loads.len();
         let mut counts = vec![0usize; n];
@@ -156,9 +180,15 @@ mod tests {
         let h = probs(&[1.0, 1.0], &loads, 1.0, 4.0);
         assert!((h[0] - 0.75).abs() < 0.01, "{h:?}");
         let mut basic = BasicLi::new(1.0);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 4.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 4.0 },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(2);
-        let hits = (0..200_000).filter(|_| basic.select(&view, &mut rng) == 0).count();
+        let hits = (0..200_000)
+            .filter(|_| basic.select(&view, &mut rng) == 0)
+            .count();
         assert!((h[0] - hits as f64 / 200_000.0).abs() < 0.01);
     }
 
@@ -196,7 +226,11 @@ mod tests {
         let mut li = HeteroLi::new(0.9, vec![0.5, 1.5, 1.0, 2.0]);
         let loads = [5u32, 1, 0, 7];
         for age in [0.0, 0.5, 2.0, 100.0] {
-            let view = LoadView { loads: &loads, info: InfoAge::Aged { age } };
+            let view = LoadView {
+                loads: &loads,
+                info: InfoAge::Aged { age },
+                ages: None,
+            };
             let mut rng = SimRng::from_seed(3);
             let s = li.select(&view, &mut rng);
             assert!(s < 4);
@@ -208,7 +242,11 @@ mod tests {
     fn mismatched_view_size_panics() {
         let mut li = HeteroLi::new(0.9, vec![1.0, 1.0]);
         let loads = [1u32, 2, 3];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(4);
         let _ = li.select(&view, &mut rng);
     }

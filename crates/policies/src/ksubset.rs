@@ -20,7 +20,7 @@ use crate::{least_loaded, Load, LoadView, Policy};
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [9, 0, 9, 9];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
 /// let mut k2 = KSubset::new(2);
 /// // Whenever server 1 lands in the sampled pair, it wins.
 /// let picks: Vec<usize> = (0..64).map(|_| k2.select(&view, &mut rng)).collect();
@@ -40,7 +40,10 @@ impl KSubset {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be at least 1");
-        Self { k, scratch: Vec::new() }
+        Self {
+            k,
+            scratch: Vec::new(),
+        }
     }
 
     /// The subset size `k` (clamped to `n` at selection time).
@@ -109,7 +112,10 @@ impl Policy for Greedy {
 /// assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
 /// ```
 pub fn rank_distribution(n: usize, k: usize) -> Vec<f64> {
-    assert!(n > 0 && k > 0 && k <= n, "need 1 <= k <= n, got k={k}, n={n}");
+    assert!(
+        n > 0 && k > 0 && k <= n,
+        "need 1 <= k <= n, got k={k}, n={n}"
+    );
     let mut p = vec![0.0; n];
     // p(0) = k/n; ratio p(r+1)/p(r) = (n-k-r) / (n-1-r).
     let mut cur = k as f64 / n as f64;
@@ -134,7 +140,11 @@ pub fn empirical_rank_frequencies(
     draws: usize,
     rng: &mut SimRng,
 ) -> Vec<f64> {
-    let view = LoadView { loads, info: crate::InfoAge::Aged { age: 1.0 } };
+    let view = LoadView {
+        loads,
+        info: crate::InfoAge::Aged { age: 1.0 },
+        ages: None,
+    };
     let mut counts = vec![0usize; loads.len()];
     for _ in 0..draws {
         counts[policy.select(&view, rng)] += 1;
@@ -212,7 +222,11 @@ mod tests {
     fn greedy_always_picks_minimum() {
         let mut rng = SimRng::from_seed(3);
         let loads = [4u32, 2, 7];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         for _ in 0..50 {
             assert_eq!(Greedy.select(&view, &mut rng), 1);
         }
@@ -222,7 +236,11 @@ mod tests {
     fn ksubset_k_larger_than_n_degenerates_to_greedy() {
         let mut rng = SimRng::from_seed(4);
         let loads = [4u32, 2, 7];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         let mut k100 = KSubset::new(100);
         for _ in 0..50 {
             assert_eq!(k100.select(&view, &mut rng), 1);
@@ -233,7 +251,11 @@ mod tests {
     fn ksubset_ties_split_randomly() {
         let mut rng = SimRng::from_seed(5);
         let loads = [0u32, 0];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         let mut k2 = KSubset::new(2);
         let mut counts = [0usize; 2];
         for _ in 0..10_000 {

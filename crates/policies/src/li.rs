@@ -323,8 +323,12 @@ mod tests {
             .map(|(&q, &p)| f64::from(q) + r * p)
             .collect();
         // Receivers all end at the same level; non-receivers stay put.
-        let receiving: Vec<f64> =
-            probs.iter().zip(&levels).filter(|(&p, _)| p > 0.0).map(|(_, &l)| l).collect();
+        let receiving: Vec<f64> = probs
+            .iter()
+            .zip(&levels)
+            .filter(|(&p, _)| p > 0.0)
+            .map(|(_, &l)| l)
+            .collect();
         for w in receiving.windows(2) {
             assert!((w[0] - w[1]).abs() < 1e-9, "{levels:?}");
         }

@@ -77,7 +77,10 @@ impl BasicLi {
     ///
     /// Panics if `lambda` is negative or not finite.
     pub fn new(lambda: f64) -> Self {
-        Self { lambda: check_lambda(lambda), cache: ProbCache::default() }
+        Self {
+            lambda: check_lambda(lambda),
+            cache: ProbCache::default(),
+        }
     }
 
     /// The configured arrival-rate estimate λ̂.
@@ -125,7 +128,11 @@ impl AggressiveLi {
     ///
     /// Panics if `lambda` is negative or not finite.
     pub fn new(lambda: f64) -> Self {
-        Self { lambda: check_lambda(lambda), epoch: None, schedule: None }
+        Self {
+            lambda: check_lambda(lambda),
+            epoch: None,
+            schedule: None,
+        }
     }
 }
 
@@ -171,13 +178,22 @@ impl HybridLi {
     ///
     /// Panics if `lambda` is negative or not finite.
     pub fn new(lambda: f64) -> Self {
-        Self { lambda: check_lambda(lambda), epoch: None, fill_until: 0.0, fill_cdf: Vec::new() }
+        Self {
+            lambda: check_lambda(lambda),
+            epoch: None,
+            fill_until: 0.0,
+            fill_cdf: Vec::new(),
+        }
     }
 
     fn rebuild(&mut self, loads: &[u32], total_rate: f64) {
         let max = f64::from(*loads.iter().max().expect("non-empty loads"));
         let deficit_total: f64 = loads.iter().map(|&l| max - f64::from(l)).sum();
-        self.fill_until = if total_rate > 0.0 { deficit_total / total_rate } else { f64::INFINITY };
+        self.fill_until = if total_rate > 0.0 {
+            deficit_total / total_rate
+        } else {
+            f64::INFINITY
+        };
         self.fill_cdf.clear();
         let mut acc = 0.0;
         for &l in loads {
@@ -239,7 +255,10 @@ impl AdaptiveLi {
     ///
     /// Panics if `alpha` is not in `(0, 1]`.
     pub fn new(alpha: f64, warmup_arrivals: u64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
         Self {
             alpha,
             warmup_arrivals,
@@ -253,7 +272,8 @@ impl AdaptiveLi {
     /// The current estimate of the *total* arrival rate `λ·n`
     /// (`None` until the first gap is observed).
     pub fn estimated_total_rate(&self) -> Option<f64> {
-        self.ewma_gap.map(|g| if g > 0.0 { 1.0 / g } else { f64::INFINITY })
+        self.ewma_gap
+            .map(|g| if g > 0.0 { 1.0 / g } else { f64::INFINITY })
     }
 
     fn lambda_per_server(&self, n: usize) -> f64 {
@@ -303,11 +323,22 @@ mod tests {
     fn phase_view(loads: &[u32], length: f64, elapsed: f64, epoch: u64) -> LoadView<'_> {
         LoadView {
             loads,
-            info: InfoAge::Phase { start: 100.0, length, now: 100.0 + elapsed, epoch },
+            info: InfoAge::Phase {
+                start: 100.0,
+                length,
+                now: 100.0 + elapsed,
+                epoch,
+            },
+            ages: None,
         }
     }
 
-    fn frequencies(policy: &mut dyn Policy, view: &LoadView<'_>, n: usize, draws: usize) -> Vec<f64> {
+    fn frequencies(
+        policy: &mut dyn Policy,
+        view: &LoadView<'_>,
+        n: usize,
+        draws: usize,
+    ) -> Vec<f64> {
         let mut rng = SimRng::from_seed(99);
         let mut counts = vec![0usize; n];
         for _ in 0..draws {
@@ -332,7 +363,11 @@ mod tests {
         // Aged 0 ⇒ R = 0 ⇒ always the least-loaded server.
         let loads = [3u32, 1, 4];
         let mut li = BasicLi::new(0.9);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(5);
         for _ in 0..100 {
             assert_eq!(li.select(&view, &mut rng), 1);
@@ -343,7 +378,11 @@ mod tests {
     fn basic_li_stale_info_is_nearly_uniform() {
         let loads = [3u32, 1, 4, 2];
         let mut li = BasicLi::new(0.9);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1e7 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1e7 },
+            ages: None,
+        };
         let freq = frequencies(&mut li, &view, 4, 40_000);
         for &f in &freq {
             assert!((f - 0.25).abs() < 0.02, "{freq:?}");
@@ -357,12 +396,30 @@ mod tests {
         let mut li = BasicLi::new(1.0);
         let mut rng = SimRng::from_seed(6);
         // Short phase: all traffic to the least-loaded server.
-        let va = LoadView { loads: &loads_a, info: InfoAge::Phase { start: 0.0, length: 1.0, now: 0.0, epoch: 1 } };
+        let va = LoadView {
+            loads: &loads_a,
+            info: InfoAge::Phase {
+                start: 0.0,
+                length: 1.0,
+                now: 0.0,
+                epoch: 1,
+            },
+            ages: None,
+        };
         assert_eq!(li.select(&va, &mut rng), 0);
         // Same epoch, the cache must answer identically.
         assert_eq!(li.select(&va, &mut rng), 0);
         // New epoch with reversed loads: the cache must refresh.
-        let vb = LoadView { loads: &loads_b, info: InfoAge::Phase { start: 1.0, length: 1.0, now: 1.0, epoch: 2 } };
+        let vb = LoadView {
+            loads: &loads_b,
+            info: InfoAge::Phase {
+                start: 1.0,
+                length: 1.0,
+                now: 1.0,
+                epoch: 2,
+            },
+            ages: None,
+        };
         assert_eq!(li.select(&vb, &mut rng), 1);
     }
 
@@ -395,12 +452,20 @@ mod tests {
         // uniform; with tiny age it is greedy.
         let loads = [0u32, 2, 4];
         let mut li = AggressiveLi::new(1.0);
-        let uniform_view = LoadView { loads: &loads, info: InfoAge::Aged { age: 100.0 } };
+        let uniform_view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 100.0 },
+            ages: None,
+        };
         let freq = frequencies(&mut li, &uniform_view, 3, 30_000);
         for &f in &freq {
             assert!((f - 1.0 / 3.0).abs() < 0.02, "{freq:?}");
         }
-        let fresh_view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let fresh_view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(8);
         for _ in 0..50 {
             assert_eq!(li.select(&fresh_view, &mut rng), 0);
@@ -439,7 +504,11 @@ mod tests {
         // water level 3.5 ⇒ p = [0.7, 0.3, 0].
         let loads = [0u32, 2, 10];
         let mut li = BasicLi::new(1.0);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 5.0 / 3.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 5.0 / 3.0 },
+            ages: None,
+        };
         let freq = frequencies(&mut li, &view, 3, 60_000);
         assert!((freq[0] - 0.7).abs() < 0.01, "{freq:?}");
         assert!((freq[1] - 0.3).abs() < 0.01, "{freq:?}");
@@ -499,7 +568,11 @@ mod tests {
             li.observe_arrival(i as f64 * 0.5);
         }
         let loads = [0u32, 4];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 4.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 4.0 },
+            ages: None,
+        };
         let freq = frequencies(&mut li, &view, 2, 60_000);
         assert!((freq[0] - 0.75).abs() < 0.02, "{freq:?}");
     }

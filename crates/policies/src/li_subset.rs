@@ -22,7 +22,7 @@ use crate::{LoadView, Policy};
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [4, 4, 4, 0];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.01 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.01 }, ages: None };
 /// let mut li3 = LiSubset::new(3, 0.9);
 /// let pick = li3.select(&view, &mut rng);
 /// assert!(pick < 4);
@@ -72,10 +72,16 @@ impl Policy for LiSubset {
         let k = self.k.min(n);
         let subset = rng.distinct_indices(k, n, &mut self.subset_scratch);
         self.loads_scratch.clear();
-        self.loads_scratch.extend(subset.iter().map(|&s| view.loads[s]));
+        self.loads_scratch
+            .extend(subset.iter().map(|&s| view.loads[s]));
         // Per §5.7: replace n by k in the expected-arrival count.
         let r = self.lambda * k as f64 * view.info.horizon();
-        basic_li_probabilities(&self.loads_scratch, r, &mut self.probs, &mut self.sort_scratch);
+        basic_li_probabilities(
+            &self.loads_scratch,
+            r,
+            &mut self.probs,
+            &mut self.sort_scratch,
+        );
         let within = rng.discrete(&self.probs);
         self.subset_scratch[within]
     }
@@ -90,14 +96,20 @@ mod tests {
     fn fresh_info_picks_least_loaded_of_subset() {
         let mut rng = SimRng::from_seed(1);
         let loads = [9u32, 9, 9, 0];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 0.0 },
+            ages: None,
+        };
         let mut li = LiSubset::new(2, 0.9);
         // Whenever server 3 is sampled it must win (R = 0 -> least loaded).
         for _ in 0..500 {
             let s = li.select(&view, &mut rng);
             assert!(s < 4);
         }
-        let wins = (0..2000).filter(|_| li.select(&view, &mut rng) == 3).count();
+        let wins = (0..2000)
+            .filter(|_| li.select(&view, &mut rng) == 3)
+            .count();
         // Server 3 is in a random 2-subset with probability 1/2.
         let f = wins as f64 / 2000.0;
         assert!((f - 0.5).abs() < 0.05, "{f}");
@@ -107,7 +119,11 @@ mod tests {
     fn stale_info_is_nearly_uniform() {
         let mut rng = SimRng::from_seed(2);
         let loads = [9u32, 0, 5, 2];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1e7 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1e7 },
+            ages: None,
+        };
         let mut li = LiSubset::new(2, 0.9);
         let mut counts = [0usize; 4];
         let n = 40_000;
@@ -125,7 +141,11 @@ mod tests {
         use crate::BasicLi;
         let mut rng = SimRng::from_seed(3);
         let loads = [0u32, 4];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 4.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 4.0 },
+            ages: None,
+        };
         // Full info: λ·n·T = 1·2·4 = 8 -> p = [0.75, 0.25].
         let mut full = BasicLi::new(1.0);
         let mut lik = LiSubset::new(2, 1.0);

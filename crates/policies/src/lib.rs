@@ -32,7 +32,7 @@
 //!
 //! let mut rng = SimRng::from_seed(1);
 //! let loads = [9, 0, 3, 3];
-//! let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.5 } };
+//! let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.5 }, ages: None };
 //!
 //! // Fresh-ish information: Basic LI concentrates on the short queues.
 //! let mut li = BasicLi::new(0.9);
@@ -56,6 +56,7 @@ mod li_subset;
 mod random;
 mod sita;
 mod spec;
+mod staleness;
 mod threshold;
 
 pub use decay::WeightedDecay;
@@ -67,6 +68,7 @@ pub use li_subset::LiSubset;
 pub use random::Random;
 pub use sita::Sita;
 pub use spec::PolicySpec;
+pub use staleness::StalenessGate;
 pub use threshold::{ProbeThreshold, Threshold};
 
 use staleload_sim::SimRng;
@@ -133,6 +135,33 @@ pub struct LoadView<'a> {
     pub loads: &'a [Load],
     /// Age/phase context for the report.
     pub info: InfoAge,
+    /// Per-server age of each entry, when entries age independently
+    /// (bulletin boards under fault injection: dropped/delayed refreshes
+    /// and crashed servers leave entries stale past what `info`
+    /// advertises). `None` means every entry is as old as `info` says —
+    /// the paper's fault-free setting.
+    pub ages: Option<&'a [f64]>,
+}
+
+impl<'a> LoadView<'a> {
+    /// A view whose entries all share the age context of `info` (the
+    /// fault-free case).
+    pub fn uniform(loads: &'a [Load], info: InfoAge) -> Self {
+        Self {
+            loads,
+            info,
+            ages: None,
+        }
+    }
+
+    /// The age of one entry: its individual age when tracked, otherwise
+    /// the view-wide elapsed time.
+    pub fn entry_age(&self, server: usize) -> f64 {
+        match self.ages {
+            Some(ages) => ages[server],
+            None => self.info.elapsed(),
+        }
+    }
 }
 
 /// A server-selection policy.
@@ -229,7 +258,12 @@ mod tests {
 
     #[test]
     fn info_age_horizon_and_elapsed() {
-        let phase = InfoAge::Phase { start: 10.0, length: 4.0, now: 11.5, epoch: 3 };
+        let phase = InfoAge::Phase {
+            start: 10.0,
+            length: 4.0,
+            now: 11.5,
+            epoch: 3,
+        };
         assert_eq!(phase.horizon(), 4.0);
         assert!((phase.elapsed() - 1.5).abs() < 1e-12);
         let aged = InfoAge::Aged { age: 2.5 };

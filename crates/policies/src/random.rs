@@ -18,7 +18,7 @@ use crate::{LoadView, Policy};
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [100, 0];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
 /// // Random happily sends jobs to the long queue too.
 /// let picks: Vec<usize> = (0..8).map(|_| Random.select(&view, &mut rng)).collect();
 /// assert!(picks.iter().any(|&s| s == 0));
@@ -41,7 +41,11 @@ mod tests {
     fn selection_is_uniform() {
         let mut rng = SimRng::from_seed(1);
         let loads = [5u32, 0, 2, 9];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut counts = [0usize; 4];
         let n = 40_000;
         for _ in 0..n {

@@ -187,7 +187,11 @@ mod tests {
         let d = Dist::bounded_pareto_with_mean(1.1, 1024.0, 1.0).unwrap();
         let mut sita = Sita::equal_load(&d, 8);
         let loads = [0u32; 8];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut rng = SimRng::from_seed(42);
         assert_eq!(sita.select_sized(&view, 1000.0, &mut rng), 7);
         assert_eq!(sita.select_sized(&view, 1e-6, &mut rng), 0);

@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AdaptiveLi, AggressiveLi, BasicLi, Greedy, HeteroLi, HybridLi, KSubset, LiSubset, Load,
-    Policy, ProbeThreshold, Random, Sita, Threshold, WeightedDecay,
+    AdaptiveLi, AggressiveLi, BasicLi, Greedy, HeteroLi, HybridLi, KSubset, LiSubset, Load, Policy,
+    ProbeThreshold, Random, Sita, StalenessGate, Threshold, WeightedDecay,
 };
 
 /// A serializable description of a policy, used by the experiment harness
@@ -95,6 +95,14 @@ pub enum PolicySpec {
         /// Ascending size cutoffs (`len + 1` servers).
         boundaries: Vec<f64>,
     },
+    /// `inner` with board entries older than `cutoff` masked out
+    /// (fault-injection extension; see [`StalenessGate`]).
+    Gated {
+        /// Maximum entry age the inner policy is allowed to see.
+        cutoff: f64,
+        /// The policy being gated.
+        inner: Box<PolicySpec>,
+    },
 }
 
 impl PolicySpec {
@@ -118,7 +126,62 @@ impl PolicySpec {
                 Box::new(HeteroLi::new(lambda, capacities))
             }
             PolicySpec::Sita { boundaries } => Box::new(Sita::new(boundaries)),
+            PolicySpec::Gated { cutoff, inner } => {
+                Box::new(StalenessGate::new(inner.build(), cutoff))
+            }
         }
+    }
+
+    /// Checks the spec's parameters are in range, so a driver can reject a
+    /// bad configuration with an error instead of the constructor
+    /// assertions firing mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the out-of-range parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            PolicySpec::KSubset { k: 0 } | PolicySpec::LiSubset { k: 0, .. } => {
+                return Err("subset size k must be at least 1".to_string());
+            }
+            PolicySpec::ProbeThreshold { probes: 0, .. } => {
+                return Err("probe budget must be at least 1".to_string());
+            }
+            PolicySpec::WeightedDecay { tau } if !(tau.is_finite() && *tau > 0.0) => {
+                return Err(format!("decay constant tau must be positive, got {tau}"));
+            }
+            PolicySpec::AdaptiveLi { alpha, .. }
+                if !(alpha.is_finite() && *alpha > 0.0 && *alpha <= 1.0) =>
+            {
+                return Err(format!("EWMA alpha must be in (0, 1], got {alpha}"));
+            }
+            PolicySpec::HeteroLi { capacities, .. } => {
+                if capacities.is_empty() {
+                    return Err("hetero LI needs at least one capacity".to_string());
+                }
+                if let Some(c) = capacities.iter().find(|c| !(c.is_finite() && **c > 0.0)) {
+                    return Err(format!("capacities must be positive, got {c}"));
+                }
+            }
+            PolicySpec::Sita { boundaries }
+                if boundaries.windows(2).any(|w| w[0] >= w[1])
+                    || boundaries.iter().any(|b| !(b.is_finite() && *b > 0.0)) =>
+            {
+                return Err("SITA boundaries must be positive and ascending".to_string());
+            }
+            PolicySpec::Gated { cutoff, inner } => {
+                if !(cutoff.is_finite() && *cutoff >= 0.0) {
+                    return Err(format!(
+                        "staleness cutoff must be non-negative, got {cutoff}"
+                    ));
+                }
+                inner.validate()?;
+            }
+            _ => {}
+        }
+        // LI lambda estimates are deliberately unconstrained: the
+        // misestimation experiments (§5.6) feed wrong values on purpose.
+        Ok(())
     }
 
     /// Human-readable label used in result tables (matches the paper's
@@ -140,20 +203,24 @@ impl PolicySpec {
             PolicySpec::AdaptiveLi { .. } => "Adaptive LI".to_string(),
             PolicySpec::HeteroLi { .. } => "Hetero LI".to_string(),
             PolicySpec::Sita { .. } => "SITA-E".to_string(),
+            PolicySpec::Gated { cutoff, ref inner } => {
+                format!("gated({}, cutoff={cutoff})", inner.label())
+            }
         }
     }
 
     /// Whether this policy interprets load against an arrival-rate estimate
     /// (the LI family).
     pub fn uses_lambda_estimate(&self) -> bool {
-        matches!(
-            self,
+        match self {
             PolicySpec::BasicLi { .. }
-                | PolicySpec::AggressiveLi { .. }
-                | PolicySpec::HybridLi { .. }
-                | PolicySpec::LiSubset { .. }
-                | PolicySpec::HeteroLi { .. }
-        )
+            | PolicySpec::AggressiveLi { .. }
+            | PolicySpec::HybridLi { .. }
+            | PolicySpec::LiSubset { .. }
+            | PolicySpec::HeteroLi { .. } => true,
+            PolicySpec::Gated { inner, .. } => inner.uses_lambda_estimate(),
+            _ => false,
+        }
     }
 }
 
@@ -169,15 +236,30 @@ mod tests {
             PolicySpec::KSubset { k: 2 },
             PolicySpec::Greedy,
             PolicySpec::Threshold { threshold: 3 },
-            PolicySpec::ProbeThreshold { probes: 3, threshold: 2 },
+            PolicySpec::ProbeThreshold {
+                probes: 3,
+                threshold: 2,
+            },
             PolicySpec::BasicLi { lambda: 0.9 },
             PolicySpec::AggressiveLi { lambda: 0.9 },
             PolicySpec::HybridLi { lambda: 0.9 },
             PolicySpec::LiSubset { k: 3, lambda: 0.9 },
             PolicySpec::WeightedDecay { tau: 5.0 },
-            PolicySpec::AdaptiveLi { alpha: 0.05, warmup: 10 },
-            PolicySpec::HeteroLi { lambda: 0.9, capacities: vec![1.0; 5] },
-            PolicySpec::Sita { boundaries: vec![0.5, 1.0, 2.0, 4.0] },
+            PolicySpec::AdaptiveLi {
+                alpha: 0.05,
+                warmup: 10,
+            },
+            PolicySpec::HeteroLi {
+                lambda: 0.9,
+                capacities: vec![1.0; 5],
+            },
+            PolicySpec::Sita {
+                boundaries: vec![0.5, 1.0, 2.0, 4.0],
+            },
+            PolicySpec::Gated {
+                cutoff: 5.0,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
         ]
     }
 
@@ -187,9 +269,18 @@ mod tests {
         let loads = [3u32, 0, 7, 2, 5];
         for info in [
             InfoAge::Aged { age: 2.0 },
-            InfoAge::Phase { start: 0.0, length: 4.0, now: 1.0, epoch: 1 },
+            InfoAge::Phase {
+                start: 0.0,
+                length: 4.0,
+                now: 1.0,
+                epoch: 1,
+            },
         ] {
-            let view = LoadView { loads: &loads, info };
+            let view = LoadView {
+                loads: &loads,
+                info,
+                ages: None,
+            };
             for spec in all_specs() {
                 let mut p = spec.build();
                 for _ in 0..64 {
@@ -215,5 +306,61 @@ mod tests {
         assert!(PolicySpec::BasicLi { lambda: 0.9 }.uses_lambda_estimate());
         assert!(!PolicySpec::Random.uses_lambda_estimate());
         assert!(!PolicySpec::KSubset { k: 2 }.uses_lambda_estimate());
+        let gated = |inner: PolicySpec| PolicySpec::Gated {
+            cutoff: 1.0,
+            inner: Box::new(inner),
+        };
+        assert!(gated(PolicySpec::BasicLi { lambda: 0.9 }).uses_lambda_estimate());
+        assert!(!gated(PolicySpec::Random).uses_lambda_estimate());
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad() {
+        for spec in all_specs() {
+            assert!(spec.validate().is_ok(), "{}", spec.label());
+        }
+        assert!(PolicySpec::KSubset { k: 0 }.validate().is_err());
+        assert!(PolicySpec::ProbeThreshold {
+            probes: 0,
+            threshold: 2
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::WeightedDecay { tau: 0.0 }.validate().is_err());
+        assert!(PolicySpec::AdaptiveLi {
+            alpha: 1.5,
+            warmup: 10
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::HeteroLi {
+            lambda: 0.9,
+            capacities: vec![]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::HeteroLi {
+            lambda: 0.9,
+            capacities: vec![1.0, -1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Sita {
+            boundaries: vec![2.0, 1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Gated {
+            cutoff: -1.0,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Gated {
+            cutoff: 1.0,
+            inner: Box::new(PolicySpec::KSubset { k: 0 })
+        }
+        .validate()
+        .is_err());
     }
 }

@@ -21,7 +21,7 @@ use crate::{Load, LoadView, Policy};
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [5, 1, 0, 9];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
 /// let mut t = Threshold::new(1);
 /// let pick = t.select(&view, &mut rng);
 /// assert!(pick == 1 || pick == 2, "only the lightly loaded qualify");
@@ -81,7 +81,7 @@ impl Policy for Threshold {
 ///
 /// let mut rng = SimRng::from_seed(1);
 /// let loads = [9, 9, 0, 9];
-/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+/// let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
 /// let mut p = ProbeThreshold::new(3, 1);
 /// let hits = (0..1000).filter(|_| p.select(&view, &mut rng) == 2).count();
 /// // Server 2 wins whenever it is among the first probes that succeed.
@@ -102,7 +102,11 @@ impl ProbeThreshold {
     /// Panics if `probes == 0`.
     pub fn new(probes: usize, threshold: Load) -> Self {
         assert!(probes > 0, "need at least one probe");
-        Self { probes, threshold, scratch: Vec::new() }
+        Self {
+            probes,
+            threshold,
+            scratch: Vec::new(),
+        }
     }
 
     /// The probe budget.
@@ -139,11 +143,18 @@ mod tests {
     fn probing_stops_at_first_light_server() {
         let mut rng = SimRng::from_seed(7);
         let loads = [5u32, 0, 5, 0];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut p = ProbeThreshold::new(4, 0);
         for _ in 0..500 {
             let s = p.select(&view, &mut rng);
-            assert!(s == 1 || s == 3, "with a full budget a light server is always found");
+            assert!(
+                s == 1 || s == 3,
+                "with a full budget a light server is always found"
+            );
         }
     }
 
@@ -151,7 +162,11 @@ mod tests {
     fn exhausted_probes_fall_back_to_last() {
         let mut rng = SimRng::from_seed(8);
         let loads = [5u32, 6, 7];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut p = ProbeThreshold::new(2, 0);
         let mut seen = [0usize; 3];
         for _ in 0..3000 {
@@ -168,7 +183,11 @@ mod tests {
     fn single_probe_is_oblivious() {
         let mut rng = SimRng::from_seed(9);
         let loads = [0u32, 100];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut p = ProbeThreshold::new(1, 0);
         let ones = (0..4000).filter(|_| p.select(&view, &mut rng) == 1).count();
         let f = ones as f64 / 4000.0;
@@ -179,7 +198,11 @@ mod tests {
     fn picks_uniformly_among_light() {
         let mut rng = SimRng::from_seed(1);
         let loads = [0u32, 3, 1, 8, 1];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut t = Threshold::new(1);
         let mut counts = [0usize; 5];
         let n = 30_000;
@@ -198,7 +221,11 @@ mod tests {
     fn falls_back_to_uniform_when_all_heavy() {
         let mut rng = SimRng::from_seed(2);
         let loads = [5u32, 7, 6];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut t = Threshold::new(1);
         let mut counts = [0usize; 3];
         let n = 30_000;
@@ -215,7 +242,11 @@ mod tests {
     fn huge_threshold_is_oblivious() {
         let mut rng = SimRng::from_seed(3);
         let loads = [5u32, 0];
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView {
+            loads: &loads,
+            info: InfoAge::Aged { age: 1.0 },
+            ages: None,
+        };
         let mut t = Threshold::new(u32::MAX);
         let mut zero = 0;
         for _ in 0..10_000 {

@@ -152,7 +152,7 @@ proptest! {
         let mut rng = SimRng::from_seed(seed);
         let length = age.max(0.1);
         let views = [
-            LoadView { loads: &loads, info: InfoAge::Aged { age } },
+            LoadView { loads: &loads, info: InfoAge::Aged { age }, ages: None },
             LoadView {
                 loads: &loads,
                 info: InfoAge::Phase {
@@ -161,6 +161,7 @@ proptest! {
                     now: 50.0 + elapsed_frac * length,
                     epoch: 7,
                 },
+                ages: None,
             },
         ];
         let specs = [
@@ -174,6 +175,7 @@ proptest! {
             PolicySpec::HybridLi { lambda: 0.9 },
             PolicySpec::LiSubset { k: 3, lambda: 0.9 },
             PolicySpec::WeightedDecay { tau: 5.0 },
+            PolicySpec::Gated { cutoff: 10.0, inner: Box::new(PolicySpec::Greedy) },
         ];
         for view in &views {
             for spec in &specs {
@@ -190,7 +192,7 @@ proptest! {
     #[test]
     fn greedy_selects_a_minimum(loads in arb_loads(), seed in any::<u64>()) {
         let mut rng = SimRng::from_seed(seed);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
         let mut g = PolicySpec::Greedy.build();
         let min = *loads.iter().min().unwrap();
         for _ in 0..16 {
@@ -198,11 +200,70 @@ proptest! {
         }
     }
 
+    /// A staleness gate over a load-seeking inner policy never routes to
+    /// a server whose entry is older than the cutoff while at least one
+    /// entry is still valid, and always falls back to *some* in-range
+    /// server when every entry has expired.
+    #[test]
+    fn gate_excludes_stale_servers(
+        loads in arb_loads(),
+        seed in any::<u64>(),
+        cutoff in 0.5f64..50.0,
+        stale_bits in prop::collection::vec(any::<bool>(), 64..65),
+    ) {
+        let n = loads.len();
+        // Strictly fresh (cutoff/2) or strictly expired (2*cutoff) ages.
+        let ages: Vec<f64> = (0..n)
+            .map(|i| if stale_bits[i] { cutoff * 2.0 } else { cutoff * 0.5 })
+            .collect();
+        let any_valid = ages.iter().any(|&a| a <= cutoff);
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 0.0 }, ages: Some(&ages) };
+        let mut rng = SimRng::from_seed(seed);
+        // Inner policies that provably put zero mass on a Load::MAX entry
+        // whenever a cheaper server exists (greedy, and LI at age 0).
+        let inners = [PolicySpec::Greedy, PolicySpec::BasicLi { lambda: 0.9 }];
+        for inner in inners {
+            let mut p = PolicySpec::Gated { cutoff, inner: Box::new(inner.clone()) }.build();
+            for _ in 0..8 {
+                let s = p.select(&view, &mut rng);
+                prop_assert!(s < n);
+                if any_valid {
+                    prop_assert!(
+                        ages[s] <= cutoff,
+                        "{} picked stale server {} (age {}, cutoff {})",
+                        inner.label(), s, ages[s], cutoff
+                    );
+                }
+            }
+        }
+    }
+
+    /// When every entry is fresh the gate is transparent: selections are
+    /// bit-identical to the bare inner policy on the same RNG stream.
+    #[test]
+    fn gate_is_transparent_when_fresh(
+        loads in arb_loads(),
+        seed in any::<u64>(),
+        cutoff in 1.0f64..100.0,
+        age_frac in 0.0f64..1.0,
+    ) {
+        let ages = vec![cutoff * age_frac; loads.len()];
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: Some(&ages) };
+        let inner = PolicySpec::BasicLi { lambda: 0.9 };
+        let mut bare = inner.build();
+        let mut gated = PolicySpec::Gated { cutoff, inner: Box::new(inner) }.build();
+        let mut rng_bare = SimRng::from_seed(seed);
+        let mut rng_gated = SimRng::from_seed(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(bare.select(&view, &mut rng_bare), gated.select(&view, &mut rng_gated));
+        }
+    }
+
     /// Threshold never selects a heavy server while a light one exists.
     #[test]
     fn threshold_prefers_light(loads in arb_loads(), seed in any::<u64>(), t in 0u32..50) {
         let mut rng = SimRng::from_seed(seed);
-        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 } };
+        let view = LoadView { loads: &loads, info: InfoAge::Aged { age: 1.0 }, ages: None };
         let mut p = PolicySpec::Threshold { threshold: t }.build();
         let any_light = loads.iter().any(|&l| l <= t);
         for _ in 0..16 {

@@ -113,12 +113,16 @@ impl Dist {
     /// Returns [`DistError`] if `alpha <= 0`, `lo <= 0`, or `hi <= lo`.
     pub fn bounded_pareto(alpha: f64, lo: f64, hi: f64) -> Result<Self, DistError> {
         if alpha.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || !alpha.is_finite() {
-            return Err(DistError::new(format!("alpha must be positive, got {alpha}")));
+            return Err(DistError::new(format!(
+                "alpha must be positive, got {alpha}"
+            )));
         }
         if lo.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
             || hi.partial_cmp(&lo) != Some(std::cmp::Ordering::Greater)
         {
-            return Err(DistError::new(format!("need 0 < lo < hi, got lo={lo} hi={hi}")));
+            return Err(DistError::new(format!(
+                "need 0 < lo < hi, got lo={lo} hi={hi}"
+            )));
         }
         Ok(Dist::BoundedPareto { alpha, lo, hi })
     }
@@ -135,13 +139,16 @@ impl Dist {
     /// in `(0, hi)` attains the requested mean (e.g. `mean >= hi`).
     pub fn bounded_pareto_with_mean(alpha: f64, hi: f64, mean: f64) -> Result<Self, DistError> {
         if mean.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) || mean >= hi {
-            return Err(DistError::new(format!("need 0 < mean < hi, got mean={mean} hi={hi}")));
+            return Err(DistError::new(format!(
+                "need 0 < mean < hi, got mean={mean} hi={hi}"
+            )));
         }
         // The mean is strictly increasing in `lo`, from 0 (lo -> 0, alpha > 1)
         // or small values toward hi (lo -> hi). Bisection on log-space is robust.
         let mut lo_k = mean * 1e-12;
         let mut hi_k = hi * (1.0 - 1e-12);
-        let f = |k: f64| -> Result<f64, DistError> { Ok(Dist::bounded_pareto(alpha, k, hi)?.mean()) };
+        let f =
+            |k: f64| -> Result<f64, DistError> { Ok(Dist::bounded_pareto(alpha, k, hi)?.mean()) };
         if f(lo_k)? > mean {
             return Err(DistError::new(format!(
                 "mean {mean} unattainable: even lo -> 0 gives mean {}",
@@ -422,7 +429,11 @@ mod tests {
             Dist::exponential(2.0),
             Dist::bounded_pareto(1.1, 0.4, 64.0).unwrap(),
             Dist::bounded_pareto(1.0, 0.4, 64.0).unwrap(),
-            Dist::HyperExp { p: 0.4, mean1: 0.5, mean2: 4.0 },
+            Dist::HyperExp {
+                p: 0.4,
+                mean1: 0.5,
+                mean2: 4.0,
+            },
         ];
         let mut rng = SimRng::from_seed(31);
         for d in dists {
@@ -463,9 +474,17 @@ mod tests {
 
     #[test]
     fn hyperexp_mean_matches() {
-        let d = Dist::HyperExp { p: 0.3, mean1: 1.0, mean2: 10.0 };
+        let d = Dist::HyperExp {
+            p: 0.3,
+            mean1: 1.0,
+            mean2: 10.0,
+        };
         let m = empirical_mean(&d, 300_000, 8);
-        assert!((m - d.mean()).abs() / d.mean() < 0.03, "{m} vs {}", d.mean());
+        assert!(
+            (m - d.mean()).abs() / d.mean() < 0.03,
+            "{m} vs {}",
+            d.mean()
+        );
     }
 
     #[test]
@@ -475,7 +494,11 @@ mod tests {
             Dist::uniform(0.0, 1.0),
             Dist::exponential(1.0),
             Dist::bounded_pareto(1.1, 0.1, 10.0).unwrap(),
-            Dist::HyperExp { p: 0.5, mean1: 1.0, mean2: 2.0 },
+            Dist::HyperExp {
+                p: 0.5,
+                mean1: 1.0,
+                mean2: 2.0,
+            },
         ] {
             assert!(!d.to_string().is_empty());
         }

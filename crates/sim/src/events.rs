@@ -63,12 +63,18 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Creates an empty queue with room for `capacity` events.
     pub fn with_capacity(capacity: usize) -> Self {
-        Self { heap: BinaryHeap::with_capacity(capacity), seq: 0 }
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+        }
     }
 
     /// Schedules `event` at absolute time `time`.
@@ -93,6 +99,15 @@ impl<E> EventQueue<E> {
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<f64> {
         self.heap.peek().map(|e| e.time)
+    }
+
+    /// The earliest pending event (time and payload) without removing it.
+    ///
+    /// Lets a caller that lazily invalidates events (e.g. departures
+    /// cancelled by a server crash) discard stale entries before acting
+    /// on the head of the queue.
+    pub fn peek(&self) -> Option<(f64, &E)> {
+        self.heap.peek().map(|e| (e.time, &e.event))
     }
 
     /// Number of pending events.
@@ -153,6 +168,17 @@ mod tests {
         assert_eq!(q.peek_time(), Some(1.5));
         assert_eq!(q.pop().unwrap().0, 1.5);
         assert_eq!(q.peek_time(), Some(2.5));
+    }
+
+    #[test]
+    fn peek_exposes_payload_without_removing() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late");
+        q.push(1.0, "early");
+        assert_eq!(q.peek(), Some((1.0, &"early")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1.0, "early")));
+        assert_eq!(q.peek(), Some((2.0, &"late")));
     }
 
     #[test]

@@ -111,8 +111,14 @@ impl Histogram {
     ///
     /// Panics if the histogram is empty or `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> f64 {
-        assert!(self.count > 0, "cannot take a quantile of an empty histogram");
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+        assert!(
+            self.count > 0,
+            "cannot take a quantile of an empty histogram"
+        );
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
         if q >= 1.0 {
             return self.max;
         }
@@ -142,8 +148,15 @@ impl Histogram {
     /// Panics if the configurations differ.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.min, other.min, "histogram configs must match");
-        assert_eq!(self.per_decade, other.per_decade, "histogram configs must match");
-        assert_eq!(self.counts.len(), other.counts.len(), "histogram configs must match");
+        assert_eq!(
+            self.per_decade, other.per_decade,
+            "histogram configs must match"
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram configs must match"
+        );
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }

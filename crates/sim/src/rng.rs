@@ -1,17 +1,16 @@
 //! Deterministic random-number generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A deterministic, seedable random-number generator for simulations.
 ///
-/// `SimRng` wraps [`rand::rngs::StdRng`] and adds the small set of variate
-/// helpers the study uses. Two properties matter for reproducibility:
+/// `SimRng` is a self-contained xoshiro256++ generator (seeded through
+/// SplitMix64) plus the small set of variate helpers the study uses.
+/// Two properties matter for reproducibility:
 ///
 /// * the same `u64` seed always produces the same stream, on every platform;
 /// * [`SimRng::fork`] derives an independent child stream, so components
-///   (arrival process, service times, policy randomness, delay sampling)
-///   can each consume their own stream without perturbing one another.
+///   (arrival process, service times, policy randomness, delay sampling,
+///   fault injection) can each consume their own stream without perturbing
+///   one another.
 ///
 /// # Example
 ///
@@ -28,23 +27,26 @@ use rand::{Rng, RngCore, SeedableRng};
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: StdRng,
+    s: [u64; 4],
 }
 
-/// Expand a 64-bit seed into 32 bytes with SplitMix64.
+/// Expand a 64-bit seed into xoshiro256++ state with SplitMix64.
 ///
-/// SplitMix64 is the conventional seed expander (used e.g. to seed
-/// xoshiro generators); it guarantees that nearby `u64` seeds produce
-/// uncorrelated expanded seeds.
-fn expand_seed(mut state: u64) -> [u8; 32] {
-    let mut out = [0u8; 32];
-    for chunk in out.chunks_exact_mut(8) {
+/// SplitMix64 is the conventional seed expander for the xoshiro family; it
+/// guarantees that nearby `u64` seeds produce uncorrelated expanded seeds.
+fn expand_seed(mut state: u64) -> [u64; 4] {
+    let mut out = [0u64; 4];
+    for word in &mut out {
         state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        chunk.copy_from_slice(&z.to_le_bytes());
+        *word = z ^ (z >> 31);
+    }
+    // xoshiro's state must not be all zero; SplitMix64 cannot in practice
+    // produce four consecutive zero outputs, but guard anyway.
+    if out == [0; 4] {
+        out[0] = 0x9E37_79B9_7F4A_7C15;
     }
     out
 }
@@ -53,7 +55,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
         Self {
-            inner: StdRng::from_seed(expand_seed(seed)),
+            s: expand_seed(seed),
         }
     }
 
@@ -62,12 +64,35 @@ impl SimRng {
     /// The child is seeded from the parent's stream, so distinct forks (and
     /// the parent's own continuation) are decorrelated.
     pub fn fork(&mut self) -> Self {
-        Self::from_seed(self.inner.gen::<u64>())
+        Self::from_seed(self.next_u64())
+    }
+
+    /// Returns the next 64 uniform bits (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns the next 32 uniform bits (upper half of a 64-bit step).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
     }
 
     /// Returns a uniform value in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 uniform bits scaled by 2^-53: every value is representable and
+        // the result is strictly below 1.
+        (self.next_u64() >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0)
     }
 
     /// Returns a uniform value in `[lo, hi)`.
@@ -76,7 +101,10 @@ impl SimRng {
     ///
     /// Panics if `lo > hi` or either bound is not finite.
     pub fn uniform(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform bounds [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform bounds [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -89,7 +117,10 @@ impl SimRng {
     ///
     /// Panics if `mean` is negative or not finite.
     pub fn exp(&mut self, mean: f64) -> f64 {
-        assert!(mean.is_finite() && mean >= 0.0, "invalid exponential mean {mean}");
+        assert!(
+            mean.is_finite() && mean >= 0.0,
+            "invalid exponential mean {mean}"
+        );
         if mean == 0.0 {
             return 0.0;
         }
@@ -104,7 +135,9 @@ impl SimRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot sample an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift maps 64 uniform bits onto [0, n) with
+        // negligible bias for any realistic n.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -130,7 +163,7 @@ impl SimRng {
         scratch.clear();
         scratch.extend(0..n);
         for i in 0..k {
-            let j = i + self.inner.gen_range(0..n - i);
+            let j = i + self.index(n - i);
             scratch.swap(i, j);
         }
         &scratch[..k]
@@ -148,7 +181,10 @@ impl SimRng {
     pub fn discrete(&mut self, probs: &[f64]) -> usize {
         assert!(!probs.is_empty(), "discrete distribution must be non-empty");
         let total: f64 = probs.iter().sum();
-        assert!(total > 0.0 && total.is_finite(), "discrete distribution must have positive mass");
+        assert!(
+            total > 0.0 && total.is_finite(),
+            "discrete distribution must have positive mass"
+        );
         let mut target = self.f64() * total;
         let mut last_positive = 0;
         for (i, &p) in probs.iter().enumerate() {
@@ -177,24 +213,6 @@ impl SimRng {
         match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf contains NaN")) {
             Ok(i) | Err(i) => i.min(cdf.len() - 1),
         }
-    }
-}
-
-impl RngCore for SimRng {
-    fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest);
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
     }
 }
 
@@ -253,6 +271,33 @@ mod tests {
         for _ in 0..1000 {
             let x = rng.uniform(2.0, 5.0);
             assert!((2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = SimRng::from_seed(41);
+        for _ in 0..10_000 {
+            let u = rng.f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn index_covers_range_uniformly() {
+        let mut rng = SimRng::from_seed(19);
+        let n = 8;
+        let mut counts = vec![0usize; n];
+        let draws = 80_000;
+        for _ in 0..draws {
+            counts[rng.index(n)] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "index {i}: {c}"
+            );
         }
     }
 

@@ -27,7 +27,13 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts accumulating at time `start` with initial value `value`.
     pub fn new(start: f64, value: f64) -> Self {
-        Self { start, last_time: start, current: value, integral: 0.0, peak: value }
+        Self {
+            start,
+            last_time: start,
+            current: value,
+            integral: 0.0,
+            peak: value,
+        }
     }
 
     /// Sets the signal to `value` at time `now`.
@@ -36,7 +42,11 @@ impl TimeWeighted {
     ///
     /// Panics (debug builds) if time runs backwards.
     pub fn update(&mut self, now: f64, value: f64) {
-        debug_assert!(now >= self.last_time, "time went backwards: {now} < {}", self.last_time);
+        debug_assert!(
+            now >= self.last_time,
+            "time went backwards: {now} < {}",
+            self.last_time
+        );
         self.integral += self.current * (now - self.last_time);
         self.last_time = now;
         self.current = value;

@@ -56,7 +56,10 @@ pub fn t_critical_90(df: usize) -> f64 {
 /// Panics if `sorted` is empty or `q` is outside `[0, 1]`.
 pub fn quantile(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "cannot take a quantile of no data");
-    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile must be in [0, 1], got {q}"
+    );
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -96,7 +99,10 @@ impl Summary {
     /// Panics if `trials` is empty or contains NaN.
     pub fn from_trials(trials: &[f64]) -> Self {
         assert!(!trials.is_empty(), "need at least one trial");
-        assert!(trials.iter().all(|x| !x.is_nan()), "trial metrics must not be NaN");
+        assert!(
+            trials.iter().all(|x| !x.is_nan()),
+            "trial metrics must not be NaN"
+        );
         let n = trials.len();
         let mean = trials.iter().sum::<f64>() / n as f64;
         let var = if n > 1 {
@@ -105,7 +111,11 @@ impl Summary {
             0.0
         };
         let stddev = var.sqrt();
-        let ci90 = if n > 1 { t_critical_90(n - 1) * stddev / (n as f64).sqrt() } else { 0.0 };
+        let ci90 = if n > 1 {
+            t_critical_90(n - 1) * stddev / (n as f64).sqrt()
+        } else {
+            0.0
+        };
         let mut sorted = trials.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
         Self {

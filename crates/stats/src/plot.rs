@@ -62,7 +62,11 @@ impl LinePlot {
     }
 
     /// Adds a named series of `(x, y)` points (sorted by x for sane lines).
-    pub fn add_series(&mut self, label: impl Into<String>, mut points: Vec<(f64, f64)>) -> &mut Self {
+    pub fn add_series(
+        &mut self,
+        label: impl Into<String>,
+        mut points: Vec<(f64, f64)>,
+    ) -> &mut Self {
         points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
         self.series.push((label.into(), points));
         self
@@ -132,7 +136,10 @@ impl LinePlot {
             svg,
             r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
         );
-        let _ = write!(svg, r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#);
+        let _ = write!(
+            svg,
+            r#"<rect width="{WIDTH}" height="{HEIGHT}" fill="white"/>"#
+        );
         let _ = write!(
             svg,
             r#"<text x="{}" y="24" font-family="sans-serif" font-size="15" font-weight="bold">{}</text>"#,
@@ -198,7 +205,11 @@ impl LinePlot {
             let path: Vec<String> = pts
                 .iter()
                 .map(|&(x, y)| {
-                    format!("{:.1},{:.1}", self.sx(x, x_min, x_max), self.sy(y, y_min, y_max))
+                    format!(
+                        "{:.1},{:.1}",
+                        self.sx(x, x_min, x_max),
+                        self.sy(y, y_min, y_max)
+                    )
                 })
                 .collect();
             let _ = write!(
@@ -244,7 +255,9 @@ impl LinePlot {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn tick_label(v: f64) -> String {

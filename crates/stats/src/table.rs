@@ -36,7 +36,10 @@ impl Table {
     /// Panics if `headers` is empty.
     pub fn new(headers: Vec<String>) -> Self {
         assert!(!headers.is_empty(), "a table needs at least one column");
-        Self { headers, rows: Vec::new() }
+        Self {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -45,7 +48,11 @@ impl Table {
     ///
     /// Panics if the row width differs from the header width.
     pub fn push_row(&mut self, row: Vec<String>) {
-        assert_eq!(row.len(), self.headers.len(), "row width must match headers");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
         self.rows.push(row);
     }
 

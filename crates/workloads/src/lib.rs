@@ -145,8 +145,14 @@ impl ArrivalProcess {
     ///
     /// Panics if `rate` is not positive and finite.
     pub fn poisson(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "arrival rate must be positive, got {rate}");
-        Self { kind: Kind::Poisson { rate, now: 0.0 }, clients: 1 }
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "arrival rate must be positive, got {rate}"
+        );
+        Self {
+            kind: Kind::Poisson { rate, now: 0.0 },
+            clients: 1,
+        }
     }
 
     /// `clients` independent Poisson clients with the given *total* rate.
@@ -163,7 +169,13 @@ impl ArrivalProcess {
             total_rate.is_finite() && total_rate > 0.0,
             "arrival rate must be positive, got {total_rate}"
         );
-        Self { kind: Kind::Poisson { rate: total_rate, now: 0.0 }, clients }
+        Self {
+            kind: Kind::Poisson {
+                rate: total_rate,
+                now: 0.0,
+            },
+            clients,
+        }
     }
 
     /// `clients` independent *bursty* clients (§5.4), each with the given
@@ -198,7 +210,9 @@ impl ArrivalProcess {
         for client in 0..clients {
             let first = rng.exp(inter_gap_mean);
             pending.push(first, client);
-            states.push(BurstyClient { remaining: burst.burst_len });
+            states.push(BurstyClient {
+                remaining: burst.burst_len,
+            });
         }
         Ok(Self {
             kind: Kind::Bursty {
@@ -239,7 +253,9 @@ impl ArrivalProcess {
             ("low_sojourn_mean", low_sojourn_mean),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(WorkloadError::new(format!("{name} must be positive, got {v}")));
+                return Err(WorkloadError::new(format!(
+                    "{name} must be positive, got {v}"
+                )));
             }
         }
         Ok(Self {
@@ -268,10 +284,20 @@ impl ArrivalProcess {
         match &mut self.kind {
             Kind::Poisson { rate, now } => {
                 *now += rng.exp(1.0 / *rate);
-                let client = if self.clients == 1 { 0 } else { rng.index(self.clients) };
+                let client = if self.clients == 1 {
+                    0
+                } else {
+                    rng.index(self.clients)
+                };
                 (*now, client)
             }
-            Kind::Bursty { intra_gap_mean, inter_gap_mean, burst_len, pending, states } => {
+            Kind::Bursty {
+                intra_gap_mean,
+                inter_gap_mean,
+                burst_len,
+                pending,
+                states,
+            } => {
                 let (t, client) = pending.pop().expect("bursty client set never drains");
                 let state = &mut states[client];
                 state.remaining -= 1;
@@ -284,7 +310,13 @@ impl ArrivalProcess {
                 pending.push(t + gap, client);
                 (t, client)
             }
-            Kind::Mmpp { rates, sojourn_means, state, state_until, now } => {
+            Kind::Mmpp {
+                rates,
+                sojourn_means,
+                state,
+                state_until,
+                now,
+            } => {
                 // Exact sampling by memorylessness: draw a candidate gap at
                 // the current state's rate; if it crosses the state
                 // boundary, jump to the boundary, switch state, redraw.
@@ -355,7 +387,10 @@ mod tests {
     #[test]
     fn bursty_mean_inter_request_matches_target() {
         let mut rng = SimRng::from_seed(4);
-        let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+        let burst = BurstConfig {
+            burst_len: 10,
+            intra_gap_mean: 1.0,
+        };
         let target = 20.0;
         let mut p = ArrivalProcess::bursty_clients(1, target, burst, &mut rng).unwrap();
         let n = 200_000;
@@ -365,13 +400,19 @@ mod tests {
             last = p.next(&mut rng).0;
         }
         let mean_gap = (last - first) / (n - 1) as f64;
-        assert!((mean_gap - target).abs() / target < 0.05, "mean gap {mean_gap}");
+        assert!(
+            (mean_gap - target).abs() / target < 0.05,
+            "mean gap {mean_gap}"
+        );
     }
 
     #[test]
     fn bursty_has_short_gaps_within_bursts() {
         let mut rng = SimRng::from_seed(5);
-        let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+        let burst = BurstConfig {
+            burst_len: 10,
+            intra_gap_mean: 1.0,
+        };
         let mut p = ArrivalProcess::bursty_clients(1, 50.0, burst, &mut rng).unwrap();
         let mut gaps = Vec::new();
         let mut prev = p.next(&mut rng).0;
@@ -392,7 +433,10 @@ mod tests {
     #[test]
     fn bursty_merge_is_time_ordered_across_clients() {
         let mut rng = SimRng::from_seed(6);
-        let burst = BurstConfig { burst_len: 5, intra_gap_mean: 0.5 };
+        let burst = BurstConfig {
+            burst_len: 5,
+            intra_gap_mean: 0.5,
+        };
         let mut p = ArrivalProcess::bursty_clients(20, 10.0, burst, &mut rng).unwrap();
         let mut prev = 0.0;
         let mut seen = [false; 20];
@@ -454,7 +498,11 @@ mod tests {
         }
         let n = counts.len() as f64;
         let mean = counts.iter().sum::<u64>() as f64 / n;
-        let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
         assert!(var / mean > 3.0, "index of dispersion {}", var / mean);
     }
 
@@ -467,7 +515,10 @@ mod tests {
 
     #[test]
     fn burst_config_rejects_impossible_target() {
-        let burst = BurstConfig { burst_len: 10, intra_gap_mean: 5.0 };
+        let burst = BurstConfig {
+            burst_len: 10,
+            intra_gap_mean: 5.0,
+        };
         // (B-1)*5 = 45 > B*4 = 40: cannot average 4 between requests.
         assert!(burst.inter_gap_mean(4.0).is_err());
         assert!(burst.inter_gap_mean(10.0).is_ok());
@@ -475,7 +526,10 @@ mod tests {
 
     #[test]
     fn burst_len_one_is_pure_idle_cycle() {
-        let burst = BurstConfig { burst_len: 1, intra_gap_mean: 1.0 };
+        let burst = BurstConfig {
+            burst_len: 1,
+            intra_gap_mean: 1.0,
+        };
         assert_eq!(burst.inter_gap_mean(7.0).unwrap(), 7.0);
     }
 }

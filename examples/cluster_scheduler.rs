@@ -43,9 +43,19 @@ fn main() {
         };
         table.push_row(vec![
             format!("{true_lambda}"),
-            format!("{:.3}", run(PolicySpec::BasicLi { lambda: true_lambda })),
+            format!(
+                "{:.3}",
+                run(PolicySpec::BasicLi {
+                    lambda: true_lambda
+                })
+            ),
             format!("{:.3}", run(PolicySpec::BasicLi { lambda: 1.0 })),
-            format!("{:.3}", run(PolicySpec::BasicLi { lambda: true_lambda / 4.0 })),
+            format!(
+                "{:.3}",
+                run(PolicySpec::BasicLi {
+                    lambda: true_lambda / 4.0
+                })
+            ),
             format!("{:.3}", run(PolicySpec::Random)),
         ]);
     }

@@ -23,7 +23,10 @@ fn main() {
 
     let base = || -> SimConfigBuilder {
         let mut b = SimConfig::builder();
-        b.capacities(caps.clone()).lambda(lambda).arrivals(200_000).seed(31);
+        b.capacities(caps.clone())
+            .lambda(lambda)
+            .arrivals(200_000)
+            .seed(31);
         b
     };
 
@@ -32,14 +35,24 @@ fn main() {
         format!("{:.3} ±{:.3}", r.summary.mean, r.summary.ci90)
     };
 
-    let mut table = Table::new(vec!["policy".into(), "plain".into(), "with stealing".into()]);
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "plain".into(),
+        "with stealing".into(),
+    ]);
     let rows: Vec<(String, PolicySpec)> = vec![
         ("Random".into(), PolicySpec::Random),
         ("Greedy (queue length)".into(), PolicySpec::Greedy),
-        ("Basic LI (capacity-blind)".into(), PolicySpec::BasicLi { lambda }),
+        (
+            "Basic LI (capacity-blind)".into(),
+            PolicySpec::BasicLi { lambda },
+        ),
         (
             "Hetero LI (capacity-aware)".into(),
-            PolicySpec::HeteroLi { lambda, capacities: caps.clone() },
+            PolicySpec::HeteroLi {
+                lambda,
+                capacities: caps.clone(),
+            },
         ),
     ];
     for (label, policy) in rows {

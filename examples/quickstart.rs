@@ -33,13 +33,15 @@ fn main() {
     println!("100 servers, lambda = 0.9, board refreshed every T = 10 service times");
     println!("(5 trials each; the paper's Figure 2 setting at moderate staleness)\n");
 
-    let mut table =
-        Table::new(vec!["policy".into(), "mean response".into(), "vs random".into()]);
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "mean response".into(),
+        "vs random".into(),
+    ]);
     let mut random_mean = None;
     for policy in policies {
         let label = policy.label();
-        let result =
-            Experiment::new(config.clone(), ArrivalSpec::Poisson, info, policy, 5).run();
+        let result = Experiment::new(config.clone(), ArrivalSpec::Poisson, info, policy, 5).run();
         let mean = result.summary.mean;
         let baseline = *random_mean.get_or_insert(mean);
         table.push_row(vec![

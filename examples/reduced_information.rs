@@ -50,7 +50,11 @@ fn main() {
         } else {
             run(PolicySpec::LiSubset { k, lambda })
         };
-        table.push_row(vec![format!("{k}"), format!("{naive:.3}"), format!("{li:.3}")]);
+        table.push_row(vec![
+            format!("{k}"),
+            format!("{naive:.3}"),
+            format!("{li:.3}"),
+        ]);
     }
     print!("{}", table.render());
 

@@ -35,7 +35,10 @@ fn main() {
         .seed(77)
         .build();
 
-    let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+    let burst = BurstConfig {
+        burst_len: 10,
+        intra_gap_mean: 1.0,
+    };
     let policies = [
         PolicySpec::Random,
         PolicySpec::KSubset { k: 2 },

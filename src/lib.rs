@@ -53,8 +53,8 @@ pub use staleload_workloads as workloads;
 /// The types most programs need, in one `use`.
 pub mod prelude {
     pub use staleload_core::{
-        clients_for_mean_age, run_simulation, ArrivalSpec, Experiment, ExperimentResult,
-        RunResult, SimConfig,
+        clients_for_mean_age, run_simulation, ArrivalSpec, Experiment, ExperimentResult, RunResult,
+        SimConfig,
     };
     pub use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
     pub use staleload_policies::{InfoAge, LoadView, Policy, PolicySpec};
@@ -68,8 +68,19 @@ mod tests {
     #[test]
     fn prelude_compiles_and_reexports() {
         use crate::prelude::*;
-        let cfg = SimConfig::builder().servers(2).lambda(0.5).arrivals(100).seed(1).build();
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let cfg = SimConfig::builder()
+            .servers(2)
+            .lambda(0.5)
+            .arrivals(100)
+            .seed(1)
+            .build();
+        let r = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        )
+        .expect("valid config");
         assert_eq!(r.generated, 100);
     }
 }

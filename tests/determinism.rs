@@ -6,10 +6,17 @@ use staleload::policies::PolicySpec;
 use staleload::workloads::BurstConfig;
 
 fn all_model_policy_pairs() -> Vec<(ArrivalSpec, InfoSpec, PolicySpec)> {
-    let burst = BurstConfig { burst_len: 5, intra_gap_mean: 0.5 };
+    let burst = BurstConfig {
+        burst_len: 5,
+        intra_gap_mean: 0.5,
+    };
     vec![
         (ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Greedy),
-        (ArrivalSpec::Poisson, InfoSpec::Periodic { period: 5.0 }, PolicySpec::BasicLi { lambda: 0.7 }),
+        (
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 5.0 },
+            PolicySpec::BasicLi { lambda: 0.7 },
+        ),
         (
             ArrivalSpec::Poisson,
             InfoSpec::Periodic { period: 5.0 },
@@ -40,9 +47,14 @@ fn all_model_policy_pairs() -> Vec<(ArrivalSpec, InfoSpec, PolicySpec)> {
 #[test]
 fn every_combination_is_deterministic() {
     for (arrivals, info, policy) in all_model_policy_pairs() {
-        let cfg = SimConfig::builder().servers(16).lambda(0.7).arrivals(20_000).seed(55).build();
-        let a = run_simulation(&cfg, &arrivals, &info, &policy);
-        let b = run_simulation(&cfg, &arrivals, &info, &policy);
+        let cfg = SimConfig::builder()
+            .servers(16)
+            .lambda(0.7)
+            .arrivals(20_000)
+            .seed(55)
+            .build();
+        let a = run_simulation(&cfg, &arrivals, &info, &policy).expect("valid config");
+        let b = run_simulation(&cfg, &arrivals, &info, &policy).expect("valid config");
         assert_eq!(
             a.mean_response.to_bits(),
             b.mean_response.to_bits(),
@@ -59,7 +71,12 @@ fn every_combination_is_deterministic() {
 /// separation): total simulated horizon stays identical.
 #[test]
 fn policy_does_not_perturb_arrivals() {
-    let cfg = SimConfig::builder().servers(16).lambda(0.7).arrivals(30_000).seed(56).build();
+    let cfg = SimConfig::builder()
+        .servers(16)
+        .lambda(0.7)
+        .arrivals(30_000)
+        .seed(56)
+        .build();
     let info = InfoSpec::Periodic { period: 5.0 };
     let horizons: Vec<f64> = [
         PolicySpec::Random,
@@ -69,7 +86,7 @@ fn policy_does_not_perturb_arrivals() {
     ]
     .into_iter()
     .map(|p| {
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &p);
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &p).expect("valid config");
         // The last arrival time is bounded by end_time; compare the count
         // and an arrival-derived invariant instead: generated jobs.
         assert_eq!(r.generated, 30_000);
@@ -86,7 +103,12 @@ fn policy_does_not_perturb_arrivals() {
 /// Experiments with more trials extend, not reshuffle, earlier trials.
 #[test]
 fn trials_are_prefix_stable() {
-    let cfg = SimConfig::builder().servers(8).lambda(0.5).arrivals(10_000).seed(57).build();
+    let cfg = SimConfig::builder()
+        .servers(8)
+        .lambda(0.5)
+        .arrivals(10_000)
+        .seed(57)
+        .build();
     let make = |trials| {
         Experiment::new(
             cfg.clone(),
@@ -107,7 +129,12 @@ fn trials_are_prefix_stable() {
 /// selection rule) — run both and compare means loosely.
 #[test]
 fn ksubset_n_equals_greedy() {
-    let cfg = SimConfig::builder().servers(12).lambda(0.8).arrivals(60_000).seed(58).build();
+    let cfg = SimConfig::builder()
+        .servers(12)
+        .lambda(0.8)
+        .arrivals(60_000)
+        .seed(58)
+        .build();
     let info = InfoSpec::Periodic { period: 1.0 };
     let greedy = Experiment::new(
         cfg.clone(),
@@ -129,25 +156,46 @@ fn ksubset_n_equals_greedy() {
     .run()
     .summary
     .mean;
-    assert!((greedy - k12).abs() / greedy < 0.1, "greedy {greedy} vs k=n {k12}");
+    assert!(
+        (greedy - k12).abs() / greedy < 0.1,
+        "greedy {greedy} vs k=n {k12}"
+    );
 }
 
 /// k-subset with k = 1 matches Random statistically.
 #[test]
 fn ksubset_1_equals_random() {
-    let cfg = SimConfig::builder().servers(12).lambda(0.8).arrivals(60_000).seed(59).build();
+    let cfg = SimConfig::builder()
+        .servers(12)
+        .lambda(0.8)
+        .arrivals(60_000)
+        .seed(59)
+        .build();
     let info = InfoSpec::Periodic { period: 1.0 };
-    let random =
-        Experiment::new(cfg.clone(), ArrivalSpec::Poisson, info, PolicySpec::Random, 4)
-            .run()
-            .summary
-            .mean;
-    let k1 =
-        Experiment::new(cfg, ArrivalSpec::Poisson, info, PolicySpec::KSubset { k: 1 }, 4)
-            .run()
-            .summary
-            .mean;
-    assert!((random - k1).abs() / random < 0.1, "random {random} vs k=1 {k1}");
+    let random = Experiment::new(
+        cfg.clone(),
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::Random,
+        4,
+    )
+    .run()
+    .summary
+    .mean;
+    let k1 = Experiment::new(
+        cfg,
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::KSubset { k: 1 },
+        4,
+    )
+    .run()
+    .summary
+    .mean;
+    assert!(
+        (random - k1).abs() / random < 0.1,
+        "random {random} vs k=1 {k1}"
+    );
 }
 
 /// Trial seeds are unique across a wide range.

@@ -13,7 +13,10 @@ fn run(
     policy: PolicySpec,
     trials: usize,
 ) -> f64 {
-    Experiment::new(cfg.clone(), arrivals, info, policy, trials).run().summary.mean
+    Experiment::new(cfg.clone(), arrivals, info, policy, trials)
+        .run()
+        .summary
+        .mean
 }
 
 /// `ext_sita`: under heavy-tailed job sizes, the *size* signal (which never
@@ -24,17 +27,31 @@ fn sita_is_immune_to_staleness() {
     let service = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).unwrap();
     let n = 50;
     let mut b = SimConfig::builder();
-    b.servers(n).lambda(0.7).arrivals(150_000).service(service).seed(301);
+    b.servers(n)
+        .lambda(0.7)
+        .arrivals(150_000)
+        .service(service)
+        .seed(301);
     let cfg = b.build();
     let sita = PolicySpec::Sita {
         boundaries: Sita::equal_load(&service, n).boundaries().to_vec(),
     };
 
     // SITA's performance is independent of the information age.
-    let sita_fresh =
-        run(&cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 1.0 }, sita.clone(), 5);
-    let sita_stale =
-        run(&cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: 40.0 }, sita.clone(), 5);
+    let sita_fresh = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Periodic { period: 1.0 },
+        sita.clone(),
+        5,
+    );
+    let sita_stale = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Periodic { period: 40.0 },
+        sita.clone(),
+        5,
+    );
     assert!(
         (sita_fresh - sita_stale).abs() / sita_fresh < 0.05,
         "SITA must not care about T: {sita_fresh} vs {sita_stale}"
@@ -48,7 +65,10 @@ fn sita_is_immune_to_staleness() {
         PolicySpec::BasicLi { lambda: 0.7 },
         5,
     );
-    assert!(sita_stale < li_stale, "stale: SITA {sita_stale} should beat LI {li_stale}");
+    assert!(
+        sita_stale < li_stale,
+        "stale: SITA {sita_stale} should beat LI {li_stale}"
+    );
     let greedy_fresh = run(
         &cfg,
         ArrivalSpec::Poisson,
@@ -73,13 +93,20 @@ fn li_is_robust_to_aggregate_burstiness() {
         .arrivals(250_000)
         .seed(302)
         .build();
-    let mmpp = ArrivalSpec::Mmpp { rate_ratio: 2.0, high_fraction: 0.25, cycle_mean: 20.0 };
+    let mmpp = ArrivalSpec::Mmpp {
+        rate_ratio: 2.0,
+        high_fraction: 0.25,
+        cycle_mean: 20.0,
+    };
     let info = InfoSpec::Periodic { period: 30.0 };
     let li = run(&cfg, mmpp, info, PolicySpec::BasicLi { lambda: 0.6 }, 5);
     let k2 = run(&cfg, mmpp, info, PolicySpec::KSubset { k: 2 }, 5);
     let random = run(&cfg, mmpp, info, PolicySpec::Random, 5);
     assert!(li < k2, "under MMPP at T=30, LI {li} should beat k=2 {k2}");
-    assert!(li < random, "under MMPP, LI {li} should beat random {random}");
+    assert!(
+        li < random,
+        "under MMPP, LI {li} should beat random {random}"
+    );
 }
 
 /// `ext_individual`: staggered per-server refreshes behave like the
@@ -130,13 +157,34 @@ fn probe_threshold_sits_between_random_and_greedy() {
         &cfg,
         ArrivalSpec::Poisson,
         InfoSpec::Fresh,
-        PolicySpec::ProbeThreshold { probes: 3, threshold: 1 },
+        PolicySpec::ProbeThreshold {
+            probes: 3,
+            threshold: 1,
+        },
         4,
     );
-    let random = run(&cfg, ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Random, 4);
-    let greedy = run(&cfg, ArrivalSpec::Poisson, InfoSpec::Fresh, PolicySpec::Greedy, 4);
-    assert!(probe < random * 0.6, "probing {probe} should crush random {random}");
-    assert!(greedy < probe, "full information {greedy} still beats 3 probes {probe}");
+    let random = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Fresh,
+        PolicySpec::Random,
+        4,
+    );
+    let greedy = run(
+        &cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Fresh,
+        PolicySpec::Greedy,
+        4,
+    );
+    assert!(
+        probe < random * 0.6,
+        "probing {probe} should crush random {random}"
+    );
+    assert!(
+        greedy < probe,
+        "full information {greedy} still beats 3 probes {probe}"
+    );
 }
 
 /// `ext_mechanisms`: receiver-driven stealing rescues even greedy's herd
@@ -146,7 +194,13 @@ fn stealing_rescues_the_herd() {
     let mut b = SimConfig::builder();
     b.servers(50).lambda(0.9).arrivals(150_000).seed(305);
     let info = InfoSpec::Periodic { period: 40.0 };
-    let herd = run(&b.build(), ArrivalSpec::Poisson, info, PolicySpec::Greedy, 4);
+    let herd = run(
+        &b.build(),
+        ArrivalSpec::Poisson,
+        info,
+        PolicySpec::Greedy,
+        4,
+    );
     let rescued = run(
         &b.work_stealing(2).build(),
         ArrivalSpec::Poisson,

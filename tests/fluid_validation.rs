@@ -18,29 +18,44 @@ fn simulate_fresh_d_choice(d: usize, lambda: f64, seed: u64) -> f64 {
         .arrivals(400_000)
         .seed(seed)
         .build();
-    let policy = if d == 1 { PolicySpec::Random } else { PolicySpec::KSubset { k: d } };
-    run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &policy).mean_response
+    let policy = if d == 1 {
+        PolicySpec::Random
+    } else {
+        PolicySpec::KSubset { k: d }
+    };
+    run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &policy)
+        .expect("valid config")
+        .mean_response
 }
 
 #[test]
 fn fresh_d1_matches_fluid() {
     let sim = simulate_fresh_d_choice(1, 0.9, 201);
     let fluid = supermarket_mean_response(1, 0.9);
-    assert!((sim - fluid).abs() / fluid < 0.06, "sim {sim} vs fluid {fluid}");
+    assert!(
+        (sim - fluid).abs() / fluid < 0.06,
+        "sim {sim} vs fluid {fluid}"
+    );
 }
 
 #[test]
 fn fresh_d2_matches_fluid() {
     let sim = simulate_fresh_d_choice(2, 0.9, 202);
     let fluid = supermarket_mean_response(2, 0.9);
-    assert!((sim - fluid).abs() / fluid < 0.05, "sim {sim} vs fluid {fluid}");
+    assert!(
+        (sim - fluid).abs() / fluid < 0.05,
+        "sim {sim} vs fluid {fluid}"
+    );
 }
 
 #[test]
 fn fresh_d3_matches_fluid() {
     let sim = simulate_fresh_d_choice(3, 0.9, 203);
     let fluid = supermarket_mean_response(3, 0.9);
-    assert!((sim - fluid).abs() / fluid < 0.05, "sim {sim} vs fluid {fluid}");
+    assert!(
+        (sim - fluid).abs() / fluid < 0.05,
+        "sim {sim} vs fluid {fluid}"
+    );
 }
 
 #[test]

@@ -18,10 +18,16 @@ fn periodic(t: f64, policy: PolicySpec, seed: u64) -> f64 {
         .arrivals(150_000)
         .seed(seed)
         .build();
-    Experiment::new(cfg, ArrivalSpec::Poisson, InfoSpec::Periodic { period: t }, policy, 4)
-        .run()
-        .summary
-        .mean
+    Experiment::new(
+        cfg,
+        ArrivalSpec::Poisson,
+        InfoSpec::Periodic { period: t },
+        policy,
+        4,
+    )
+    .run()
+    .summary
+    .mean
 }
 
 /// Claim (1): with fresh information, LI matches the most aggressive
@@ -32,7 +38,10 @@ fn fresh_information_li_matches_greedy() {
     let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 1);
     let greedy = periodic(t, PolicySpec::Greedy, 1);
     let random = periodic(t, PolicySpec::Random, 1);
-    assert!(li < greedy * 1.15, "LI {li} should be within 15% of greedy {greedy}");
+    assert!(
+        li < greedy * 1.15,
+        "LI {li} should be within 15% of greedy {greedy}"
+    );
     assert!(li < random / 3.0, "LI {li} should crush random {random}");
 }
 
@@ -57,7 +66,10 @@ fn stale_information_li_beats_random() {
     let t = 50.0;
     let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 3);
     let random = periodic(t, PolicySpec::Random, 3);
-    assert!(li < random, "Basic LI {li} should still beat random {random} at T={t}");
+    assert!(
+        li < random,
+        "Basic LI {li} should still beat random {random} at T={t}"
+    );
 }
 
 /// Claim (4): LI avoids the pathological herd behaviour that greedy (and
@@ -68,8 +80,14 @@ fn extreme_staleness_li_avoids_pathology() {
     let li = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 4);
     let greedy = periodic(t, PolicySpec::Greedy, 4);
     let random = periodic(t, PolicySpec::Random, 4);
-    assert!(greedy > random * 3.0, "greedy {greedy} must herd badly vs random {random}");
-    assert!(li < random * 1.05, "LI {li} must stay no worse than random {random}");
+    assert!(
+        greedy > random * 3.0,
+        "greedy {greedy} must herd badly vs random {random}"
+    );
+    assert!(
+        li < random * 1.05,
+        "LI {li} must stay no worse than random {random}"
+    );
 }
 
 /// §2: the best k of the k-subset family flips with staleness — the
@@ -78,10 +96,16 @@ fn extreme_staleness_li_avoids_pathology() {
 fn best_k_depends_on_staleness() {
     let k2_fresh = periodic(0.25, PolicySpec::KSubset { k: 2 }, 5);
     let k10_fresh = periodic(0.25, PolicySpec::KSubset { k: 10 }, 5);
-    assert!(k10_fresh < k2_fresh, "fresh: k10 {k10_fresh} should beat k2 {k2_fresh}");
+    assert!(
+        k10_fresh < k2_fresh,
+        "fresh: k10 {k10_fresh} should beat k2 {k2_fresh}"
+    );
     let k2_stale = periodic(20.0, PolicySpec::KSubset { k: 2 }, 5);
     let k10_stale = periodic(20.0, PolicySpec::KSubset { k: 10 }, 5);
-    assert!(k2_stale < k10_stale, "stale: k2 {k2_stale} should beat k10 {k10_stale}");
+    assert!(
+        k2_stale < k10_stale,
+        "stale: k2 {k2_stale} should beat k10 {k10_stale}"
+    );
 }
 
 /// §5.6: underestimating λ is much worse than overestimating it.
@@ -89,11 +113,26 @@ fn best_k_depends_on_staleness() {
 fn lambda_misestimation_is_asymmetric() {
     let t = 10.0;
     let oracle = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 6);
-    let over = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA * 2.0 }, 6);
-    let under = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA / 4.0 }, 6);
+    let over = periodic(
+        t,
+        PolicySpec::BasicLi {
+            lambda: LAMBDA * 2.0,
+        },
+        6,
+    );
+    let under = periodic(
+        t,
+        PolicySpec::BasicLi {
+            lambda: LAMBDA / 4.0,
+        },
+        6,
+    );
     let over_penalty = (over - oracle) / oracle;
     let under_penalty = (under - oracle) / oracle;
-    assert!(over_penalty < 0.25, "2x overestimate costs {over_penalty:+.1}%");
+    assert!(
+        over_penalty < 0.25,
+        "2x overestimate costs {over_penalty:+.1}%"
+    );
     assert!(
         under_penalty > 2.0 * over_penalty,
         "4x underestimate ({under_penalty:+.2}) must hurt far more than 2x overestimate ({over_penalty:+.2})"
@@ -114,7 +153,10 @@ fn knowing_actual_age_helps() {
         Experiment::new(
             cfg.clone(),
             ArrivalSpec::Poisson,
-            InfoSpec::Continuous { delay: DelaySpec::Exponential { mean: 6.0 }, knowledge },
+            InfoSpec::Continuous {
+                delay: DelaySpec::Exponential { mean: 6.0 },
+                knowledge,
+            },
             PolicySpec::BasicLi { lambda: LAMBDA },
             4,
         )
@@ -146,7 +188,10 @@ fn bursty_clients_help_load_aware_policies() {
         .arrivals((clients as u64 * 150).max(100_000))
         .seed(8)
         .build();
-    let burst = BurstConfig { burst_len: 10, intra_gap_mean: 1.0 };
+    let burst = BurstConfig {
+        burst_len: 10,
+        intra_gap_mean: 1.0,
+    };
     let run = |arrivals: ArrivalSpec, policy: PolicySpec| {
         Experiment::new(cfg.clone(), arrivals, InfoSpec::UpdateOnAccess, policy, 4)
             .run()
@@ -179,11 +224,31 @@ fn bursty_clients_help_load_aware_policies() {
 #[test]
 fn li_k_dominates_naive_k() {
     let t = 30.0;
-    let li2 = periodic(t, PolicySpec::LiSubset { k: 2, lambda: LAMBDA }, 9);
+    let li2 = periodic(
+        t,
+        PolicySpec::LiSubset {
+            k: 2,
+            lambda: LAMBDA,
+        },
+        9,
+    );
     let k2 = periodic(t, PolicySpec::KSubset { k: 2 }, 9);
     assert!(li2 < k2, "LI-2 {li2} should beat k=2 {k2}");
-    let li10 = periodic(t, PolicySpec::LiSubset { k: 10, lambda: LAMBDA }, 9);
+    let li10 = periodic(
+        t,
+        PolicySpec::LiSubset {
+            k: 10,
+            lambda: LAMBDA,
+        },
+        9,
+    );
     let full = periodic(t, PolicySpec::BasicLi { lambda: LAMBDA }, 9);
-    assert!(li10 < li2 * 1.02, "LI-10 {li10} should improve on LI-2 {li2}");
-    assert!(full < li2 * 1.02, "full-information LI {full} should be at least as good as LI-2 {li2}");
+    assert!(
+        li10 < li2 * 1.02,
+        "LI-10 {li10} should improve on LI-2 {li2}"
+    );
+    assert!(
+        full < li2 * 1.02,
+        "full-information LI {full} should be at least as good as LI-2 {li2}"
+    );
 }

@@ -11,7 +11,9 @@ use staleload::policies::PolicySpec;
 use staleload::sim::Dist;
 
 fn mean_response(cfg: &SimConfig, policy: PolicySpec) -> f64 {
-    run_simulation(cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &policy).mean_response
+    run_simulation(cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &policy)
+        .expect("valid config")
+        .mean_response
 }
 
 /// Random splitting of a Poisson stream over n servers makes each server an
@@ -47,14 +49,26 @@ fn random_policy_matches_md1() {
         .build();
     let got = mean_response(&cfg, PolicySpec::Random);
     let expect = 1.0 + lambda / (2.0 * (1.0 - lambda));
-    assert!((got - expect).abs() / expect < 0.05, "got {got}, want {expect}");
+    assert!(
+        (got - expect).abs() / expect < 0.05,
+        "got {got}, want {expect}"
+    );
 }
 
 /// A single server is M/M/1 regardless of policy.
 #[test]
 fn single_server_is_mm1() {
-    let cfg = SimConfig::builder().servers(1).lambda(0.6).arrivals(400_000).seed(102).build();
-    for policy in [PolicySpec::Random, PolicySpec::Greedy, PolicySpec::BasicLi { lambda: 0.6 }] {
+    let cfg = SimConfig::builder()
+        .servers(1)
+        .lambda(0.6)
+        .arrivals(400_000)
+        .seed(102)
+        .build();
+    for policy in [
+        PolicySpec::Random,
+        PolicySpec::Greedy,
+        PolicySpec::BasicLi { lambda: 0.6 },
+    ] {
         let got = mean_response(&cfg, policy.clone());
         assert!(
             (got - 2.5).abs() / 2.5 < 0.08,
@@ -69,9 +83,17 @@ fn single_server_is_mm1() {
 /// n grows at fixed λ.
 #[test]
 fn fresh_greedy_approaches_service_time() {
-    let cfg = SimConfig::builder().servers(64).lambda(0.7).arrivals(300_000).seed(103).build();
+    let cfg = SimConfig::builder()
+        .servers(64)
+        .lambda(0.7)
+        .arrivals(300_000)
+        .seed(103)
+        .build();
     let got = mean_response(&cfg, PolicySpec::Greedy);
-    assert!(got < 1.3, "join-least-loaded over 64 servers should be near 1.0, got {got}");
+    assert!(
+        got < 1.3,
+        "join-least-loaded over 64 servers should be near 1.0, got {got}"
+    );
     let random = mean_response(&cfg, PolicySpec::Random);
     assert!((random - 1.0 / 0.3).abs() / (1.0 / 0.3) < 0.06);
 }
@@ -97,16 +119,24 @@ fn fresh_greedy_is_between_mmn_and_mm1() {
             .arrivals(300_000)
             .seed(110)
             .build();
-        let jsq =
-            run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Greedy)
-                .mean_response;
+        let jsq = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Greedy,
+        )
+        .expect("valid config")
+        .mean_response;
         let lower = mmn_response(n, lambda);
         let upper = mm1_response(lambda);
         assert!(
             jsq >= lower * 0.98,
             "n={n} λ={lambda}: JSQ {jsq} below the M/M/n bound {lower}"
         );
-        assert!(jsq < upper, "n={n} λ={lambda}: JSQ {jsq} should beat M/M/1 {upper}");
+        assert!(
+            jsq < upper,
+            "n={n} λ={lambda}: JSQ {jsq} should beat M/M/1 {upper}"
+        );
         // JSQ is known to sit close to the central queue at these loads.
         assert!(
             jsq < lower * 1.6 + 0.5,
@@ -130,9 +160,14 @@ fn random_policy_matches_mg1_bounded_pareto() {
         .service(service)
         .seed(111)
         .build();
-    let got =
-        run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random)
-            .mean_response;
+    let got = run_simulation(
+        &cfg,
+        &ArrivalSpec::Poisson,
+        &InfoSpec::Fresh,
+        &PolicySpec::Random,
+    )
+    .expect("valid config")
+    .mean_response;
     let expect = mg1_response(lambda, &service);
     assert!(
         (got - expect).abs() / expect < 0.08,
@@ -150,7 +185,13 @@ fn warmup_jobs_are_excluded() {
         .warmup_fraction(0.25)
         .seed(104)
         .build();
-    let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+    let r = run_simulation(
+        &cfg,
+        &ArrivalSpec::Poisson,
+        &InfoSpec::Fresh,
+        &PolicySpec::Random,
+    )
+    .expect("valid config");
     assert_eq!(r.generated, 50_000);
     assert_eq!(r.measured_jobs, 37_500);
 }
@@ -160,14 +201,27 @@ fn warmup_jobs_are_excluded() {
 #[test]
 fn arrival_rate_is_calibrated() {
     let run_time = |lambda: f64| {
-        let cfg =
-            SimConfig::builder().servers(10).lambda(lambda).arrivals(100_000).seed(105).build();
-        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &InfoSpec::Fresh, &PolicySpec::Random);
+        let cfg = SimConfig::builder()
+            .servers(10)
+            .lambda(lambda)
+            .arrivals(100_000)
+            .seed(105)
+            .build();
+        let r = run_simulation(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        )
+        .expect("valid config");
         r.end_time
     };
     // 100k arrivals at total rate 10·λ ⇒ horizon ≈ 100_000/(10λ).
     let t_half = run_time(0.5);
     assert!((t_half - 20_000.0).abs() / 20_000.0 < 0.05, "{t_half}");
     let t_quarter = run_time(0.25);
-    assert!((t_quarter - 40_000.0).abs() / 40_000.0 < 0.05, "{t_quarter}");
+    assert!(
+        (t_quarter - 40_000.0).abs() / 40_000.0 < 0.05,
+        "{t_quarter}"
+    );
 }

@@ -1,0 +1,171 @@
+//! Offline mini-implementation of `criterion`.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors
+//! this dependency-free replacement covering the bench API the staleload
+//! benches use: `criterion_group!` / `criterion_main!`, benchmark groups
+//! with `throughput` / `sample_size`, `bench_function` /
+//! `bench_with_input`, `BenchmarkId`, and `Bencher::iter`.
+//!
+//! Timing is a simple doubling calibration loop (run the closure in
+//! batches until a batch takes ≥ ~20 ms, then report ns/iter and, when a
+//! throughput was declared, elements per second). No statistics, plots,
+//! or baselines — good enough to spot order-of-magnitude regressions.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level bench context handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.into(), throughput: None }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&name.to_string(), None, &mut f);
+        self
+    }
+}
+
+/// Declared throughput of one iteration, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// One iteration processes this many logical elements.
+    Elements(u64),
+    /// One iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and an input label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function/input`.
+    pub fn new(function: impl Display, input: impl Display) -> Self {
+        Self { id: format!("{function}/{input}") }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// A named group of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the calibration loop ignores it.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timing harness passed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Measures `f` with a doubling calibration loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(20) || n >= (1 << 22) {
+                self.per_iter_ns = elapsed.as_nanos() as f64 / n as f64;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    let ns = b.per_iter_ns;
+    match throughput {
+        Some(Throughput::Elements(e)) if ns > 0.0 => {
+            let rate = e as f64 / (ns * 1e-9);
+            println!("{label:<48} {ns:>14.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+            let rate = bytes as f64 / (ns * 1e-9) / (1024.0 * 1024.0);
+            println!("{label:<48} {ns:>14.1} ns/iter {rate:>12.1} MiB/s");
+        }
+        _ => println!("{label:<48} {ns:>14.1} ns/iter"),
+    }
+}
+
+/// Declares a bench group function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,19 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors this minimal replacement. It preserves the *API
+//! surface* the staleload crates use — the `Serialize` / `Deserialize`
+//! marker traits and their derive macros — without implementing any
+//! actual serialization. Nothing in the workspace serializes at runtime;
+//! the derives only need to compile. Structured round-trip guarantees
+//! (e.g. for `FaultSpec`) are provided by hand-written `Display` /
+//! `FromStr` pairs that are exercised by tests.
+
+/// Marker stand-in for `serde::Serialize`; carries no methods.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`; carries no methods.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
