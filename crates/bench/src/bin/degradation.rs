@@ -1,17 +1,28 @@
-//! Degradation curve: mean response time as board updates are dropped.
+//! Degradation curves: mean response time as the information plane (and
+//! then the servers themselves) degrade.
 //!
-//! Sweeps the per-entry drop probability of a lossy periodic update channel
-//! (`FaultSpec::drop(p)`) and compares four policies at n = 16,
-//! lambda = 0.9, T = 10:
+//! Two sweeps at n = 16, lambda = 0.9, T = 10, written to one long-form
+//! CSV (`results/degradation.csv`, `fault` column distinguishing rows):
 //!
-//! * `random` — immune to stale boards by construction,
-//! * `basic-li` — reads the lossy board naively,
-//! * `gated basic-li` — hides entries older than the staleness cutoff,
-//! * `fresh basic-li` — perfect information lower bound (no faults).
+//! 1. **Dropped updates** — per-entry drop probability of a lossy
+//!    periodic channel (`FaultSpec::drop(p)`) across four policies:
+//!    `random` (immune by construction), `basic-li` (reads the lossy
+//!    board naively), `gated basic-li` (hides entries older than the
+//!    staleness cutoff), and `fresh basic-li` (perfect-information lower
+//!    bound, no faults).
+//! 2. **Server crashes** — `FaultSpec::crash(MTBF, MTTR)` at MTBF = 300,
+//!    sweeping MTTR, with and without re-dispatching the crashed
+//!    server's queue. Stall mode strands queued jobs for the outage;
+//!    re-dispatch moves them to up servers at crash time. At λ = 0.9
+//!    the cluster has only 10% headroom, so the longer outages push it
+//!    past saturation — the sweep deliberately crosses that cliff, and
+//!    re-dispatching onto saturated survivors buys nothing there.
 //!
-//! Usage: `degradation [quick|std|full]`. Writes
-//! `results/degradation.csv` and exits non-zero unless the gated policy
-//! strictly beats naive LI at drop probability 0.5.
+//! Usage: `degradation [smoke|quick|std|full]`. Exits non-zero unless the
+//! gated policy strictly beats naive LI at drop 0.5, response degrades
+//! monotonically with outage length, and LI's advantage over Random
+//! survives brief crashes (checks skipped at `smoke` scale, which exists
+//! to exercise code paths, not statistics).
 
 use std::process::ExitCode;
 
@@ -36,6 +47,32 @@ const PERIOD: f64 = 10.0;
 const CUTOFF: f64 = 0.15 * PERIOD;
 const SEED: u64 = 0xDE64;
 const DROPS: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 0.9];
+const MTBF: f64 = 300.0;
+const MTTRS: [f64; 3] = [10.0, 40.0, 160.0];
+
+fn run_cell(
+    scale: &Scale,
+    policy: &PolicySpec,
+    info: InfoSpec,
+    faults: FaultSpec,
+) -> Result<staleload_core::ExperimentResult, String> {
+    let cfg = SimConfig::builder()
+        .servers(N)
+        .lambda(LAMBDA)
+        .arrivals(scale.arrivals)
+        .seed(SEED)
+        .faults(faults)
+        .build();
+    Experiment::new(
+        cfg,
+        ArrivalSpec::Poisson,
+        info,
+        policy.clone(),
+        scale.trials,
+    )
+    .try_run()
+    .map_err(|e| e.to_string())
+}
 
 fn main() -> ExitCode {
     let scale = Scale::from_env();
@@ -45,11 +82,28 @@ fn main() -> ExitCode {
         inner: Box::new(naive.clone()),
     };
     let periodic = InfoSpec::Periodic { period: PERIOD };
+
+    eprintln!(
+        "[degradation] n={N} lambda={LAMBDA} T={PERIOD} cutoff={CUTOFF} \
+         arrivals={} trials={} ({})",
+        scale.arrivals, scale.trials, scale.name
+    );
+    let mut csv = Table::new(vec![
+        "x".into(),
+        "fault".into(),
+        "policy".into(),
+        "mean".into(),
+        "ci90".into(),
+        "median".into(),
+        "trials".into(),
+    ]);
+
+    // --- Sweep 1: dropped board updates -------------------------------
     // (label, policy, info model, subject to the lossy channel?). The
     // fresh-info bound has no board, so the drop fault does not apply.
-    let series: Vec<(&str, PolicySpec, InfoSpec, bool)> = vec![
+    let drop_series: Vec<(&str, PolicySpec, InfoSpec, bool)> = vec![
         ("random", PolicySpec::Random, periodic, true),
-        ("basic-li", naive, periodic, true),
+        ("basic-li", naive.clone(), periodic, true),
         ("gated basic-li", gated, periodic, true),
         (
             "fresh basic-li",
@@ -58,51 +112,22 @@ fn main() -> ExitCode {
             false,
         ),
     ];
-
-    eprintln!(
-        "[degradation] n={N} lambda={LAMBDA} T={PERIOD} cutoff={CUTOFF} \
-         arrivals={} trials={} ({})",
-        scale.arrivals, scale.trials, scale.name
-    );
-    let mut table = Table::new({
+    let mut drop_table = Table::new({
         let mut h = vec!["drop p".to_string()];
-        h.extend(series.iter().map(|(label, ..)| label.to_string()));
+        h.extend(drop_series.iter().map(|(label, ..)| label.to_string()));
         h
     });
-    let mut csv = Table::new(vec![
-        "drop_p".into(),
-        "policy".into(),
-        "mean".into(),
-        "ci90".into(),
-        "median".into(),
-        "trials".into(),
-    ]);
-    // means[series][point], for the acceptance check below.
-    let mut means: Vec<Vec<f64>> = vec![Vec::new(); series.len()];
-
+    // drop_means[series][point], for the acceptance check below.
+    let mut drop_means: Vec<Vec<f64>> = vec![Vec::new(); drop_series.len()];
     for &p in &DROPS {
         let mut row = vec![format!("{p}")];
-        for (idx, (label, policy, info, lossy)) in series.iter().enumerate() {
+        for (idx, (label, policy, info, lossy)) in drop_series.iter().enumerate() {
             let faults = if *lossy {
                 FaultSpec::drop(p)
             } else {
                 FaultSpec::none()
             };
-            let cfg = SimConfig::builder()
-                .servers(N)
-                .lambda(LAMBDA)
-                .arrivals(scale.arrivals)
-                .seed(SEED)
-                .faults(faults)
-                .build();
-            let exp = Experiment::new(
-                cfg,
-                ArrivalSpec::Poisson,
-                *info,
-                policy.clone(),
-                scale.trials,
-            );
-            let result = match exp.try_run() {
+            let result = match run_cell(&scale, policy, *info, faults) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("[degradation] {label} at drop {p} failed: {e}");
@@ -110,10 +135,11 @@ fn main() -> ExitCode {
                 }
             };
             let s = &result.summary;
-            means[idx].push(s.mean);
+            drop_means[idx].push(s.mean);
             row.push(format!("{:.3} ±{:.3}", s.mean, s.ci90));
             csv.push_row(vec![
                 format!("{p}"),
+                format!("drop:{p}"),
                 label.to_string(),
                 format!("{}", s.mean),
                 format!("{}", s.ci90),
@@ -121,12 +147,66 @@ fn main() -> ExitCode {
                 format!("{}", s.trials),
             ]);
         }
-        table.push_row(row);
+        drop_table.push_row(row);
         eprintln!("[degradation]   drop p = {p} done");
     }
 
+    // --- Sweep 2: server crashes --------------------------------------
+    // (label, policy, redispatch?)
+    let crash_series: Vec<(&str, PolicySpec, bool)> = vec![
+        ("random (stall)", PolicySpec::Random, false),
+        ("basic-li (stall)", naive.clone(), false),
+        ("basic-li (redispatch)", naive, true),
+    ];
+    let mut crash_table = Table::new({
+        let mut h = vec!["MTTR".to_string()];
+        h.extend(crash_series.iter().map(|(label, ..)| label.to_string()));
+        h
+    });
+    let mut crash_means: Vec<Vec<f64>> = vec![Vec::new(); crash_series.len()];
+    for &mttr in &MTTRS {
+        let mut row = vec![format!("{mttr}")];
+        for (idx, (label, policy, redispatch)) in crash_series.iter().enumerate() {
+            let mut faults = FaultSpec::crash(MTBF, mttr);
+            if *redispatch {
+                faults.crash = faults.crash.map(|mut c| {
+                    c.redispatch = true;
+                    c
+                });
+            }
+            let fault_label = if *redispatch {
+                format!("crash:{MTBF}:{mttr}:redispatch")
+            } else {
+                format!("crash:{MTBF}:{mttr}")
+            };
+            let result = match run_cell(&scale, policy, periodic, faults) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[degradation] {label} at MTTR {mttr} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let s = &result.summary;
+            crash_means[idx].push(s.mean);
+            row.push(format!("{:.3} ±{:.3}", s.mean, s.ci90));
+            csv.push_row(vec![
+                format!("{mttr}"),
+                fault_label,
+                label.to_string(),
+                format!("{}", s.mean),
+                format!("{}", s.ci90),
+                format!("{}", s.median),
+                format!("{}", s.trials),
+            ]);
+        }
+        crash_table.push_row(row);
+        eprintln!("[degradation]   MTTR = {mttr} done");
+    }
+
     println!("\n== Degradation under dropped updates, n={N}, lambda={LAMBDA}, T={PERIOD} ==");
-    print!("{}", table.render());
+    print!("{}", drop_table.render());
+    println!("\n== Degradation under crashes, MTBF={MTBF}, n={N}, lambda={LAMBDA}, T={PERIOD} ==");
+    print!("{}", crash_table.render());
     let path = results_path("degradation");
     match csv.write_csv(&path) {
         Ok(()) => eprintln!("[degradation] wrote {}", path.display()),
@@ -136,18 +216,55 @@ fn main() -> ExitCode {
         }
     }
 
-    // Acceptance check: the staleness gate must pay for itself once half
-    // of all updates are lost.
+    if scale.is_smoke() {
+        println!("acceptance checks: SKIPPED at smoke scale");
+        return ExitCode::SUCCESS;
+    }
+
+    // Acceptance check 1: the staleness gate must pay for itself once
+    // half of all updates are lost.
     let at = DROPS
         .iter()
         .position(|&p| p == 0.5)
         .expect("0.5 is in the sweep");
-    let (naive_mean, gated_mean) = (means[1][at], means[2][at]);
+    let (naive_mean, gated_mean) = (drop_means[1][at], drop_means[2][at]);
     if gated_mean < naive_mean {
         println!("gate check: PASS — gated {gated_mean:.3} < naive {naive_mean:.3} at drop 0.5");
-        ExitCode::SUCCESS
     } else {
         println!("gate check: FAIL — gated {gated_mean:.3} >= naive {naive_mean:.3} at drop 0.5");
+        return ExitCode::FAILURE;
+    }
+
+    // Acceptance check 2: longer outages must hurt, monotonically, for
+    // every series (the sweep crosses the saturation cliff, so the jumps
+    // are large; equality would flag a broken fault process).
+    for (idx, (label, ..)) in crash_series.iter().enumerate() {
+        for w in crash_means[idx].windows(2) {
+            if w[1] <= w[0] {
+                println!(
+                    "crash check: FAIL — {label} improved from {:.3} to {:.3} as MTTR grew",
+                    w[0], w[1]
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("crash check: PASS — response degrades monotonically with MTTR for all series");
+
+    // Acceptance check 3: stale LI still pays for itself under brief
+    // outages (the stable end of the sweep).
+    let (random_stall, li_stall) = (crash_means[0][0], crash_means[1][0]);
+    if li_stall < random_stall {
+        println!(
+            "crash-li check: PASS — basic-li {li_stall:.3} < random {random_stall:.3} at MTTR {}",
+            MTTRS[0]
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "crash-li check: FAIL — basic-li {li_stall:.3} >= random {random_stall:.3} at MTTR {}",
+            MTTRS[0]
+        );
         ExitCode::FAILURE
     }
 }

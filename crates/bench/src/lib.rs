@@ -77,6 +77,28 @@ impl Scale {
         }
     }
 
+    /// CI-sized scale: just enough jobs to exercise every code path.
+    ///
+    /// Statistical acceptance checks are meaningless at this size, so
+    /// binaries skip them when `Scale::name == "smoke"` (see
+    /// [`Scale::is_smoke`]).
+    pub fn smoke() -> Self {
+        Self {
+            arrivals: 4_000,
+            continuous_arrivals: 3_000,
+            trials: 1,
+            pareto_trials: 1,
+            min_jobs_per_client: 10,
+            name: "smoke",
+        }
+    }
+
+    /// Whether this is the CI smoke scale (too small for acceptance
+    /// checks).
+    pub fn is_smoke(&self) -> bool {
+        self.name == "smoke"
+    }
+
     /// Reads the scale from `argv[1]` or `REPRO_SCALE` (default `std`).
     pub fn from_env() -> Self {
         let arg = std::env::args().nth(1);
@@ -85,6 +107,7 @@ impl Scale {
         match pick.trim_start_matches("--") {
             "full" => Self::full(),
             "quick" => Self::quick(),
+            "smoke" => Self::smoke(),
             _ => Self::std(),
         }
     }
@@ -265,12 +288,15 @@ mod tests {
 
     #[test]
     fn scales_are_ordered() {
+        let m = Scale::smoke();
         let q = Scale::quick();
         let s = Scale::std();
         let f = Scale::full();
+        assert!(m.arrivals < q.arrivals);
         assert!(q.arrivals < s.arrivals && s.arrivals < f.arrivals);
         assert!(q.trials <= s.trials && s.trials <= f.trials);
         assert!(f.pareto_trials >= 30);
+        assert!(m.is_smoke() && !q.is_smoke());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Hand-rolled argument parsing (the project's dependency policy allows no
 //! CLI crate, and the grammar is small).
 
-use staleload_core::{clients_for_mean_age, ArrivalSpec, FaultSpec, SimConfig};
+use staleload_core::{clients_for_mean_age, ArrivalSpec, FaultSpec, RetrySpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
 use staleload_sim::Dist;
@@ -236,6 +236,10 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut burst: Option<BurstConfig> = None;
     let mut faults = FaultSpec::none();
     let mut staleness_cutoff: Option<f64> = None;
+    let mut queue_cap: Option<u32> = None;
+    let mut deadline: Option<f64> = None;
+    let mut retry: Option<RetrySpec> = None;
+    let mut guard: Option<(f64, f64)> = None;
     let mut detail = false;
 
     let mut it = args.iter();
@@ -304,6 +308,38 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                         .map_err(|e| format!("--staleness-cutoff: {e}"))?,
                 );
             }
+            "--queue-cap" => {
+                queue_cap = Some(
+                    take("--queue-cap")?
+                        .parse()
+                        .map_err(|e| format!("--queue-cap: {e}"))?,
+                );
+            }
+            "--deadline" => {
+                deadline = Some(
+                    take("--deadline")?
+                        .parse()
+                        .map_err(|e| format!("--deadline: {e}"))?,
+                );
+            }
+            "--retry" => {
+                retry = Some(
+                    take("--retry")?
+                        .parse::<RetrySpec>()
+                        .map_err(|e| format!("--retry: {e}"))?,
+                );
+            }
+            "--guard" => {
+                let v = take("--guard")?;
+                let (t, c) = v
+                    .split_once(':')
+                    .ok_or("--guard expects <THRESHOLD>:<COOLDOWN> (e.g. 2:50)")?;
+                guard = Some((
+                    t.parse()
+                        .map_err(|_| format!("bad guard threshold '{t}'"))?,
+                    c.parse().map_err(|_| format!("bad guard cooldown '{c}'"))?,
+                ));
+            }
             "--detail" => detail = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -327,6 +363,16 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let policy = match staleness_cutoff {
         Some(cutoff) => PolicySpec::Gated {
             cutoff,
+            inner: Box::new(policy),
+        },
+        None => policy,
+    };
+    // The circuit breaker wraps outermost: it watches the dispatch stream
+    // the composed policy actually produces.
+    let policy = match guard {
+        Some((threshold, cooldown)) => PolicySpec::Guarded {
+            threshold,
+            cooldown,
             inner: Box::new(policy),
         },
         None => policy,
@@ -358,6 +404,15 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
     if let Some(min) = stealing {
         builder.work_stealing(min);
+    }
+    if let Some(cap) = queue_cap {
+        builder.queue_cap(cap);
+    }
+    if let Some(d) = deadline {
+        builder.deadline(d);
+    }
+    if let Some(r) = retry {
+        builder.retry(r);
     }
     let config = builder.try_build().map_err(|e| e.to_string())?;
 
@@ -536,6 +591,57 @@ mod tests {
         assert_eq!(args.config.faults.loss.unwrap().drop_prob, 0.3);
         assert!(parse_run(&strings(&["--faults", "crash:0:20"])).is_err());
         assert!(parse_run(&strings(&["--faults", "meteor:1"])).is_err());
+    }
+
+    #[test]
+    fn overload_flags_parse() {
+        let args = parse_run(&strings(&[
+            "--queue-cap",
+            "8",
+            "--deadline",
+            "5",
+            "--retry",
+            "4:0.5:10",
+        ]))
+        .unwrap();
+        assert_eq!(args.config.queue_cap, Some(8));
+        assert_eq!(args.config.deadline, Some(5.0));
+        let r = args.config.retry.unwrap();
+        assert_eq!((r.max_attempts, r.base, r.cap), (4, 0.5, 10.0));
+
+        // Defaults stay off.
+        let plain = parse_run(&[]).unwrap();
+        assert_eq!(plain.config.queue_cap, None);
+        assert_eq!(plain.config.deadline, None);
+        assert_eq!(plain.config.retry, None);
+
+        // Malformed or inconsistent specs are rejected with messages.
+        assert!(parse_run(&strings(&["--queue-cap", "0"])).is_err());
+        assert!(parse_run(&strings(&["--deadline", "-1"])).is_err());
+        assert!(parse_run(&strings(&["--retry", "4:0.5"])).is_err());
+        assert!(parse_run(&strings(&["--retry", "1:0.5:10", "--queue-cap", "8"])).is_err());
+        // Retry without a cap or deadline can never trigger: config error.
+        assert!(parse_run(&strings(&["--retry", "4:0.5:10"])).is_err());
+    }
+
+    #[test]
+    fn guard_wraps_policy_outermost() {
+        let args = parse_run(&strings(&["--guard", "2:50", "--staleness-cutoff", "25"])).unwrap();
+        match args.policy {
+            PolicySpec::Guarded {
+                threshold,
+                cooldown,
+                inner,
+            } => {
+                assert_eq!((threshold, cooldown), (2.0, 50.0));
+                assert!(matches!(*inner, PolicySpec::Gated { .. }));
+            }
+            other => panic!("expected guarded policy, got {other:?}"),
+        }
+        assert!(parse_run(&strings(&["--guard", "2"])).is_err());
+        assert!(parse_run(&strings(&["--guard", "x:50"])).is_err());
+        // threshold must exceed 1 (validate() catches it).
+        assert!(parse_run(&strings(&["--guard", "0.5:50"])).is_err());
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! `--servers N --lambda F --arrivals N --trials N --seed N`
 //! `--policy <spec>` (run only), `--info <spec>`, `--service <spec>`,
 //! `--capacities <spec>`, `--stealing <MIN>`, `--burst <LEN>:<GAP>`,
-//! `--detail`.
+//! `--queue-cap <N>`, `--deadline <T>`, `--retry <MAX>:<BASE>:<CAP>`,
+//! `--guard <THR>:<COOLDOWN>`, `--detail`.
 
 mod args;
 
@@ -74,12 +75,19 @@ fn print_help() {
          --faults SPEC      none | crash:<MTBF>:<MTTR>[:redispatch] | drop:<P> |\n                     \
          delay:<MEAN> (combine with commas, e.g. crash:500:20,drop:0.3)\n  \
          --staleness-cutoff AGE  hide board entries older than AGE from the policy\n  \
+         --queue-cap N      bound each server queue at N jobs; excess arrivals are rejected\n  \
+         --deadline T       jobs still waiting after T renege (abandon the queue)\n  \
+         --retry MAX:BASE:CAP  rejected/reneged jobs retry up to MAX attempts after\n                     \
+         decorrelated-jitter backoff in [BASE, CAP]\n  \
+         --guard THR:COOLDOWN  circuit breaker: fall back to random routing for\n                     \
+         COOLDOWN time when dispatch concentration exceeds THR (>1)\n  \
          --detail           print tail latencies, fairness, occupancy\n\n\
          EXAMPLES:\n  \
          staleload compare --info periodic:10\n  \
          staleload run --policy basic-li --info continuous:exp:5:actual --detail\n  \
          staleload run --policy hetero-li --capacities 50x1.6,50x0.4 --lambda 0.7\n  \
-         staleload run --faults crash:500:20,drop:0.5 --staleness-cutoff 25"
+         staleload run --faults crash:500:20,drop:0.5 --staleness-cutoff 25\n  \
+         staleload run --queue-cap 10 --deadline 20 --retry 5:1:30 --guard 2:100 --detail"
     );
 }
 
@@ -145,6 +153,21 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
                 "faults        : {} crashes, {} recoveries, {:.1} downtime, {} redispatched, {} redirected",
                 f.crashes, f.recoveries, f.downtime, f.redispatched, f.redirected
             );
+        }
+        if !r.overload.is_zero() {
+            let o = &r.overload;
+            println!(
+                "overload      : {} rejected, {} reneged, {} retries, {} abandoned",
+                o.rejected, o.reneged, o.retries, o.abandoned
+            );
+            println!(
+                "goodput       : {:.4} of {:.4} offered ({:.1}% lost), amplification {:.3}",
+                r.goodput(),
+                r.offered_throughput(),
+                100.0 * o.abandoned as f64 / r.generated as f64,
+                o.retry_amplification(r.generated)
+            );
+            println!("recovery time : {:.1}", d.time_to_recovery());
         }
     }
     Ok(())

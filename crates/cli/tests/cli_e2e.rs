@@ -89,6 +89,54 @@ fn run_detail_prints_tails() {
 }
 
 #[test]
+fn run_overload_controls_print_goodput() {
+    let (ok, stdout, stderr) = staleload(&[
+        "run",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.95",
+        "--arrivals",
+        "20000",
+        "--trials",
+        "1",
+        "--policy",
+        "random",
+        "--info",
+        "fresh",
+        "--queue-cap",
+        "2",
+        "--deadline",
+        "2",
+        "--retry",
+        "4:0.5:8",
+        "--guard",
+        "2:50",
+        "--detail",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("overload"), "{stdout}");
+    assert!(stdout.contains("goodput"), "{stdout}");
+    assert!(
+        stdout.contains("guarded"),
+        "label shows the breaker:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_overload_flags_fail_with_message() {
+    let (ok, _, stderr) = staleload(&["run", "--queue-cap", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("queue cap"), "{stderr}");
+    let (ok, _, stderr) = staleload(&["run", "--retry", "5:1:30"]);
+    assert!(!ok);
+    assert!(
+        stderr.contains("retry orbit needs a queue cap or a deadline"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn bad_policy_fails_with_message() {
     let (ok, _, stderr) = staleload(&["run", "--policy", "telepathy"]);
     assert!(!ok);

@@ -46,6 +46,18 @@ use std::collections::VecDeque;
 /// Identifier of a server within a [`Cluster`] (a dense index in `0..n`).
 pub type ServerId = usize;
 
+/// Outcome of a cap-aware admission attempt (see [`Cluster::admit`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// The target queue was at its cap; the job was not accepted and no
+    /// arrival was counted.
+    Rejected,
+    /// Accepted, waiting behind other jobs (or queued on a down server).
+    Queued,
+    /// Accepted straight into service; departs at the given time.
+    InService(f64),
+}
+
 /// A unit of work.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Job {
@@ -100,6 +112,7 @@ pub struct Cluster {
     history: Option<LoadHistory>,
     arrivals: u64,
     departures: u64,
+    queue_cap: Option<u32>,
 }
 
 impl Cluster {
@@ -118,6 +131,7 @@ impl Cluster {
             history: None,
             arrivals: 0,
             departures: 0,
+            queue_cap: None,
         }
     }
 
@@ -222,6 +236,84 @@ impl Cluster {
     pub fn enqueue(&mut self, server: ServerId, job: Job, now: f64) -> Option<f64> {
         self.arrivals += 1;
         self.place(server, job, now)
+    }
+
+    /// Sets (or clears) the per-server queue cap enforced by
+    /// [`Cluster::admit`]: the maximum load, counting the job in service,
+    /// a server will accept a *new arrival* at. Migrations via
+    /// [`Cluster::requeue`] (work stealing, crash re-dispatch) are exempt
+    /// — they move jobs already admitted to the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is `Some(0)`: a zero cap would reject every job.
+    pub fn set_queue_cap(&mut self, cap: Option<u32>) {
+        assert!(cap != Some(0), "queue cap must be at least 1");
+        self.queue_cap = cap;
+    }
+
+    /// The queue cap enforced by [`Cluster::admit`], if any.
+    pub fn queue_cap(&self) -> Option<u32> {
+        self.queue_cap
+    }
+
+    /// Cap-aware admission: like [`Cluster::enqueue`] but bounces the job
+    /// when `server`'s queue is at the cap set via
+    /// [`Cluster::set_queue_cap`]. A rejected job never enters the system
+    /// (no arrival is counted); the caller decides whether it retries or
+    /// is lost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn admit(&mut self, server: ServerId, job: Job, now: f64) -> Admission {
+        if let Some(cap) = self.queue_cap {
+            if self.loads[server] >= cap {
+                return Admission::Rejected;
+            }
+        }
+        match self.enqueue(server, job, now) {
+            Some(dep) => Admission::InService(dep),
+            None => Admission::Queued,
+        }
+    }
+
+    /// Removes a *waiting* job by id from `server`'s queue at time `now`
+    /// (deadline reneging). The job leaves the system — it counts as a
+    /// departure but not a completion.
+    ///
+    /// `head_in_service` tells the cluster whether the queue head is
+    /// currently being served (the cluster itself does not track remaining
+    /// work): when `true` the head cannot renege, only jobs behind it can.
+    /// Returns the removed job, or `None` if no waiting job with that id
+    /// is present (already completed, already in service, or migrated
+    /// elsewhere).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn renege_waiting(
+        &mut self,
+        server: ServerId,
+        job_id: u64,
+        now: f64,
+        head_in_service: bool,
+    ) -> Option<Job> {
+        let first_waiting = usize::from(head_in_service);
+        let s = &mut self.servers[server];
+        let pos = s
+            .queue
+            .iter()
+            .skip(first_waiting)
+            .position(|j| j.id == job_id)?
+            + first_waiting;
+        let job = s.queue.remove(pos).expect("position was just found");
+        self.loads[server] -= 1;
+        self.departures += 1;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, self.loads[server]);
+        }
+        Some(job)
     }
 
     /// Places `job` on `server` without counting a new arrival — for jobs
@@ -672,5 +764,87 @@ mod tests {
     fn recover_up_server_panics() {
         let mut c = Cluster::new(1);
         c.recover(0, 0.0, None);
+    }
+
+    #[test]
+    fn admit_respects_queue_cap() {
+        let mut c = Cluster::new(2);
+        c.set_queue_cap(Some(2));
+        assert_eq!(c.queue_cap(), Some(2));
+        assert_eq!(
+            c.admit(0, Job::new(0, 0.0, 5.0), 0.0),
+            Admission::InService(5.0)
+        );
+        assert_eq!(c.admit(0, Job::new(1, 0.1, 1.0), 0.1), Admission::Queued);
+        // Load 2 == cap: full.
+        assert_eq!(c.admit(0, Job::new(2, 0.2, 1.0), 0.2), Admission::Rejected);
+        // The other server still has room.
+        assert_eq!(
+            c.admit(1, Job::new(2, 0.2, 1.0), 0.2),
+            Admission::InService(1.2)
+        );
+        // Rejected jobs never counted as arrivals.
+        assert_eq!(c.arrivals(), 3);
+        // A completion frees a slot.
+        c.complete(0, 5.0);
+        assert_eq!(c.admit(0, Job::new(3, 5.0, 1.0), 5.0), Admission::Queued);
+    }
+
+    #[test]
+    fn admit_without_cap_is_enqueue() {
+        let mut c = Cluster::new(1);
+        for i in 0..10 {
+            assert_ne!(c.admit(0, Job::new(i, 0.0, 1.0), 0.0), Admission::Rejected);
+        }
+        assert_eq!(c.arrivals(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_queue_cap_panics() {
+        let mut c = Cluster::new(1);
+        c.set_queue_cap(Some(0));
+    }
+
+    #[test]
+    fn renege_removes_waiting_job_only() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        c.enqueue(0, Job::new(1, 0.1, 1.0), 0.1);
+        c.enqueue(0, Job::new(2, 0.2, 2.0), 0.2);
+        // Job 0 is in service: it cannot renege.
+        assert_eq!(c.renege_waiting(0, 0, 1.0, true), None);
+        // Job 1 waits and can.
+        let gone = c.renege_waiting(0, 1, 1.0, true).expect("job 1 waits");
+        assert_eq!(gone.id, 1);
+        assert_eq!(c.loads(), &[2]);
+        assert_eq!(c.departures(), 1);
+        assert_eq!(c.in_system(), 2);
+        // FIFO order of the remainder is intact: 0 then 2.
+        let (j, next) = c.complete(0, 5.0);
+        assert_eq!(j.id, 0);
+        assert_eq!(next, Some(7.0));
+        let (j, _) = c.complete(0, 7.0);
+        assert_eq!(j.id, 2);
+    }
+
+    #[test]
+    fn renege_on_down_server_head() {
+        let mut c = Cluster::new(1);
+        c.crash(0, 0.0);
+        c.enqueue(0, Job::new(0, 1.0, 2.0), 1.0);
+        // Down server: the head never started service, so it may renege.
+        let gone = c.renege_waiting(0, 0, 3.0, false).expect("head waits");
+        assert_eq!(gone.id, 0);
+        assert_eq!(c.loads(), &[0]);
+        assert_eq!(c.recover(0, 5.0, None), None);
+    }
+
+    #[test]
+    fn renege_missing_job_is_none() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        assert_eq!(c.renege_waiting(0, 42, 1.0, true), None);
+        assert_eq!(c.departures(), 0);
     }
 }

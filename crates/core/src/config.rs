@@ -4,7 +4,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 use staleload_sim::Dist;
-use staleload_workloads::BurstConfig;
+use staleload_workloads::{BurstConfig, RetrySpec};
 
 use crate::FaultSpec;
 
@@ -99,6 +99,19 @@ pub struct SimConfig {
     /// channels. [`FaultSpec::none`] (the default) reproduces the
     /// fault-free simulator bit for bit.
     pub faults: FaultSpec,
+    /// Overload control (extension): per-server bounded queues. A new
+    /// arrival finding its target at this load is rejected instead of
+    /// queued. `None` (the default) leaves queues unbounded and
+    /// reproduces the uncontrolled simulator bit for bit.
+    pub queue_cap: Option<u32>,
+    /// Overload control (extension): per-job waiting deadline. A job
+    /// still *waiting* (not yet in service) this long after its admission
+    /// reneges — abandons the queue. `None` disables reneging.
+    pub deadline: Option<f64>,
+    /// Overload control (extension): retry orbit for rejected/reneged
+    /// jobs; see [`RetrySpec`]. `None` makes rejection and reneging
+    /// terminal.
+    pub retry: Option<RetrySpec>,
     /// Master seed; trials derive their own seeds from it.
     pub seed: u64,
 }
@@ -142,6 +155,9 @@ pub struct SimConfigBuilder {
     capacities: Option<Vec<f64>>,
     work_stealing: Option<u32>,
     faults: FaultSpec,
+    queue_cap: Option<u32>,
+    deadline: Option<f64>,
+    retry: Option<RetrySpec>,
     seed: u64,
 }
 
@@ -156,6 +172,9 @@ impl Default for SimConfigBuilder {
             capacities: None,
             work_stealing: None,
             faults: FaultSpec::none(),
+            queue_cap: None,
+            deadline: None,
+            retry: None,
             seed: 1,
         }
     }
@@ -215,6 +234,26 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Bounds every server's queue at `cap` jobs (including the one in
+    /// service); arrivals beyond the cap are rejected.
+    pub fn queue_cap(&mut self, cap: u32) -> &mut Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Sets the per-job waiting deadline: jobs still waiting this long
+    /// after admission renege.
+    pub fn deadline(&mut self, deadline: f64) -> &mut Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enables the retry orbit for rejected/reneged jobs.
+    pub fn retry(&mut self, retry: RetrySpec) -> &mut Self {
+        self.retry = Some(retry);
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
@@ -267,6 +306,29 @@ impl SimConfigBuilder {
             }
         }
         self.faults.validate()?;
+        if self.queue_cap == Some(0) {
+            return Err(ConfigError::new(
+                "queue cap must be at least 1 (a zero cap rejects every job)",
+            ));
+        }
+        if let Some(d) = self.deadline {
+            if !(d.is_finite() && d > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "deadline must be finite and positive, got {d}"
+                )));
+            }
+        }
+        if let Some(retry) = &self.retry {
+            retry
+                .validate()
+                .map_err(|e| ConfigError::new(e.to_string()))?;
+            if self.queue_cap.is_none() && self.deadline.is_none() {
+                return Err(ConfigError::new(
+                    "retry orbit needs a queue cap or a deadline (nothing can bounce a job \
+                     otherwise)",
+                ));
+            }
+        }
         Ok(SimConfig {
             servers: self.servers,
             lambda: self.lambda,
@@ -276,6 +338,9 @@ impl SimConfigBuilder {
             capacities: self.capacities.clone(),
             work_stealing: self.work_stealing,
             faults: self.faults,
+            queue_cap: self.queue_cap,
+            deadline: self.deadline,
+            retry: self.retry,
             seed: self.seed,
         })
     }
@@ -327,6 +392,47 @@ mod tests {
         assert!(SimConfig::builder().arrivals(0).try_build().is_err());
         assert!(SimConfig::builder()
             .warmup_fraction(1.0)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn overload_controls_default_off() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.queue_cap, None);
+        assert_eq!(cfg.deadline, None);
+        assert_eq!(cfg.retry, None);
+    }
+
+    #[test]
+    fn overload_controls_are_validated() {
+        let retry = RetrySpec {
+            max_attempts: 4,
+            base: 0.5,
+            cap: 10.0,
+        };
+        assert!(SimConfig::builder()
+            .queue_cap(8)
+            .deadline(5.0)
+            .retry(retry)
+            .try_build()
+            .is_ok());
+        assert!(SimConfig::builder().queue_cap(0).try_build().is_err());
+        assert!(SimConfig::builder().deadline(0.0).try_build().is_err());
+        assert!(SimConfig::builder()
+            .deadline(f64::INFINITY)
+            .try_build()
+            .is_err());
+        // A retry orbit with nothing to bounce jobs is a config error.
+        assert!(SimConfig::builder().retry(retry).try_build().is_err());
+        // Bad retry parameters surface as ConfigError.
+        assert!(SimConfig::builder()
+            .queue_cap(8)
+            .retry(RetrySpec {
+                max_attempts: 1,
+                base: 0.5,
+                cap: 10.0
+            })
             .try_build()
             .is_err());
     }

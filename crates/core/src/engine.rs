@@ -1,13 +1,13 @@
 //! The discrete-event simulation loop.
 
-use staleload_cluster::{Cluster, Job, ServerId};
+use staleload_cluster::{Admission, Cluster, Job, ServerId};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 use staleload_sim::{EventQueue, OnlineStats, SimRng};
-use staleload_workloads::ArrivalProcess;
+use staleload_workloads::{ArrivalProcess, RetrySpec};
 
 use crate::config::ConfigError;
-use crate::{ArrivalSpec, CrashSpec, RunDetail, SimConfig, SimError};
+use crate::{ArrivalSpec, CrashSpec, OverloadStats, RunDetail, SimConfig, SimError};
 
 /// Counters for the fault process of one run (all zero when the run was
 /// fault-free).
@@ -65,10 +65,100 @@ pub struct RunResult {
     pub history_misses: u64,
     /// Fault-process counters (all zero for a fault-free run).
     pub faults: FaultStats,
+    /// Overload-control counters (all zero when queue caps, deadlines, and
+    /// retries are off).
+    pub overload: OverloadStats,
     /// Non-fatal warnings about the run's data quality.
     pub diagnostics: Vec<Diagnostic>,
     /// Tail/fairness/occupancy metrics (see [`RunDetail`]).
     pub detail: RunDetail,
+}
+
+impl RunResult {
+    /// Completed jobs per unit time — the paper's throughput, net of jobs
+    /// the overload controls turned away.
+    pub fn goodput(&self) -> f64 {
+        if self.end_time <= 0.0 {
+            return 0.0;
+        }
+        (self.generated - self.overload.abandoned) as f64 / self.end_time
+    }
+
+    /// Generated jobs per unit time (what the workload offered, whether or
+    /// not the system completed it).
+    pub fn offered_throughput(&self) -> f64 {
+        if self.end_time <= 0.0 {
+            return 0.0;
+        }
+        self.generated as f64 / self.end_time
+    }
+}
+
+/// A job waiting out its backoff before re-entering the arrival stream.
+#[derive(Debug, Clone, Copy)]
+struct OrbitEntry {
+    job: Job,
+    client: usize,
+    /// Admission attempts already made (and failed).
+    attempts: u32,
+    /// The backoff wait that produced this entry (decorrelated jitter
+    /// feeds it forward).
+    prev_backoff: f64,
+}
+
+/// A scheduled deadline check for a waiting job.
+#[derive(Debug, Clone, Copy)]
+struct RenegeEntry {
+    /// Where the job was queued at admission. A job moved elsewhere by
+    /// work stealing or crash re-dispatch silently loses its deadline (a
+    /// deliberate simplification: migration restarts the job's placement).
+    server: ServerId,
+    job_id: u64,
+    client: usize,
+    attempts: u32,
+    prev_backoff: Option<f64>,
+}
+
+/// Routes a bounced (rejected or reneged) job: into the retry orbit with a
+/// fresh backoff if attempts remain, otherwise it is abandoned. Draws only
+/// from the dedicated retry stream.
+#[allow(clippy::too_many_arguments)] // one slot per piece of bounce state
+fn bounce(
+    retry: Option<RetrySpec>,
+    job: Job,
+    client: usize,
+    attempts: u32,
+    prev_backoff: Option<f64>,
+    now: f64,
+    orbit: &mut EventQueue<OrbitEntry>,
+    retry_rng: &mut SimRng,
+    overload: &mut OverloadStats,
+) {
+    match retry {
+        Some(spec) if attempts < spec.max_attempts => {
+            let wait = spec.backoff(prev_backoff, retry_rng);
+            overload.retries += 1;
+            orbit.push(
+                now + wait,
+                OrbitEntry {
+                    job,
+                    client,
+                    attempts,
+                    prev_backoff: wait,
+                },
+            );
+        }
+        _ => overload.abandoned += 1,
+    }
+}
+
+/// Which system event fires next (fault events are handled separately).
+#[derive(Debug, Clone, Copy)]
+enum SystemEvent {
+    Arrival,
+    Departure,
+    Renege,
+    Orbit,
 }
 
 /// The crash/recovery process: each server alternates between up and down
@@ -143,10 +233,11 @@ fn random_up_server(cluster: &Cluster, rng: &mut SimRng) -> Option<ServerId> {
 ///
 /// Determinism: the run is a pure function of the configuration (including
 /// `cfg.seed`). Independent RNG streams are forked for the arrival process,
-/// service times, the policy, the information model, and the fault process,
-/// so e.g. changing the policy does not perturb the arrival pattern — and a
-/// run with `FaultSpec::none()` is bit-identical to one without the fault
-/// machinery (the fault stream is forked last and never drawn from).
+/// service times, the policy, the information model, the fault process, and
+/// the retry orbit, so e.g. changing the policy does not perturb the arrival
+/// pattern — and a run with `FaultSpec::none()` and the overload controls
+/// unset is bit-identical to one without that machinery (those streams are
+/// forked last and never drawn from).
 ///
 /// # Errors
 ///
@@ -176,15 +267,20 @@ pub fn run_simulation(
     let mut service_rng = master.fork();
     let mut policy_rng = master.fork();
     let mut model_rng = master.fork();
-    // Forked last, and the master is used only for forking, so fault-free
-    // runs replay historical trajectories bit-for-bit.
+    // Forked after the four streams the fault-free engine uses, so
+    // fault-free runs replay historical trajectories bit-for-bit.
     let mut fault_rng = master.fork();
+    // Forked last and drawn only by the retry orbit: configurations
+    // without retries stay bit-identical too (same discipline as the
+    // fault stream).
+    let mut retry_rng = master.fork();
 
     let n = cfg.servers;
     let mut cluster = match &cfg.capacities {
         Some(caps) => Cluster::with_capacities(caps),
         None => Cluster::new(n),
     };
+    cluster.set_queue_cap(cfg.queue_cap);
     if let Some(window) = info.history_window() {
         cluster.enable_history(window);
     }
@@ -253,6 +349,11 @@ pub fn run_simulation(
     // (stall mode resumes it on recovery).
     let mut frozen: Vec<Option<f64>> = vec![None; n];
     let mut stats = FaultStats::default();
+    let mut overload = OverloadStats::default();
+    // Deadline checks for waiting jobs and the retry orbit; both stay
+    // empty (and cost nothing) when the overload controls are off.
+    let mut reneges: EventQueue<RenegeEntry> = EventQueue::new();
+    let mut orbit: EventQueue<OrbitEntry> = EventQueue::new();
     let mut response = OnlineStats::new();
     let mut detail = RunDetail::new(n);
     let mut next_id: u64 = 0;
@@ -269,13 +370,25 @@ pub fn run_simulation(
             departures.pop();
         }
 
-        let arrival_time = next_arrival.map(|(t, _)| t);
-        let departure_time = departures.peek_time();
-        let system_next = match (arrival_time, departure_time) {
-            (None, None) => None,
-            (Some(a), None) => Some(a),
-            (None, Some(d)) => Some(d),
-            (Some(a), Some(d)) => Some(a.min(d)),
+        // Event times are always finite, so None maps to infinity safely.
+        let a = next_arrival.map_or(f64::INFINITY, |(t, _)| t);
+        let d = departures.peek_time().unwrap_or(f64::INFINITY);
+        let r = reneges.peek_time().unwrap_or(f64::INFINITY);
+        let o = orbit.peek_time().unwrap_or(f64::INFINITY);
+        let earliest = a.min(d).min(r).min(o);
+        let system_next = earliest.is_finite().then_some(earliest);
+        // Tie priority: arrivals first (the historical convention), then
+        // departures — so a job entering service "at" its deadline is
+        // served, not reneged — then deadline checks, then orbit
+        // re-arrivals.
+        let system_event = if a <= d && a <= r && a <= o {
+            SystemEvent::Arrival
+        } else if d <= r && d <= o {
+            SystemEvent::Departure
+        } else if r <= o {
+            SystemEvent::Renege
+        } else {
+            SystemEvent::Orbit
         };
         let fault_next = crash_process.as_ref().map(|c| c.peek().0);
 
@@ -359,19 +472,96 @@ pub fn run_simulation(
             continue;
         }
 
-        let take_arrival = match (arrival_time, departure_time) {
-            (Some(a), Some(d)) => a <= d,
-            (Some(_), None) => true,
-            _ => false,
+        // Arrivals and orbit re-arrivals share the admission flow below;
+        // the tuple is (time, job, client, attempts made incl. this one,
+        // previous backoff).
+        let admission: Option<(f64, Job, usize, u32, Option<f64>)> = match system_event {
+            SystemEvent::Arrival => {
+                let (t, client) = next_arrival.take().expect("arrival is present");
+                let service = cfg.service.sample(&mut service_rng);
+                let job = Job::new(next_id, t, service);
+                next_id += 1;
+                if next_id < cfg.arrivals {
+                    next_arrival = Some(process.next(&mut arrival_rng));
+                }
+                Some((t, job, client, 1, None))
+            }
+            SystemEvent::Orbit => {
+                let (t, entry) = orbit.pop().expect("orbit entry is present");
+                Some((
+                    t,
+                    entry.job,
+                    entry.client,
+                    entry.attempts + 1,
+                    Some(entry.prev_backoff),
+                ))
+            }
+            SystemEvent::Departure => {
+                let (t, server) = departures.pop().expect("departure is present");
+                scheduled[server] = None;
+                let (job, next) = cluster.complete(server, t);
+                match next {
+                    Some(dep) => {
+                        departures.push(dep, server);
+                        scheduled[server] = Some(dep);
+                    }
+                    None => {
+                        // Receiver-driven rebalancing (extension): a server
+                        // going idle pulls a waiting job from the longest
+                        // queue.
+                        if let Some(min_victim) = cfg.work_stealing {
+                            if let Some(dep) = cluster.steal_for_idle(server, t, min_victim) {
+                                departures.push(dep, server);
+                                scheduled[server] = Some(dep);
+                            }
+                        }
+                    }
+                }
+                if job.id >= warmup {
+                    response.record(t - job.arrival);
+                    detail.response_histogram.record(t - job.arrival);
+                }
+                detail.jobs_in_system.update(t, cluster.in_system() as f64);
+                end_time = t;
+                None
+            }
+            SystemEvent::Renege => {
+                let (t, entry) = reneges.pop().expect("renege entry is present");
+                // The head of an up, busy server is in service; on a down
+                // server only an interrupted (frozen) head has started.
+                let head_in_service = if cluster.is_up(entry.server) {
+                    cluster.load(entry.server) > 0
+                } else {
+                    frozen[entry.server].is_some()
+                };
+                if let Some(job) =
+                    cluster.renege_waiting(entry.server, entry.job_id, t, head_in_service)
+                {
+                    overload.reneged += 1;
+                    detail.jobs_in_system.update(t, cluster.in_system() as f64);
+                    bounce(
+                        cfg.retry,
+                        job,
+                        entry.client,
+                        entry.attempts,
+                        entry.prev_backoff,
+                        t,
+                        &mut orbit,
+                        &mut retry_rng,
+                        &mut overload,
+                    );
+                }
+                // A stale check (job already serving, completed, or
+                // migrated) is dropped silently: nothing happened.
+                None
+            }
         };
 
-        if take_arrival {
-            let (t, client) = next_arrival.take().expect("arrival is present");
-            let service = cfg.service.sample(&mut service_rng);
+        if let Some((t, job, client, attempts, prev_backoff)) = admission {
             policy.observe_arrival(t);
             let mut server = {
                 let view = model.view(t, client, &mut cluster, &mut model_rng);
-                policy.select_sized(&view, service, &mut policy_rng)
+                policy.select_sized(&view, job.service, &mut policy_rng)
             };
             if !cluster.is_up(server) {
                 // The policy picked a dead server (its board entry lives
@@ -382,44 +572,44 @@ pub fn run_simulation(
                     stats.redirected += 1;
                 }
             }
-            let job = Job::new(next_id, t, service);
-            next_id += 1;
-            if let Some(dep) = cluster.enqueue(server, job, t) {
-                departures.push(dep, server);
-                scheduled[server] = Some(dep);
-            }
-            model.after_placement(t, client, &cluster);
-            detail.jobs_in_system.update(t, cluster.in_system() as f64);
-            if next_id < cfg.arrivals {
-                next_arrival = Some(process.next(&mut arrival_rng));
-            }
-        } else {
-            let (t, server) = departures.pop().expect("departure is present");
-            scheduled[server] = None;
-            let (job, next) = cluster.complete(server, t);
-            match next {
-                Some(dep) => {
-                    departures.push(dep, server);
-                    scheduled[server] = Some(dep);
+            match cluster.admit(server, job, t) {
+                Admission::Rejected => {
+                    overload.rejected += 1;
+                    bounce(
+                        cfg.retry,
+                        job,
+                        client,
+                        attempts,
+                        prev_backoff,
+                        t,
+                        &mut orbit,
+                        &mut retry_rng,
+                        &mut overload,
+                    );
                 }
-                None => {
-                    // Receiver-driven rebalancing (extension): a server
-                    // going idle pulls a waiting job from the longest
-                    // queue.
-                    if let Some(min_victim) = cfg.work_stealing {
-                        if let Some(dep) = cluster.steal_for_idle(server, t, min_victim) {
-                            departures.push(dep, server);
-                            scheduled[server] = Some(dep);
-                        }
+                accepted => {
+                    if let Admission::InService(dep) = accepted {
+                        departures.push(dep, server);
+                        scheduled[server] = Some(dep);
+                    } else if let Some(deadline) = cfg.deadline {
+                        // Only a job that queued behind others can ever
+                        // renege; one already in service serves to
+                        // completion.
+                        reneges.push(
+                            t + deadline,
+                            RenegeEntry {
+                                server,
+                                job_id: job.id,
+                                client,
+                                attempts,
+                                prev_backoff,
+                            },
+                        );
                     }
+                    model.after_placement(t, client, &cluster);
+                    detail.jobs_in_system.update(t, cluster.in_system() as f64);
                 }
             }
-            if job.id >= warmup {
-                response.record(t - job.arrival);
-                detail.response_histogram.record(t - job.arrival);
-            }
-            detail.jobs_in_system.update(t, cluster.in_system() as f64);
-            end_time = t;
         }
     }
 
@@ -454,6 +644,7 @@ pub fn run_simulation(
         end_time,
         history_misses,
         faults: stats,
+        overload,
         diagnostics,
         detail,
     })
@@ -462,7 +653,7 @@ pub fn run_simulation(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::FaultSpec;
+    use crate::{FaultSpec, SimConfigBuilder};
 
     /// Test shorthand: run a configuration that is known to be valid.
     fn run(
@@ -970,6 +1161,209 @@ mod tests {
             "adaptive {} should be within 10% of oracle {}",
             adaptive.mean_response,
             oracle.mean_response
+        );
+    }
+
+    fn overload_cfg(seed: u64) -> SimConfigBuilder {
+        let mut b = SimConfig::builder();
+        b.servers(8).lambda(0.95).arrivals(30_000).seed(seed);
+        b
+    }
+
+    #[test]
+    fn queue_cap_rejects_and_conserves() {
+        let cfg = overload_cfg(41).queue_cap(2).build();
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(r.overload.rejected > 0, "cap 2 at load 0.95 must bounce");
+        assert_eq!(r.overload.reneged, 0);
+        assert_eq!(r.overload.retries, 0, "no retry configured");
+        assert_eq!(
+            r.overload.abandoned, r.overload.rejected,
+            "without retries every bounce is terminal"
+        );
+        // Every generated job either completed on some server or was
+        // abandoned at admission.
+        assert_eq!(
+            r.detail.per_server_completed.iter().sum::<u64>() + r.overload.abandoned,
+            r.generated,
+        );
+        assert!(r.goodput() < r.offered_throughput());
+        // Shedding keeps waits short: mean response beats the uncapped run.
+        let uncapped = run(
+            &overload_cfg(41).build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(r.mean_response < uncapped.mean_response);
+        assert!(uncapped.overload.is_zero());
+    }
+
+    #[test]
+    fn deadlines_renege_waiting_jobs() {
+        let cfg = overload_cfg(42).deadline(1.0).build();
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(
+            r.overload.reneged > 0,
+            "1s patience at load 0.95 must renege"
+        );
+        assert_eq!(r.overload.rejected, 0, "no cap configured");
+        assert_eq!(r.overload.abandoned, r.overload.reneged);
+        assert_eq!(
+            r.detail.per_server_completed.iter().sum::<u64>() + r.overload.abandoned,
+            r.generated,
+        );
+        // A reneged job never reports a response time.
+        assert!(r.measured_jobs < r.generated);
+        // Jobs that did complete waited less than the patience bound, so the
+        // measured mean must beat the uncontrolled run's.
+        let free = run(
+            &overload_cfg(42).build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(r.mean_response < free.mean_response);
+    }
+
+    #[test]
+    fn retry_orbit_reoffers_bounced_jobs() {
+        let retry = RetrySpec {
+            max_attempts: 5,
+            base: 0.5,
+            cap: 8.0,
+        };
+        let cfg = overload_cfg(43).queue_cap(2).retry(retry).build();
+        let r = run(
+            &cfg,
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(r.overload.retries > 0, "bounced jobs must re-enter");
+        // Both conservation laws hold exactly.
+        assert_eq!(
+            r.overload.rejected + r.overload.reneged,
+            r.overload.retries + r.overload.abandoned,
+        );
+        assert_eq!(
+            r.detail.per_server_completed.iter().sum::<u64>() + r.overload.abandoned,
+            r.generated,
+        );
+        // Retries rescue most bounced jobs, so fewer are lost than in the
+        // no-retry run — and more admission attempts are made overall.
+        let no_retry = run(
+            &overload_cfg(43).queue_cap(2).build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Fresh,
+            &PolicySpec::Random,
+        );
+        assert!(r.overload.abandoned < no_retry.overload.abandoned);
+        assert!(r.overload.retry_amplification(r.generated) > 1.0);
+        assert!(r.goodput() > no_retry.goodput());
+    }
+
+    #[test]
+    fn untriggered_controls_are_bit_identical() {
+        // Controls set so loose they never fire (cap above any backlog,
+        // patience beyond any wait, retries armed but never drawn) must
+        // replay the uncontrolled trajectory bit for bit: the retry stream
+        // is forked unconditionally, renege checks consume no randomness,
+        // and admission under a slack cap is plain enqueue.
+        let plain = run(
+            &quick_cfg(44),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        let mut b = SimConfig::builder();
+        b.servers(10)
+            .lambda(0.5)
+            .arrivals(30_000)
+            .seed(44)
+            .queue_cap(1_000_000)
+            .deadline(1e9)
+            .retry(RetrySpec {
+                max_attempts: 5,
+                base: 1.0,
+                cap: 10.0,
+            });
+        let guarded = run(
+            &b.build(),
+            &ArrivalSpec::Poisson,
+            &InfoSpec::Periodic { period: 5.0 },
+            &PolicySpec::BasicLi { lambda: 0.5 },
+        );
+        assert_eq!(
+            plain.mean_response.to_bits(),
+            guarded.mean_response.to_bits()
+        );
+        assert_eq!(plain.end_time.to_bits(), guarded.end_time.to_bits());
+        assert!(guarded.overload.is_zero());
+    }
+
+    #[test]
+    fn overload_runs_are_deterministic() {
+        let retry = RetrySpec {
+            max_attempts: 4,
+            base: 0.25,
+            cap: 4.0,
+        };
+        let mk = || {
+            run(
+                &overload_cfg(45)
+                    .queue_cap(3)
+                    .deadline(2.0)
+                    .retry(retry)
+                    .build(),
+                &ArrivalSpec::Poisson,
+                &InfoSpec::Periodic { period: 5.0 },
+                &PolicySpec::BasicLi { lambda: 0.95 },
+            )
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.mean_response.to_bits(), b.mean_response.to_bits());
+        assert_eq!(a.end_time.to_bits(), b.end_time.to_bits());
+        assert_eq!(a.overload, b.overload);
+        assert!(a.overload.rejected > 0 || a.overload.reneged > 0);
+    }
+
+    #[test]
+    fn guarded_policy_runs_and_can_trip() {
+        // A greedy policy on a stale board herds; the guard must notice and
+        // the run must still complete every job.
+        let cfg = SimConfig::builder()
+            .servers(16)
+            .lambda(0.9)
+            .arrivals(60_000)
+            .seed(46)
+            .build();
+        let guarded = PolicySpec::Guarded {
+            threshold: 2.0,
+            cooldown: 50.0,
+            inner: Box::new(PolicySpec::Greedy),
+        };
+        let info = InfoSpec::Periodic { period: 30.0 };
+        let g = run(&cfg, &ArrivalSpec::Poisson, &info, &guarded);
+        let naked = run(&cfg, &ArrivalSpec::Poisson, &info, &PolicySpec::Greedy);
+        assert_eq!(g.generated, 60_000);
+        assert_eq!(g.detail.per_server_completed.iter().sum::<u64>(), 60_000);
+        assert!(
+            g.detail.peak_jobs_in_system() < naked.detail.peak_jobs_in_system(),
+            "breaking the herd must lower the backlog peak: guarded {} vs naked {}",
+            g.detail.peak_jobs_in_system(),
+            naked.detail.peak_jobs_in_system()
         );
     }
 

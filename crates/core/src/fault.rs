@@ -249,12 +249,43 @@ mod tests {
             "crash:0:5",
             "crash:10:0",
             "crash:inf:5",
+            "crash:nan:1",
+            "crash:-5:2",
+            "crash:10:nan",
+            "drop:nan",
             "delay:-1",
+            "delay:inf",
+            "delay:nan",
             "warp",
             "drop:0.1,drop:0.2",
+            "crash:10:5,crash:20:5",
+            "delay:1,delay:2",
         ] {
             assert!(s.parse::<FaultSpec>().is_err(), "'{s}' should be rejected");
         }
+    }
+
+    #[test]
+    fn rejection_messages_name_the_field() {
+        let err = |s: &str| s.parse::<FaultSpec>().unwrap_err().to_string();
+        assert!(
+            err("crash:nan:1").contains("MTBF"),
+            "{}",
+            err("crash:nan:1")
+        );
+        assert!(
+            err("crash:10:-1").contains("MTTR"),
+            "{}",
+            err("crash:10:-1")
+        );
+        assert!(err("drop:1.5").contains("drop"), "{}", err("drop:1.5"));
+        assert!(err("delay:-1").contains("delay"), "{}", err("delay:-1"));
+        assert!(err("warp").contains("bad fault clause"), "{}", err("warp"));
+        assert!(
+            err("crash:10:5,crash:20:5").contains("duplicate"),
+            "{}",
+            err("crash:10:5,crash:20:5")
+        );
     }
 
     #[test]

@@ -55,4 +55,5 @@ pub use experiment::{
     clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure,
 };
 pub use fault::{CrashSpec, FaultSpec, LossSpec};
-pub use metrics::{jain_fairness, RunDetail};
+pub use metrics::{jain_fairness, OverloadStats, RunDetail};
+pub use staleload_workloads::RetrySpec;

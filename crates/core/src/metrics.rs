@@ -50,6 +50,14 @@ impl RunDetail {
         self.jobs_in_system.peak()
     }
 
+    /// Time-to-recovery proxy after a transient: how long the jobs-in-system
+    /// signal stayed at or above half its peak after peaking (see
+    /// [`TimeWeighted::relaxation_time`]). Near zero for a run that never
+    /// built up a sustained backlog.
+    pub fn time_to_recovery(&self) -> f64 {
+        self.jobs_in_system.relaxation_time()
+    }
+
     /// Per-server utilization (busy time / horizon).
     pub fn utilizations(&self, end_time: f64) -> Vec<f64> {
         if end_time <= 0.0 {
@@ -63,6 +71,65 @@ impl RunDetail {
     /// server.
     pub fn throughput_fairness(&self) -> f64 {
         jain_fairness(&self.per_server_completed)
+    }
+}
+
+/// Counters from the overload control plane (bounded queues, deadlines,
+/// retry orbit). All zero when the controls are off.
+///
+/// The counters satisfy two conservation laws the engine's proptests pin
+/// down: every generated job either completes or is abandoned
+/// (`generated == completed + abandoned`), and every bounce either
+/// re-enters the orbit or is terminal
+/// (`rejected + reneged == retries + abandoned`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Admission attempts bounced off a full queue (retries re-rejected
+    /// count again).
+    pub rejected: u64,
+    /// Jobs that abandoned a queue after waiting past their deadline
+    /// (again counting repeats).
+    pub reneged: u64,
+    /// Bounced jobs that re-entered the arrival stream via the retry
+    /// orbit.
+    pub retries: u64,
+    /// Jobs terminally lost: bounced with no retry configured or with
+    /// their attempt budget exhausted.
+    pub abandoned: u64,
+}
+
+impl OverloadStats {
+    /// Whether every counter is zero (controls off or never triggered).
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Admission attempts per generated job: 1.0 with no retries, growing
+    /// as the orbit re-offers bounced jobs (the retry storm made
+    /// measurable).
+    pub fn retry_amplification(&self, generated: u64) -> f64 {
+        if generated == 0 {
+            return 1.0;
+        }
+        1.0 + self.retries as f64 / generated as f64
+    }
+
+    /// Fraction of admission attempts bounced at the queue cap.
+    pub fn rejection_rate(&self, generated: u64) -> f64 {
+        let attempts = generated + self.retries;
+        if attempts == 0 {
+            return 0.0;
+        }
+        self.rejected as f64 / attempts as f64
+    }
+
+    /// Reneges per admitted job (admissions = attempts − rejections).
+    pub fn renege_rate(&self, generated: u64) -> f64 {
+        let admitted = generated + self.retries - self.rejected;
+        if admitted == 0 {
+            return 0.0;
+        }
+        self.reneged as f64 / admitted as f64
     }
 }
 
@@ -104,6 +171,24 @@ mod tests {
         assert!((jain_fairness(&[9, 0, 0]) - 1.0 / 3.0).abs() < 1e-12);
         let mid = jain_fairness(&[8, 4, 0]);
         assert!(mid > 1.0 / 3.0 && mid < 1.0, "{mid}");
+    }
+
+    #[test]
+    fn overload_stats_rates() {
+        let stats = OverloadStats {
+            rejected: 20,
+            reneged: 10,
+            retries: 24,
+            abandoned: 6,
+        };
+        assert!(!stats.is_zero());
+        // 100 generated + 24 retries = 124 attempts.
+        assert!((stats.retry_amplification(100) - 1.24).abs() < 1e-12);
+        assert!((stats.rejection_rate(100) - 20.0 / 124.0).abs() < 1e-12);
+        assert!((stats.renege_rate(100) - 10.0 / 104.0).abs() < 1e-12);
+        assert!(OverloadStats::default().is_zero());
+        assert_eq!(OverloadStats::default().retry_amplification(0), 1.0);
+        assert_eq!(OverloadStats::default().rejection_rate(0), 0.0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! invariants.
 
 use proptest::prelude::*;
-use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
+use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, RetrySpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
 use staleload_sim::Dist;
@@ -232,6 +232,73 @@ proptest! {
             .expect("valid config");
         prop_assert_eq!(r.mean_response.to_bits(), again.mean_response.to_bits());
         prop_assert_eq!(r.faults.crashes, again.faults.crashes);
+    }
+
+    /// Job conservation under the overload control plane: whatever the
+    /// combination of bounded queues, deadlines, and retries, every
+    /// generated job ends exactly once, and the counters reconcile
+    /// exactly — `generated == completed + abandoned` and
+    /// `rejected + reneged == retries + abandoned`.
+    #[test]
+    fn overload_controls_conserve_jobs(
+        servers in 2usize..16,
+        lambda in 0.5f64..0.99,
+        queue_cap in proptest::option::of(1u32..6),
+        deadline in proptest::option::of(0.5f64..10.0),
+        with_retry in any::<bool>(),
+        max_attempts in 2u32..6,
+        policy in arb_policy(),
+        seed in any::<u64>(),
+    ) {
+        let mut b = SimConfig::builder();
+        b.servers(servers).lambda(lambda).arrivals(3_000).seed(seed);
+        if let Some(cap) = queue_cap {
+            b.queue_cap(cap);
+        }
+        if let Some(d) = deadline {
+            b.deadline(d);
+        }
+        // The retry orbit needs something to bounce off.
+        let retry_armed = with_retry && (queue_cap.is_some() || deadline.is_some());
+        if retry_armed {
+            b.retry(RetrySpec { max_attempts, base: 0.2, cap: 5.0 });
+        }
+        let cfg = b.build();
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+        let o = &r.overload;
+
+        prop_assert_eq!(r.generated, 3_000);
+        // Law 1: every job ends exactly once.
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed + o.abandoned, 3_000,
+            "completed {} + abandoned {} != generated", completed, o.abandoned);
+        // Law 2: every bounce either re-entered the orbit or was terminal.
+        prop_assert_eq!(o.rejected + o.reneged, o.retries + o.abandoned,
+            "rejected {} + reneged {} != retries {} + abandoned {}",
+            o.rejected, o.reneged, o.retries, o.abandoned);
+        // Controls that are off leave their counters at zero.
+        if queue_cap.is_none() {
+            prop_assert_eq!(o.rejected, 0);
+        }
+        if deadline.is_none() {
+            prop_assert_eq!(o.reneged, 0);
+        }
+        if !retry_armed {
+            prop_assert_eq!(o.retries, 0);
+        }
+        // Goodput never exceeds offered throughput, and only abandonment
+        // separates them.
+        prop_assert!(r.goodput() <= r.offered_throughput() + 1e-12);
+        if o.abandoned == 0 {
+            prop_assert_eq!(r.goodput().to_bits(), r.offered_throughput().to_bits());
+        }
+        // Determinism holds with the controls on.
+        let again = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+        prop_assert_eq!(&again.overload, o);
+        prop_assert_eq!(again.mean_response.to_bits(), r.mean_response.to_bits());
     }
 
     /// The `--faults` grammar round-trips through Display and FromStr.

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod decay;
+mod guard;
 mod hetero;
 mod ksubset;
 mod li;
@@ -60,6 +61,7 @@ mod staleness;
 mod threshold;
 
 pub use decay::WeightedDecay;
+pub use guard::HerdGuard;
 pub use hetero::HeteroLi;
 pub use ksubset::{empirical_rank_frequencies, rank_distribution, Greedy, KSubset};
 pub use li::{aggressive_schedule, basic_li_probabilities, AggressiveSchedule};

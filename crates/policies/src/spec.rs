@@ -3,8 +3,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::{
-    AdaptiveLi, AggressiveLi, BasicLi, Greedy, HeteroLi, HybridLi, KSubset, LiSubset, Load, Policy,
-    ProbeThreshold, Random, Sita, StalenessGate, Threshold, WeightedDecay,
+    AdaptiveLi, AggressiveLi, BasicLi, Greedy, HerdGuard, HeteroLi, HybridLi, KSubset, LiSubset,
+    Load, Policy, ProbeThreshold, Random, Sita, StalenessGate, Threshold, WeightedDecay,
 };
 
 /// A serializable description of a policy, used by the experiment harness
@@ -103,6 +103,18 @@ pub enum PolicySpec {
         /// The policy being gated.
         inner: Box<PolicySpec>,
     },
+    /// `inner` behind a herd-detecting circuit breaker that demotes it to
+    /// uniform random while its dispatch concentration exceeds `threshold`
+    /// (overload-control extension; see [`HerdGuard`]).
+    Guarded {
+        /// Trip threshold on the normalized max-share score (1 = uniform,
+        /// n = total concentration); must exceed 1.
+        threshold: f64,
+        /// Time the breaker stays open before re-probing the inner policy.
+        cooldown: f64,
+        /// The policy being guarded.
+        inner: Box<PolicySpec>,
+    },
 }
 
 impl PolicySpec {
@@ -129,6 +141,11 @@ impl PolicySpec {
             PolicySpec::Gated { cutoff, inner } => {
                 Box::new(StalenessGate::new(inner.build(), cutoff))
             }
+            PolicySpec::Guarded {
+                threshold,
+                cooldown,
+                inner,
+            } => Box::new(HerdGuard::new(inner.build(), threshold, cooldown)),
         }
     }
 
@@ -177,6 +194,23 @@ impl PolicySpec {
                 }
                 inner.validate()?;
             }
+            PolicySpec::Guarded {
+                threshold,
+                cooldown,
+                inner,
+            } => {
+                if !(threshold.is_finite() && *threshold > 1.0) {
+                    return Err(format!(
+                        "herd threshold must be finite and above 1 (uniform), got {threshold}"
+                    ));
+                }
+                if !(cooldown.is_finite() && *cooldown > 0.0) {
+                    return Err(format!(
+                        "guard cooldown must be finite and positive, got {cooldown}"
+                    ));
+                }
+                inner.validate()?;
+            }
             _ => {}
         }
         // LI lambda estimates are deliberately unconstrained: the
@@ -206,6 +240,11 @@ impl PolicySpec {
             PolicySpec::Gated { cutoff, ref inner } => {
                 format!("gated({}, cutoff={cutoff})", inner.label())
             }
+            PolicySpec::Guarded {
+                threshold,
+                cooldown,
+                ref inner,
+            } => format!("guarded({}, thr={threshold}, cd={cooldown})", inner.label()),
         }
     }
 
@@ -218,7 +257,9 @@ impl PolicySpec {
             | PolicySpec::HybridLi { .. }
             | PolicySpec::LiSubset { .. }
             | PolicySpec::HeteroLi { .. } => true,
-            PolicySpec::Gated { inner, .. } => inner.uses_lambda_estimate(),
+            PolicySpec::Gated { inner, .. } | PolicySpec::Guarded { inner, .. } => {
+                inner.uses_lambda_estimate()
+            }
             _ => false,
         }
     }
@@ -258,6 +299,11 @@ mod tests {
             },
             PolicySpec::Gated {
                 cutoff: 5.0,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            PolicySpec::Guarded {
+                threshold: 2.0,
+                cooldown: 10.0,
                 inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
             },
         ]
@@ -358,6 +404,27 @@ mod tests {
         .is_err());
         assert!(PolicySpec::Gated {
             cutoff: 1.0,
+            inner: Box::new(PolicySpec::KSubset { k: 0 })
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Guarded {
+            threshold: 1.0,
+            cooldown: 10.0,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Guarded {
+            threshold: 2.0,
+            cooldown: 0.0,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Guarded {
+            threshold: 2.0,
+            cooldown: 10.0,
             inner: Box::new(PolicySpec::KSubset { k: 0 })
         }
         .validate()

@@ -22,6 +22,8 @@ pub struct TimeWeighted {
     current: f64,
     integral: f64,
     peak: f64,
+    peak_time: f64,
+    last_above_half_peak: f64,
 }
 
 impl TimeWeighted {
@@ -33,6 +35,8 @@ impl TimeWeighted {
             current: value,
             integral: 0.0,
             peak: value,
+            peak_time: start,
+            last_above_half_peak: start,
         }
     }
 
@@ -50,7 +54,16 @@ impl TimeWeighted {
         self.integral += self.current * (now - self.last_time);
         self.last_time = now;
         self.current = value;
-        self.peak = self.peak.max(value);
+        if value > self.peak {
+            self.peak = value;
+            self.peak_time = now;
+        }
+        // Pre-peak entries here are overwritten at the peak itself (the
+        // peak trivially exceeds half of itself), so after the run this
+        // holds the last time the signal sat at >= half the *final* peak.
+        if value >= self.peak / 2.0 {
+            self.last_above_half_peak = now;
+        }
     }
 
     /// The signal's current value.
@@ -61,6 +74,19 @@ impl TimeWeighted {
     /// The largest value seen.
     pub fn peak(&self) -> f64 {
         self.peak
+    }
+
+    /// When the largest value was recorded.
+    pub fn peak_time(&self) -> f64 {
+        self.peak_time
+    }
+
+    /// How long the signal took to fall below half its peak for good: the
+    /// last time the signal was at or above `peak / 2`, minus the peak
+    /// time. A proxy for time-to-recovery after a transient overload —
+    /// near zero when the signal never built up a sustained excursion.
+    pub fn relaxation_time(&self) -> f64 {
+        (self.last_above_half_peak - self.peak_time).max(0.0)
     }
 
     /// Time average over `[start, end]` (0 for an empty interval).

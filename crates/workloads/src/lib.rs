@@ -94,6 +94,102 @@ impl std::fmt::Display for WorkloadError {
 
 impl std::error::Error for WorkloadError {}
 
+/// Retry-orbit parameters for jobs bounced by overload controls.
+///
+/// A job rejected at admission (bounded queue full) or reneging on its
+/// deadline re-enters the arrival stream after an exponential backoff with
+/// *decorrelated jitter*: each wait is drawn uniformly from
+/// `[base, 3 × previous_wait]` and clamped to `cap`, starting from `base`.
+/// Jitter decorrelates the retry wave that synchronized backoff would
+/// re-aim at the same overload instant; the growing upper bound gives the
+/// exponential spread. After `max_attempts` total admission attempts the
+/// job is abandoned (counted, never silently dropped).
+///
+/// The textual grammar (used by `--retry` on the CLI and round-tripped by
+/// `Display`/`FromStr`) is `<max_attempts>:<base>:<cap>`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrySpec {
+    /// Total admission attempts allowed per job (≥ 2; the first attempt
+    /// counts, so 1 would mean "never retry").
+    pub max_attempts: u32,
+    /// Minimum backoff wait, in service-time units.
+    pub base: f64,
+    /// Maximum backoff wait, in service-time units.
+    pub cap: f64,
+}
+
+impl RetrySpec {
+    /// Checks every parameter is in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] naming the out-of-range field.
+    pub fn validate(&self) -> Result<(), WorkloadError> {
+        if self.max_attempts < 2 {
+            return Err(WorkloadError::new(format!(
+                "retry max_attempts must be at least 2, got {}",
+                self.max_attempts
+            )));
+        }
+        if !(self.base.is_finite() && self.base > 0.0) {
+            return Err(WorkloadError::new(format!(
+                "retry base backoff must be finite and positive, got {}",
+                self.base
+            )));
+        }
+        if !(self.cap.is_finite() && self.cap >= self.base) {
+            return Err(WorkloadError::new(format!(
+                "retry backoff cap must be finite and at least base ({}), got {}",
+                self.base, self.cap
+            )));
+        }
+        Ok(())
+    }
+
+    /// Draws the next backoff wait given the previous one (`None` for the
+    /// first retry): `min(cap, Uniform(base, 3 × prev))` with `prev`
+    /// starting at `base`.
+    pub fn backoff(&self, prev: Option<f64>, rng: &mut SimRng) -> f64 {
+        let hi = (3.0 * prev.unwrap_or(self.base)).min(self.cap);
+        if hi <= self.base {
+            return self.base;
+        }
+        rng.uniform(self.base, hi)
+    }
+}
+
+impl std::fmt::Display for RetrySpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}:{}", self.max_attempts, self.base, self.cap)
+    }
+}
+
+impl std::str::FromStr for RetrySpec {
+    type Err = WorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.trim().split(':').collect();
+        let [max_attempts, base, cap] = parts.as_slice() else {
+            return Err(WorkloadError::new(format!(
+                "bad retry spec '{s}' (expected <max_attempts>:<base>:<cap>)"
+            )));
+        };
+        let spec = Self {
+            max_attempts: max_attempts.parse().map_err(|_| {
+                WorkloadError::new(format!("bad retry max_attempts '{max_attempts}'"))
+            })?,
+            base: base
+                .parse()
+                .map_err(|_| WorkloadError::new(format!("bad retry base '{base}'")))?,
+            cap: cap
+                .parse()
+                .map_err(|_| WorkloadError::new(format!("bad retry cap '{cap}'")))?,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
 /// State of one bursty client.
 #[derive(Debug, Clone)]
 struct BurstyClient {
@@ -531,5 +627,72 @@ mod tests {
             intra_gap_mean: 1.0,
         };
         assert_eq!(burst.inter_gap_mean(7.0).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn retry_spec_round_trips() {
+        let spec: RetrySpec = "5:0.5:20".parse().unwrap();
+        assert_eq!(
+            spec,
+            RetrySpec {
+                max_attempts: 5,
+                base: 0.5,
+                cap: 20.0
+            }
+        );
+        assert_eq!(spec.to_string(), "5:0.5:20");
+        assert_eq!(spec.to_string().parse::<RetrySpec>().unwrap(), spec);
+    }
+
+    #[test]
+    fn retry_spec_rejects_bad_params() {
+        for s in [
+            "",
+            "5",
+            "5:0.5",
+            "5:0.5:20:1",
+            "1:0.5:20", // max_attempts < 2
+            "0:0.5:20",
+            "5:0:20", // base must be positive
+            "5:-1:20",
+            "5:nan:20",
+            "5:inf:20",
+            "5:2:1", // cap below base
+            "x:0.5:20",
+            "5:y:20",
+        ] {
+            assert!(s.parse::<RetrySpec>().is_err(), "'{s}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn backoff_stays_within_bounds_and_grows() {
+        let spec = RetrySpec {
+            max_attempts: 10,
+            base: 1.0,
+            cap: 8.0,
+        };
+        let mut rng = SimRng::from_seed(7);
+        let mut prev: Option<f64> = None;
+        for _ in 0..1000 {
+            let w = spec.backoff(prev, &mut rng);
+            assert!(w >= spec.base, "wait {w} below base");
+            assert!(w <= spec.cap, "wait {w} above cap");
+            assert!(w <= 3.0 * prev.unwrap_or(spec.base) + 1e-12);
+            prev = Some(w);
+        }
+    }
+
+    #[test]
+    fn backoff_degenerate_range_is_base() {
+        // cap == base pins every wait to base and must not panic.
+        let spec = RetrySpec {
+            max_attempts: 3,
+            base: 2.0,
+            cap: 2.0,
+        };
+        let mut rng = SimRng::from_seed(8);
+        assert_eq!(spec.backoff(None, &mut rng), 2.0);
+        assert_eq!(spec.backoff(Some(2.0), &mut rng), 2.0);
     }
 }

@@ -1,0 +1,193 @@
+//! Golden-trajectory regression: with the overload controls
+//! (`queue_cap`/`deadline`/`retry`) unset, simulations must replay the
+//! exact bit patterns produced before the control plane existed.
+//!
+//! The constants below were captured from the engine as of PR 1 (fault
+//! layer, pre-overload-controls) over a seed sweep spanning every RNG
+//! stream: plain Poisson, MMPP arrivals, the staleness gate, crash faults,
+//! and lossy boards. Any change to stream fork order, event ordering, or
+//! the default code path shows up here as a bit mismatch.
+
+use staleload::core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
+use staleload::info::InfoSpec;
+use staleload::policies::PolicySpec;
+
+fn combos() -> Vec<(&'static str, ArrivalSpec, InfoSpec, PolicySpec, FaultSpec)> {
+    vec![
+        (
+            "poisson/periodic/basic-li",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            FaultSpec::none(),
+        ),
+        (
+            "poisson/fresh/random",
+            ArrivalSpec::Poisson,
+            InfoSpec::Fresh,
+            PolicySpec::Random,
+            FaultSpec::none(),
+        ),
+        (
+            "mmpp/periodic/gated-li",
+            ArrivalSpec::Mmpp {
+                rate_ratio: 1.4444444444444444,
+                high_fraction: 0.2,
+                cycle_mean: 200.0,
+            },
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::Gated {
+                cutoff: 1.5,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            FaultSpec::none(),
+        ),
+        (
+            "poisson/periodic/greedy+crash",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 5.0 },
+            PolicySpec::Greedy,
+            FaultSpec::crash(300.0, 20.0),
+        ),
+        (
+            "poisson/periodic/k2+drop",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 5.0 },
+            PolicySpec::KSubset { k: 2 },
+            FaultSpec::drop(0.5),
+        ),
+    ]
+}
+
+/// (combo label, seed, mean_response bits, end_time bits), captured before
+/// the overload control plane was added.
+const GOLDEN: [(&str, u64, u64, u64); 15] = [
+    (
+        "poisson/periodic/basic-li",
+        1,
+        0x40150c767ce3ef33,
+        0x4095e715aba36d4c,
+    ),
+    (
+        "poisson/periodic/basic-li",
+        2,
+        0x40138b22a7c4eaf2,
+        0x40960994cbf6dc7e,
+    ),
+    (
+        "poisson/periodic/basic-li",
+        3,
+        0x4014bb70467252db,
+        0x4095c5957985e425,
+    ),
+    (
+        "poisson/fresh/random",
+        1,
+        0x402215b7e6d4a81f,
+        0x40963116ed48f090,
+    ),
+    (
+        "poisson/fresh/random",
+        2,
+        0x40227c4cd0b003f1,
+        0x40962a060d59dec2,
+    ),
+    (
+        "poisson/fresh/random",
+        3,
+        0x402479f7e99b8c49,
+        0x40964177de474959,
+    ),
+    (
+        "mmpp/periodic/gated-li",
+        1,
+        0x401ff1365c2215cf,
+        0x40962ddee51eadce,
+    ),
+    (
+        "mmpp/periodic/gated-li",
+        2,
+        0x402229cc3e39b681,
+        0x40962b922b384699,
+    ),
+    (
+        "mmpp/periodic/gated-li",
+        3,
+        0x402372e6e549b22e,
+        0x4095c3e2e148f02f,
+    ),
+    (
+        "poisson/periodic/greedy+crash",
+        1,
+        0x403e383df10e1e37,
+        0x40977e6e8273fa68,
+    ),
+    (
+        "poisson/periodic/greedy+crash",
+        2,
+        0x403bdd2967b9635c,
+        0x40971575514e32e5,
+    ),
+    (
+        "poisson/periodic/greedy+crash",
+        3,
+        0x403a32595b01a683,
+        0x4097bb51eabe87dd,
+    ),
+    (
+        "poisson/periodic/k2+drop",
+        1,
+        0x401bddcc4fddd063,
+        0x4095f6eaecce48e9,
+    ),
+    (
+        "poisson/periodic/k2+drop",
+        2,
+        0x401b1b1dc511c43a,
+        0x409629f2b86dcf44,
+    ),
+    (
+        "poisson/periodic/k2+drop",
+        3,
+        0x401b36538c3b28c5,
+        0x4095cef25b57f0db,
+    ),
+];
+
+#[test]
+fn default_path_replays_pre_control_plane_bits() {
+    for (label, arrivals, info, policy, faults) in combos() {
+        for seed in 1..=3u64 {
+            let cfg = SimConfig::builder()
+                .servers(16)
+                .lambda(0.9)
+                .arrivals(20_000)
+                .seed(seed)
+                .faults(faults)
+                .build();
+            let r = run_simulation(&cfg, &arrivals, &info, &policy).expect("valid config");
+            let (_, _, mean_bits, end_bits) = *GOLDEN
+                .iter()
+                .find(|(l, s, _, _)| *l == label && *s == seed)
+                .expect("every combo/seed pair has a golden entry");
+            assert_eq!(
+                r.mean_response.to_bits(),
+                mean_bits,
+                "{label} seed {seed}: mean_response drifted from golden \
+                 ({} vs bits {mean_bits:#018x})",
+                r.mean_response,
+            );
+            assert_eq!(
+                r.end_time.to_bits(),
+                end_bits,
+                "{label} seed {seed}: end_time drifted from golden \
+                 ({} vs bits {end_bits:#018x})",
+                r.end_time,
+            );
+            assert!(
+                r.overload.is_zero(),
+                "{label} seed {seed}: controls unset must report zero overload stats"
+            );
+        }
+    }
+}
