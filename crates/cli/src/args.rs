@@ -4,7 +4,7 @@
 use staleload_core::{clients_for_mean_age, ArrivalSpec, FaultSpec, RetrySpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
-use staleload_sim::Dist;
+use staleload_sim::{Dist, SchedulerKind};
 use staleload_workloads::BurstConfig;
 
 /// A fully parsed `staleload run`/`compare` invocation.
@@ -240,6 +240,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut deadline: Option<f64> = None;
     let mut retry: Option<RetrySpec> = None;
     let mut guard: Option<(f64, f64)> = None;
+    let mut scheduler = SchedulerKind::Heap;
     let mut detail = false;
 
     let mut it = args.iter();
@@ -340,6 +341,9 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                     c.parse().map_err(|_| format!("bad guard cooldown '{c}'"))?,
                 ));
             }
+            "--scheduler" => {
+                scheduler = take("--scheduler")?.parse::<SchedulerKind>()?;
+            }
             "--detail" => detail = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -398,6 +402,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         .arrivals(arrivals)
         .service(service)
         .seed(seed)
+        .scheduler(scheduler)
         .faults(faults);
     if let Some(caps) = capacities {
         builder.capacities(caps);
@@ -573,6 +578,17 @@ mod tests {
             PolicySpec::Sita { boundaries } => assert_eq!(boundaries.len(), 9),
             other => panic!("expected SITA, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn scheduler_flag_selects_backend() {
+        let plain = parse_run(&[]).unwrap();
+        assert_eq!(plain.config.scheduler, SchedulerKind::Heap);
+        let cal = parse_run(&strings(&["--scheduler", "calendar"])).unwrap();
+        assert_eq!(cal.config.scheduler, SchedulerKind::Calendar);
+        let heap = parse_run(&strings(&["--scheduler", "heap"])).unwrap();
+        assert_eq!(heap.config.scheduler, SchedulerKind::Heap);
+        assert!(parse_run(&strings(&["--scheduler", "wheel"])).is_err());
     }
 
     #[test]

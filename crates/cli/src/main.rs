@@ -14,7 +14,7 @@
 //! `--policy <spec>` (run only), `--info <spec>`, `--service <spec>`,
 //! `--capacities <spec>`, `--stealing <MIN>`, `--burst <LEN>:<GAP>`,
 //! `--queue-cap <N>`, `--deadline <T>`, `--retry <MAX>:<BASE>:<CAP>`,
-//! `--guard <THR>:<COOLDOWN>`, `--detail`.
+//! `--guard <THR>:<COOLDOWN>`, `--scheduler <heap|calendar>`, `--detail`.
 
 mod args;
 
@@ -81,6 +81,8 @@ fn print_help() {
          decorrelated-jitter backoff in [BASE, CAP]\n  \
          --guard THR:COOLDOWN  circuit breaker: fall back to random routing for\n                     \
          COOLDOWN time when dispatch concentration exceeds THR (>1)\n  \
+         --scheduler KIND   event-queue backend: heap (default) or calendar;\n                     \
+         trajectories are bit-identical, calendar is faster at scale\n  \
          --detail           print tail latencies, fairness, occupancy\n\n\
          EXAMPLES:\n  \
          staleload compare --info periodic:10\n  \

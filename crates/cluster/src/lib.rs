@@ -38,10 +38,11 @@
 #![warn(missing_docs)]
 
 mod history;
+mod slab;
 
 pub use history::LoadHistory;
 
-use std::collections::VecDeque;
+use slab::{JobList, JobSlab};
 
 /// Identifier of a server within a [`Cluster`] (a dense index in `0..n`).
 pub type ServerId = usize;
@@ -90,9 +91,12 @@ impl Job {
 }
 
 /// One FIFO server: the front of the queue is the job in service.
+///
+/// The queue is an intrusive list into the cluster's shared [`JobSlab`],
+/// so steady-state admit/complete churn allocates nothing.
 #[derive(Debug, Clone, Default)]
 struct Server {
-    queue: VecDeque<Job>,
+    queue: JobList,
     completed: u64,
     busy_since: Option<f64>,
     busy_time: f64,
@@ -106,6 +110,7 @@ struct Server {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     servers: Vec<Server>,
+    slab: JobSlab,
     loads: Vec<u32>,
     capacities: Vec<f64>,
     up: Vec<bool>,
@@ -125,6 +130,7 @@ impl Cluster {
         assert!(n > 0, "a cluster needs at least one server");
         Self {
             servers: vec![Server::default(); n],
+            slab: JobSlab::new(),
             loads: vec![0; n],
             capacities: vec![1.0; n],
             up: vec![true; n],
@@ -301,13 +307,9 @@ impl Cluster {
     ) -> Option<Job> {
         let first_waiting = usize::from(head_in_service);
         let s = &mut self.servers[server];
-        let pos = s
+        let job = s
             .queue
-            .iter()
-            .skip(first_waiting)
-            .position(|j| j.id == job_id)?
-            + first_waiting;
-        let job = s.queue.remove(pos).expect("position was just found");
+            .remove_by_id(&mut self.slab, job_id, first_waiting)?;
         self.loads[server] -= 1;
         self.departures += 1;
         if let Some(h) = &mut self.history {
@@ -339,7 +341,7 @@ impl Cluster {
         if starts {
             s.busy_since = Some(now);
         }
-        s.queue.push_back(job);
+        s.queue.push_back(&mut self.slab, job);
         self.loads[server] += 1;
         if let Some(h) = &mut self.history {
             h.record(server, now, self.loads[server]);
@@ -359,7 +361,10 @@ impl Cluster {
     pub fn complete(&mut self, server: ServerId, now: f64) -> (Job, Option<f64>) {
         debug_assert!(self.up[server], "a down server cannot complete a job");
         let s = &mut self.servers[server];
-        let done = s.queue.pop_front().expect("complete() on an idle server");
+        let done = s
+            .queue
+            .pop_front(&mut self.slab)
+            .expect("complete() on an idle server");
         s.completed += 1;
         self.loads[server] -= 1;
         self.departures += 1;
@@ -368,7 +373,10 @@ impl Cluster {
         }
         let capacity = self.capacities[server];
         let s = &mut self.servers[server];
-        let next = s.queue.front().map(|j| now + j.service / capacity);
+        let next = s
+            .queue
+            .front(&self.slab)
+            .map(|j| now + j.service / capacity);
         if next.is_none() {
             if let Some(since) = s.busy_since.take() {
                 s.busy_time += now - since;
@@ -459,7 +467,8 @@ impl Cluster {
     pub fn drain(&mut self, server: ServerId, now: f64) -> Vec<Job> {
         assert!(!self.up[server], "drain() is only for crashed servers");
         let s = &mut self.servers[server];
-        let jobs: Vec<Job> = s.queue.drain(..).collect();
+        let mut jobs = Vec::with_capacity(s.queue.len());
+        s.queue.drain_into(&mut self.slab, &mut jobs);
         self.loads[server] = 0;
         if let Some(h) = &mut self.history {
             h.record(server, now, 0);
@@ -488,7 +497,7 @@ impl Cluster {
         self.up[server] = true;
         let capacity = self.capacities[server];
         let s = &mut self.servers[server];
-        let head = s.queue.front()?;
+        let head = s.queue.front(&self.slab)?;
         s.busy_since = Some(now);
         Some(now + frozen_remaining.unwrap_or(head.service / capacity))
     }
@@ -523,7 +532,7 @@ impl Cluster {
         }
         let job = self.servers[victim]
             .queue
-            .pop_back()
+            .pop_back(&mut self.slab)
             .expect("victim load >= 2 implies a waiting job");
         self.loads[victim] -= 1;
         if let Some(h) = &mut self.history {

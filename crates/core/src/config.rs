@@ -3,7 +3,7 @@
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
-use staleload_sim::Dist;
+use staleload_sim::{Dist, SchedulerKind};
 use staleload_workloads::{BurstConfig, RetrySpec};
 
 use crate::FaultSpec;
@@ -112,6 +112,10 @@ pub struct SimConfig {
     /// jobs; see [`RetrySpec`]. `None` makes rejection and reneging
     /// terminal.
     pub retry: Option<RetrySpec>,
+    /// Pending-event-set backend for the engine's queues. Both backends
+    /// produce bit-identical trajectories (same event order, same RNG
+    /// draws); they differ only in speed. Default: [`SchedulerKind::Heap`].
+    pub scheduler: SchedulerKind,
     /// Master seed; trials derive their own seeds from it.
     pub seed: u64,
 }
@@ -158,6 +162,7 @@ pub struct SimConfigBuilder {
     queue_cap: Option<u32>,
     deadline: Option<f64>,
     retry: Option<RetrySpec>,
+    scheduler: SchedulerKind,
     seed: u64,
 }
 
@@ -175,6 +180,7 @@ impl Default for SimConfigBuilder {
             queue_cap: None,
             deadline: None,
             retry: None,
+            scheduler: SchedulerKind::Heap,
             seed: 1,
         }
     }
@@ -251,6 +257,12 @@ impl SimConfigBuilder {
     /// Enables the retry orbit for rejected/reneged jobs.
     pub fn retry(&mut self, retry: RetrySpec) -> &mut Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Selects the pending-event-set backend (default: the binary heap).
+    pub fn scheduler(&mut self, scheduler: SchedulerKind) -> &mut Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -341,6 +353,7 @@ impl SimConfigBuilder {
             queue_cap: self.queue_cap,
             deadline: self.deadline,
             retry: self.retry,
+            scheduler: self.scheduler,
             seed: self.seed,
         })
     }

@@ -1,9 +1,12 @@
 //! The discrete-event simulation loop.
 
 use staleload_cluster::{Admission, Cluster, Job, ServerId};
-use staleload_info::InfoSpec;
-use staleload_policies::PolicySpec;
-use staleload_sim::{EventQueue, OnlineStats, SimRng};
+use staleload_info::{InfoDispatch, InfoModel, InfoSpec};
+use staleload_policies::{DispatchPolicy, Policy, PolicySpec};
+use staleload_sim::{
+    CalendarBackend, EventScheduler, HeapBackend, OnlineStats, SchedError, SchedulerFamily,
+    SchedulerKind, SimRng,
+};
 use staleload_workloads::{ArrivalProcess, RetrySpec};
 
 use crate::config::ConfigError;
@@ -123,22 +126,22 @@ struct RenegeEntry {
 /// fresh backoff if attempts remain, otherwise it is abandoned. Draws only
 /// from the dedicated retry stream.
 #[allow(clippy::too_many_arguments)] // one slot per piece of bounce state
-fn bounce(
+fn bounce<S: EventScheduler<OrbitEntry>>(
     retry: Option<RetrySpec>,
     job: Job,
     client: usize,
     attempts: u32,
     prev_backoff: Option<f64>,
     now: f64,
-    orbit: &mut EventQueue<OrbitEntry>,
+    orbit: &mut S,
     retry_rng: &mut SimRng,
     overload: &mut OverloadStats,
-) {
+) -> Result<(), SchedError> {
     match retry {
         Some(spec) if attempts < spec.max_attempts => {
             let wait = spec.backoff(prev_backoff, retry_rng);
             overload.retries += 1;
-            orbit.push(
+            orbit.try_push(
                 now + wait,
                 OrbitEntry {
                     job,
@@ -146,10 +149,11 @@ fn bounce(
                     attempts,
                     prev_backoff: wait,
                 },
-            );
+            )?;
         }
         _ => overload.abandoned += 1,
     }
+    Ok(())
 }
 
 /// Which system event fires next (fault events are handled separately).
@@ -251,6 +255,20 @@ pub fn run_simulation(
     info: &InfoSpec,
     policy: &PolicySpec,
 ) -> Result<RunResult, SimError> {
+    // Monomorphize the hot loop per backend: every queue operation below
+    // compiles to a direct (inlinable) call, no vtable.
+    match cfg.scheduler {
+        SchedulerKind::Heap => run_inner::<HeapBackend>(cfg, arrivals, info, policy),
+        SchedulerKind::Calendar => run_inner::<CalendarBackend>(cfg, arrivals, info, policy),
+    }
+}
+
+fn run_inner<F: SchedulerFamily>(
+    cfg: &SimConfig,
+    arrivals: &ArrivalSpec,
+    info: &InfoSpec,
+    policy: &PolicySpec,
+) -> Result<RunResult, SimError> {
     info.validate().map_err(ConfigError::new)?;
     policy.validate().map_err(ConfigError::new)?;
     cfg.faults.validate()?;
@@ -287,12 +305,11 @@ pub fn run_simulation(
 
     let clients = arrivals.clients();
     let mut model = match cfg.faults.loss {
-        Some(loss) => info
-            .build_lossy(n, loss, fault_rng.fork())
+        Some(loss) => InfoDispatch::from_spec_lossy(info, n, loss, fault_rng.fork())
             .expect("supports_loss() was checked above"),
-        None => info.build(n, clients),
+        None => InfoDispatch::from_spec(info, n, clients),
     };
-    let mut policy = policy.build();
+    let mut policy = DispatchPolicy::from_spec(policy);
     let mut crash_process = cfg
         .faults
         .crash
@@ -340,7 +357,7 @@ pub fn run_simulation(
     };
 
     let warmup = cfg.warmup_jobs();
-    let mut departures: EventQueue<ServerId> = EventQueue::with_capacity(n);
+    let mut departures: F::Scheduler<ServerId> = EventScheduler::with_capacity(n);
     // The departure each server currently has in the queue. Crashes
     // invalidate scheduled departures; rather than remove them from the
     // queue we drop any popped/peeked entry that no longer matches.
@@ -352,8 +369,8 @@ pub fn run_simulation(
     let mut overload = OverloadStats::default();
     // Deadline checks for waiting jobs and the retry orbit; both stay
     // empty (and cost nothing) when the overload controls are off.
-    let mut reneges: EventQueue<RenegeEntry> = EventQueue::new();
-    let mut orbit: EventQueue<OrbitEntry> = EventQueue::new();
+    let mut reneges: F::Scheduler<RenegeEntry> = EventScheduler::new();
+    let mut orbit: F::Scheduler<OrbitEntry> = EventScheduler::new();
     let mut response = OnlineStats::new();
     let mut detail = RunDetail::new(n);
     let mut next_id: u64 = 0;
@@ -450,7 +467,7 @@ pub fn run_simulation(
                             .expect("up_count() > 0 was checked");
                         stats.redispatched += 1;
                         if let Some(dep) = cluster.requeue(target, job, t) {
-                            departures.push(dep, target);
+                            departures.try_push(dep, target)?;
                             scheduled[target] = Some(dep);
                         }
                     }
@@ -464,7 +481,7 @@ pub fn run_simulation(
                     .expect("a down server recorded when it went down");
                 stats.downtime += t - since;
                 if let Some(dep) = cluster.recover(server, t, frozen[server].take()) {
-                    departures.push(dep, server);
+                    departures.try_push(dep, server)?;
                     scheduled[server] = Some(dep);
                 }
                 process.schedule_crash(server, t, &mut fault_rng);
@@ -502,7 +519,7 @@ pub fn run_simulation(
                 let (job, next) = cluster.complete(server, t);
                 match next {
                     Some(dep) => {
-                        departures.push(dep, server);
+                        departures.try_push(dep, server)?;
                         scheduled[server] = Some(dep);
                     }
                     None => {
@@ -511,7 +528,7 @@ pub fn run_simulation(
                         // queue.
                         if let Some(min_victim) = cfg.work_stealing {
                             if let Some(dep) = cluster.steal_for_idle(server, t, min_victim) {
-                                departures.push(dep, server);
+                                departures.try_push(dep, server)?;
                                 scheduled[server] = Some(dep);
                             }
                         }
@@ -549,7 +566,7 @@ pub fn run_simulation(
                         &mut orbit,
                         &mut retry_rng,
                         &mut overload,
-                    );
+                    )?;
                 }
                 // A stale check (job already serving, completed, or
                 // migrated) is dropped silently: nothing happened.
@@ -585,17 +602,17 @@ pub fn run_simulation(
                         &mut orbit,
                         &mut retry_rng,
                         &mut overload,
-                    );
+                    )?;
                 }
                 accepted => {
                     if let Admission::InService(dep) = accepted {
-                        departures.push(dep, server);
+                        departures.try_push(dep, server)?;
                         scheduled[server] = Some(dep);
                     } else if let Some(deadline) = cfg.deadline {
                         // Only a job that queued behind others can ever
                         // renege; one already in service serves to
                         // completion.
-                        reneges.push(
+                        reneges.try_push(
                             t + deadline,
                             RenegeEntry {
                                 server,
@@ -604,7 +621,7 @@ pub fn run_simulation(
                                 attempts,
                                 prev_backoff,
                             },
-                        );
+                        )?;
                     }
                     model.after_placement(t, client, &cluster);
                     detail.jobs_in_system.update(t, cluster.in_system() as f64);

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use staleload_sim::SchedError;
+
 use crate::ConfigError;
 
 /// An error from [`crate::run_simulation`] or [`crate::Experiment`].
@@ -32,6 +34,10 @@ pub enum SimError {
         /// The first failure, as a human-readable message.
         first_error: String,
     },
+    /// The engine computed an invalid event time (NaN or negative) — a
+    /// malformed distribution or a numeric bug, caught at the scheduler
+    /// boundary instead of panicking mid-trial.
+    Scheduler(SchedError),
 }
 
 impl fmt::Display for SimError {
@@ -51,6 +57,7 @@ impl fmt::Display for SimError {
             } => {
                 write!(f, "all {trials} trials failed; first error: {first_error}")
             }
+            SimError::Scheduler(e) => write!(f, "invalid event time: {e}"),
         }
     }
 }
@@ -59,6 +66,7 @@ impl std::error::Error for SimError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             SimError::Config(e) => Some(e),
+            SimError::Scheduler(e) => Some(e),
             _ => None,
         }
     }
@@ -67,6 +75,12 @@ impl std::error::Error for SimError {
 impl From<ConfigError> for SimError {
     fn from(e: ConfigError) -> Self {
         SimError::Config(e)
+    }
+}
+
+impl From<SchedError> for SimError {
+    fn from(e: SchedError) -> Self {
+        SimError::Scheduler(e)
     }
 }
 

@@ -123,12 +123,27 @@ impl Experiment {
     /// Returns [`SimError::NoSuccessfulTrials`] when *every* trial failed
     /// (there is nothing to aggregate).
     pub fn try_run(&self) -> Result<ExperimentResult, SimError> {
+        let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+        self.try_run_threaded(threads)
+    }
+
+    /// Like [`Experiment::try_run`], but with an explicit worker-thread
+    /// count (clamped to at least 1 and at most `trials`).
+    ///
+    /// The result is independent of `threads`: each trial's seed derives
+    /// only from its index, and outcomes are re-ordered by trial index
+    /// before aggregation, so `try_run_threaded(1)` and
+    /// `try_run_threaded(k)` return identical [`ExperimentResult`]s
+    /// (enforced by `tests/parallel_determinism.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuccessfulTrials`] when *every* trial failed.
+    pub fn try_run_threaded(&self, threads: usize) -> Result<ExperimentResult, SimError> {
         if self.trials == 0 {
             return Err(ConfigError::new("need at least one trial").into());
         }
-        let threads = std::thread::available_parallelism()
-            .map_or(1, |p| p.get())
-            .min(self.trials);
+        let threads = threads.clamp(1, self.trials);
         let outcomes = if threads <= 1 {
             (0..self.trials)
                 .map(|t| self.run_trial(t))

@@ -1,0 +1,216 @@
+//! Enum-based static dispatch for the simulation hot loop.
+//!
+//! [`crate::InfoSpec::build`] returns a `Box<dyn InfoModel>`; the engine
+//! consults the model several times per arrival (`next_event`, `view`,
+//! `after_placement`), so those virtual calls sit directly on the hot
+//! path. The model set is closed — the five variants below — so
+//! [`InfoDispatch`] gives the engine a concrete type to monomorphize
+//! against. Lossy update channels don't change the variant: a lossy
+//! periodic board is still a [`PeriodicBoard`].
+//!
+//! Behavior is bit-identical to the boxed build: both construct the same
+//! model values, which draw from the RNG in the same order.
+
+use staleload_sim::SimRng;
+
+use staleload_cluster::Cluster;
+use staleload_policies::LoadView;
+
+use crate::{
+    ContinuousView, FreshView, IndividualBoard, InfoModel, InfoSpec, LossSpec, PeriodicBoard,
+    UpdateOnAccess,
+};
+
+/// An [`InfoModel`] with enum (static) dispatch over the closed set of
+/// information models.
+///
+/// Build one with [`InfoDispatch::from_spec`] or
+/// [`InfoDispatch::from_spec_lossy`].
+#[allow(missing_docs)] // variants mirror InfoSpec, documented there
+pub enum InfoDispatch {
+    Periodic(PeriodicBoard),
+    Continuous(ContinuousView),
+    UpdateOnAccess(UpdateOnAccess),
+    Individual(IndividualBoard),
+    Fresh(FreshView),
+}
+
+impl InfoDispatch {
+    /// Instantiates the model described by `spec` for `servers` servers
+    /// and `clients` clients.
+    pub fn from_spec(spec: &InfoSpec, servers: usize, clients: usize) -> Self {
+        match *spec {
+            InfoSpec::Periodic { period } => Self::Periodic(PeriodicBoard::new(servers, period)),
+            InfoSpec::Continuous { delay, knowledge } => {
+                Self::Continuous(ContinuousView::new(delay, knowledge))
+            }
+            InfoSpec::UpdateOnAccess => Self::UpdateOnAccess(UpdateOnAccess::new(clients, servers)),
+            InfoSpec::Individual { period } => {
+                Self::Individual(IndividualBoard::new(servers, period))
+            }
+            InfoSpec::Fresh => Self::Fresh(FreshView),
+        }
+    }
+
+    /// Instantiates the model with its board refreshes routed through a
+    /// lossy/delayed update channel; `None` for models without an update
+    /// channel (same contract as [`InfoSpec::build_lossy`]).
+    pub fn from_spec_lossy(
+        spec: &InfoSpec,
+        servers: usize,
+        loss: LossSpec,
+        rng: SimRng,
+    ) -> Option<Self> {
+        match *spec {
+            InfoSpec::Periodic { period } => Some(Self::Periodic(PeriodicBoard::with_loss(
+                servers, period, loss, rng,
+            ))),
+            InfoSpec::Individual { period } => Some(Self::Individual(IndividualBoard::with_loss(
+                servers, period, loss, rng,
+            ))),
+            _ => None,
+        }
+    }
+}
+
+macro_rules! for_each_variant {
+    ($self:ident, $m:ident => $body:expr) => {
+        match $self {
+            InfoDispatch::Periodic($m) => $body,
+            InfoDispatch::Continuous($m) => $body,
+            InfoDispatch::UpdateOnAccess($m) => $body,
+            InfoDispatch::Individual($m) => $body,
+            InfoDispatch::Fresh($m) => $body,
+        }
+    };
+}
+
+impl InfoModel for InfoDispatch {
+    #[inline]
+    fn next_event(&self) -> Option<f64> {
+        for_each_variant!(self, m => m.next_event())
+    }
+
+    #[inline]
+    fn on_event(&mut self, now: f64, cluster: &Cluster) {
+        for_each_variant!(self, m => m.on_event(now, cluster))
+    }
+
+    #[inline]
+    fn view<'a>(
+        &'a mut self,
+        now: f64,
+        client: usize,
+        cluster: &'a mut Cluster,
+        rng: &mut SimRng,
+    ) -> LoadView<'a> {
+        for_each_variant!(self, m => m.view(now, client, cluster, rng))
+    }
+
+    #[inline]
+    fn after_placement(&mut self, now: f64, client: usize, cluster: &Cluster) {
+        for_each_variant!(self, m => m.after_placement(now, client, cluster))
+    }
+
+    #[inline]
+    fn required_history_window(&self) -> Option<f64> {
+        for_each_variant!(self, m => m.required_history_window())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgeKnowledge, DelaySpec};
+    use staleload_cluster::Job;
+
+    fn all_specs() -> Vec<InfoSpec> {
+        vec![
+            InfoSpec::Periodic { period: 5.0 },
+            InfoSpec::Continuous {
+                delay: DelaySpec::Exponential { mean: 2.0 },
+                knowledge: AgeKnowledge::Actual,
+            },
+            InfoSpec::UpdateOnAccess,
+            InfoSpec::Individual { period: 3.0 },
+            InfoSpec::Fresh,
+        ]
+    }
+
+    /// The enum-dispatched model must replay the boxed build's view stream
+    /// exactly: same loads, same ages, same RNG draw order.
+    #[test]
+    fn dispatch_matches_boxed_build_bit_for_bit() {
+        for spec in all_specs() {
+            let servers = 4;
+            let mk_cluster = || {
+                let mut c = match spec.history_window() {
+                    Some(w) => Cluster::with_history(servers, w),
+                    None => Cluster::new(servers),
+                };
+                for i in 0..6u64 {
+                    c.enqueue(
+                        (i % 4) as usize,
+                        Job::new(i, i as f64 * 0.3, 1.0),
+                        i as f64 * 0.3,
+                    );
+                }
+                c
+            };
+            let mut ca = mk_cluster();
+            let mut cb = mk_cluster();
+            let mut boxed = spec.build(servers, 3);
+            let mut dispatch = InfoDispatch::from_spec(&spec, servers, 3);
+            let mut rng_a = SimRng::from_seed(11);
+            let mut rng_b = SimRng::from_seed(11);
+            for step in 0..64u64 {
+                let now = 2.0 + step as f64 * 0.7;
+                assert_eq!(
+                    boxed.next_event(),
+                    dispatch.next_event(),
+                    "{}",
+                    spec.label()
+                );
+                if let Some(t) = boxed.next_event() {
+                    if t <= now {
+                        boxed.on_event(t, &ca);
+                        dispatch.on_event(t, &cb);
+                    }
+                }
+                let client = (step % 3) as usize;
+                {
+                    let va = boxed.view(now, client, &mut ca, &mut rng_a);
+                    let vb = dispatch.view(now, client, &mut cb, &mut rng_b);
+                    assert_eq!(va.loads, vb.loads, "{} at step {step}", spec.label());
+                    assert_eq!(va.ages, vb.ages, "{} at step {step}", spec.label());
+                }
+                boxed.after_placement(now, client, &ca);
+                dispatch.after_placement(now, client, &cb);
+            }
+            assert_eq!(rng_a.next_u64(), rng_b.next_u64(), "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn lossy_dispatch_builds_only_for_boards() {
+        let loss = LossSpec::drop(0.5);
+        assert!(InfoDispatch::from_spec_lossy(
+            &InfoSpec::Periodic { period: 5.0 },
+            4,
+            loss,
+            SimRng::from_seed(1)
+        )
+        .is_some());
+        assert!(InfoDispatch::from_spec_lossy(
+            &InfoSpec::Individual { period: 5.0 },
+            4,
+            loss,
+            SimRng::from_seed(1)
+        )
+        .is_some());
+        assert!(
+            InfoDispatch::from_spec_lossy(&InfoSpec::Fresh, 4, loss, SimRng::from_seed(1))
+                .is_none()
+        );
+    }
+}

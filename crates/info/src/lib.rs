@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod continuous;
+mod dispatch;
 mod individual;
 mod loss;
 mod periodic;
@@ -54,6 +55,7 @@ mod spec;
 mod update_on_access;
 
 pub use continuous::{AgeKnowledge, ContinuousView, DelaySpec};
+pub use dispatch::InfoDispatch;
 pub use individual::IndividualBoard;
 pub use loss::LossSpec;
 pub use periodic::PeriodicBoard;

@@ -48,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod decay;
+mod dispatch;
 mod guard;
 mod hetero;
 mod ksubset;
@@ -61,6 +62,7 @@ mod staleness;
 mod threshold;
 
 pub use decay::WeightedDecay;
+pub use dispatch::DispatchPolicy;
 pub use guard::HerdGuard;
 pub use hetero::HeteroLi;
 pub use ksubset::{empirical_rank_frequencies, rank_distribution, Greedy, KSubset};

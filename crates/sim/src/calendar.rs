@@ -1,0 +1,600 @@
+//! Calendar-queue pending-event set (Brown 1988).
+//!
+//! A calendar queue hashes events into time buckets of width `w`, like days
+//! on a wall calendar: bucket `i` holds every event whose time falls in
+//! `[k·N·w + i·w, k·N·w + (i+1)·w)` for any "year" `k` (with `N` buckets).
+//! Popping sweeps a cursor across the current year's buckets; with the
+//! bucket width matched to the typical inter-event gap, each bucket holds
+//! O(1) events and both push and pop are amortized O(1) — versus O(log n)
+//! for a binary heap. Discrete-event simulators whose pending sets are
+//! dominated by *near-future* events (an M/G/1 cluster's departures all
+//! fall within a few mean service times of now) are the textbook fit.
+//!
+//! # Layout
+//!
+//! The hot path is arranged so the common case never chases a pointer:
+//!
+//! * `mins[i]` — the virtual day of bucket `i`'s earliest event (or the
+//!   empty marker). One contiguous `u64` array; the pop cursor's scan and
+//!   its same-day acceptance test run entirely inside it.
+//! * `heads[i]` — bucket `i`'s earliest entry, stored inline. A pop of a
+//!   single-entry bucket (the steady state when the width is tuned) reads
+//!   the entry straight out of this array.
+//! * `spills[i]` — the rest of bucket `i`, sorted descending by
+//!   `(time, seq)` so the next-earliest entry is a `Vec::pop` away. Only
+//!   multi-entry buckets ever touch it.
+//!
+//! # Self-tuning
+//!
+//! The bucket width is (re-)estimated from the live event mix whenever the
+//! calendar resizes — and also when a bucket *degenerates* (its spill grows
+//! past [`SPILL_DEGRADE`]). The second trigger matters: a queue whose
+//! *size* is steady but whose inter-event gaps drift (the classic hold
+//! model compresses its pending set into an O(log n)-wide window around
+//! the clock, ~n× denser than at prefill) would otherwise keep a stale
+//! width forever and collapse into a handful of giant buckets. Retunes are
+//! rate-limited to one per `len` pushes, so their O(n) rebuild amortizes
+//! to O(1) per operation even on adversarial mixes (e.g. all-identical
+//! times, where no width can spread the ties).
+//!
+//! This implementation preserves the [`EventScheduler`] contract exactly:
+//! pops come out in non-decreasing `(time, push order)` — bit-identical to
+//! the binary-heap backend — because events with bit-identical times land
+//! in the same bucket, where they are kept in sequence order.
+
+use std::num::NonZeroU64;
+
+use crate::events::{check_time, EventScheduler, SchedError};
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    time: f64,
+    /// Push order, starting at 1: `NonZeroU64` gives `Option<Entry<E>>` a
+    /// niche, so the inline `heads` slots carry no discriminant word and
+    /// clearing one is a single store.
+    seq: NonZeroU64,
+    event: E,
+}
+
+/// Minimum bucket count (must be a power of two).
+const MIN_BUCKETS: usize = 4;
+/// Smallest usable bucket width; guards against degenerate estimates.
+const MIN_WIDTH: f64 = 1e-9;
+/// `mins` marker for an empty bucket. Real virtual days are clamped to
+/// `u64::MAX - 1`, so the marker can never collide with one.
+const EMPTY: u64 = u64::MAX;
+/// Spill length at which a bucket is considered degenerate and the width
+/// is re-estimated from the live event mix.
+const SPILL_DEGRADE: usize = 15;
+
+/// A calendar-queue [`EventScheduler`] backend.
+///
+/// Same contract as [`crate::EventQueue`] (time order, FIFO tie-break,
+/// typed rejection of NaN/negative times), different complexity profile:
+/// amortized O(1) push/pop on event mixes whose pending times cluster near
+/// the clock. The queue resizes itself (doubling/halving the bucket count)
+/// as the pending set grows and shrinks, and re-estimates its bucket width
+/// from the live event mix whenever it resizes or a bucket degenerates.
+///
+/// # Example
+///
+/// ```
+/// use staleload_sim::{CalendarQueue, EventScheduler};
+///
+/// let mut q: CalendarQueue<&str> = EventScheduler::new();
+/// q.try_push(2.0, "late").unwrap();
+/// q.try_push(1.0, "early").unwrap();
+/// q.try_push(1.0, "early-tie").unwrap();
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((1.0, "early-tie")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// Virtual day of each bucket's earliest entry ([`EMPTY`] if none).
+    mins: Vec<u64>,
+    /// Each bucket's earliest entry, inline. `Some` iff `mins[i] != EMPTY`.
+    heads: Vec<Option<Entry<E>>>,
+    /// Each bucket's remaining entries, sorted descending by `(time, seq)`
+    /// (so the bucket's next-earliest is at the back).
+    spills: Vec<Vec<Entry<E>>>,
+    width: f64,
+    inv_width: f64,
+    /// Virtual day (`time / width` grid cell) the pop cursor is scanning.
+    /// Integer, not float: membership (`vday`) and cursor position use the
+    /// exact same computation, so an event on a bucket's edge can never be
+    /// placed in one bucket but judged to belong to another.
+    cur_vday: u64,
+    len: usize,
+    seq: NonZeroU64,
+    /// Pushes since the last resize/retune; rate-limits degradation
+    /// retunes to one per `len` pushes.
+    pushes_since_tune: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    fn with_buckets(nbuckets: usize) -> Self {
+        debug_assert!(nbuckets.is_power_of_two());
+        Self {
+            mins: vec![EMPTY; nbuckets],
+            heads: (0..nbuckets).map(|_| None).collect(),
+            spills: (0..nbuckets).map(|_| Vec::new()).collect(),
+            width: 1.0,
+            inv_width: 1.0,
+            cur_vday: 0,
+            len: 0,
+            seq: NonZeroU64::MIN,
+            pushes_since_tune: 0,
+        }
+    }
+
+    /// Virtual day of `time`: which width-sized grid cell it falls in.
+    /// The single source of truth — bucket placement, cursor aiming, and
+    /// the pop scan's membership test all go through this, so they agree
+    /// bit-for-bit even for times exactly on a cell edge. Clamped below
+    /// [`EMPTY`]: astronomically distant times collapse into one day and
+    /// are still popped correctly, via direct search.
+    #[inline]
+    fn vday(&self, time: f64) -> u64 {
+        ((time * self.inv_width) as u64).min(EMPTY - 1)
+    }
+
+    /// Inserts while keeping the spill sorted descending by `(time, seq)`.
+    /// A backward linear scan: spills are short by construction, and most
+    /// entries belong at or near the back.
+    fn spill_insert(spill: &mut Vec<Entry<E>>, entry: Entry<E>) {
+        let mut pos = spill.len();
+        while pos > 0 {
+            let e = &spill[pos - 1];
+            if e.time < entry.time || (e.time == entry.time && e.seq < entry.seq) {
+                pos -= 1;
+            } else {
+                break;
+            }
+        }
+        if pos == spill.len() {
+            spill.push(entry);
+        } else {
+            spill.insert(pos, entry);
+        }
+    }
+
+    /// Finds the bucket holding the global minimum `(time, seq)` and aims
+    /// the cursor at it. O(number of buckets); the slow path for sparse,
+    /// far-future pending sets. Only heads are compared: a bucket's head
+    /// is its minimum, so the global minimum is some bucket's head.
+    fn direct_search(&mut self) -> usize {
+        debug_assert!(self.len > 0);
+        let mut best: Option<(f64, NonZeroU64, usize)> = None;
+        for (i, h) in self.heads.iter().enumerate() {
+            if let Some(e) = h {
+                let better = match best {
+                    None => true,
+                    Some((t, s, _)) => e.time < t || (e.time == t && e.seq < s),
+                };
+                if better {
+                    best = Some((e.time, e.seq, i));
+                }
+            }
+        }
+        let (time, _, idx) = best.expect("len > 0 means some bucket is non-empty");
+        self.cur_vday = self.vday(time);
+        debug_assert_eq!((self.cur_vday as usize) & (self.mins.len() - 1), idx);
+        idx
+    }
+
+    /// Advances the cursor to the bucket holding the earliest event and
+    /// returns its index. The pending set itself is untouched. The scan
+    /// reads only the contiguous `mins` array; an event on the cursor's
+    /// own day pops, while later-year events hashed into the same bucket
+    /// must wait for the cursor to come round again.
+    #[inline]
+    fn locate_min(&mut self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let nbuckets = self.mins.len();
+        let mut vday = self.cur_vday;
+        for _ in 0..nbuckets {
+            let idx = (vday as usize) & (nbuckets - 1);
+            // `vday != EMPTY` guards the astronomically-remote cursor
+            // position that would otherwise match the empty marker.
+            if self.mins[idx] == vday && vday != EMPTY {
+                self.cur_vday = vday;
+                return Some(idx);
+            }
+            vday = vday.wrapping_add(1);
+        }
+        // A whole year swept without a hit: events are sparse relative to
+        // the calendar, so find the minimum directly.
+        Some(self.direct_search())
+    }
+
+    /// Removes and returns bucket `idx`'s head, promoting the spill's
+    /// earliest entry (if any) into its place.
+    #[inline]
+    fn take(&mut self, idx: usize) -> (f64, E) {
+        self.len -= 1;
+        let e = match self.spills[idx].pop() {
+            Some(next) => {
+                self.mins[idx] = self.vday(next.time);
+                self.heads[idx].replace(next)
+            }
+            None => {
+                self.mins[idx] = EMPTY;
+                self.heads[idx].take()
+            }
+        };
+        let e = e.expect("mins said non-empty");
+        (e.time, e.event)
+    }
+
+    /// Rebuilds the calendar with `nbuckets` buckets and a width estimated
+    /// from the live event mix (fully deterministic: no sampling RNG).
+    fn resize(&mut self, nbuckets: usize) {
+        let mut entries: Vec<Entry<E>> = Vec::with_capacity(self.len);
+        for h in &mut self.heads {
+            if let Some(e) = h.take() {
+                entries.push(e);
+            }
+        }
+        for s in &mut self.spills {
+            entries.append(s);
+        }
+        entries.sort_unstable_by(|a, b| {
+            a.time
+                .partial_cmp(&b.time)
+                .expect("NaN rejected at push")
+                .then_with(|| a.seq.cmp(&b.seq))
+        });
+        // Width heuristic (Brown): a few times the mean gap between the
+        // soonest events, so each bucket near the cursor holds ~1 event.
+        // The ×4 was tuned on the hold model: event density decays away
+        // from the clock, so the soonest-64 gap underestimates the
+        // mix-wide gap a little.
+        let probe = entries.len().min(64);
+        if probe >= 2 {
+            let span = entries[probe - 1].time - entries[0].time;
+            let mean_gap = span / (probe - 1) as f64;
+            if mean_gap.is_finite() && mean_gap > 0.0 {
+                let width = 4.0 * mean_gap;
+                self.width = width.max(MIN_WIDTH);
+                self.inv_width = 1.0 / self.width;
+            }
+        }
+        self.mins = vec![EMPTY; nbuckets];
+        self.heads = (0..nbuckets).map(|_| None).collect();
+        self.spills = (0..nbuckets).map(|_| Vec::new()).collect();
+        if let Some(first) = entries.first() {
+            self.cur_vday = self.vday(first.time);
+        }
+        // Entries arrive in ascending order: the first to land in a bucket
+        // becomes its head; the rest are appended then reversed, giving
+        // each spill the descending layout cheaply.
+        for e in entries {
+            let vd = self.vday(e.time);
+            let idx = (vd as usize) & (nbuckets - 1);
+            if self.heads[idx].is_none() {
+                self.mins[idx] = vd;
+                self.heads[idx] = Some(e);
+            } else {
+                self.spills[idx].push(e);
+            }
+        }
+        for s in &mut self.spills {
+            s.reverse();
+        }
+        self.pushes_since_tune = 0;
+    }
+
+    fn maybe_shrink(&mut self) {
+        let nbuckets = self.mins.len();
+        if nbuckets > MIN_BUCKETS && self.len * 4 < nbuckets {
+            self.resize(nbuckets / 2);
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        Self::with_buckets(MIN_BUCKETS)
+    }
+}
+
+impl<E> EventScheduler<E> for CalendarQueue<E> {
+    fn new() -> Self {
+        Self::default()
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        let nbuckets = capacity.next_power_of_two().clamp(MIN_BUCKETS, 1 << 20);
+        Self::with_buckets(nbuckets)
+    }
+
+    #[inline]
+    fn try_push(&mut self, time: f64, event: E) -> Result<(), SchedError> {
+        check_time(time)?;
+        let seq = self.seq;
+        self.seq = seq.checked_add(1).expect("push sequence overflow");
+        let vd = self.vday(time);
+        if self.len == 0 || vd < self.cur_vday {
+            // First event, or an event earlier than the cursor's day:
+            // the cursor must not skip past it.
+            self.cur_vday = vd;
+        }
+        // Slicing to a shared length lets the compiler drop the bounds
+        // checks on all three per-bucket arrays (`idx` is masked below it).
+        let nbuckets = self.mins.len();
+        let mins = &mut self.mins[..nbuckets];
+        let heads = &mut self.heads[..nbuckets];
+        let spills = &mut self.spills[..nbuckets];
+        let idx = (vd as usize) & (nbuckets - 1);
+        let entry = Entry { time, seq, event };
+        let mut spilled = 0;
+        if mins[idx] == EMPTY {
+            mins[idx] = vd;
+            heads[idx] = Some(entry);
+        } else {
+            let head = heads[idx].as_mut().expect("mins said non-empty");
+            // Strict `<`: a time tie never displaces the head — the head's
+            // seq is older, so FIFO keeps it first.
+            if time < head.time {
+                let old = std::mem::replace(head, entry);
+                mins[idx] = vd;
+                Self::spill_insert(&mut spills[idx], old);
+            } else {
+                Self::spill_insert(&mut spills[idx], entry);
+            }
+            spilled = spills[idx].len();
+        }
+        self.len += 1;
+        self.pushes_since_tune += 1;
+        if self.len > 2 * nbuckets {
+            self.resize(2 * nbuckets);
+        } else if spilled >= SPILL_DEGRADE && self.pushes_since_tune >= self.len {
+            // The width no longer matches the event mix (see module docs);
+            // re-estimate it without changing the bucket count.
+            self.resize(nbuckets);
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, E)> {
+        let idx = self.locate_min()?;
+        let popped = self.take(idx);
+        // Every remaining event is at or after the popped time, so its day
+        // is at or after the popped day — the invariant locate_min relies
+        // on — and the cursor is already parked on that day.
+        self.maybe_shrink();
+        Some(popped)
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        let idx = self.locate_min()?;
+        self.heads[idx].as_ref().map(|e| e.time)
+    }
+
+    fn peek(&mut self) -> Option<(f64, &E)> {
+        let idx = self.locate_min()?;
+        self.heads[idx].as_ref().map(|e| (e.time, &e.event))
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        self.mins.fill(EMPTY);
+        for h in &mut self.heads {
+            *h = None;
+        }
+        for s in &mut self.spills {
+            s.clear();
+        }
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calendar<E>() -> CalendarQueue<E> {
+        EventScheduler::new()
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = calendar();
+        for &t in &[5.0, 1.0, 3.0, 2.0, 4.0, 0.5, 2.5] {
+            q.try_push(t, t as i32).unwrap();
+        }
+        let mut prev = f64::NEG_INFINITY;
+        let mut n = 0;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev);
+            prev = t;
+            n += 1;
+        }
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = calendar();
+        q.try_push(1.0, "a").unwrap();
+        q.try_push(1.0, "b").unwrap();
+        q.try_push(1.0, "c").unwrap();
+        assert_eq!(q.pop().unwrap().1, "a");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.pop().unwrap().1, "c");
+    }
+
+    #[test]
+    fn interleaved_push_pop_stays_ordered() {
+        let mut q = calendar();
+        q.try_push(10.0, 0u32).unwrap();
+        q.try_push(1.0, 1).unwrap();
+        assert_eq!(q.pop(), Some((1.0, 1)));
+        // Push an event *earlier* than the cursor position.
+        q.try_push(2.0, 2).unwrap();
+        q.try_push(1.5, 3).unwrap();
+        assert_eq!(q.pop(), Some((1.5, 3)));
+        assert_eq!(q.pop(), Some((2.0, 2)));
+        assert_eq!(q.pop(), Some((10.0, 0)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn peek_matches_pop_and_does_not_remove() {
+        let mut q = calendar();
+        q.try_push(2.5, "b").unwrap();
+        q.try_push(1.5, "a").unwrap();
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.peek(), Some((1.5, &"a")));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some((1.5, "a")));
+        assert_eq!(q.peek(), Some((2.5, &"b")));
+    }
+
+    #[test]
+    fn grows_and_shrinks_through_heavy_churn() {
+        let mut q = calendar();
+        // Far more events than the initial bucket count, spread widely.
+        for i in 0..4096u32 {
+            q.try_push((i as f64) * 0.37 + (i % 7) as f64 * 31.0, i)
+                .unwrap();
+        }
+        assert_eq!(q.len(), 4096);
+        let mut prev = f64::NEG_INFINITY;
+        for _ in 0..4096 {
+            let (t, _) = q.pop().expect("still full");
+            assert!(t >= prev, "{t} < {prev}");
+            prev = t;
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sparse_far_future_events_are_found() {
+        let mut q = calendar();
+        // Events separated by many calendar years force direct search.
+        q.try_push(0.0, 0u32).unwrap();
+        q.try_push(1e6, 1).unwrap();
+        q.try_push(2e9, 2).unwrap();
+        assert_eq!(q.pop(), Some((0.0, 0)));
+        assert_eq!(q.pop(), Some((1e6, 1)));
+        assert_eq!(q.pop(), Some((2e9, 2)));
+    }
+
+    #[test]
+    fn rejects_bad_times_with_typed_error() {
+        let mut q = calendar::<()>();
+        assert_eq!(q.try_push(f64::NAN, ()), Err(SchedError::NanTime));
+        assert_eq!(q.try_push(-0.5, ()), Err(SchedError::NegativeTime(-0.5)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut q = calendar();
+        for i in 0..100u32 {
+            q.try_push(i as f64, i).unwrap();
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+        // Still usable after clear.
+        q.try_push(1.0, 7).unwrap();
+        assert_eq!(q.pop(), Some((1.0, 7)));
+    }
+
+    /// The hold-model failure mode the degradation retune exists for: a
+    /// steady-size queue whose pending window compresses ~n× after
+    /// prefill. Without retuning, every event lands in a couple of giant
+    /// buckets and push degrades to O(n); with it, order and FIFO survive
+    /// and the width tracks the live mix.
+    #[test]
+    fn retunes_width_when_event_mix_compresses() {
+        let mut q: CalendarQueue<u64> = EventScheduler::with_capacity(256);
+        // Prefill with gap 1.0 — the width estimate starts coarse.
+        for i in 0..256u64 {
+            q.try_push(i as f64, i).unwrap();
+        }
+        let coarse = q.width;
+        // Steady-size churn that swaps every event for one in a tight
+        // cluster (gaps 1000× smaller), then keeps churning: the queue's
+        // size never changes, so only the degradation trigger can notice
+        // that the width is now ~1000 buckets too coarse.
+        for i in 0..1024u64 {
+            let (t, id) = q.pop().unwrap();
+            let next = 1000.0 + i as f64 * 0.001;
+            assert!(next > t, "cluster must stay ahead of the clock");
+            q.try_push(next, id).unwrap();
+        }
+        assert!(
+            q.width < coarse,
+            "width must retune downward: {} !< {coarse}",
+            q.width
+        );
+        // Ordering still holds after the retunes.
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    /// All-identical event times: no width can spread the ties, so the
+    /// retune rate limiter must keep the queue from rebuilding on every
+    /// push (which would be O(n²) overall). Order must still be FIFO.
+    #[test]
+    fn identical_times_stay_fifo_without_thrashing() {
+        let mut q = calendar();
+        for i in 0..2000u32 {
+            q.try_push(5.0, i).unwrap();
+        }
+        for i in 0..2000u32 {
+            assert_eq!(q.pop(), Some((5.0, i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn matches_heap_backend_on_mixed_churn() {
+        use crate::{EventQueue, SimRng};
+        let mut rng = SimRng::from_seed(99);
+        let mut heap = EventQueue::new();
+        let mut cal = calendar();
+        let mut clock = 0.0f64;
+        for step in 0..20_000u32 {
+            if rng.f64() < 0.55 || heap.is_empty() {
+                // Times cluster near the clock, with deliberate exact ties.
+                let dt = if step % 13 == 0 { 0.0 } else { rng.exp(1.0) };
+                let t = clock + dt;
+                heap.push(t, step);
+                cal.try_push(t, step).unwrap();
+            } else {
+                let a = heap.pop();
+                let b = cal.pop();
+                match (a, b) {
+                    (Some((ta, ea)), Some((tb, eb))) => {
+                        assert_eq!(ta.to_bits(), tb.to_bits(), "time diverged at {step}");
+                        assert_eq!(ea, eb, "payload diverged at {step}");
+                        clock = ta;
+                    }
+                    (a, b) => panic!("emptiness diverged at {step}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+        while let Some((ta, ea)) = heap.pop() {
+            let (tb, eb) = cal.pop().expect("calendar must drain identically");
+            assert_eq!(ta.to_bits(), tb.to_bits());
+            assert_eq!(ea, eb);
+        }
+        assert!(cal.is_empty());
+    }
+}

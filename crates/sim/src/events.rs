@@ -1,9 +1,193 @@
-//! A stable, time-ordered pending-event set.
+//! Swappable, time-ordered pending-event schedulers.
+//!
+//! The simulation engine drives everything through the [`EventScheduler`]
+//! trait: a pending-event set ordered by time with **FIFO tie-breaking**
+//! (events pushed earlier pop earlier when their times are bit-identical).
+//! Two backends implement the contract:
+//!
+//! * [`EventQueue`] — a binary heap; O(log n) per operation, unbeatable at
+//!   tiny sizes, and the historical reference backend every golden
+//!   trajectory was pinned against.
+//! * [`CalendarQueue`](crate::CalendarQueue) — a calendar queue (Brown
+//!   1988); amortized O(1) per operation on the near-future-heavy event
+//!   mix of an M/G/1 cluster, and the fast path at large `n`.
+//!
+//! Both backends must pop in *exactly* the same order — the differential
+//! proptests in `tests/event_queue_equiv.rs` and the golden-trajectory
+//! suite enforce this bit for bit.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Error scheduling an event at an invalid time.
+///
+/// Returned by [`EventScheduler::try_push`] so a malformed configuration
+/// (e.g. a distribution that produced NaN) surfaces as a typed error the
+/// experiment runner can report, instead of a panic deep inside a trial
+/// (previously `Entry::cmp` would abort with
+/// `"event time must not be NaN"`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedError {
+    /// The event time was NaN.
+    NanTime,
+    /// The event time was negative (the simulation clock never runs
+    /// backwards past zero).
+    NegativeTime(f64),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NanTime => write!(f, "event time must not be NaN"),
+            SchedError::NegativeTime(t) => {
+                write!(f, "event time must be non-negative, got {t}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Validates an event time for scheduling.
+pub(crate) fn check_time(time: f64) -> Result<(), SchedError> {
+    // `time >= 0.0` is false for both NaN and negatives, so valid times —
+    // the overwhelmingly common case — pay a single comparison; the two
+    // rejections are disambiguated only on the cold path.
+    if time >= 0.0 {
+        Ok(())
+    } else if time.is_nan() {
+        Err(SchedError::NanTime)
+    } else {
+        Err(SchedError::NegativeTime(time))
+    }
+}
 
 /// A pending-event set ordered by simulation time.
+///
+/// # Contract
+///
+/// * [`pop`](EventScheduler::pop) returns events in non-decreasing time
+///   order.
+/// * Events with bit-identical times pop in push order (FIFO), which keeps
+///   runs deterministic even when events coincide (e.g. a zero-length
+///   burst gap). The tie-break is part of the contract, not an
+///   implementation detail: every backend must produce the *same* pop
+///   sequence for the same push/pop interleaving.
+/// * [`try_push`](EventScheduler::try_push) rejects NaN and negative times
+///   with a typed [`SchedError`].
+///
+/// `peek`/`peek_time` take `&mut self` because cursor-based backends (the
+/// calendar queue) advance internal position state while searching for the
+/// minimum; the observable state (the pending set and its pop order) is
+/// never changed by a peek.
+pub trait EventScheduler<E> {
+    /// Creates an empty scheduler.
+    fn new() -> Self
+    where
+        Self: Sized;
+
+    /// Creates an empty scheduler with room for `capacity` events.
+    fn with_capacity(capacity: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError`] if `time` is NaN or negative.
+    fn try_push(&mut self, time: f64, event: E) -> Result<(), SchedError>;
+
+    /// Removes and returns the earliest event, if any.
+    fn pop(&mut self) -> Option<(f64, E)>;
+
+    /// The time of the earliest pending event, if any.
+    fn peek_time(&mut self) -> Option<f64>;
+
+    /// The earliest pending event (time and payload) without removing it.
+    ///
+    /// Lets a caller that lazily invalidates events (e.g. departures
+    /// cancelled by a server crash) discard stale entries before acting
+    /// on the head of the queue.
+    fn peek(&mut self) -> Option<(f64, &E)>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// Whether no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes all pending events.
+    fn clear(&mut self);
+}
+
+/// Which [`EventScheduler`] backend a simulation run uses.
+///
+/// Both backends produce bit-identical trajectories (enforced by the
+/// golden-trajectory suite); the choice is purely a performance knob.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum SchedulerKind {
+    /// Binary-heap backend ([`EventQueue`]) — the reference.
+    #[default]
+    Heap,
+    /// Calendar-queue backend ([`crate::CalendarQueue`]) — the fast path
+    /// for large pending sets.
+    Calendar,
+}
+
+impl SchedulerKind {
+    /// Short machine-readable label (used in benches and CLI parsing).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Heap => "heap",
+            SchedulerKind::Calendar => "calendar",
+        }
+    }
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "heap" => Ok(SchedulerKind::Heap),
+            "calendar" => Ok(SchedulerKind::Calendar),
+            other => Err(format!(
+                "unknown scheduler backend {other:?} (expected \"heap\" or \"calendar\")"
+            )),
+        }
+    }
+}
+
+/// Ties an event-payload type to a scheduler backend at compile time, so
+/// the engine's hot loop monomorphizes per backend instead of calling
+/// through a vtable.
+pub trait SchedulerFamily {
+    /// The backend used for payload type `E`.
+    type Scheduler<E>: EventScheduler<E>;
+}
+
+/// [`SchedulerFamily`] for the binary-heap backend.
+#[derive(Debug, Clone, Copy)]
+pub struct HeapBackend;
+
+impl SchedulerFamily for HeapBackend {
+    type Scheduler<E> = EventQueue<E>;
+}
+
+/// [`SchedulerFamily`] for the calendar-queue backend.
+#[derive(Debug, Clone, Copy)]
+pub struct CalendarBackend;
+
+impl SchedulerFamily for CalendarBackend {
+    type Scheduler<E> = crate::CalendarQueue<E>;
+}
+
+/// A binary-heap pending-event set — the reference [`EventScheduler`]
+/// backend.
 ///
 /// Ties in time are broken by insertion order (FIFO), which keeps runs
 /// deterministic even when events coincide (e.g. a zero-length burst gap).
@@ -51,7 +235,8 @@ impl<E> PartialOrd for Entry<E> {
 
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest
+        // first. NaN is rejected at push, so partial_cmp cannot fail here.
         other
             .time
             .partial_cmp(&self.time)
@@ -79,16 +264,30 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `time`.
     ///
+    /// Convenience wrapper over [`EventQueue::try_push`] for callers whose
+    /// times are known valid (tests, examples).
+    ///
     /// # Panics
     ///
-    /// Panics if `time` is NaN or negative; the simulation clock never runs
-    /// backwards past zero.
+    /// Panics if `time` is NaN or negative; use
+    /// [`EventQueue::try_push`] to get a typed error instead.
     pub fn push(&mut self, time: f64, event: E) {
-        assert!(!time.is_nan(), "event time must not be NaN");
-        assert!(time >= 0.0, "event time must be non-negative, got {time}");
+        if let Err(e) = self.try_push(time, event) {
+            panic!("{e}");
+        }
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError`] if `time` is NaN or negative.
+    pub fn try_push(&mut self, time: f64, event: E) -> Result<(), SchedError> {
+        check_time(time)?;
         let seq = self.seq;
         self.seq += 1;
         self.heap.push(Entry { time, seq, event });
+        Ok(())
     }
 
     /// Removes and returns the earliest event, if any.
@@ -102,10 +301,6 @@ impl<E> EventQueue<E> {
     }
 
     /// The earliest pending event (time and payload) without removing it.
-    ///
-    /// Lets a caller that lazily invalidates events (e.g. departures
-    /// cancelled by a server crash) discard stale entries before acting
-    /// on the head of the queue.
     pub fn peek(&self) -> Option<(f64, &E)> {
         self.heap.peek().map(|e| (e.time, &e.event))
     }
@@ -129,6 +324,44 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl<E> EventScheduler<E> for EventQueue<E> {
+    fn new() -> Self {
+        EventQueue::new()
+    }
+
+    fn with_capacity(capacity: usize) -> Self {
+        EventQueue::with_capacity(capacity)
+    }
+
+    #[inline]
+    fn try_push(&mut self, time: f64, event: E) -> Result<(), SchedError> {
+        EventQueue::try_push(self, time, event)
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<(f64, E)> {
+        EventQueue::pop(self)
+    }
+
+    #[inline]
+    fn peek_time(&mut self) -> Option<f64> {
+        EventQueue::peek_time(self)
+    }
+
+    #[inline]
+    fn peek(&mut self) -> Option<(f64, &E)> {
+        EventQueue::peek(self)
+    }
+
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+
+    fn clear(&mut self) {
+        EventQueue::clear(self)
     }
 }
 
@@ -193,6 +426,30 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
+    /// Regression (ISSUE 3): NaN and negative times must surface as a
+    /// typed [`SchedError`] at push time — previously they either hit an
+    /// `assert!` or, worse, NaN entries panicked in `Entry::cmp` deep
+    /// inside a trial's pop path.
+    #[test]
+    fn try_push_rejects_nan_with_typed_error() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.try_push(f64::NAN, ()), Err(SchedError::NanTime));
+        assert!(q.is_empty(), "a rejected event must not be enqueued");
+        // The queue stays usable after a rejection.
+        assert_eq!(q.try_push(1.0, ()), Ok(()));
+        assert_eq!(q.pop(), Some((1.0, ())));
+    }
+
+    #[test]
+    fn try_push_rejects_negative_with_typed_error() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.try_push(-1.0, ()), Err(SchedError::NegativeTime(-1.0)));
+        assert!(q.is_empty());
+        let msg = SchedError::NegativeTime(-1.0).to_string();
+        assert!(msg.contains("non-negative"), "{msg}");
+        assert!(SchedError::NanTime.to_string().contains("NaN"));
+    }
+
     #[test]
     #[should_panic(expected = "NaN")]
     fn rejects_nan_time() {
@@ -205,5 +462,15 @@ mod tests {
     fn rejects_negative_time() {
         let mut q = EventQueue::new();
         q.push(-1.0, ());
+    }
+
+    #[test]
+    fn scheduler_kind_parses_and_labels() {
+        assert_eq!("heap".parse(), Ok(SchedulerKind::Heap));
+        assert_eq!("calendar".parse(), Ok(SchedulerKind::Calendar));
+        assert!("wheel".parse::<SchedulerKind>().is_err());
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Heap);
+        assert_eq!(SchedulerKind::Heap.label(), "heap");
+        assert_eq!(SchedulerKind::Calendar.label(), "calendar");
     }
 }

@@ -8,9 +8,10 @@
 //! and lossy boards. Any change to stream fork order, event ordering, or
 //! the default code path shows up here as a bit mismatch.
 
-use staleload::core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
+use staleload::core::{run_simulation, ArrivalSpec, FaultSpec, RetrySpec, RunResult, SimConfig};
 use staleload::info::InfoSpec;
 use staleload::policies::PolicySpec;
+use staleload::sim::SchedulerKind;
 
 fn combos() -> Vec<(&'static str, ArrivalSpec, InfoSpec, PolicySpec, FaultSpec)> {
     vec![
@@ -154,6 +155,113 @@ const GOLDEN: [(&str, u64, u64, u64); 15] = [
     ),
 ];
 
+/// Overload-control knobs layered onto a combo (the control-plane matrix).
+#[derive(Debug, Clone, Copy, Default)]
+struct Controls {
+    queue_cap: Option<u32>,
+    deadline: Option<f64>,
+    retry: Option<RetrySpec>,
+}
+
+/// The {faults, queue-cap, retry, guard} matrix: one combo per control
+/// feature, each exercising a different engine queue (departures only;
+/// + reneges; + orbit) and RNG stream.
+fn control_combos() -> Vec<(
+    &'static str,
+    ArrivalSpec,
+    InfoSpec,
+    PolicySpec,
+    FaultSpec,
+    Controls,
+)> {
+    let crash_and_drop = {
+        let mut f = FaultSpec::crash(250.0, 25.0);
+        f.loss = FaultSpec::drop(0.3).loss;
+        f
+    };
+    vec![
+        (
+            "controls/faults+gate",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 10.0 },
+            PolicySpec::Gated {
+                cutoff: 20.0,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            crash_and_drop,
+            Controls::default(),
+        ),
+        (
+            "controls/queue-cap",
+            ArrivalSpec::Poisson,
+            InfoSpec::Fresh,
+            PolicySpec::Random,
+            FaultSpec::none(),
+            Controls {
+                queue_cap: Some(4),
+                ..Controls::default()
+            },
+        ),
+        (
+            "controls/retry-orbit",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 5.0 },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            FaultSpec::none(),
+            Controls {
+                queue_cap: Some(3),
+                deadline: Some(2.0),
+                retry: Some(RetrySpec {
+                    max_attempts: 4,
+                    base: 0.25,
+                    cap: 4.0,
+                }),
+            },
+        ),
+        (
+            "controls/herd-guard",
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period: 30.0 },
+            PolicySpec::Guarded {
+                threshold: 2.0,
+                cooldown: 50.0,
+                inner: Box::new(PolicySpec::Greedy),
+            },
+            FaultSpec::none(),
+            Controls::default(),
+        ),
+    ]
+}
+
+fn run_combo(
+    arrivals: &ArrivalSpec,
+    info: &InfoSpec,
+    policy: &PolicySpec,
+    faults: FaultSpec,
+    controls: Controls,
+    seed: u64,
+    scheduler: SchedulerKind,
+) -> RunResult {
+    let mut builder = SimConfig::builder();
+    builder
+        .servers(16)
+        .lambda(0.9)
+        .arrivals(20_000)
+        .seed(seed)
+        .faults(faults)
+        .scheduler(scheduler);
+    if let Some(cap) = controls.queue_cap {
+        builder.queue_cap(cap);
+    }
+    if let Some(d) = controls.deadline {
+        builder.deadline(d);
+    }
+    if let Some(r) = controls.retry {
+        builder.retry(r);
+    }
+    run_simulation(&builder.build(), arrivals, info, policy).expect("valid config")
+}
+
 #[test]
 fn default_path_replays_pre_control_plane_bits() {
     for (label, arrivals, info, policy, faults) in combos() {
@@ -187,6 +295,213 @@ fn default_path_replays_pre_control_plane_bits() {
             assert!(
                 r.overload.is_zero(),
                 "{label} seed {seed}: controls unset must report zero overload stats"
+            );
+        }
+    }
+}
+
+/// (combo label, seed, mean_response bits, end_time bits) for the
+/// control-plane matrix, captured from the heap backend (ISSUE 3). To
+/// regenerate after an *intentional* trajectory change, run
+/// `cargo test --test golden_trajectories -- --ignored --nocapture`
+/// and paste the printed array.
+const CONTROL_GOLDEN: [(&str, u64, u64, u64); 12] = [
+    (
+        "controls/faults+gate",
+        1,
+        0x40334f32d7070f36,
+        0x4096ac45ec8078bf,
+    ),
+    (
+        "controls/faults+gate",
+        2,
+        0x403108626548de84,
+        0x4096f6806865d93d,
+    ),
+    (
+        "controls/faults+gate",
+        3,
+        0x4037f5a4722477de,
+        0x409706d0d815ac9e,
+    ),
+    (
+        "controls/queue-cap",
+        1,
+        0x4002e8c7bb316a5a,
+        0x4095d20c40bd189c,
+    ),
+    (
+        "controls/queue-cap",
+        2,
+        0x4002d3fef1aa1fb8,
+        0x4095ee91958a4b71,
+    ),
+    (
+        "controls/queue-cap",
+        3,
+        0x4002d0eb313a5cff,
+        0x4095aea3b5497fc8,
+    ),
+    (
+        "controls/retry-orbit",
+        1,
+        0x4003744eb9893302,
+        0x4095d6905049037b,
+    ),
+    (
+        "controls/retry-orbit",
+        2,
+        0x40039af939ed6c92,
+        0x4095f1eee0096828,
+    ),
+    (
+        "controls/retry-orbit",
+        3,
+        0x400398a5e1fa4be3,
+        0x4095afcd73bf93dc,
+    ),
+    (
+        "controls/herd-guard",
+        1,
+        0x4043f726f9f6aecb,
+        0x409970f01469eed8,
+    ),
+    (
+        "controls/herd-guard",
+        2,
+        0x404acca7d1b6d972,
+        0x4098680447e8927b,
+    ),
+    (
+        "controls/herd-guard",
+        3,
+        0x40472d06458d0814,
+        0x4098af55403afde4,
+    ),
+];
+
+/// The control-plane matrix replays its pinned heap-backend bits.
+#[test]
+fn control_plane_matrix_replays_pinned_bits() {
+    for (label, arrivals, info, policy, faults, controls) in control_combos() {
+        for seed in 1..=3u64 {
+            let r = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Heap,
+            );
+            let (_, _, mean_bits, end_bits) = *CONTROL_GOLDEN
+                .iter()
+                .find(|(l, s, _, _)| *l == label && *s == seed)
+                .expect("every control combo/seed pair has a golden entry");
+            assert_eq!(
+                r.mean_response.to_bits(),
+                mean_bits,
+                "{label} seed {seed}: mean_response drifted from golden \
+                 ({} vs bits {mean_bits:#018x})",
+                r.mean_response,
+            );
+            assert_eq!(
+                r.end_time.to_bits(),
+                end_bits,
+                "{label} seed {seed}: end_time drifted from golden \
+                 ({} vs bits {end_bits:#018x})",
+                r.end_time,
+            );
+        }
+    }
+}
+
+/// The calendar backend must replay every heap trajectory bit for bit:
+/// same response bits, same end time, same fault and overload counters.
+/// This is the scheduler contract (same pop order for the same pushes)
+/// checked end to end through the full engine, not just the queue.
+#[test]
+fn calendar_backend_replays_heap_bits_everywhere() {
+    let mut all: Vec<(
+        &'static str,
+        ArrivalSpec,
+        InfoSpec,
+        PolicySpec,
+        FaultSpec,
+        Controls,
+    )> = combos()
+        .into_iter()
+        .map(|(l, a, i, p, f)| (l, a, i, p, f, Controls::default()))
+        .collect();
+    all.extend(control_combos());
+    for (label, arrivals, info, policy, faults, controls) in all {
+        for seed in 1..=3u64 {
+            let heap = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Heap,
+            );
+            let cal = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Calendar,
+            );
+            assert_eq!(
+                heap.mean_response.to_bits(),
+                cal.mean_response.to_bits(),
+                "{label} seed {seed}: calendar mean_response {} != heap {}",
+                cal.mean_response,
+                heap.mean_response,
+            );
+            assert_eq!(
+                heap.end_time.to_bits(),
+                cal.end_time.to_bits(),
+                "{label} seed {seed}: calendar end_time diverged"
+            );
+            assert_eq!(
+                heap.faults, cal.faults,
+                "{label} seed {seed}: fault counters diverged"
+            );
+            assert_eq!(
+                heap.overload, cal.overload,
+                "{label} seed {seed}: overload counters diverged"
+            );
+            assert_eq!(
+                heap.measured_jobs, cal.measured_jobs,
+                "{label} seed {seed}: measured job counts diverged"
+            );
+        }
+    }
+}
+
+/// Capture helper (not a regression test): prints the CONTROL_GOLDEN array
+/// body from the current heap backend.
+#[test]
+#[ignore = "capture helper; run with --ignored --nocapture to regenerate CONTROL_GOLDEN"]
+fn print_control_golden_bits() {
+    for (label, arrivals, info, policy, faults, controls) in control_combos() {
+        for seed in 1..=3u64 {
+            let r = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Heap,
+            );
+            println!(
+                "    (\n        \"{label}\",\n        {seed},\n        {:#018x},\n        {:#018x},\n    ),",
+                r.mean_response.to_bits(),
+                r.end_time.to_bits(),
             );
         }
     }
