@@ -26,7 +26,7 @@
 
 use std::process::ExitCode;
 
-use staleload_bench::{results_path, Scale};
+use staleload_bench::{results_path, run_experiment, RunArgs, Scale};
 use staleload_core::{ArrivalSpec, Experiment, FaultSpec, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
@@ -63,19 +63,19 @@ fn run_cell(
         .seed(SEED)
         .faults(faults)
         .build();
-    Experiment::new(
+    let exp = Experiment::new(
         cfg,
         ArrivalSpec::Poisson,
         info,
         policy.clone(),
         scale.trials,
-    )
-    .try_run()
-    .map_err(|e| e.to_string())
+    );
+    // Shared pool + result cache; bit-identical to exp.try_run().
+    run_experiment(&exp).map_err(|e| e.to_string())
 }
 
 fn main() -> ExitCode {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let naive = PolicySpec::BasicLi { lambda: LAMBDA };
     let gated = PolicySpec::Gated {
         cutoff: CUTOFF,

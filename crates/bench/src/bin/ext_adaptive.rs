@@ -4,14 +4,14 @@
 //!
 //! Usage: `ext_adaptive [quick|std|full]`. Periodic model, T = 10, n = 100.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 
 #[allow(clippy::type_complexity)] // variant table: (label, policy builder)
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let variants: Vec<(&str, fn(f64) -> PolicySpec)> = vec![
         ("Basic LI (oracle)", |lambda| PolicySpec::BasicLi { lambda }),
         ("Basic LI (assume 1.0)", |_| PolicySpec::BasicLi {

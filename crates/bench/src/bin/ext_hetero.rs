@@ -5,14 +5,14 @@
 //! of total capacity; x axis = capacity skew: half the servers run at
 //! `1 + s`, half at `1 − s`.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 
 #[allow(clippy::type_complexity)] // variant table: (label, policy builder)
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let lambda = 0.75;
     let n = 100usize;
     let caps_for = move |skew: f64| -> Vec<f64> {

@@ -6,13 +6,13 @@
 //! that claim with our implementation: the same policies under both models
 //! across the T sweep. Usage: `ext_individual [quick|std|full]`.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let lambda = 0.9;
     let variants: Vec<(String, PolicySpec, bool)> = [
         PolicySpec::KSubset { k: 2 },

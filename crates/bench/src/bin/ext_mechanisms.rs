@@ -4,13 +4,13 @@
 //! Usage: `ext_mechanisms [quick|std|full]`. Periodic model, n = 100,
 //! λ = 0.9, T sweep.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let lambda = 0.9;
     let variants: Vec<(&str, PolicySpec, bool)> = vec![
         ("Random", PolicySpec::Random, false),

@@ -7,13 +7,13 @@
 //! flash-crowd style rate modulation under the periodic board — and checks
 //! that LI keeps its lead. Usage: `ext_mmpp [quick|std|full]`.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     // λ and the modulation are chosen so the high phase stays *stable*
     // (high-phase rate = λ·n·r/(1−p+p·r) = 96 < n): a genuine stress test
     // of interpretation, not a capacity-overload test no policy can win.

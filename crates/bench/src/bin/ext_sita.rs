@@ -6,14 +6,14 @@
 //! Usage: `ext_sita [quick|std|full]`. Bounded Pareto (α = 1.1, max 100×),
 //! λ = 0.7, periodic model, T sweep.
 
-use staleload_bench::{run_sweep, CellStyle, Scale, Series};
+use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::{PolicySpec, Sita};
 use staleload_sim::Dist;
 
 fn main() {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let lambda = 0.7;
     let n = 100usize;
     let service = Dist::bounded_pareto_with_mean(1.1, 100.0, 1.0).expect("valid BP parameters");

@@ -1,6 +1,6 @@
-//! Regenerates Figure 4 of the paper. Usage: `fig04 [quick|std|full]`.
+//! Regenerates Figure 4 of the paper. Usage: `fig04 [--no-cache] [quick|std|full]`.
 
 fn main() {
-    let scale = staleload_bench::Scale::from_env();
+    let scale = staleload_bench::RunArgs::parse_or_exit().scale;
     staleload_bench::figs::fig04(&scale);
 }

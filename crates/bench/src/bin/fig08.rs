@@ -1,6 +1,6 @@
-//! Regenerates Figure 8 of the paper. Usage: `fig08 [quick|std|full]`.
+//! Regenerates Figure 8 of the paper. Usage: `fig08 [--no-cache] [quick|std|full]`.
 
 fn main() {
-    let scale = staleload_bench::Scale::from_env();
+    let scale = staleload_bench::RunArgs::parse_or_exit().scale;
     staleload_bench::figs::fig08(&scale);
 }

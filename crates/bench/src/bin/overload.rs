@@ -34,7 +34,7 @@
 
 use std::process::ExitCode;
 
-use staleload_bench::{results_path, Scale};
+use staleload_bench::{results_path, run_trials, RunArgs, Scale};
 use staleload_core::{run_simulation, trial_seed, ArrivalSpec, RetrySpec, RunResult, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
@@ -110,13 +110,16 @@ fn run_cell(scale: &Scale, policy: &PolicySpec, controls: Controls) -> Result<Ce
         cycle_mean: CYCLE_MEAN,
     };
     let info = InfoSpec::Periodic { period: PERIOD };
-    let mut sums = Cell::default();
-    for trial in 0..scale.trials {
+    // One task per trial on the shared worker pool. Each task is a pure
+    // function of its trial index, and the sums below accumulate in
+    // trial order, so the cell is bit-identical to the sequential loop.
+    let cell_arrivals = scale.arrivals;
+    let per_trial = run_trials(scale.trials, move |trial| -> Result<Cell, String> {
         let mut builder = SimConfig::builder();
         builder
             .servers(N)
             .lambda(LAMBDA)
-            .arrivals(scale.arrivals)
+            .arrivals(cell_arrivals)
             .seed(trial_seed(SEED, trial));
         if controls != Controls::None {
             builder.queue_cap(QUEUE_CAP).deadline(DEADLINE);
@@ -127,15 +130,30 @@ fn run_cell(scale: &Scale, policy: &PolicySpec, controls: Controls) -> Result<Ce
         let cfg = builder.try_build().map_err(|e| e.to_string())?;
         let r: RunResult =
             run_simulation(&cfg, &arrivals, &info, &policy).map_err(|e| e.to_string())?;
-        sums.goodput += r.goodput();
-        sums.offered += r.offered_throughput();
-        sums.mean_response += r.mean_response;
-        sums.rejection_rate += r.overload.rejection_rate(r.generated);
-        sums.renege_rate += r.overload.renege_rate(r.generated);
-        sums.amplification += r.overload.retry_amplification(r.generated);
-        sums.loss_frac += r.overload.abandoned as f64 / r.generated as f64;
-        sums.peak_backlog += r.detail.peak_jobs_in_system();
-        sums.recovery += r.detail.time_to_recovery();
+        Ok(Cell {
+            goodput: r.goodput(),
+            offered: r.offered_throughput(),
+            mean_response: r.mean_response,
+            rejection_rate: r.overload.rejection_rate(r.generated),
+            renege_rate: r.overload.renege_rate(r.generated),
+            amplification: r.overload.retry_amplification(r.generated),
+            loss_frac: r.overload.abandoned as f64 / r.generated as f64,
+            peak_backlog: r.detail.peak_jobs_in_system(),
+            recovery: r.detail.time_to_recovery(),
+        })
+    });
+    let mut sums = Cell::default();
+    for trial_cell in per_trial {
+        let c = trial_cell?;
+        sums.goodput += c.goodput;
+        sums.offered += c.offered;
+        sums.mean_response += c.mean_response;
+        sums.rejection_rate += c.rejection_rate;
+        sums.renege_rate += c.renege_rate;
+        sums.amplification += c.amplification;
+        sums.loss_frac += c.loss_frac;
+        sums.peak_backlog += c.peak_backlog;
+        sums.recovery += c.recovery;
     }
     let t = scale.trials as f64;
     Ok(Cell {
@@ -152,7 +170,7 @@ fn run_cell(scale: &Scale, policy: &PolicySpec, controls: Controls) -> Result<Ce
 }
 
 fn main() -> ExitCode {
-    let scale = Scale::from_env();
+    let scale = RunArgs::parse_or_exit().scale;
     let policies: Vec<(&str, PolicySpec)> = vec![
         ("random", PolicySpec::Random),
         ("basic-li", PolicySpec::BasicLi { lambda: LAMBDA }),

@@ -1,6 +1,17 @@
-//! Regenerates every figure of the paper. Usage: `repro_all [quick|std|full]`.
+//! Regenerates every figure of the paper (or a subset).
+//!
+//! Usage: `repro_all [quick|std|full] [--no-cache] [--only figNN,figNN,...]`.
+//! Unknown figure names (and unknown flags) exit with status 2.
 
-fn main() {
-    let scale = staleload_bench::Scale::from_env();
-    staleload_bench::figs::run_all(&scale);
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = staleload_bench::RunArgs::parse_or_exit();
+    match staleload_bench::figs::run_all_filtered(&args.scale, &args.only) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("repro_all: {e}");
+            ExitCode::from(2)
+        }
+    }
 }

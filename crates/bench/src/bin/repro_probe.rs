@@ -1,0 +1,245 @@
+//! End-to-end perf harness for the sweep orchestrator: measures the full
+//! figure reproduction (`figs::run_all`) under three configurations and
+//! emits `BENCH_repro.json` (ISSUE 4).
+//!
+//! Three passes, identical workload:
+//!
+//! * **seq**  — one worker, cache disabled: the pre-orchestrator
+//!   baseline (per-point sequential execution).
+//! * **cold** — all workers, fresh content-addressed cache: what the
+//!   work-stealing pool buys on first run.
+//! * **warm** — all workers, cache now full: what the cache buys on
+//!   re-run (every point served from the JSONL store).
+//!
+//! Figures are written to a scratch directory, never to `results/`.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro_probe                 # quick scale, writes BENCH_repro.json
+//! repro_probe --smoke         # CI scale (fast, noisier)
+//! repro_probe --out FILE      # override the output path
+//! repro_probe --check FILE    # re-measure at the baseline's scale and
+//!                             #   exit nonzero on a >15% regression of
+//!                             #   the warm-cache or multi-worker speedup
+//!                             #   ratio (each capped before gating so the
+//!                             #   gate transfers across machines)
+//! ```
+//!
+//! Every simulation is seeded and the runner is deterministic, so two
+//! runs on the same machine measure the same workload.
+
+use std::time::Instant;
+
+use staleload_bench::{cache_dir, configure_runner, default_workers, figs, Scale};
+use staleload_runner::ResultCache;
+
+/// The regression gate: a checked ratio may drop at most this fraction
+/// below its (capped) baseline.
+const TOLERANCE: f64 = 0.15;
+
+/// Speedup caps applied to baselines before gating, so a baseline from a
+/// many-core (or fast-disk) machine cannot fail a smaller one. A genuine
+/// orchestrator regression drags the ratio toward 1.0, far below either
+/// cap; the cap only trims the machine-dependent upside.
+const PARALLEL_CAP: f64 = 2.0;
+const WARM_CAP: f64 = 10.0;
+
+struct Measurement {
+    scale_name: &'static str,
+    smoke: bool,
+    workers: usize,
+    cores: usize,
+    t_seq: f64,
+    t_cold: f64,
+    t_warm: f64,
+}
+
+impl Measurement {
+    fn parallel_speedup(&self) -> f64 {
+        self.t_seq / self.t_cold
+    }
+
+    fn warm_speedup(&self) -> f64 {
+        self.t_cold / self.t_warm
+    }
+}
+
+/// One timed `run_all` pass at the given scale.
+fn timed_run_all(scale: &Scale) -> f64 {
+    let start = Instant::now();
+    figs::run_all(scale);
+    start.elapsed().as_secs_f64()
+}
+
+fn measure(scale: &Scale) -> Measurement {
+    // Figures and the cold cache go to a scratch directory: the probe
+    // must never pollute `results/` or read a pre-existing cache.
+    let scratch =
+        std::env::temp_dir().join(format!("staleload-repro-probe-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).expect("create probe scratch dir");
+    std::env::set_var("REPRO_RESULTS_DIR", &scratch);
+
+    let workers = default_workers();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    eprintln!(
+        "[repro_probe] pass 1/3: sequential (1 worker, no cache), scale = {}",
+        scale.name
+    );
+    configure_runner(1, ResultCache::disabled());
+    let t_seq = timed_run_all(scale);
+
+    eprintln!("[repro_probe] pass 2/3: cold cache ({workers} workers)");
+    configure_runner(
+        workers,
+        ResultCache::open(&cache_dir()).expect("open probe cache"),
+    );
+    let t_cold = timed_run_all(scale);
+
+    eprintln!("[repro_probe] pass 3/3: warm cache ({workers} workers)");
+    let t_warm = timed_run_all(scale);
+
+    let _ = std::fs::remove_dir_all(&scratch);
+    Measurement {
+        scale_name: scale.name,
+        smoke: scale.is_smoke(),
+        workers,
+        cores,
+        t_seq,
+        t_cold,
+        t_warm,
+    }
+}
+
+/// Renders the measurement as JSON. Hand-rolled: the workspace has no
+/// JSON dependency, and the `summary` object holds one uniquely-keyed
+/// scalar per checked metric so `--check` can parse it with a string
+/// scan.
+fn to_json(m: &Measurement) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"schema\": \"staleload-bench-repro-v1\",\n");
+    s.push_str(&format!("  \"scale\": \"{}\",\n", m.scale_name));
+    s.push_str(&format!("  \"smoke\": {},\n", m.smoke));
+    s.push_str(&format!("  \"workers\": {},\n", m.workers));
+    s.push_str(&format!("  \"cores\": {},\n", m.cores));
+    s.push_str("  \"passes\": {\n");
+    s.push_str(&format!("    \"seq_seconds\": {:.3},\n", m.t_seq));
+    s.push_str(&format!("    \"cold_seconds\": {:.3},\n", m.t_cold));
+    s.push_str(&format!("    \"warm_seconds\": {:.3}\n", m.t_warm));
+    s.push_str("  },\n  \"summary\": {\n");
+    s.push_str(&format!(
+        "    \"parallel_speedup\": {:.4},\n",
+        m.parallel_speedup()
+    ));
+    s.push_str(&format!("    \"warm_speedup\": {:.4}\n", m.warm_speedup()));
+    s.push_str("  }\n}\n");
+    s
+}
+
+/// Extracts `"key": <number>` from a flat JSON document (same scheme as
+/// `throughput_probe`).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Re-measures at the baseline's scale and gates the two speedup ratios.
+///
+/// Both gated metrics are ratios of same-machine measurements, and both
+/// baselines are capped (`PARALLEL_CAP`, `WARM_CAP`) before the 15%
+/// tolerance is applied: a single-core runner can always reach parallel
+/// speedup ~1.0 and a slow-disk runner still reaches a large warm
+/// speedup, so the gate fires on orchestrator regressions (lost
+/// parallelism, cache misses on identical specs, per-point thread churn)
+/// rather than on runner hardware.
+fn check(baseline_path: &str) -> Result<(), String> {
+    let baseline = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let scale = if baseline.contains("\"smoke\": true") {
+        Scale::smoke()
+    } else {
+        Scale::quick()
+    };
+    let m = measure(&scale);
+    println!(
+        "passes: seq {:.2}s, cold {:.2}s ({} workers), warm {:.2}s",
+        m.t_seq, m.t_cold, m.workers, m.t_warm
+    );
+    let mut failures = Vec::new();
+    let checks = [
+        ("parallel_speedup", m.parallel_speedup(), PARALLEL_CAP),
+        ("warm_speedup", m.warm_speedup(), WARM_CAP),
+    ];
+    for (key, cur, cap) in checks {
+        let base = json_number(&baseline, key)
+            .ok_or_else(|| format!("baseline has no {key} (regenerate BENCH_repro.json)"))?;
+        let floor = base.min(cap) * (1.0 - TOLERANCE);
+        println!("{key}: baseline {base:.3} (cap {cap:.1}), current {cur:.3}, floor {floor:.3}");
+        if cur < floor {
+            failures.push(format!(
+                "{key} regressed: {cur:.3} < {floor:.3} (baseline {base:.3}, cap {cap:.1}, -{}%)",
+                TOLERANCE * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("repro perf check passed");
+        Ok(())
+    } else {
+        Err(failures.join("\n"))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_repro.json".to_string();
+    let mut check_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
+            other => {
+                eprintln!("unknown flag '{other}' (expected --smoke, --out FILE, --check FILE)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check_path {
+        if let Err(msg) = check(&path) {
+            eprintln!("repro perf check FAILED:\n{msg}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let scale = if smoke {
+        Scale::smoke()
+    } else {
+        Scale::quick()
+    };
+    let m = measure(&scale);
+    println!(
+        "seq  (1 worker, no cache): {:>8.2}s\ncold ({} workers, fresh cache): {:>8.2}s\nwarm ({} workers, full cache): {:>8.2}s",
+        m.t_seq, m.workers, m.t_cold, m.workers, m.t_warm
+    );
+    println!(
+        "parallel speedup (seq/cold): {:.2}x on {} cores; warm speedup (cold/warm): {:.2}x",
+        m.parallel_speedup(),
+        m.cores,
+        m.warm_speedup()
+    );
+    let json = to_json(&m);
+    std::fs::write(&out_path, &json).expect("write benchmark output");
+    println!("wrote {out_path}");
+}

@@ -628,19 +628,56 @@ pub fn fig14(scale: &Scale) {
 
 /// Runs every figure in order.
 pub fn run_all(scale: &Scale) {
+    run_all_filtered(scale, &[]).expect("empty filter is always valid");
+}
+
+/// A figure-reproduction entry point: takes the scale, writes the
+/// figure's tables and SVG curves under the results directory.
+pub type FigureFn = fn(&Scale);
+
+/// Every paper figure, in order, with the name `repro_all --only`
+/// selects it by.
+pub fn all_figures() -> Vec<(&'static str, FigureFn)> {
+    vec![
+        ("fig01", fig01 as FigureFn),
+        ("fig02", fig02),
+        ("fig03", fig03),
+        ("fig04", fig04),
+        ("fig05", fig05),
+        ("fig06", fig06),
+        ("fig07", fig07),
+        ("fig08", fig08),
+        ("fig09", fig09),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+    ]
+}
+
+/// Regenerates the figures named in `only` (all of them when `only` is
+/// empty), in paper order regardless of the order given.
+///
+/// # Errors
+///
+/// Returns an error naming the first entry of `only` that is not a
+/// known figure, without running anything.
+pub fn run_all_filtered(scale: &Scale, only: &[String]) -> Result<(), String> {
+    let figures = all_figures();
+    for name in only {
+        if !figures.iter().any(|(n, _)| n == name) {
+            return Err(format!(
+                "unknown figure `{name}` (valid: fig01..fig{:02})",
+                figures.len()
+            ));
+        }
+    }
     eprintln!("== staleload reproduction, scale = {} ==", scale.name);
-    fig01(scale);
-    fig02(scale);
-    fig03(scale);
-    fig04(scale);
-    fig05(scale);
-    fig06(scale);
-    fig07(scale);
-    fig08(scale);
-    fig09(scale);
-    fig10(scale);
-    fig11(scale);
-    fig12(scale);
-    fig13(scale);
-    fig14(scale);
+    for (name, fig) in figures {
+        if only.is_empty() || only.iter().any(|n| n == name) {
+            fig(scale);
+        }
+    }
+    Ok(())
 }

@@ -11,6 +11,14 @@
 //! paper's protocol (500 000 arrivals, ≥ 10 trials, ≥ 30 for Bounded
 //! Pareto); `std` (default) is calibrated for a single-core machine;
 //! `quick` is a smoke test.
+//!
+//! Every figure executes its (point × trial) grid on one shared
+//! work-stealing worker pool ([`staleload_runner`]) and consults a
+//! content-addressed result cache under `results/cache/`. Worker count
+//! comes from `REPRO_WORKERS` (default: available parallelism); the
+//! cache is disabled by `--no-cache` or a non-empty `REPRO_NO_CACHE`.
+//! Results are bit-identical to a sequential run regardless of worker
+//! count or cache state.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,9 +26,12 @@
 pub mod figs;
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
-use staleload_core::{Experiment, ExperimentResult};
+use staleload_core::{Experiment, ExperimentResult, SimError};
+use staleload_runner::{ResultCache, SweepRunner, WorkerPool};
 use staleload_stats::{LinePlot, Table};
 
 /// Run-scale knobs shared by all figures.
@@ -119,6 +130,172 @@ impl Scale {
     }
 }
 
+/// Parsed command line shared by every reproduction binary.
+///
+/// ```text
+/// <binary> [smoke|quick|std|full] [--no-cache] [--only figNN,figNN,...]
+/// ```
+///
+/// `--no-cache` (or a non-empty `REPRO_NO_CACHE`) disables the
+/// content-addressed result cache; `--only` restricts `repro_all` to the
+/// named figures (other binaries ignore it). Unknown arguments exit with
+/// status 2.
+#[derive(Debug, Clone)]
+pub struct RunArgs {
+    /// Run scale (from the scale token or `REPRO_SCALE`, default `std`).
+    pub scale: Scale,
+    /// Skip cache reads and writes for this run.
+    pub no_cache: bool,
+    /// Figure names `repro_all` should run (empty = all).
+    pub only: Vec<String>,
+}
+
+const USAGE: &str = "usage: <binary> [smoke|quick|std|full] [--no-cache] [--only figNN,figNN,...]";
+
+impl RunArgs {
+    /// Parses `std::env::args()`, printing usage and exiting with status
+    /// 2 on an unknown argument, and records the cache preference for
+    /// the shared sweep runner.
+    pub fn parse_or_exit() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => {
+                if args.no_cache {
+                    NO_CACHE.store(true, Ordering::Relaxed);
+                }
+                args
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument list (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first unrecognized argument.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut scale: Option<Scale> = None;
+        let mut no_cache = std::env::var("REPRO_NO_CACHE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let mut only: Vec<String> = Vec::new();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.trim_start_matches("--") {
+                "full" => scale = Some(Scale::full()),
+                "std" => scale = Some(Scale::std()),
+                "quick" => scale = Some(Scale::quick()),
+                "smoke" => scale = Some(Scale::smoke()),
+                "no-cache" => no_cache = true,
+                "only" => {
+                    let list = it.next().ok_or("--only needs a figure list")?;
+                    only.extend(list.split(',').map(|s| s.trim().to_string()));
+                }
+                s if s.starts_with("only=") => {
+                    only.extend(s["only=".len()..].split(',').map(|s| s.trim().to_string()));
+                }
+                other => return Err(format!("unknown argument `{other}`")),
+            }
+        }
+        only.retain(|s| !s.is_empty());
+        let scale = scale.unwrap_or_else(|| match std::env::var("REPRO_SCALE").as_deref() {
+            Ok("full") => Scale::full(),
+            Ok("quick") => Scale::quick(),
+            Ok("smoke") => Scale::smoke(),
+            _ => Scale::std(),
+        });
+        Ok(Self {
+            scale,
+            no_cache,
+            only,
+        })
+    }
+}
+
+/// `--no-cache` seen on the command line (checked at lazy runner init).
+static NO_CACHE: AtomicBool = AtomicBool::new(false);
+
+/// The process-wide sweep runner every figure shares: one persistent
+/// work-stealing pool plus one result cache, built lazily on first use.
+static RUNNER: OnceLock<Mutex<SweepRunner>> = OnceLock::new();
+
+fn runner() -> MutexGuard<'static, SweepRunner> {
+    RUNNER
+        .get_or_init(|| {
+            Mutex::new(SweepRunner::new(
+                WorkerPool::new(default_workers()),
+                default_cache(),
+            ))
+        })
+        .lock()
+        .expect("sweep runner lock poisoned")
+}
+
+/// Worker count for the shared pool: `REPRO_WORKERS` when set to a
+/// positive integer, otherwise the machine's available parallelism.
+pub fn default_workers() -> usize {
+    std::env::var("REPRO_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Where the shared result cache lives: `<results dir>/cache`.
+pub fn cache_dir() -> PathBuf {
+    let root = std::env::var("REPRO_RESULTS_DIR").unwrap_or_else(|_| "results".to_string());
+    PathBuf::from(root).join("cache")
+}
+
+fn default_cache() -> ResultCache {
+    let disabled = NO_CACHE.load(Ordering::Relaxed)
+        || std::env::var("REPRO_NO_CACHE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if disabled {
+        return ResultCache::disabled();
+    }
+    let dir = cache_dir();
+    match ResultCache::open(&dir) {
+        Ok(cache) => cache,
+        Err(e) => {
+            eprintln!(
+                "warning: cannot open result cache at {} ({e}); running uncached",
+                dir.display()
+            );
+            ResultCache::disabled()
+        }
+    }
+}
+
+/// Replaces the shared runner with one using `workers` threads and
+/// `cache` (used by `repro_probe` to compare cold/warm/sequential runs).
+pub fn configure_runner(workers: usize, cache: ResultCache) {
+    let mut guard = runner();
+    *guard = SweepRunner::new(WorkerPool::new(workers), cache);
+}
+
+/// Runs one experiment point through the shared runner (pool + cache).
+///
+/// # Errors
+///
+/// Returns the same errors [`Experiment::try_run`] would.
+pub fn run_experiment(exp: &Experiment) -> Result<ExperimentResult, SimError> {
+    runner().run_one(exp)
+}
+
+/// Runs `f(0)`, …, `f(count - 1)` on the shared worker pool, returning
+/// the results in index order. For experiment shapes that need custom
+/// per-trial metrics and therefore bypass [`Experiment`] and the cache;
+/// keep `f` a pure function of its index to stay deterministic.
+pub fn run_trials<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send + 'static,
+    F: Fn(usize) -> T + Send + Sync + 'static,
+{
+    runner().run_map(count, f)
+}
+
 /// How a sweep cell is summarized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CellStyle {
@@ -182,12 +359,26 @@ pub fn run_sweep(
         "trials".into(),
     ]);
 
+    // Build every (x, series) point up front, row-major so results come
+    // back in the table/CSV order, and run them as one batch on the
+    // shared pool: all trials of all points feed one task queue instead
+    // of one thread-churning pass per point.
+    let mut experiments = Vec::with_capacity(xs.len() * series.len());
+    for &x in xs {
+        for s in series {
+            experiments.push((s.make)(x));
+        }
+    }
+    let mut results = run_batch_with_progress(name, &experiments).into_iter();
+
     let mut curves: Vec<Vec<(f64, f64)>> = vec![Vec::new(); series.len()];
     for &x in xs {
         let mut row = vec![format_x(x)];
         for (series_idx, s) in series.iter().enumerate() {
-            let exp = (s.make)(x);
-            let result: ExperimentResult = exp.run();
+            let result: ExperimentResult = results
+                .next()
+                .expect("one result per point")
+                .unwrap_or_else(|e| panic!("experiment failed: {e}"));
             let sum = &result.summary;
             if result.history_misses > 0 {
                 eprintln!(
@@ -222,11 +413,6 @@ pub fn run_sweep(
             ]);
         }
         table.push_row(row);
-        eprintln!(
-            "[{name}]   {x_label} = {} done ({:.1}s elapsed)",
-            format_x(x),
-            start.elapsed().as_secs_f64()
-        );
     }
 
     println!("\n== {title} ==");
@@ -266,6 +452,46 @@ pub fn run_sweep(
         eprintln!("[{name}] failed to write {}: {e}", svg_path.display());
     }
     table
+}
+
+/// Runs a figure's points on the shared runner with progress lines
+/// (`done/total` + ETA, throttled to ~8 updates) and a per-figure cache
+/// hit/miss line on stderr.
+fn run_batch_with_progress(
+    name: &str,
+    experiments: &[Experiment],
+) -> Vec<Result<ExperimentResult, SimError>> {
+    let mut runner = runner();
+    let tag = name.to_string();
+    runner.set_progress(move |p| {
+        let stride = (p.total / 8).max(1);
+        if p.done % stride != 0 && p.done != p.total {
+            return;
+        }
+        let eta = match p.eta() {
+            Some(d) => format!(", eta {:.1}s", d.as_secs_f64()),
+            None => String::new(),
+        };
+        eprintln!(
+            "[{tag}]   {}/{} points ({:.1}s elapsed{eta})",
+            p.done,
+            p.total,
+            p.elapsed.as_secs_f64()
+        );
+    });
+    let results = runner.run_batch(experiments);
+    runner.clear_progress();
+    let acct = runner.take_accounting();
+    if runner.cache_enabled() {
+        eprintln!(
+            "[{name}] cache: {} hit{}, {} miss{}",
+            acct.hits,
+            if acct.hits == 1 { "" } else { "s" },
+            acct.misses,
+            if acct.misses == 1 { "" } else { "es" },
+        );
+    }
+    results
 }
 
 /// Destination for a figure's CSV.
@@ -311,5 +537,33 @@ mod tests {
     fn format_x_is_compact() {
         assert_eq!(format_x(10.0), "10");
         assert_eq!(format_x(0.5), "0.5");
+    }
+
+    fn parse(args: &[&str]) -> Result<RunArgs, String> {
+        RunArgs::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn run_args_parse_scale_tokens() {
+        assert_eq!(parse(&["quick"]).unwrap().scale.name, "quick");
+        assert_eq!(parse(&["--full"]).unwrap().scale.name, "full");
+        assert_eq!(parse(&["smoke"]).unwrap().scale.name, "smoke");
+    }
+
+    #[test]
+    fn run_args_parse_flags() {
+        let a = parse(&["quick", "--no-cache", "--only", "fig02,fig10"]).unwrap();
+        assert!(a.no_cache);
+        assert_eq!(a.only, vec!["fig02", "fig10"]);
+        let b = parse(&["--only=fig03", "--only", "fig04"]).unwrap();
+        assert_eq!(b.only, vec!["fig03", "fig04"]);
+        assert_eq!(b.scale.name, "std");
+    }
+
+    #[test]
+    fn run_args_reject_unknown_and_dangling() {
+        assert!(parse(&["bogus"]).is_err());
+        assert!(parse(&["--frobnicate"]).is_err());
+        assert!(parse(&["--only"]).is_err());
     }
 }

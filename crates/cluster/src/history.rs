@@ -22,6 +22,33 @@ pub struct LoadHistory {
     misses: u64,
 }
 
+/// The recyclable allocations of one retired [`LoadHistory`]: its
+/// per-server change-point deques and the pruned flags.
+type PooledBuffers = (Vec<VecDeque<(f64, u32)>>, Vec<bool>);
+
+thread_local! {
+    /// Change-point deques recycled across trials on one worker thread.
+    /// Only capacity survives: [`LoadHistory::new`] clears every deque.
+    static HISTORY_POOL: std::cell::RefCell<Vec<PooledBuffers>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+const HISTORY_POOL_DEPTH: usize = 4;
+
+impl Drop for LoadHistory {
+    fn drop(&mut self) {
+        let _ = HISTORY_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < HISTORY_POOL_DEPTH {
+                pool.push((
+                    std::mem::take(&mut self.per_server),
+                    std::mem::take(&mut self.pruned),
+                ));
+            }
+        });
+    }
+}
+
 impl LoadHistory {
     /// Creates a history for `n` servers retaining roughly `keep_window`
     /// time units of change points.
@@ -31,6 +58,22 @@ impl LoadHistory {
     /// Panics if `keep_window` is negative or NaN.
     pub fn new(n: usize, keep_window: f64) -> Self {
         assert!(keep_window >= 0.0, "keep_window must be non-negative");
+        if let Some((mut per_server, mut pruned)) =
+            HISTORY_POOL.with(|pool| pool.borrow_mut().pop())
+        {
+            for deque in &mut per_server {
+                deque.clear();
+            }
+            per_server.resize(n, VecDeque::new());
+            pruned.clear();
+            pruned.resize(n, false);
+            return Self {
+                per_server,
+                pruned,
+                keep_window,
+                misses: 0,
+            };
+        }
         Self {
             per_server: vec![VecDeque::new(); n],
             pruned: vec![false; n],

@@ -39,6 +39,13 @@ impl JobSlab {
         }
     }
 
+    /// Forgets every slot (keeping the arena's capacity) and empties the
+    /// free list — used when a recycled slab is handed to a new cluster.
+    pub(crate) fn reset(&mut self) {
+        self.slots.clear();
+        self.free_head = NIL;
+    }
+
     /// Live slots (allocated and not yet freed) — for tests/debugging.
     #[cfg(test)]
     fn live(&self) -> usize {

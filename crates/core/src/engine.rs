@@ -309,7 +309,9 @@ fn run_inner<F: SchedulerFamily>(
             .expect("supports_loss() was checked above"),
         None => InfoDispatch::from_spec(info, n, clients),
     };
-    let mut policy = DispatchPolicy::from_spec(policy);
+    // Cached build: adopts the scratch buffers (probability/CDF/sort
+    // vectors) of the policy retired by this thread's previous run.
+    let mut policy = DispatchPolicy::from_spec_cached(policy);
     let mut crash_process = cfg
         .faults
         .crash
@@ -361,10 +363,10 @@ fn run_inner<F: SchedulerFamily>(
     // The departure each server currently has in the queue. Crashes
     // invalidate scheduled departures; rather than remove them from the
     // queue we drop any popped/peeked entry that no longer matches.
-    let mut scheduled: Vec<Option<f64>> = vec![None; n];
+    let mut scheduled = crate::scratch::PooledOptVec::none(n);
     // Wall-clock work the interrupted head job had left at crash time
     // (stall mode resumes it on recovery).
-    let mut frozen: Vec<Option<f64>> = vec![None; n];
+    let mut frozen = crate::scratch::PooledOptVec::none(n);
     let mut stats = FaultStats::default();
     let mut overload = OverloadStats::default();
     // Deadline checks for waiting jobs and the retry orbit; both stay
@@ -653,6 +655,7 @@ fn run_inner<F: SchedulerFamily>(
         detail.per_server_completed[s] = cluster.completed(s);
         detail.per_server_busy[s] = cluster.busy_time(s);
     }
+    DispatchPolicy::recycle(policy);
     Ok(RunResult {
         mean_response: response.mean(),
         response,

@@ -83,12 +83,24 @@ pub struct ExperimentResult {
 }
 
 /// What one trial produced.
-enum TrialOutcome {
+///
+/// Public so external orchestrators (the sweep runner) can execute
+/// [`Experiment::run_trial`] on their own workers and feed the outcomes
+/// back through [`Experiment::aggregate`] — staying bit-identical to
+/// [`Experiment::try_run`] by construction, because both paths share the
+/// same trial and aggregation code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrialOutcome {
+    /// The trial completed and produced a mean response time.
     Ok {
+        /// Mean response time over the measured window.
         mean: f64,
+        /// History-miss count for the trial (should be 0).
         history_misses: u64,
+        /// Per-run warnings emitted by the trial.
         diagnostics: Vec<Diagnostic>,
     },
+    /// The trial returned a config error or panicked.
     Failed(TrialFailure),
 }
 
@@ -151,6 +163,22 @@ impl Experiment {
         } else {
             self.run_parallel(threads)
         };
+        self.aggregate(outcomes)
+    }
+
+    /// Aggregates per-trial outcomes (in trial-index order) into an
+    /// [`ExperimentResult`].
+    ///
+    /// This is the single aggregation path: [`Experiment::try_run`] and
+    /// any external runner that produced `outcomes` via
+    /// [`Experiment::run_trial`] go through here, so their results cannot
+    /// diverge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoSuccessfulTrials`] when every outcome is a
+    /// failure.
+    pub fn aggregate(&self, outcomes: Vec<TrialOutcome>) -> Result<ExperimentResult, SimError> {
         let mut trial_means = Vec::with_capacity(self.trials);
         let mut history_misses = 0;
         let mut failures = Vec::new();
@@ -201,7 +229,13 @@ impl Experiment {
             .unwrap_or_else(|e| panic!("experiment failed: {e}"))
     }
 
-    fn run_trial(&self, trial: usize) -> TrialOutcome {
+    /// Runs one trial (index `trial`) and reports what it produced.
+    ///
+    /// The trial's seed derives only from the master seed and `trial`, so
+    /// trials can run in any order, on any thread, and still produce the
+    /// same outcome. Panics inside the simulation are caught and reported
+    /// as [`TrialOutcome::Failed`].
+    pub fn run_trial(&self, trial: usize) -> TrialOutcome {
         let mut cfg = self.config.clone();
         cfg.seed = trial_seed(self.config.seed, trial);
         let seed = cfg.seed;
@@ -238,28 +272,34 @@ impl Experiment {
     }
 
     fn run_parallel(&self, threads: usize) -> Vec<TrialOutcome> {
+        // Each worker claims trial indices from a shared atomic counter
+        // and collects outcomes into its own vector; the vectors are
+        // merged after the scope. No lock is touched on the hot path.
         let next = std::sync::atomic::AtomicUsize::new(0);
-        let collected: std::sync::Mutex<Vec<(usize, TrialOutcome)>> =
-            std::sync::Mutex::new(Vec::with_capacity(self.trials));
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                let next = &next;
-                let collected = &collected;
-                scope.spawn(move || loop {
-                    let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if trial >= self.trials {
-                        break;
-                    }
-                    let out = self.run_trial(trial);
-                    collected
-                        .lock()
-                        .expect("no poisoned lock")
-                        .push((trial, out));
-                });
-            }
+        let per_thread: Vec<Vec<(usize, TrialOutcome)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        loop {
+                            let trial = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if trial >= self.trials {
+                                break;
+                            }
+                            local.push((trial, self.run_trial(trial)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_default())
+                .collect()
         });
         let mut slots: Vec<Option<TrialOutcome>> = (0..self.trials).map(|_| None).collect();
-        for (trial, out) in collected.into_inner().expect("no poisoned lock") {
+        for (trial, out) in per_thread.into_iter().flatten() {
             slots[trial] = Some(out);
         }
         slots

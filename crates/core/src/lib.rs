@@ -47,12 +47,13 @@ mod error;
 mod experiment;
 mod fault;
 mod metrics;
+mod scratch;
 
 pub use config::{ArrivalSpec, ConfigError, SimConfig, SimConfigBuilder};
 pub use engine::{run_simulation, Diagnostic, FaultStats, RunResult};
 pub use error::SimError;
 pub use experiment::{
-    clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure,
+    clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure, TrialOutcome,
 };
 pub use fault::{CrashSpec, FaultSpec, LossSpec};
 pub use metrics::{jain_fairness, OverloadStats, RunDetail};

@@ -1,0 +1,84 @@
+//! Thread-local recycling of per-run engine buffers.
+//!
+//! The sweep runner executes many trials back-to-back on each worker
+//! thread; recycling the engine's per-server bookkeeping vectors (and,
+//! via `DispatchPolicy::from_spec_reusing`, the policies' probability /
+//! CDF / sort scratch) moves those allocations from per-trial to
+//! per-point. Only *capacity* is ever reused — every buffer is cleared
+//! and re-initialized on acquisition, so a recycled run is
+//! indistinguishable from a fresh one (the golden-trajectory tests pin
+//! this bit-for-bit).
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+thread_local! {
+    static OPT_F64_POOL: RefCell<Vec<Vec<Option<f64>>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Two live buffers per run (`scheduled`, `frozen`) plus slack.
+const OPT_F64_POOL_DEPTH: usize = 8;
+
+/// A `Vec<Option<f64>>` drawn from a thread-local pool; its allocation
+/// returns to the pool on drop (including drops during unwinding).
+pub(crate) struct PooledOptVec(Vec<Option<f64>>);
+
+impl PooledOptVec {
+    /// An all-`None` buffer of length `n`, reusing pooled capacity.
+    pub(crate) fn none(n: usize) -> Self {
+        let mut v = OPT_F64_POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        v.clear();
+        v.resize(n, None);
+        Self(v)
+    }
+}
+
+impl Deref for PooledOptVec {
+    type Target = Vec<Option<f64>>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl DerefMut for PooledOptVec {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.0
+    }
+}
+
+impl Drop for PooledOptVec {
+    fn drop(&mut self) {
+        let v = std::mem::take(&mut self.0);
+        if v.capacity() == 0 {
+            return;
+        }
+        let _ = OPT_F64_POOL.try_with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < OPT_F64_POOL_DEPTH {
+                pool.push(v);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycled_buffer_is_reinitialized() {
+        let capacity_after_use;
+        {
+            let mut v = PooledOptVec::none(4);
+            v[2] = Some(1.5);
+            v.push(Some(9.0));
+            capacity_after_use = v.capacity();
+        }
+        let v = PooledOptVec::none(3);
+        assert_eq!(&**v, &[None, None, None]);
+        assert!(v.capacity() >= capacity_after_use.min(3));
+    }
+}

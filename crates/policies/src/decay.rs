@@ -51,6 +51,13 @@ impl WeightedDecay {
         }
     }
 
+    /// Steals cleared buffer capacity from a retired instance.
+    pub(crate) fn adopt_scratch(&mut self, prev: Self) {
+        let mut weights = prev.weights;
+        weights.clear();
+        self.weights = weights;
+    }
+
     /// The decay time constant.
     pub fn tau(&self) -> f64 {
         self.tau

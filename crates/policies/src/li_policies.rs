@@ -29,6 +29,16 @@ struct ProbCache {
 }
 
 impl ProbCache {
+    /// An empty cache holding `prev`'s buffer capacity: every vector is
+    /// cleared and the epoch reset, so only the allocations survive.
+    fn recycled(mut prev: Self) -> Self {
+        prev.epoch = None;
+        prev.probs.clear();
+        prev.cdf.clear();
+        prev.scratch.clear();
+        prev
+    }
+
     /// Recomputes `probs`/`cdf` via `fill` unless `epoch` matches the cache.
     fn ensure<F>(&mut self, epoch: Option<u64>, mut fill: F)
     where
@@ -86,6 +96,11 @@ impl BasicLi {
     /// The configured arrival-rate estimate λ̂.
     pub fn lambda(&self) -> f64 {
         self.lambda
+    }
+
+    /// Steals cleared buffer capacity from a retired instance.
+    pub(crate) fn adopt_scratch(&mut self, prev: Self) {
+        self.cache = ProbCache::recycled(prev.cache);
     }
 }
 
@@ -186,6 +201,13 @@ impl HybridLi {
         }
     }
 
+    /// Steals cleared buffer capacity from a retired instance.
+    pub(crate) fn adopt_scratch(&mut self, prev: Self) {
+        let mut cdf = prev.fill_cdf;
+        cdf.clear();
+        self.fill_cdf = cdf;
+    }
+
     fn rebuild(&mut self, loads: &[u32], total_rate: f64) {
         let max = f64::from(*loads.iter().max().expect("non-empty loads"));
         let deficit_total: f64 = loads.iter().map(|&l| max - f64::from(l)).sum();
@@ -274,6 +296,11 @@ impl AdaptiveLi {
     pub fn estimated_total_rate(&self) -> Option<f64> {
         self.ewma_gap
             .map(|g| if g > 0.0 { 1.0 / g } else { f64::INFINITY })
+    }
+
+    /// Steals cleared buffer capacity from a retired instance.
+    pub(crate) fn adopt_scratch(&mut self, prev: Self) {
+        self.cache = ProbCache::recycled(prev.cache);
     }
 
     fn lambda_per_server(&self, n: usize) -> f64 {

@@ -1,0 +1,616 @@
+//! Content-addressed result cache, persisted as JSONL.
+//!
+//! One line per cached point: `{"key":"<32 hex>","result":{…}}`. The
+//! serializer is hand-rolled (the workspace's `serde` is an offline
+//! stub) and round-trips every value bit-exactly: `f64`s are written
+//! with Rust's shortest-roundtrip `Debug` formatting and parsed back
+//! with `str::parse::<f64>`, and integers (trial counts, `u64` seeds)
+//! are kept as raw number tokens until a field-typed parse — never
+//! routed through `f64`, which would corrupt seeds above 2⁵³.
+//!
+//! Corrupt or unparseable lines are skipped on load (the point simply
+//! recomputes), so a truncated final line from a killed run cannot
+//! poison the cache.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use staleload_core::{Diagnostic, ExperimentResult, TrialFailure};
+use staleload_stats::Summary;
+
+use crate::PointKey;
+
+/// File name of the cache inside the cache directory.
+pub const CACHE_FILE: &str = "cache.jsonl";
+
+/// Hit/miss counters, reset per figure by the sweep runner.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheAccounting {
+    /// Points served from the cache.
+    pub hits: u64,
+    /// Points that had to be computed.
+    pub misses: u64,
+}
+
+/// A content-addressed map from [`PointKey`] to [`ExperimentResult`],
+/// persisted by appending one JSONL line per insert.
+pub struct ResultCache {
+    /// `None` when caching is disabled (`--no-cache`).
+    file: Option<File>,
+    path: Option<PathBuf>,
+    map: HashMap<PointKey, ExperimentResult>,
+    accounting: CacheAccounting,
+    write_error_reported: bool,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache under `dir`, loading every
+    /// parseable line of `dir/cache.jsonl`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the directory or file cannot be created.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(CACHE_FILE);
+        let mut map = HashMap::new();
+        if let Ok(file) = File::open(&path) {
+            for line in BufReader::new(file).lines() {
+                let Ok(line) = line else { break };
+                if let Some((key, result)) = parse_line(&line) {
+                    map.insert(key, result);
+                }
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Self {
+            file: Some(file),
+            path: Some(path),
+            map,
+            accounting: CacheAccounting::default(),
+            write_error_reported: false,
+        })
+    }
+
+    /// A cache that never hits and never persists (`--no-cache`).
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self {
+            file: None,
+            path: None,
+            map: HashMap::new(),
+            accounting: CacheAccounting::default(),
+            write_error_reported: false,
+        }
+    }
+
+    /// Whether lookups can ever hit.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Path of the backing JSONL file, when enabled.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Number of entries currently loaded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn get(&mut self, key: PointKey) -> Option<ExperimentResult> {
+        let found = self.map.get(&key).cloned();
+        if found.is_some() {
+            self.accounting.hits += 1;
+        } else {
+            self.accounting.misses += 1;
+        }
+        found
+    }
+
+    /// Stores `key → result` in memory and appends it to the JSONL file.
+    /// A disabled cache ignores the call; a failing append is reported
+    /// once and otherwise ignored (the run itself must not fail).
+    pub fn put(&mut self, key: PointKey, result: &ExperimentResult) {
+        if self.path.is_none() {
+            return;
+        }
+        self.map.insert(key, result.clone());
+        if let Some(file) = self.file.as_mut() {
+            let line = encode_line(key, result);
+            if writeln!(file, "{line}").is_err() && !self.write_error_reported {
+                self.write_error_reported = true;
+                eprintln!(
+                    "warning: failed to append to result cache {:?}; continuing without persistence",
+                    self.path
+                );
+            }
+        }
+    }
+
+    /// Returns and resets the hit/miss counters (called per figure).
+    pub fn take_accounting(&mut self) -> CacheAccounting {
+        std::mem::take(&mut self.accounting)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_line(key: PointKey, result: &ExperimentResult) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(out, "{{\"key\":\"{key}\",\"result\":");
+    encode_result(&mut out, result);
+    out.push('}');
+    out
+}
+
+fn encode_result(out: &mut String, r: &ExperimentResult) {
+    out.push_str("{\"trial_means\":[");
+    for (i, m) in r.trial_means.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{m:?}");
+    }
+    let s = &r.summary;
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"trials\":{},\"mean\":{:?},\"stddev\":{:?},\"ci90\":{:?},\"min\":{:?},\"q1\":{:?},\"median\":{:?},\"q3\":{:?},\"max\":{:?}}}",
+        s.trials, s.mean, s.stddev, s.ci90, s.min, s.q1, s.median, s.q3, s.max
+    );
+    let _ = write!(out, ",\"history_misses\":{}", r.history_misses);
+    out.push_str(",\"failures\":[");
+    for (i, f) in r.failures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"trial\":{},\"seed\":{},\"error\":",
+            f.trial, f.seed
+        );
+        encode_str(out, &f.error);
+        out.push('}');
+    }
+    out.push_str("],\"diagnostics\":[");
+    for (i, d) in r.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"code\":");
+        encode_str(out, d.code);
+        out.push_str(",\"message\":");
+        encode_str(out, &d.message);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn encode_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Decoding — a minimal JSON reader that keeps number tokens raw so u64
+// seeds and f64 means each get an exact, field-typed parse.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get(&self, field: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == field).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => match raw.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                raw => raw.parse().ok(),
+            },
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> Option<()> {
+        (self.peek()? == byte).then(|| self.pos += 1)
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'"' => self.string().map(Json::Str),
+            b'{' => self.object(),
+            b'[' => self.array(),
+            _ => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        // Accept the non-standard tokens our writer emits for f64 specials.
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'N' | b'a' | b'i' | b'n' | b'f'
+            )
+        {
+            self.pos += 1;
+        }
+        (self.pos > start)
+            .then(|| Json::Num(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-sync on the UTF-8 boundary: push raw bytes of a
+                    // multi-byte char in one go.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = self.bytes.get(self.pos - 1..self.pos - 1 + len)?;
+                        self.pos += len - 1;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Some(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+fn parse_key(hex: &str) -> Option<PointKey> {
+    if hex.len() != 32 {
+        return None;
+    }
+    let hi = u64::from_str_radix(&hex[..16], 16).ok()?;
+    let lo = u64::from_str_radix(&hex[16..], 16).ok()?;
+    Some(PointKey::from_halves(hi, lo))
+}
+
+fn parse_line(line: &str) -> Option<(PointKey, ExperimentResult)> {
+    let line = line.trim();
+    if line.is_empty() {
+        return None;
+    }
+    let doc = Reader::new(line).value()?;
+    let key = parse_key(doc.get("key")?.as_str()?)?;
+    let result = decode_result(doc.get("result")?)?;
+    Some((key, result))
+}
+
+fn decode_result(v: &Json) -> Option<ExperimentResult> {
+    let trial_means = v
+        .get("trial_means")?
+        .as_arr()?
+        .iter()
+        .map(Json::as_f64)
+        .collect::<Option<Vec<_>>>()?;
+    let s = v.get("summary")?;
+    let summary = Summary {
+        trials: s.get("trials")?.as_usize()?,
+        mean: s.get("mean")?.as_f64()?,
+        stddev: s.get("stddev")?.as_f64()?,
+        ci90: s.get("ci90")?.as_f64()?,
+        min: s.get("min")?.as_f64()?,
+        q1: s.get("q1")?.as_f64()?,
+        median: s.get("median")?.as_f64()?,
+        q3: s.get("q3")?.as_f64()?,
+        max: s.get("max")?.as_f64()?,
+    };
+    let failures = v
+        .get("failures")?
+        .as_arr()?
+        .iter()
+        .map(|f| {
+            Some(TrialFailure {
+                trial: f.get("trial")?.as_usize()?,
+                seed: f.get("seed")?.as_u64()?,
+                error: f.get("error")?.as_str()?.to_string(),
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let diagnostics = v
+        .get("diagnostics")?
+        .as_arr()?
+        .iter()
+        .map(|d| {
+            Some(Diagnostic {
+                code: intern_code(d.get("code")?.as_str()?),
+                message: d.get("message")?.as_str()?.to_string(),
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(ExperimentResult {
+        trial_means,
+        summary,
+        history_misses: v.get("history_misses")?.as_u64()?,
+        failures,
+        diagnostics,
+    })
+}
+
+/// `Diagnostic::code` is `&'static str`; codes loaded from disk are
+/// interned (leaked once per distinct code — a handful per process).
+fn intern_code(code: &str) -> &'static str {
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut guard = INTERNED.lock().expect("intern table lock poisoned");
+    if let Some(found) = guard.iter().find(|s| **s == code) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(code.to_string().into_boxed_str());
+    guard.push(leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result() -> ExperimentResult {
+        let trial_means = vec![1.5, 0.1 + 0.2, f64::from_bits(0x3FF5_5555_5555_5555)];
+        ExperimentResult {
+            summary: Summary::from_trials(&trial_means),
+            trial_means,
+            history_misses: 3,
+            failures: vec![TrialFailure {
+                trial: 7,
+                // Above 2^53: corrupts if routed through f64.
+                seed: 0xDEAD_BEEF_CAFE_F00D,
+                error: "panicked: \"quoted\"\nand a newline\tand a tab \\".to_string(),
+            }],
+            diagnostics: vec![Diagnostic {
+                code: "history-misses",
+                message: "3 misses — unicode survives: λ≈0.9 ✓".to_string(),
+            }],
+        }
+    }
+
+    fn sample_key() -> PointKey {
+        PointKey::from_halves(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210)
+    }
+
+    #[test]
+    fn line_round_trips_bit_exactly() {
+        let result = sample_result();
+        let line = encode_line(sample_key(), &result);
+        let (key, decoded) = parse_line(&line).expect("line parses");
+        assert_eq!(key, sample_key());
+        assert_eq!(decoded, result);
+        for (a, b) in decoded.trial_means.iter().zip(&result.trial_means) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(decoded.failures[0].seed, result.failures[0].seed);
+    }
+
+    #[test]
+    fn f64_specials_round_trip() {
+        let mut result = sample_result();
+        result.trial_means = vec![f64::INFINITY, f64::NEG_INFINITY, -0.0];
+        result.summary.stddev = f64::NAN;
+        let line = encode_line(sample_key(), &result);
+        let (_, decoded) = parse_line(&line).expect("line parses");
+        assert_eq!(decoded.trial_means[0], f64::INFINITY);
+        assert_eq!(decoded.trial_means[1], f64::NEG_INFINITY);
+        assert_eq!(decoded.trial_means[2].to_bits(), (-0.0f64).to_bits());
+        assert!(decoded.summary.stddev.is_nan());
+    }
+
+    #[test]
+    fn corrupt_lines_are_skipped() {
+        for line in [
+            "",
+            "not json",
+            "{\"key\":\"short\",\"result\":{}}",
+            "{\"key\":\"0123456789abcdef0123456789abcdef\"}",
+            // Truncated mid-object, as a killed process would leave.
+            "{\"key\":\"0123456789abcdef0123456789abcdef\",\"result\":{\"trial_means\":[1.0",
+        ] {
+            assert!(parse_line(line).is_none(), "accepted: {line}");
+        }
+    }
+
+    #[test]
+    fn cache_persists_and_reloads() {
+        let dir = std::env::temp_dir().join(format!(
+            "staleload-cache-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = sample_key();
+        let result = sample_result();
+        {
+            let mut cache = ResultCache::open(&dir).expect("open cache");
+            assert!(cache.get(key).is_none());
+            cache.put(key, &result);
+            assert_eq!(cache.get(key).as_ref(), Some(&result));
+            let acct = cache.take_accounting();
+            assert_eq!((acct.hits, acct.misses), (1, 1));
+        }
+        {
+            let mut cache = ResultCache::open(&dir).expect("reopen cache");
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(key).as_ref(), Some(&result));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut cache = ResultCache::disabled();
+        let key = sample_key();
+        cache.put(key, &sample_result());
+        assert!(cache.get(key).is_none());
+        assert!(!cache.is_enabled());
+    }
+}

@@ -1,0 +1,209 @@
+//! Content addressing for experiment points.
+//!
+//! A point's cache key is a canonical hash of everything that can change
+//! its result: the full [`SimConfig`] (including the master seed), the
+//! arrival structure, the information model, the policy, the trial
+//! count, and a code-version salt. Values are rendered through their
+//! `Debug` representation — Rust formats `f64` with shortest-roundtrip
+//! precision, so two configs hash alike iff they are bit-identical — and
+//! collected as `(path, value)` pairs that are **sorted before hashing**,
+//! making the key insensitive to the order fields are fed in.
+//!
+//! The derived `Debug` of a spec struct includes every field, so adding
+//! a field to `SimConfig` (or any nested spec type) automatically
+//! changes the rendered value and invalidates stale cache entries even
+//! if this module is never touched. Behavioral changes that do *not*
+//! alter any spec type must bump [`CACHE_SALT`] instead — see
+//! DESIGN.md §9 for the policy.
+
+use staleload_core::Experiment;
+
+/// Version salt mixed into every cache key.
+///
+/// Bump this whenever simulation behavior changes without a spec-type
+/// change (an engine fix, a policy tweak, an RNG reordering): the bump
+/// orphans every existing cache entry, forcing recomputation.
+pub const CACHE_SALT: &str = "staleload-cache-v1";
+
+/// A 128-bit content hash, printed as 32 lowercase hex digits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointKey {
+    hi: u64,
+    lo: u64,
+}
+
+impl PointKey {
+    /// Rebuilds a key from its two halves (used when loading the cache).
+    #[must_use]
+    pub fn from_halves(hi: u64, lo: u64) -> Self {
+        Self { hi, lo }
+    }
+}
+
+impl std::fmt::Display for PointKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+/// A second, independent FNV-1a stream (different offset basis and a
+/// per-byte tweak) widens the key to 128 bits.
+const FNV_OFFSET_B: u64 = 0x6c62_272e_07bb_0142;
+
+/// Collects `(path, value)` pairs and hashes their canonical (sorted)
+/// form. Feeding the same pairs in any order yields the same key.
+#[derive(Debug, Default)]
+pub struct SpecHasher {
+    pairs: Vec<(String, String)>,
+}
+
+impl SpecHasher {
+    /// Creates an empty hasher.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one field as a `(path, Debug-rendered value)` pair.
+    pub fn field(&mut self, path: &str, value: &impl std::fmt::Debug) {
+        self.pairs.push((path.to_string(), format!("{value:?}")));
+    }
+
+    /// Sorts the collected pairs and hashes the canonical byte stream.
+    #[must_use]
+    pub fn finish(mut self) -> PointKey {
+        self.pairs.sort();
+        let mut hi = FNV_OFFSET;
+        let mut lo = FNV_OFFSET_B;
+        let mut eat = |byte: u8| {
+            hi = (hi ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            lo = (lo ^ u64::from(byte ^ 0xA5)).wrapping_mul(FNV_PRIME);
+        };
+        for (path, value) in &self.pairs {
+            for b in path.bytes() {
+                eat(b);
+            }
+            eat(b'=');
+            for b in value.bytes() {
+                eat(b);
+            }
+            eat(b'\n');
+        }
+        PointKey { hi, lo }
+    }
+}
+
+/// The cache key of one experiment point under version salt `salt`.
+#[must_use]
+pub fn experiment_key_salted(exp: &Experiment, salt: &str) -> PointKey {
+    let mut hasher = SpecHasher::new();
+    hasher.field("salt", &salt);
+    hasher.field("trials", &exp.trials);
+    hasher.field("config", &exp.config);
+    hasher.field("arrivals", &exp.arrivals);
+    hasher.field("info", &exp.info);
+    hasher.field("policy", &exp.policy);
+    hasher.finish()
+}
+
+/// The cache key of one experiment point under [`CACHE_SALT`].
+#[must_use]
+pub fn experiment_key(exp: &Experiment) -> PointKey {
+    experiment_key_salted(exp, CACHE_SALT)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staleload_core::{ArrivalSpec, Experiment, SimConfig};
+    use staleload_info::InfoSpec;
+    use staleload_policies::PolicySpec;
+
+    fn exp(seed: u64, trials: usize, period: f64, lambda_est: f64) -> Experiment {
+        Experiment::new(
+            SimConfig::builder()
+                .servers(8)
+                .lambda(0.9)
+                .arrivals(1_000)
+                .seed(seed)
+                .build(),
+            ArrivalSpec::Poisson,
+            InfoSpec::Periodic { period },
+            PolicySpec::BasicLi { lambda: lambda_est },
+            trials,
+        )
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        let a = experiment_key(&exp(1, 3, 4.0, 0.9));
+        let b = experiment_key(&exp(1, 3, 4.0, 0.9));
+        assert_eq!(a, b);
+    }
+
+    /// The canonical byte stream is pinned: if this hash ever changes,
+    /// every existing cache entry silently orphans — make sure that is
+    /// intentional (it is what a `CACHE_SALT` bump does on purpose).
+    #[test]
+    fn canonical_hash_is_pinned() {
+        let mut h = SpecHasher::new();
+        h.field("alpha", &1u32);
+        h.field("beta", &2.5f64);
+        assert_eq!(h.finish().to_string(), "b3d57bddc44de9b5a2073c0b58062c4b");
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let mut a = SpecHasher::new();
+        a.field("alpha", &1u32);
+        a.field("beta", &2.5f64);
+        a.field("gamma", &"x");
+        let mut b = SpecHasher::new();
+        b.field("gamma", &"x");
+        b.field("alpha", &1u32);
+        b.field("beta", &2.5f64);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn every_spec_field_feeds_the_key() {
+        let base = experiment_key(&exp(1, 3, 4.0, 0.9));
+        let variants = [
+            exp(2, 3, 4.0, 0.9), // master seed
+            exp(1, 4, 4.0, 0.9), // trial count
+            exp(1, 3, 8.0, 0.9), // info model parameter
+            exp(1, 3, 4.0, 0.8), // policy parameter
+        ];
+        for (i, v) in variants.iter().enumerate() {
+            assert_ne!(base, experiment_key(v), "variant {i} collided");
+        }
+        let mut e = exp(1, 3, 4.0, 0.9);
+        e.info = InfoSpec::Fresh;
+        assert_ne!(base, experiment_key(&e), "info variant collided");
+        let mut e = exp(1, 3, 4.0, 0.9);
+        e.policy = PolicySpec::Random;
+        assert_ne!(base, experiment_key(&e), "policy variant collided");
+        let mut e = exp(1, 3, 4.0, 0.9);
+        e.config.arrivals = 2_000;
+        assert_ne!(base, experiment_key(&e), "config variant collided");
+    }
+
+    #[test]
+    fn salt_bump_orphans_every_key() {
+        let e = exp(1, 3, 4.0, 0.9);
+        assert_ne!(
+            experiment_key_salted(&e, CACHE_SALT),
+            experiment_key_salted(&e, "staleload-cache-v2"),
+        );
+    }
+
+    #[test]
+    fn display_is_32_hex_digits() {
+        let s = experiment_key(&exp(1, 3, 4.0, 0.9)).to_string();
+        assert_eq!(s.len(), 32);
+        assert!(s.bytes().all(|b| b.is_ascii_hexdigit()));
+        let k = PointKey::from_halves(0x1, 0x2);
+        assert_eq!(k.to_string(), "00000000000000010000000000000002");
+    }
+}

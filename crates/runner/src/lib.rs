@@ -1,0 +1,36 @@
+//! Sweep-scale orchestration for the *Interpreting Stale Load
+//! Information* reproduction.
+//!
+//! The figure suite is a grid of sweeps — each figure iterates over
+//! (T, n, λ, policy) points and each point runs several trials. This
+//! crate executes that grid efficiently without touching its results:
+//!
+//! * [`WorkerPool`] — one persistent set of work-stealing workers serves
+//!   every (point × trial) task in the process, replacing per-experiment
+//!   thread churn.
+//! * [`experiment_key`] — a canonical 128-bit content hash of the full
+//!   point spec (config + arrivals + info + policy + trials + a version
+//!   salt, [`CACHE_SALT`]).
+//! * [`ResultCache`] — a JSONL-backed map from point key to
+//!   `ExperimentResult`, so points shared across figures (and unchanged
+//!   points across re-runs) are served without simulating.
+//! * [`SweepRunner`] — glues the three together and reports progress
+//!   (points done/total) and per-figure cache hit/miss accounting.
+//!
+//! Determinism is the design constraint throughout: batch output is
+//! bit-identical to sequential `Experiment::try_run` for every worker
+//! count and cache state (see `runner` module docs for the argument,
+//! `tests/golden_batch.rs` for the proof).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod hash;
+mod pool;
+mod runner;
+
+pub use cache::{CacheAccounting, ResultCache, CACHE_FILE};
+pub use hash::{experiment_key, experiment_key_salted, PointKey, SpecHasher, CACHE_SALT};
+pub use pool::WorkerPool;
+pub use runner::{PointProgress, SweepRunner};

@@ -1,0 +1,340 @@
+//! A persistent work-stealing worker pool for (point × trial) tasks.
+//!
+//! The pool exists to replace per-experiment thread churn: one set of
+//! threads is spawned when the pool is built and serves every batch for
+//! the rest of the process. A batch is a flat vector of one-shot tasks;
+//! the vector is pre-partitioned into contiguous per-worker ranges, each
+//! packed into a single `AtomicU64` as `(next << 32) | end`. A worker
+//! pops from its own range with a CAS increment of `next`; a worker that
+//! runs dry steals the upper half of a victim's range with a CAS that
+//! lowers the victim's `end`. Every index is therefore claimed exactly
+//! once, without locks on the hot path and without `unsafe`.
+//!
+//! Determinism: the pool makes **no** ordering promises — callers must
+//! slot results by task index and derive per-task seeds from the index
+//! alone. That is exactly the contract `staleload_core::trial_seed`
+//! already provides, so batch output is independent of worker count,
+//! steal interleaving, and scheduling luck.
+//!
+//! The calling thread participates as worker 0, so `WorkerPool::new(1)`
+//! spawns no threads at all and runs batches inline — the degenerate
+//! case the golden determinism tests pin against `Experiment::try_run`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+const RANGE_MASK: u64 = 0xFFFF_FFFF;
+
+fn pack(next: usize, end: usize) -> u64 {
+    ((next as u64) << 32) | end as u64
+}
+
+fn unpack(range: u64) -> (usize, usize) {
+    ((range >> 32) as usize, (range & RANGE_MASK) as usize)
+}
+
+/// One installed batch of tasks plus the per-worker claim state.
+struct Batch {
+    /// Each task is taken exactly once; the mutex is uncontended because
+    /// range claiming already serializes access per index.
+    tasks: Vec<Mutex<Option<Task>>>,
+    /// Per-worker `(next, end)` ranges packed into one atomic word.
+    ranges: Vec<AtomicU64>,
+    /// Tasks not yet finished executing (decremented *after* each task).
+    pending: AtomicUsize,
+    /// Tasks that panicked (tasks are expected to catch their own panics;
+    /// this is the backstop that keeps the pool from deadlocking).
+    panics: AtomicUsize,
+}
+
+impl Batch {
+    fn new(tasks: Vec<Task>, workers: usize) -> Self {
+        let n = tasks.len();
+        assert!(n as u64 <= RANGE_MASK, "batch too large for u32 ranges");
+        // Contiguous even partition: worker w starts with [w·n/k, (w+1)·n/k).
+        let ranges = (0..workers)
+            .map(|w| AtomicU64::new(pack(w * n / workers, (w + 1) * n / workers)))
+            .collect();
+        Self {
+            tasks: tasks.into_iter().map(|t| Mutex::new(Some(t))).collect(),
+            ranges,
+            pending: AtomicUsize::new(n),
+            panics: AtomicUsize::new(0),
+        }
+    }
+
+    /// Claims the next index of `worker`'s own range.
+    fn pop_own(&self, worker: usize) -> Option<usize> {
+        let slot = &self.ranges[worker];
+        let mut cur = slot.load(Ordering::Acquire);
+        loop {
+            let (next, end) = unpack(cur);
+            if next >= end {
+                return None;
+            }
+            match slot.compare_exchange_weak(
+                cur,
+                pack(next + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(next),
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Steals the upper half of some victim's range and installs it as
+    /// `thief`'s own range. Returns `true` if anything was stolen.
+    fn try_steal(&self, thief: usize) -> bool {
+        let workers = self.ranges.len();
+        for offset in 1..workers {
+            let victim = (thief + offset) % workers;
+            let slot = &self.ranges[victim];
+            let mut cur = slot.load(Ordering::Acquire);
+            loop {
+                let (next, end) = unpack(cur);
+                let len = end.saturating_sub(next);
+                if len < 2 {
+                    // Zero tasks, or one the victim will finish faster
+                    // than a steal round-trip.
+                    break;
+                }
+                let mid = next + len / 2;
+                match slot.compare_exchange_weak(
+                    cur,
+                    pack(next, mid),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                ) {
+                    Ok(_) => {
+                        self.ranges[thief].store(pack(mid, end), Ordering::Release);
+                        return true;
+                    }
+                    Err(seen) => cur = seen,
+                }
+            }
+        }
+        false
+    }
+
+    fn run_task(&self, index: usize) {
+        let task = self.tasks[index]
+            .lock()
+            .expect("task slot lock poisoned")
+            .take();
+        if let Some(task) = task {
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err() {
+                self.panics.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.pending.fetch_sub(1, Ordering::Release);
+    }
+
+    fn work(&self, me: usize) {
+        let mut idle_spins = 0u32;
+        loop {
+            if let Some(index) = self.pop_own(me) {
+                self.run_task(index);
+                idle_spins = 0;
+                continue;
+            }
+            if self.try_steal(me) {
+                continue;
+            }
+            if self.pending.load(Ordering::Acquire) == 0 {
+                return;
+            }
+            // Remaining tasks are in flight on other workers; tasks are
+            // whole simulation trials, so a short sleep costs nothing.
+            idle_spins += 1;
+            if idle_spins < 16 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+        }
+    }
+}
+
+/// What the spawned workers watch while parked.
+struct PoolState {
+    generation: u64,
+    batch: Option<Arc<Batch>>,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<PoolState>,
+    wake: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// `workers` counts the calling thread: a pool of `k` spawns `k − 1`
+/// threads and [`WorkerPool::run`] executes batches with the caller
+/// acting as worker 0. Batches run one at a time ([`WorkerPool::run`]
+/// blocks until every task has finished).
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Builds a pool with `workers` total workers (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                batch: None,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        });
+        let handles = (1..workers)
+            .map(|id| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("sweep-worker-{id}"))
+                    .spawn(move || worker_main(&shared, id))
+                    .expect("spawn sweep worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Total worker count, including the calling thread.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every task to completion, with the calling thread working
+    /// alongside the pool's threads. Returns when all tasks finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any task panicked (tasks are expected to catch their own
+    /// panics; see `Experiment::run_trial`).
+    pub fn run(&self, tasks: Vec<Task>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch = Arc::new(Batch::new(tasks, self.workers));
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock poisoned");
+            state.generation += 1;
+            state.batch = Some(Arc::clone(&batch));
+            self.shared.wake.notify_all();
+        }
+        batch.work(0);
+        let panics = batch.panics.load(Ordering::Relaxed);
+        assert!(panics == 0, "{panics} batch task(s) panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool state lock poisoned");
+            state.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_main(shared: &Shared, id: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let batch = {
+            let mut state = shared.state.lock().expect("pool state lock poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation > seen_generation {
+                    seen_generation = state.generation;
+                    break state.batch.clone().expect("generation bumped with batch");
+                }
+                state = shared.wake.wait(state).expect("pool state lock poisoned");
+            }
+        };
+        batch.work(id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_counting(pool: &WorkerPool, n: usize) -> Vec<usize> {
+        let hits: Arc<Vec<AtomicUsize>> = Arc::new((0..n).map(|_| AtomicUsize::new(0)).collect());
+        let tasks: Vec<Task> = (0..n)
+            .map(|i| {
+                let hits = Arc::clone(&hits);
+                Box::new(move || {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                }) as Task
+            })
+            .collect();
+        pool.run(tasks);
+        hits.iter().map(|h| h.load(Ordering::Relaxed)).collect()
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        for workers in [1, 2, 3, 8] {
+            let pool = WorkerPool::new(workers);
+            for n in [0, 1, 2, 7, 64, 257] {
+                let hits = run_counting(&pool, n);
+                assert!(
+                    hits.iter().all(|&h| h == 1),
+                    "workers={workers} n={n}: {hits:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..50 {
+            let hits = run_counting(&pool, 13);
+            assert!(hits.iter().all(|&h| h == 1));
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline_in_submission_order() {
+        let pool = WorkerPool::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let tasks: Vec<Task> = (0..10)
+            .map(|i| {
+                let order = Arc::clone(&order);
+                Box::new(move || order.lock().unwrap().push(i)) as Task
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(*order.lock().unwrap(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_larger_than_partition_still_completes() {
+        // More workers than tasks: some initial ranges are empty and the
+        // owners must steal or idle out cleanly.
+        let pool = WorkerPool::new(8);
+        let hits = run_counting(&pool, 3);
+        assert!(hits.iter().all(|&h| h == 1), "{hits:?}");
+    }
+}

@@ -1,0 +1,281 @@
+//! The sweep runner: flattens experiment points into (point × trial)
+//! tasks, serves them from the shared worker pool, and short-circuits
+//! points already in the content-addressed result cache.
+//!
+//! # Determinism
+//!
+//! A batch's results are bit-identical to running each point through
+//! `Experiment::try_run` sequentially, whatever the worker count or
+//! cache state, because every moving part is order-free by construction:
+//!
+//! 1. each trial's seed derives only from the master seed and the trial
+//!    index (`trial_seed`), never from which worker runs it or when;
+//! 2. trial outcomes land in per-trial slots indexed by trial number,
+//!    and aggregation consumes them in index order through the *same*
+//!    `Experiment::aggregate` the sequential path uses;
+//! 3. cached results round-trip bit-exactly through the JSONL codec
+//!    (seeds as raw integer tokens, `f64`s via shortest-roundtrip
+//!    formatting), so a warm-cache answer is the stored cold answer.
+//!
+//! The golden test `tests/golden_batch.rs` pins all three claims.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use staleload_core::{Experiment, ExperimentResult, SimError, TrialOutcome};
+
+use crate::cache::{CacheAccounting, ResultCache};
+use crate::hash::experiment_key;
+use crate::pool::WorkerPool;
+
+/// A progress snapshot, emitted each time a point completes (and once
+/// up front for the points the cache served instantly).
+#[derive(Debug, Clone, Copy)]
+pub struct PointProgress {
+    /// Points finished so far (cached + computed).
+    pub done: usize,
+    /// Points in the batch.
+    pub total: usize,
+    /// Wall-clock time since the batch started.
+    pub elapsed: Duration,
+}
+
+impl PointProgress {
+    /// Naive remaining-time estimate from the mean per-point rate.
+    /// `None` until at least one point has completed.
+    #[must_use]
+    pub fn eta(&self) -> Option<Duration> {
+        if self.done == 0 || self.total <= self.done {
+            return (self.total == self.done).then_some(Duration::ZERO);
+        }
+        let per_point = self.elapsed.div_f64(self.done as f64);
+        Some(per_point.mul_f64((self.total - self.done) as f64))
+    }
+}
+
+type ProgressFn = dyn Fn(PointProgress) + Send + Sync;
+
+/// Per-point landing zone for trial outcomes.
+struct PointSlots {
+    outcomes: Vec<Mutex<Option<TrialOutcome>>>,
+    remaining: AtomicUsize,
+}
+
+impl PointSlots {
+    fn new(trials: usize) -> Self {
+        Self {
+            outcomes: (0..trials).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(trials),
+        }
+    }
+}
+
+/// Executes batches of experiment points on a persistent worker pool,
+/// consulting (and filling) a content-addressed result cache.
+pub struct SweepRunner {
+    pool: WorkerPool,
+    cache: ResultCache,
+    progress: Option<Arc<ProgressFn>>,
+}
+
+impl SweepRunner {
+    /// Builds a runner from a pool and a cache.
+    #[must_use]
+    pub fn new(pool: WorkerPool, cache: ResultCache) -> Self {
+        Self {
+            pool,
+            cache,
+            progress: None,
+        }
+    }
+
+    /// Total workers serving batches (including the calling thread).
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Whether cache lookups can hit.
+    #[must_use]
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.is_enabled()
+    }
+
+    /// Installs a progress callback (invoked from worker threads as
+    /// points complete). Replaces any previous callback.
+    pub fn set_progress(&mut self, f: impl Fn(PointProgress) + Send + Sync + 'static) {
+        self.progress = Some(Arc::new(f));
+    }
+
+    /// Removes the progress callback.
+    pub fn clear_progress(&mut self) {
+        self.progress = None;
+    }
+
+    /// Returns and resets the cache hit/miss counters (call per figure).
+    pub fn take_accounting(&mut self) -> CacheAccounting {
+        self.cache.take_accounting()
+    }
+
+    /// Runs one point (see [`SweepRunner::run_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same errors `Experiment::try_run` would.
+    pub fn run_one(&mut self, experiment: &Experiment) -> Result<ExperimentResult, SimError> {
+        self.run_batch(std::slice::from_ref(experiment))
+            .pop()
+            .expect("one experiment yields one result")
+    }
+
+    /// Runs `f(0)`, `f(1)`, … `f(count - 1)` on the worker pool and
+    /// returns the results in index order.
+    ///
+    /// This is the escape hatch for experiment shapes that do not fit
+    /// [`Experiment`] (custom per-trial metrics): they still ride the
+    /// shared pool, but bypass the cache. Determinism is the caller's
+    /// concern — keep `f` a pure function of its index.
+    pub fn run_map<T, F>(&self, count: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(usize) -> T + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        let slots: Arc<Vec<Mutex<Option<T>>>> =
+            Arc::new((0..count).map(|_| Mutex::new(None)).collect());
+        let tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = (0..count)
+            .map(|i| {
+                let f = Arc::clone(&f);
+                let slots = Arc::clone(&slots);
+                Box::new(move || {
+                    *slots[i].lock().expect("map slot lock poisoned") = Some(f(i));
+                }) as Box<dyn FnOnce() + Send + 'static>
+            })
+            .collect();
+        self.pool.run(tasks);
+        Arc::try_unwrap(slots)
+            .unwrap_or_else(|_| panic!("all task clones dropped after pool.run"))
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("map slot lock poisoned")
+                    .expect("every map task stores its result")
+            })
+            .collect()
+    }
+
+    /// Runs every point of `experiments`, returning results in input
+    /// order. Cached points are served without simulating; the rest are
+    /// flattened into (point × trial) tasks and executed on the pool.
+    pub fn run_batch(
+        &mut self,
+        experiments: &[Experiment],
+    ) -> Vec<Result<ExperimentResult, SimError>> {
+        let total = experiments.len();
+        let start = Instant::now();
+        let mut results: Vec<Option<Result<ExperimentResult, SimError>>> =
+            (0..total).map(|_| None).collect();
+        let mut uncached: Vec<usize> = Vec::new();
+        let mut done_upfront = 0usize;
+        for (i, exp) in experiments.iter().enumerate() {
+            if exp.trials == 0 {
+                // try_run short-circuits on zero trials without running
+                // anything — delegating keeps the error text identical.
+                results[i] = Some(exp.try_run());
+                done_upfront += 1;
+                continue;
+            }
+            if let Some(hit) = self.cache.get(experiment_key(exp)) {
+                results[i] = Some(Ok(hit));
+                done_upfront += 1;
+            } else {
+                uncached.push(i);
+            }
+        }
+        if let Some(progress) = &self.progress {
+            progress(PointProgress {
+                done: done_upfront,
+                total,
+                elapsed: start.elapsed(),
+            });
+        }
+
+        let slots_by_point: Vec<Arc<PointSlots>> = uncached
+            .iter()
+            .map(|&i| Arc::new(PointSlots::new(experiments[i].trials)))
+            .collect();
+        let done = Arc::new(AtomicUsize::new(done_upfront));
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::new();
+        for (u, &i) in uncached.iter().enumerate() {
+            let exp = Arc::new(experiments[i].clone());
+            for trial in 0..exp.trials {
+                let exp = Arc::clone(&exp);
+                let slots = Arc::clone(&slots_by_point[u]);
+                let done = Arc::clone(&done);
+                let progress = self.progress.clone();
+                tasks.push(Box::new(move || {
+                    let outcome = exp.run_trial(trial);
+                    *slots.outcomes[trial]
+                        .lock()
+                        .expect("trial slot lock poisoned") = Some(outcome);
+                    if slots.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        let now_done = done.fetch_add(1, Ordering::AcqRel) + 1;
+                        if let Some(progress) = progress {
+                            progress(PointProgress {
+                                done: now_done,
+                                total,
+                                elapsed: start.elapsed(),
+                            });
+                        }
+                    }
+                }));
+            }
+        }
+        self.pool.run(tasks);
+
+        for (u, &i) in uncached.iter().enumerate() {
+            let outcomes: Vec<TrialOutcome> = slots_by_point[u]
+                .outcomes
+                .iter()
+                .map(|slot| {
+                    slot.lock()
+                        .expect("trial slot lock poisoned")
+                        .take()
+                        .expect("every trial task stores its outcome")
+                })
+                .collect();
+            let result = experiments[i].aggregate(outcomes);
+            if let Ok(r) = &result {
+                self.cache.put(experiment_key(&experiments[i]), r);
+            }
+            results[i] = Some(result);
+        }
+        results
+            .into_iter()
+            .map(|slot| slot.expect("every point resolved"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cache::ResultCache;
+
+    #[test]
+    fn run_map_returns_results_in_index_order() {
+        for workers in [1, 4] {
+            let runner = SweepRunner::new(WorkerPool::new(workers), ResultCache::disabled());
+            let out = runner.run_map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_map_handles_empty_batch() {
+        let runner = SweepRunner::new(WorkerPool::new(2), ResultCache::disabled());
+        let out: Vec<usize> = runner.run_map(0, |i| i);
+        assert!(out.is_empty());
+    }
+}
