@@ -24,6 +24,10 @@
 //! survives brief crashes (checks skipped at `smoke` scale, which exists
 //! to exercise code paths, not statistics).
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use staleload_bench::{results_path, run_experiment, RunArgs, Scale};

@@ -4,6 +4,10 @@
 //!
 //! Usage: `ext_adaptive [quick|std|full]`. Periodic model, T = 10, n = 100.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -5,6 +5,10 @@
 //! of total capacity; x axis = capacity skew: half the servers run at
 //! `1 + s`, half at `1 − s`.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -6,6 +6,10 @@
 //! that claim with our implementation: the same policies under both models
 //! across the T sweep. Usage: `ext_individual [quick|std|full]`.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -4,6 +4,10 @@
 //! Usage: `ext_mechanisms [quick|std|full]`. Periodic model, n = 100,
 //! λ = 0.9, T sweep.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -7,6 +7,10 @@
 //! flash-crowd style rate modulation under the periodic board — and checks
 //! that LI keeps its lead. Usage: `ext_mmpp [quick|std|full]`.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -6,6 +6,10 @@
 //! Usage: `ext_sita [quick|std|full]`. Bounded Pareto (α = 1.1, max 100×),
 //! λ = 0.7, periodic model, T sweep.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload_bench::{run_sweep, CellStyle, RunArgs, Series};
 use staleload_core::{ArrivalSpec, Experiment, SimConfig};
 use staleload_info::InfoSpec;

@@ -1,5 +1,9 @@
 //! Regenerates Figure 8 of the paper. Usage: `fig08 [--no-cache] [quick|std|full]`.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 fn main() {
     let scale = staleload_bench::RunArgs::parse_or_exit().scale;
     staleload_bench::figs::fig08(&scale);

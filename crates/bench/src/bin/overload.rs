@@ -32,6 +32,10 @@
 //! fraction, and keeps goodput within 10% of Random's under the same
 //! controls.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 use staleload_bench::{results_path, run_trials, RunArgs, Scale};

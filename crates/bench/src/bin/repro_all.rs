@@ -3,6 +3,10 @@
 //! Usage: `repro_all [quick|std|full] [--no-cache] [--only figNN,figNN,...]`.
 //! Unknown figure names (and unknown flags) exit with status 2.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

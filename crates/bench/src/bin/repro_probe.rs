@@ -29,6 +29,10 @@
 //! Every simulation is seeded and the runner is deterministic, so two
 //! runs on the same machine measure the same workload.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 use staleload_bench::{cache_dir, configure_runner, default_workers, figs, Scale};

@@ -29,6 +29,10 @@
 //! All randomness is seeded, so two runs on the same machine measure the
 //! same workload.
 
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use std::time::Instant;
 
 use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};

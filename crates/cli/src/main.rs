@@ -16,6 +16,10 @@
 //! `--queue-cap <N>`, `--deadline <T>`, `--retry <MAX>:<BASE>:<CAP>`,
 //! `--guard <THR>:<COOLDOWN>`, `--scheduler <heap|calendar>`, `--detail`.
 
+#![forbid(unsafe_code)]
+// The CLI is a terminal tool; stdout is its interface.
+#![allow(clippy::print_stdout)]
+
 mod args;
 
 use std::process::ExitCode;

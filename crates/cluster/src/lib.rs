@@ -409,6 +409,7 @@ impl Cluster {
         let done = s
             .queue
             .pop_front(&mut self.slab)
+            // lint: allow(panic-hygiene) — documented panicking API: completing an idle server is a corrupted schedule
             .expect("complete() on an idle server");
         s.completed += 1;
         self.loads[server] -= 1;
@@ -453,6 +454,7 @@ impl Cluster {
         let h = self
             .history
             .as_mut()
+            // lint: allow(panic-hygiene) — documented panicking API: the caller must enable history first
             .expect("loads_at() requires a cluster built with_history()");
         h.fill_loads_at(at, out);
     }
@@ -566,19 +568,15 @@ impl Cluster {
     ) -> Option<f64> {
         assert!(self.loads[thief] == 0, "only an idle server may steal");
         assert!(self.up[thief], "a down server cannot steal");
-        let (victim, &load) = self
-            .loads
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, &l)| l)
-            .expect("cluster is non-empty");
+        let Some((victim, &load)) = self.loads.iter().enumerate().max_by_key(|&(_, &l)| l) else {
+            return None; // zero-server cluster: nothing to steal
+        };
         if victim == thief || load < min_victim_load.max(2) {
             return None;
         }
-        let job = self.servers[victim]
-            .queue
-            .pop_back(&mut self.slab)
-            .expect("victim load >= 2 implies a waiting job");
+        let Some(job) = self.servers[victim].queue.pop_back(&mut self.slab) else {
+            return None; // victim drained between the load read and the pop
+        };
         self.loads[victim] -= 1;
         if let Some(h) = &mut self.history {
             h.record(victim, now, self.loads[victim]);

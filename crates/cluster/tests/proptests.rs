@@ -3,6 +3,10 @@
 //! These drive a random but *valid* event sequence against a [`Cluster`] and
 //! check conservation, FIFO, and history invariants.
 
+// Proptest closures sit outside #[test] fns, so clippy's
+// allow-unwrap-in-tests does not reach them; the whole file is a test.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use staleload_cluster::{Cluster, Job};
 use staleload_sim::{EventQueue, SimRng};

@@ -365,6 +365,7 @@ impl SimConfigBuilder {
     /// Panics on invalid parameters; see [`SimConfigBuilder::try_build`] for
     /// the fallible form.
     pub fn build(&self) -> SimConfig {
+        // lint: allow(panic-hygiene) — documented panicking convenience; try_build is the fallible form
         self.try_build().expect("invalid simulation configuration")
     }
 }

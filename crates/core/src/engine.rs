@@ -226,6 +226,7 @@ fn random_up_server(cluster: &Cluster, rng: &mut SimRng) -> Option<ServerId> {
             k -= 1;
         }
     }
+    // lint: allow(panic-hygiene) — the loop visits every up server and k < ups
     unreachable!("up_count() counted the up servers")
 }
 
@@ -306,7 +307,12 @@ fn run_inner<F: SchedulerFamily>(
     let clients = arrivals.clients();
     let mut model = match cfg.faults.loss {
         Some(loss) => InfoDispatch::from_spec_lossy(info, n, loss, fault_rng.fork())
-            .expect("supports_loss() was checked above"),
+            .ok_or_else(|| {
+                ConfigError::new(format!(
+                    "loss injection needs a bulletin-board info model (periodic or individual), got {}",
+                    info.label()
+                ))
+            })?,
         None => InfoDispatch::from_spec(info, n, clients),
     };
     // Cached build: adopts the scratch buffers (probability/CDF/sort
@@ -448,6 +454,7 @@ fn run_inner<F: SchedulerFamily>(
         if fault_step {
             let process = crash_process
                 .as_mut()
+                // lint: allow(panic-hygiene) — fault_step is only set when crash_process is Some
                 .expect("fault_step implies a crash process");
             let (t, server) = process.peek();
             if cluster.is_up(server) {
@@ -466,6 +473,7 @@ fn run_inner<F: SchedulerFamily>(
                     frozen[server] = None;
                     for job in cluster.drain(server, t) {
                         let target = random_up_server(&cluster, &mut fault_rng)
+                            // lint: allow(panic-hygiene) — drain only runs when another server is up
                             .expect("up_count() > 0 was checked");
                         stats.redispatched += 1;
                         if let Some(dep) = cluster.requeue(target, job, t) {
@@ -480,6 +488,7 @@ fn run_inner<F: SchedulerFamily>(
                 stats.recoveries += 1;
                 let since = process.down_since[server]
                     .take()
+                    // lint: allow(panic-hygiene) — crash path always records down_since
                     .expect("a down server recorded when it went down");
                 stats.downtime += t - since;
                 if let Some(dep) = cluster.recover(server, t, frozen[server].take()) {
@@ -496,6 +505,7 @@ fn run_inner<F: SchedulerFamily>(
         // previous backoff).
         let admission: Option<(f64, Job, usize, u32, Option<f64>)> = match system_event {
             SystemEvent::Arrival => {
+                // lint: allow(panic-hygiene) — SystemEvent::Arrival is only chosen when next_arrival is Some
                 let (t, client) = next_arrival.take().expect("arrival is present");
                 let service = cfg.service.sample(&mut service_rng);
                 let job = Job::new(next_id, t, service);
@@ -506,6 +516,7 @@ fn run_inner<F: SchedulerFamily>(
                 Some((t, job, client, 1, None))
             }
             SystemEvent::Orbit => {
+                // lint: allow(panic-hygiene) — SystemEvent::Orbit is only chosen when the orbit peeked Some
                 let (t, entry) = orbit.pop().expect("orbit entry is present");
                 Some((
                     t,
@@ -516,6 +527,7 @@ fn run_inner<F: SchedulerFamily>(
                 ))
             }
             SystemEvent::Departure => {
+                // lint: allow(panic-hygiene) — SystemEvent::Departure is only chosen when a departure peeked Some
                 let (t, server) = departures.pop().expect("departure is present");
                 scheduled[server] = None;
                 let (job, next) = cluster.complete(server, t);
@@ -545,6 +557,7 @@ fn run_inner<F: SchedulerFamily>(
                 None
             }
             SystemEvent::Renege => {
+                // lint: allow(panic-hygiene) — SystemEvent::Renege is only chosen when a renege peeked Some
                 let (t, entry) = reneges.pop().expect("renege entry is present");
                 // The head of an up, busy server is in service; on a down
                 // server only an interrupted (frozen) head has started.

@@ -226,6 +226,7 @@ impl Experiment {
     /// Panics if every trial failed or the configuration is invalid.
     pub fn run(&self) -> ExperimentResult {
         self.try_run()
+            // lint: allow(panic-hygiene) — documented panicking convenience; try_run is the fallible form
             .unwrap_or_else(|e| panic!("experiment failed: {e}"))
     }
 

@@ -2,6 +2,10 @@
 //! (arrival spec, info model, policy) combination upholds the simulator's
 //! invariants.
 
+// Proptest closures sit outside #[test] fns, so clippy's
+// allow-unwrap-in-tests does not reach them; the whole file is a test.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, RetrySpec, SimConfig};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};

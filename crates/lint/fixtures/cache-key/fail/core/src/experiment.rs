@@ -1,0 +1,14 @@
+//! Cache-key fail fixture: `deadline` never reaches the hasher, so two
+//! experiments differing only in deadline share a cache entry.
+
+/// One experiment point.
+pub struct Experiment {
+    /// Simulation parameters.
+    pub config: SimConfig,
+    /// Arrival pattern.
+    pub arrivals: ArrivalSpec,
+    /// Per-job deadline — added without updating the cache key.
+    pub deadline: Option<f64>,
+    /// Trials to average.
+    pub trials: usize,
+}

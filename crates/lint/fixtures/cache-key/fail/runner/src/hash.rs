@@ -1,0 +1,12 @@
+//! Cache-key fail fixture: misses the paired struct's `deadline` field
+//! and still hashes `warmup`, a field that no longer exists.
+
+pub fn experiment_key_salted(exp: &Experiment, salt: &str) -> PointKey {
+    let mut hasher = SpecHasher::new();
+    hasher.field("salt", &salt);
+    hasher.field("config", &exp.config);
+    hasher.field("arrivals", &exp.arrivals);
+    hasher.field("trials", &exp.trials);
+    hasher.field("warmup", &0.1_f64);
+    hasher.finish()
+}

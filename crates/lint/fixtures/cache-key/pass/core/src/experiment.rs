@@ -1,0 +1,12 @@
+//! Cache-key pass fixture: the `Experiment` spec whose every field is
+//! hashed by the paired `runner/src/hash.rs`.
+
+/// One experiment point.
+pub struct Experiment {
+    /// Simulation parameters.
+    pub config: SimConfig,
+    /// Arrival pattern.
+    pub arrivals: ArrivalSpec,
+    /// Trials to average.
+    pub trials: usize,
+}

@@ -1,0 +1,11 @@
+//! Cache-key pass fixture: hashes every field of the paired
+//! `Experiment` struct, plus the salt.
+
+pub fn experiment_key_salted(exp: &Experiment, salt: &str) -> PointKey {
+    let mut hasher = SpecHasher::new();
+    hasher.field("salt", &salt);
+    hasher.field("config", &exp.config);
+    hasher.field("arrivals", &exp.arrivals);
+    hasher.field("trials", &exp.trials);
+    hasher.finish()
+}

@@ -1,0 +1,5 @@
+//! Crate-hardening fail fixture: a crate root with no
+//! `#![forbid(unsafe_code)]`.
+
+/// Nothing else required of the fixture.
+pub fn noop() {}

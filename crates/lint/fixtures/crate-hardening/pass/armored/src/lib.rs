@@ -1,0 +1,6 @@
+//! Crate-hardening pass fixture: the root carries the forbid.
+
+#![forbid(unsafe_code)]
+
+/// Nothing else required of the fixture.
+pub fn noop() {}

@@ -1,0 +1,21 @@
+//! Determinism fail fixture: wall-clock time and unordered maps in a
+//! sim-facing crate.
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Wall-clock reads make every run unrepeatable.
+pub fn stamp() -> Instant {
+    Instant::now()
+}
+
+/// HashMap iteration order varies per process; the trajectory drifts.
+pub fn tally(loads: &[u32]) -> HashMap<u32, usize> {
+    let mut by_load = HashMap::new();
+    for &l in loads {
+        *by_load.entry(l).or_insert(0) += 1;
+    }
+    by_load
+}

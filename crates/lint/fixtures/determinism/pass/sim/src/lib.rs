@@ -1,0 +1,26 @@
+//! Determinism pass fixture: sim-facing code that stays reproducible.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+/// Virtual time comes from the event loop, never the wall clock.
+pub fn advance(clock: &mut f64, dt: f64) -> f64 {
+    *clock += dt;
+    *clock
+}
+
+/// Iteration order is part of the trajectory, so ordered maps only.
+pub fn tally(loads: &[u32]) -> BTreeMap<u32, usize> {
+    let mut by_load = BTreeMap::new();
+    for &l in loads {
+        *by_load.entry(l).or_insert(0) += 1;
+    }
+    by_load
+}
+
+/// A pragma documents the one sanctioned exception.
+pub fn scratch_lookup() {
+    // lint: allow(determinism) — keys are re-sorted before any iteration
+    let _scratch: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+}

@@ -1,0 +1,24 @@
+//! Fork-discipline fail fixture: the fault stream is forked
+//! conditionally, so every later stream re-seeds when faults are off —
+//! and the sequence no longer matches the manifest.
+
+pub fn run_inner(seed: u64, faulty: bool) {
+    let mut master = SimRng::from_seed(seed);
+    let mut arrival_rng = master.fork();
+    let mut service_rng = master.fork();
+    let mut policy_rng = master.fork();
+    let mut model_rng = master.fork();
+    let mut fault_rng = SimRng::from_seed(0);
+    if faulty {
+        fault_rng = master.fork();
+    }
+    let mut retry_rng = master.fork();
+    drive(
+        &mut arrival_rng,
+        &mut service_rng,
+        &mut policy_rng,
+        &mut model_rng,
+        &mut fault_rng,
+        &mut retry_rng,
+    );
+}

@@ -1,0 +1,20 @@
+//! Fork-discipline pass fixture: the canonical unconditional preamble,
+//! name-for-name in manifest order.
+
+pub fn run_inner(seed: u64) {
+    let mut master = SimRng::from_seed(seed);
+    let mut arrival_rng = master.fork();
+    let mut service_rng = master.fork();
+    let mut policy_rng = master.fork();
+    let mut model_rng = master.fork();
+    let mut fault_rng = master.fork();
+    let mut retry_rng = master.fork();
+    drive(
+        &mut arrival_rng,
+        &mut service_rng,
+        &mut policy_rng,
+        &mut model_rng,
+        &mut fault_rng,
+        &mut retry_rng,
+    );
+}

@@ -1,0 +1,22 @@
+//! Panic-hygiene fail fixture: non-test panics on the config-reachable
+//! path of a config-reachable crate.
+
+#![forbid(unsafe_code)]
+
+/// A parse failure aborts the whole sweep instead of failing one point.
+pub fn parse_rate(s: &str) -> f64 {
+    s.parse::<f64>().unwrap()
+}
+
+/// Same problem, with a message that will never help the caller recover.
+pub fn parse_servers(s: &str) -> usize {
+    s.parse::<usize>().expect("bad server count")
+}
+
+/// An explicit abort in reachable code.
+pub fn must_be_positive(x: f64) -> f64 {
+    if x <= 0.0 {
+        panic!("not positive: {x}");
+    }
+    x
+}

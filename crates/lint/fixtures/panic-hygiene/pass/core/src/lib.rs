@@ -1,0 +1,31 @@
+//! Panic-hygiene pass fixture: typed errors on the config-reachable
+//! path, panics confined to test code and pragma'd invariants.
+
+#![forbid(unsafe_code)]
+
+/// The error type the fixture propagates instead of panicking.
+#[derive(Debug)]
+pub struct ConfigError(pub String);
+
+/// Errors propagate; nothing aborts the trial.
+pub fn parse_rate(s: &str) -> Result<f64, ConfigError> {
+    s.parse::<f64>()
+        .map_err(|e| ConfigError(format!("bad rate {s:?}: {e}")))
+}
+
+/// A true invariant carries a pragma with its proof.
+pub fn head(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty());
+    // lint: allow(panic-hygiene) — emptiness was asserted one line up
+    *xs.first().expect("non-empty was asserted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(parse_rate("0.5").unwrap(), 0.5);
+    }
+}

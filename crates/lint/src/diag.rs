@@ -1,0 +1,104 @@
+//! Findings and their text/JSON renderings.
+
+use std::fmt::Write as _;
+
+/// One rule violation at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (its stable kebab-case name).
+    pub rule: &'static str,
+    /// Path of the offending file, relative to the lint root.
+    pub path: String,
+    /// 1-based line of the violation.
+    pub line: u32,
+    /// Human-readable explanation, including how to fix or suppress.
+    pub message: String,
+}
+
+impl Finding {
+    /// `path:line: [rule] message` — the compiler-style text form.
+    pub fn render_text(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Renders findings as a JSON array (stable field order, no trailing
+/// newline). Hand-rolled because the linter is dependency-free.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(&f.path),
+            f.line,
+            json_str(&f.message)
+        );
+    }
+    if !findings.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let f = Finding {
+            rule: "determinism",
+            path: "a/b.rs".into(),
+            line: 3,
+            message: "say \"no\"\nto clocks".into(),
+        };
+        let json = render_json(std::slice::from_ref(&f));
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\\n"));
+        assert_eq!(render_json(&[]), "[]");
+    }
+
+    #[test]
+    fn text_form_is_compiler_style() {
+        let f = Finding {
+            rule: "crate-hardening",
+            path: "crates/x/src/lib.rs".into(),
+            line: 1,
+            message: "m".into(),
+        };
+        assert_eq!(
+            f.render_text(),
+            "crates/x/src/lib.rs:1: [crate-hardening] m"
+        );
+    }
+}

@@ -1,0 +1,394 @@
+//! A comment- and string-aware tokenizer for Rust source.
+//!
+//! The linter does not need a real parser: every rule it enforces is
+//! expressible over a token stream that correctly *skips* comments,
+//! string/char literals, and raw strings — the places a naive `grep`
+//! produces false positives. The lexer therefore classifies each token
+//! just finely enough for the rules (identifier, punctuation, literal)
+//! and records every comment separately so pragma directives like
+//! `// lint: allow(rule)` can be recovered.
+//!
+//! It is intentionally forgiving: on malformed input (an unterminated
+//! string, say) it degrades to treating the rest of the file as that
+//! literal rather than erroring, because the workspace it lints is
+//! compiled by rustc anyway — anything that survives `cargo build` is
+//! well-formed.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`let`, `unwrap`, `HashMap`, …).
+    Ident,
+    /// A single punctuation character (`.`, `!`, `{`, …).
+    Punct,
+    /// A string literal (plain, raw, or byte); `text` holds the body.
+    Str,
+    /// A character literal.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+}
+
+/// One source token with its location.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Lexeme class.
+    pub kind: TokKind,
+    /// The token's text. For `Str` this is the literal body without
+    /// quotes or raw-string hashes; for `Punct` a single character.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+}
+
+/// A comment, kept out of the token stream but retained for pragmas.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True when nothing but whitespace precedes the comment on its
+    /// line — such a comment's pragmas apply to the *next* line.
+    pub own_line: bool,
+    /// Comment body, without the `//`/`/*` markers.
+    pub text: String,
+}
+
+/// Tokenizes `src`, returning code tokens and comments separately.
+pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    // Byte offset where the current line starts (for own_line checks).
+    let mut line_start = 0usize;
+
+    // True when bytes line_start..i are all whitespace.
+    let blank_prefix = |b: &[u8], line_start: usize, i: usize| {
+        b[line_start..i].iter().all(|c| c.is_ascii_whitespace())
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+                line_start = i;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let own_line = blank_prefix(b, line_start, i);
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    own_line,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let own_line = blank_prefix(b, line_start, i);
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                            line_start = i + 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    line: start_line,
+                    own_line,
+                    text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+                });
+            }
+            b'"' => {
+                let (tok, ni, nl) = lex_string(b, i, line);
+                toks.push(tok);
+                line = nl;
+                i = ni;
+            }
+            b'\'' => {
+                // Lifetime (`'a` not closed by a quote) vs char literal.
+                let is_lifetime = match (b.get(i + 1), b.get(i + 2)) {
+                    (Some(c1), c2) if ident_start(*c1) => *c2.unwrap_or(&b' ') != b'\'',
+                    _ => false,
+                };
+                if is_lifetime {
+                    let start = i + 1;
+                    i += 1;
+                    while i < b.len() && ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                        line,
+                    });
+                } else {
+                    let start = i;
+                    i += 1;
+                    while i < b.len() {
+                        match b[i] {
+                            b'\\' => i += 2,
+                            b'\'' => {
+                                i += 1;
+                                break;
+                            }
+                            b'\n' => break, // malformed; don't swallow the file
+                            _ => i += 1,
+                        }
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
+                        line,
+                    });
+                }
+            }
+            c if ident_start(c) => {
+                let start = i;
+                while i < b.len() && ident_continue(b[i]) {
+                    i += 1;
+                }
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                // Raw / byte string prefixes: r"..", r#"..."#, b"..", br#"..."#.
+                let next = b.get(i).copied().unwrap_or(b' ');
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
+                    && (next == b'"' || (next == b'#' && text != "b"));
+                if is_str_prefix {
+                    let (tok, ni, nl) = lex_raw_string(b, i, line, &text);
+                    toks.push(tok);
+                    line = nl;
+                    i = ni;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.'
+                        && b.get(i + 1).is_some_and(u8::is_ascii_digit)
+                        && b.get(i.wrapping_sub(1)).is_some_and(u8::is_ascii_digit)
+                    {
+                        i += 1; // decimal point inside 1.5, but not 1..n
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                    line,
+                });
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Lexes a plain `"..."` string starting at `b[i] == b'"'`.
+fn lex_string(b: &[u8], mut i: usize, mut line: u32) -> (Tok, usize, u32) {
+    let start_line = line;
+    let start = i + 1;
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => break,
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let end = i.min(b.len());
+    let tok = Tok {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+        line: start_line,
+    };
+    (tok, (i + 1).min(b.len()), line)
+}
+
+/// Lexes a raw/byte string whose prefix identifier has just been read;
+/// `i` points at the first `#` or `"` after the prefix.
+fn lex_raw_string(b: &[u8], mut i: usize, mut line: u32, prefix: &str) -> (Tok, usize, u32) {
+    let start_line = line;
+    let raw = prefix.contains('r');
+    let mut hashes = 0usize;
+    while raw && b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    // b[i] should be the opening quote; tolerate malformed input.
+    if b.get(i) == Some(&b'"') {
+        i += 1;
+    }
+    let start = i;
+    let end;
+    loop {
+        if i >= b.len() {
+            end = b.len();
+            break;
+        }
+        match b[i] {
+            b'\\' if !raw => i += 2,
+            b'"' => {
+                let mut j = i + 1;
+                let mut seen = 0usize;
+                while seen < hashes && b.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    end = i;
+                    i = j;
+                    break;
+                }
+                i += 1;
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    let tok = Tok {
+        kind: TokKind::Str,
+        text: String::from_utf8_lossy(&b[start..end]).into_owned(),
+        line: start_line,
+    };
+    (tok, i, line)
+}
+
+fn ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* Instant in /* a nested */ block */
+            let s = "SystemTime in a string";
+            let r = r#"thread_rng in a raw "string""#;
+            let real = HashSet::new();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"HashSet".to_string()));
+        for hidden in ["HashMap", "Instant", "SystemTime", "thread_rng"] {
+            assert!(!ids.contains(&hidden.to_string()), "{hidden} leaked");
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+    }
+
+    #[test]
+    fn comment_lines_and_ownership_are_tracked() {
+        let (_, comments) = lex("let x = 1; // trailing\n// own line\nlet y = 2;\n");
+        assert_eq!(comments.len(), 2);
+        assert!(!comments[0].own_line);
+        assert_eq!(comments[0].line, 1);
+        assert!(comments[1].own_line);
+        assert_eq!(comments[1].line, 2);
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let (toks, _) = lex(r#"let s = "a \" b"; let t = 'c';"#);
+        let strs: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert_eq!(strs[0].text, r#"a \" b"#);
+    }
+
+    #[test]
+    fn multiline_strings_advance_the_line_counter() {
+        let (toks, _) = lex("let s = \"a\nb\";\nlet done = 1;");
+        let last = toks.iter().rfind(|t| t.is_ident("done")).unwrap();
+        assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let (toks, _) = lex("for i in 0..n { let x = 1.5e3; }");
+        assert!(toks.iter().any(|t| t.is_ident("n")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5e3"));
+    }
+}

@@ -1,0 +1,44 @@
+//! **staleload-lint** — the workspace invariant checker.
+//!
+//! Every result in this reproduction rests on invariants the compiler
+//! cannot see: bit-identical trajectories across scheduler backends and
+//! worker counts, a pinned RNG fork order in the engine, and a
+//! content-addressed cache whose key must cover every spec field. The
+//! runtime test suites catch violations *after* the damage is written;
+//! this dependency-free static-analysis pass catches them at the
+//! source line, before a build ever runs.
+//!
+//! The linter tokenizes the workspace's Rust sources with a
+//! comment/string-aware lexer (no `syn`, no dependencies) and runs five
+//! rules over the token streams:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `determinism`     | no wall clocks, OS randomness, or hash-order iteration in simulation crates |
+//! | `panic-hygiene`   | config-reachable crates return typed errors instead of panicking |
+//! | `cache-key`       | every `Experiment` field feeds `experiment_key_salted` |
+//! | `fork-discipline` | the engine's `master.fork()` sequence matches a pinned manifest |
+//! | `crate-hardening` | every crate root carries `#![forbid(unsafe_code)]` |
+//!
+//! Individual findings are suppressed with a reviewed pragma:
+//!
+//! ```text
+//! x.expect("peeked above") // lint: allow(panic-hygiene) — pop follows peek
+//! ```
+//!
+//! A trailing pragma covers its own line; a pragma alone on a line
+//! covers the next line. See DESIGN.md §10 for the rule catalogue and
+//! how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod workspace;
+
+pub use diag::{render_json, Finding};
+pub use rules::{all, run, Rule};
+pub use workspace::Workspace;

@@ -1,0 +1,118 @@
+//! `staleload-lint` — CLI for the workspace invariant checker.
+//!
+//! ```text
+//! staleload-lint [--json] [--deny-all] [--allow RULE]... [--list-rules] [PATH]...
+//! ```
+//!
+//! PATHs may be directories (walked recursively, skipping `target/`,
+//! `vendor/`, and `fixtures/`) or single files; the default is the
+//! current directory. Exit code 0 means clean, 1 means findings, 2
+//! means usage or I/O error.
+
+#![forbid(unsafe_code)]
+// The linter is a terminal tool; stdout is its interface.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use staleload_lint::{render_json, rules, Workspace};
+
+struct Opts {
+    json: bool,
+    allow: Vec<String>,
+    list_rules: bool,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        json: false,
+        allow: Vec::new(),
+        list_rules: false,
+        paths: Vec::new(),
+    };
+    let known: Vec<&'static str> = rules::all().iter().map(|r| r.name()).collect();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            // Deny-by-default is already the behavior; the flag makes CI
+            // invocations self-documenting and clears any earlier --allow.
+            "--deny-all" => opts.allow.clear(),
+            "--allow" => {
+                let rule = it.next().ok_or("--allow needs a rule name")?;
+                if !known.contains(&rule.as_str()) {
+                    return Err(format!(
+                        "unknown rule '{rule}' (known: {})",
+                        known.join(", ")
+                    ));
+                }
+                opts.allow.push(rule.clone());
+            }
+            "--list-rules" => opts.list_rules = true,
+            "--help" | "-h" => {
+                return Err(
+                    "usage: staleload-lint [--json] [--deny-all] [--allow RULE]... \
+                            [--list-rules] [PATH]..."
+                        .to_string(),
+                )
+            }
+            other if other.starts_with('-') => return Err(format!("unknown flag '{other}'")),
+            path => opts.paths.push(PathBuf::from(path)),
+        }
+    }
+    if opts.paths.is_empty() {
+        opts.paths.push(PathBuf::from("."));
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::all() {
+            println!("{:16} {}", rule.name(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut ws = Workspace::default();
+    for path in &opts.paths {
+        if let Err(e) = ws.add(path) {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let findings = rules::run(&ws, &opts.allow);
+    if opts.json {
+        println!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}", f.render_text());
+        }
+        if findings.is_empty() {
+            println!(
+                "staleload-lint: clean ({} files, {} rules)",
+                ws.files.len(),
+                rules::all().len() - opts.allow.len()
+            );
+        } else {
+            println!("staleload-lint: {} finding(s)", findings.len());
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,204 @@
+//! Rule `fork-discipline`: the engine's RNG fork order is pinned.
+//!
+//! `run_inner` forks one child stream per subsystem off the master RNG.
+//! The fork *order* is load-bearing twice over:
+//!
+//! * every golden trajectory (PRs 2–4) replays only if each subsystem
+//!   draws from the same stream it drew from historically;
+//! * the fault and retry streams are forked *last* and drawn only when
+//!   those features are on — which is what makes a `FaultSpec::none()`
+//!   run bit-identical to a fault-free build.
+//!
+//! Reordering, removing, or conditionally skipping a fork silently
+//! changes every trajectory while keeping all statistics plausible, so
+//! this rule pins the call sequence against an ordered manifest: in any
+//! file that forks `master`, the `master.fork()` calls must be exactly
+//! `let mut <name> = master.fork();` statements, unconditional (all at
+//! one brace depth), matching [`MANIFEST`] name-for-name in order.
+//!
+//! Growing the engine a new stream is a deliberate act: append it to
+//! the manifest (never insert — append preserves existing streams),
+//! update this rule, and bump `CACHE_SALT`, since historical cache
+//! entries no longer describe the new trajectories.
+
+use crate::diag::Finding;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// The pinned fork order of the engine's subsystem streams.
+///
+/// Append-only. Inserting or reordering entries re-seeds every stream
+/// after the insertion point and invalidates all historical
+/// trajectories, golden tests, and cache entries.
+pub const MANIFEST: &[&str] = &[
+    "arrival_rng",
+    "service_rng",
+    "policy_rng",
+    "model_rng",
+    "fault_rng",
+    "retry_rng",
+];
+
+/// See the module docs.
+pub struct ForkDiscipline;
+
+impl Rule for ForkDiscipline {
+    fn name(&self) -> &'static str {
+        "fork-discipline"
+    }
+
+    fn describe(&self) -> &'static str {
+        "master.fork() calls must be unconditional and match the pinned stream manifest"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.toks;
+        // Pre-compute brace depth before each token.
+        let mut depths = Vec::with_capacity(toks.len());
+        let mut d = 0i32;
+        for t in toks {
+            depths.push(d);
+            if t.is_punct('{') {
+                d += 1;
+            } else if t.is_punct('}') {
+                d -= 1;
+            }
+        }
+
+        // Collect `master . fork ( )` call sites outside test code.
+        let mut sites: Vec<(usize, u32)> = Vec::new(); // (token index of `master`, line)
+        for i in 0..toks.len() {
+            if toks[i].is_ident("master")
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+                && toks.get(i + 2).is_some_and(|t| t.is_ident("fork"))
+                && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+                && toks.get(i + 4).is_some_and(|t| t.is_punct(')'))
+                && !file.is_test_line(toks[i].line)
+            {
+                sites.push((i, toks[i].line));
+            }
+        }
+        if sites.is_empty() {
+            return;
+        }
+
+        let mut names: Vec<String> = Vec::new();
+        let base_depth = depths[sites[0].0];
+        for &(i, line) in &sites {
+            // The canonical shape is `let mut <name> = master.fork();` —
+            // anything else (a fork inside `if`, behind `?`, in a struct
+            // literal) is a trajectory hazard.
+            let shape_ok = i >= 4
+                && toks[i - 4].is_ident("let")
+                && toks[i - 3].is_ident("mut")
+                && toks[i - 2].kind == crate::lexer::TokKind::Ident
+                && toks[i - 1].is_punct('=')
+                && toks.get(i + 5).is_some_and(|t| t.is_punct(';'));
+            if !shape_ok {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: "master.fork() outside the canonical `let mut <name> = \
+                              master.fork();` preamble — forks must be unconditional plain \
+                              bindings or every trajectory silently changes"
+                        .to_string(),
+                });
+                continue;
+            }
+            if depths[i] != base_depth {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line,
+                    message: "master.fork() at a different nesting depth than the first fork — \
+                              a conditional fork desynchronizes every later stream"
+                        .to_string(),
+                });
+                continue;
+            }
+            names.push(toks[i - 2].text.clone());
+        }
+
+        if names != MANIFEST {
+            let line = sites[0].1;
+            out.push(Finding {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line,
+                message: format!(
+                    "fork sequence [{}] does not match the pinned manifest [{}]; append new \
+                     streams at the end, update the manifest in staleload-lint, and bump \
+                     CACHE_SALT",
+                    names.join(", "),
+                    MANIFEST.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    const GOOD: &str = "fn run_inner() {\n\
+                        let mut master = SimRng::from_seed(seed);\n\
+                        let mut arrival_rng = master.fork();\n\
+                        let mut service_rng = master.fork();\n\
+                        let mut policy_rng = master.fork();\n\
+                        let mut model_rng = master.fork();\n\
+                        let mut fault_rng = master.fork();\n\
+                        let mut retry_rng = master.fork();\n\
+                        }\n";
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("core/src/engine.rs", src)]);
+        crate::rules::run(&ws, &[])
+            .into_iter()
+            .filter(|f| f.rule == "fork-discipline")
+            .collect()
+    }
+
+    #[test]
+    fn canonical_preamble_passes() {
+        assert!(findings(GOOD).is_empty());
+    }
+
+    #[test]
+    fn reordered_forks_are_flagged() {
+        let swapped = GOOD
+            .replace("arrival_rng", "TMP")
+            .replace("service_rng", "arrival_rng")
+            .replace("TMP", "service_rng");
+        let got = findings(&swapped);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("manifest"));
+    }
+
+    #[test]
+    fn missing_fork_is_flagged() {
+        let missing = GOOD.replace("let mut retry_rng = master.fork();\n", "");
+        assert!(!findings(&missing).is_empty());
+    }
+
+    #[test]
+    fn conditional_fork_is_flagged() {
+        let conditional = GOOD.replace(
+            "let mut fault_rng = master.fork();",
+            "let mut fault_rng = make();\nif faulty { fault_rng = master.fork(); }",
+        );
+        let got = findings(&conditional);
+        assert!(
+            got.iter().any(|f| f.message.contains("unconditional")
+                || f.message.contains("nesting depth")),
+            "{got:?}"
+        );
+    }
+
+    #[test]
+    fn files_without_master_forks_are_exempt() {
+        assert!(findings("fn f() { let child = parent.fork(); }").is_empty());
+    }
+}

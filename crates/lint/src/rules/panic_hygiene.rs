@@ -1,0 +1,134 @@
+//! Rule `panic-hygiene`: config-reachable crates return typed errors.
+//!
+//! PR 1 replaced config-reachable panics with `ConfigError`/`SimError`
+//! so a batch driver can report one bad experiment point and keep
+//! going; a panic in the middle of a 10k-point sweep costs the whole
+//! batch (or, under `catch_unwind` isolation, silently burns a trial).
+//! This rule keeps that property from regressing: in the crates a user
+//! configuration can reach (`cli`, `core`, `cluster`), library code may
+//! not call `.unwrap()`, `.expect(…)`, `panic!`, `unreachable!`,
+//! `todo!`, or `unimplemented!`.
+//!
+//! Genuine invariants — states unreachable without a corrupted event
+//! schedule — are still allowed, but each site must carry an explicit
+//! `// lint: allow(panic-hygiene) — <why>` pragma, turning every panic
+//! into a reviewed decision instead of a habit. Test code and bench
+//! binaries are exempt wholesale.
+
+use crate::diag::Finding;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Crates a user-supplied configuration can reach before validation.
+const CONFIG_CRATES: &[&str] = &["cli", "core", "cluster"];
+
+/// See the module docs.
+pub struct PanicHygiene;
+
+impl Rule for PanicHygiene {
+    fn name(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "forbid unwrap/expect/panic!/unreachable! outside tests in config-reachable crates"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if !CONFIG_CRATES.contains(&file.crate_name.as_str()) {
+            return;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+            let next_paren = toks.get(i + 1).is_some_and(|n| n.is_punct('('));
+            let next_bang = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            let offense = if prev_dot && next_paren && t.is_ident("unwrap") {
+                Some("`.unwrap()` aborts the trial; return a typed ConfigError/SimError")
+            } else if prev_dot && next_paren && t.is_ident("expect") {
+                Some("`.expect(…)` aborts the trial; return a typed ConfigError/SimError")
+            } else if next_bang && t.is_ident("panic") {
+                Some("`panic!` aborts the trial; return a typed ConfigError/SimError")
+            } else if next_bang && t.is_ident("unreachable") {
+                Some("`unreachable!` aborts the trial; return a typed error or prove it with types")
+            } else if next_bang && (t.is_ident("todo") || t.is_ident("unimplemented")) {
+                Some("stub macro must not ship in config-reachable code")
+            } else {
+                None
+            };
+            if let Some(why) = offense {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{why}; a true invariant needs `// lint: allow(panic-hygiene) — <reason>`"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        crate::rules::run(&ws, &[])
+            .into_iter()
+            .filter(|f| f.rule == "panic-hygiene")
+            .collect()
+    }
+
+    #[test]
+    fn flags_each_panicking_form() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"msg\");\n\
+                   if a > b { panic!(\"no\"); }\n\
+                   unreachable!()\n\
+                   }\n";
+        let got = findings("crates/core/src/x.rs", src);
+        assert_eq!(got.len(), 4, "{got:?}");
+        assert_eq!(got.iter().map(|f| f.line).collect::<Vec<_>>(), [2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn unrelated_identifiers_do_not_fire() {
+        // unwrap_or_else / expect_err / std::panic paths are all fine, as
+        // is a field or fn named unwrap without a preceding dot.
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   let hook = std::panic::take_hook();\n\
+                   drop(hook);\n\
+                   fn unwrap() {}\n\
+                   unwrap();\n\
+                   x.unwrap_or_else(|| 0)\n\
+                   }\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn scope_is_config_reachable_crates_only() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(!findings("crates/cluster/src/x.rs", src).is_empty());
+        assert!(findings("crates/sim/src/x.rs", src).is_empty());
+        assert!(findings("crates/bench/src/bin/fig01.rs", src).is_empty());
+        assert!(findings("crates/core/tests/t.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_with_reason_suppresses() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   // lint: allow(panic-hygiene) — peek() guarantees presence\n\
+                   x.unwrap()\n\
+                   }\n";
+        assert!(findings("crates/core/src/x.rs", src).is_empty());
+    }
+}

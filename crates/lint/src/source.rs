@@ -1,0 +1,301 @@
+//! The per-file source model rules operate on.
+//!
+//! A [`SourceFile`] couples the token stream with everything a rule
+//! needs to scope itself correctly:
+//!
+//! * which **crate** the file belongs to (inferred from its path),
+//! * whether the file is **test/bench/example code** as a whole (by
+//!   directory convention), and which line spans inside a library file
+//!   are `#[cfg(test)]` items,
+//! * which `// lint: allow(rule)` **pragmas** suppress findings on
+//!   which lines.
+
+use crate::lexer::{lex, Comment, Tok};
+
+/// How a file participates in the build, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A module of a library target (`src/**`, except `src/bin`).
+    Lib,
+    /// A binary root (`src/main.rs` or `src/bin/*.rs`).
+    Bin,
+    /// Integration tests, benches, or examples — test code wholesale.
+    TestOrBench,
+}
+
+/// One Rust source file, lexed and classified.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the lint root, with `/` separators.
+    pub rel_path: String,
+    /// The workspace crate the file belongs to (directory name under
+    /// `crates/`, or `staleload` for the root package).
+    pub crate_name: String,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// The code tokens (comments and literals handled by the lexer).
+    pub toks: Vec<Tok>,
+    /// `(line, rule)` suppressions collected from pragma comments.
+    allows: Vec<(u32, String)>,
+    /// Line spans (1-based, inclusive) of `#[cfg(test)]` items.
+    test_spans: Vec<(u32, u32)>,
+}
+
+impl SourceFile {
+    /// Lexes and classifies one file. `rel_path` must use `/` separators
+    /// and be relative to the lint root (the workspace root in normal
+    /// operation; a fixture tree in tests).
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let (toks, comments) = lex(src);
+        let allows = collect_pragmas(&comments);
+        let test_spans = collect_test_spans(&toks, src);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_of(rel_path),
+            kind: kind_of(rel_path),
+            toks,
+            allows,
+            test_spans,
+        }
+    }
+
+    /// True when findings of `rule` on `line` are suppressed by a pragma.
+    pub fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.iter().any(|(l, r)| *l == line && r == rule)
+    }
+
+    /// True when `line` is test code: the whole file is a test/bench/
+    /// example target, or the line falls inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.kind == FileKind::TestOrBench
+            || self
+                .test_spans
+                .iter()
+                .any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// True when this file is a crate root (`src/lib.rs`, `src/main.rs`,
+    /// or a `src/bin/*.rs` binary root).
+    pub fn is_crate_root(&self) -> bool {
+        let p = &self.rel_path;
+        p.ends_with("src/lib.rs")
+            || p.ends_with("src/main.rs")
+            || p == "src/lib.rs"
+            || p == "src/main.rs"
+            || (p.contains("src/bin/") && p.ends_with(".rs"))
+    }
+}
+
+/// The crate a path belongs to. `crates/<name>/…` maps to `<name>`;
+/// anything in the root package's `src//tests//examples/` maps to
+/// `staleload`. Fixture trees omit the `crates/` prefix, so a bare
+/// `<name>/src/…` layout also maps to `<name>`.
+fn crate_of(rel_path: &str) -> String {
+    let p = rel_path.strip_prefix("crates/").unwrap_or(rel_path);
+    let mut parts = p.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("src" | "tests" | "benches" | "examples"), _) => "staleload".to_string(),
+        (Some(name), Some(_)) => name.to_string(),
+        _ => "staleload".to_string(),
+    }
+}
+
+fn kind_of(rel_path: &str) -> FileKind {
+    let in_dir =
+        |d: &str| rel_path.contains(&format!("/{d}/")) || rel_path.starts_with(&format!("{d}/"));
+    if in_dir("tests") || in_dir("benches") || in_dir("examples") {
+        FileKind::TestOrBench
+    } else if rel_path.contains("src/bin/") || rel_path.ends_with("src/main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Extracts `lint: allow(rule-a, rule-b)` pragmas from comments.
+///
+/// A trailing comment suppresses its own line; a comment alone on a
+/// line suppresses the next line. Anything after the closing `)` is
+/// free text (the conventional place for a justification).
+fn collect_pragmas(comments: &[Comment]) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for c in comments {
+        let Some(at) = c.text.find("lint:") else {
+            continue;
+        };
+        let rest = c.text[at + 5..].trim_start();
+        let Some(list) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.find(')').map(|end| &r[..end]))
+        else {
+            continue;
+        };
+        let line = if c.own_line { c.line + 1 } else { c.line };
+        for rule in list.split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.push((line, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+/// Finds the line spans of items gated by `#[cfg(test)]`.
+///
+/// The scan recognizes the attribute token sequence, skips any further
+/// attributes, then swallows one item: through the matching `}` of its
+/// first brace block, or to a `;` that ends a braceless item.
+fn collect_test_spans(toks: &[Tok], src: &str) -> Vec<(u32, u32)> {
+    let last_line = src.lines().count().max(1) as u32;
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('['))) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for `cfg` … `test` between the brackets.
+        let start_line = toks[i].line;
+        let mut j = i + 2;
+        let mut depth = 1i32;
+        let mut saw_cfg = false;
+        let mut saw_test = false;
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if t.is_punct('[') {
+                depth += 1;
+            } else if t.is_punct(']') {
+                depth -= 1;
+            } else if t.is_ident("cfg") {
+                saw_cfg = true;
+            } else if t.is_ident("test") {
+                saw_test = true;
+            }
+            j += 1;
+        }
+        if !(saw_cfg && saw_test) {
+            i = j;
+            continue;
+        }
+        // Skip stacked attributes on the same item.
+        while j < toks.len()
+            && toks[j].is_punct('#')
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            let mut d = 0i32;
+            j += 1;
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    d += 1;
+                } else if toks[j].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        j += 1;
+                        break;
+                    }
+                }
+                j += 1;
+            }
+        }
+        // Swallow the gated item.
+        let mut brace = 0i32;
+        let mut end_line = last_line;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_punct('{') {
+                brace += 1;
+            } else if t.is_punct('}') {
+                brace -= 1;
+                if brace == 0 {
+                    end_line = t.line;
+                    j += 1;
+                    break;
+                }
+            } else if t.is_punct(';') && brace == 0 {
+                end_line = t.line;
+                j += 1;
+                break;
+            }
+            j += 1;
+        }
+        spans.push((start_line, end_line));
+        i = j;
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_follow_the_layout() {
+        assert_eq!(crate_of("crates/sim/src/rng.rs"), "sim");
+        assert_eq!(crate_of("crates/core/tests/proptests.rs"), "core");
+        assert_eq!(crate_of("src/lib.rs"), "staleload");
+        assert_eq!(crate_of("tests/determinism.rs"), "staleload");
+        // Fixture trees omit the crates/ prefix.
+        assert_eq!(crate_of("sim/src/clock.rs"), "sim");
+    }
+
+    #[test]
+    fn kinds_follow_the_layout() {
+        assert_eq!(kind_of("crates/sim/src/rng.rs"), FileKind::Lib);
+        assert_eq!(kind_of("crates/cli/src/main.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/bench/src/bin/fig01.rs"), FileKind::Bin);
+        assert_eq!(kind_of("crates/sim/tests/x.rs"), FileKind::TestOrBench);
+        assert_eq!(kind_of("examples/quickstart.rs"), FileKind::TestOrBench);
+        assert_eq!(kind_of("tests/golden.rs"), FileKind::TestOrBench);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_test_lines() {
+        let src = "fn live() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn helper() {}\n\
+                   }\n\
+                   fn live_again() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_braceless_items_end_at_the_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn live() {}\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn pragmas_bind_to_the_right_line() {
+        let src = "let a = x.unwrap(); // lint: allow(panic-hygiene) — invariant\n\
+                   // lint: allow(determinism) — wall clock is display-only\n\
+                   let t = Instant::now();\n\
+                   let b = y.unwrap();\n";
+        let f = SourceFile::parse("crates/core/src/x.rs", src);
+        assert!(f.allowed("panic-hygiene", 1));
+        assert!(f.allowed("determinism", 3));
+        assert!(!f.allowed("panic-hygiene", 4));
+        assert!(!f.allowed("determinism", 1));
+    }
+
+    #[test]
+    fn crate_roots_are_recognized() {
+        for p in [
+            "crates/sim/src/lib.rs",
+            "crates/cli/src/main.rs",
+            "crates/bench/src/bin/fig01.rs",
+            "src/lib.rs",
+        ] {
+            assert!(SourceFile::parse(p, "").is_crate_root(), "{p}");
+        }
+        assert!(!SourceFile::parse("crates/sim/src/rng.rs", "").is_crate_root());
+    }
+}

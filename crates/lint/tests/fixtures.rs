@@ -1,0 +1,179 @@
+//! Fixture-backed acceptance tests: every rule has a pass tree that is
+//! clean and a fail tree that trips it, and the CLI's exit codes agree.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use staleload_lint::{rules, Workspace};
+
+const RULES: &[&str] = &[
+    "determinism",
+    "panic-hygiene",
+    "cache-key",
+    "fork-discipline",
+    "crate-hardening",
+];
+
+fn fixture(rule: &str, polarity: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule)
+        .join(polarity)
+}
+
+fn findings_of(rule: &str, polarity: &str) -> Vec<staleload_lint::Finding> {
+    let ws = Workspace::load(&fixture(rule, polarity)).expect("fixture tree loads");
+    rules::run(&ws, &[])
+        .into_iter()
+        .filter(|f| f.rule == rule)
+        .collect()
+}
+
+#[test]
+fn every_rule_is_registered() {
+    let names: Vec<&str> = rules::all().iter().map(|r| r.name()).collect();
+    assert_eq!(names, RULES);
+}
+
+#[test]
+fn pass_fixtures_are_clean_under_every_rule() {
+    for rule in RULES {
+        let ws = Workspace::load(&fixture(rule, "pass")).expect("fixture tree loads");
+        let got = rules::run(&ws, &[]);
+        assert!(got.is_empty(), "{rule}/pass should be clean, got {got:?}");
+    }
+}
+
+#[test]
+fn fail_fixtures_trip_their_own_rule() {
+    for rule in RULES {
+        let got = findings_of(rule, "fail");
+        assert!(!got.is_empty(), "{rule}/fail should trip `{rule}`");
+        for f in &got {
+            assert!(f.line > 0, "finding should carry a source line: {f:?}");
+            assert!(
+                !f.message.is_empty(),
+                "finding should explain itself: {f:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn determinism_fail_names_the_banned_symbols() {
+    let got = findings_of("determinism", "fail");
+    assert!(
+        got.iter().any(|f| f.message.contains("`Instant`")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains("`HashMap`")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn panic_hygiene_fail_flags_each_panic_form() {
+    let got = findings_of("panic-hygiene", "fail");
+    assert!(
+        got.iter().any(|f| f.message.contains(".unwrap()")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains(".expect(")),
+        "{got:?}"
+    );
+    assert!(got.iter().any(|f| f.message.contains("panic!")), "{got:?}");
+}
+
+#[test]
+fn cache_key_fail_flags_both_directions() {
+    let got = findings_of("cache-key", "fail");
+    // The unhashed struct field...
+    assert!(
+        got.iter().any(|f| f.message.contains("`deadline`")),
+        "{got:?}"
+    );
+    // ...and the stale hashed path.
+    assert!(
+        got.iter().any(|f| f.message.contains("`warmup`")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn fork_discipline_fail_flags_the_conditional_fork() {
+    let got = findings_of("fork-discipline", "fail");
+    assert!(
+        got.iter().any(|f| f.message.contains("manifest")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains("unconditional")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn cli_exit_codes_mirror_the_findings() {
+    for rule in RULES {
+        let pass = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+            .arg("--deny-all")
+            .arg(fixture(rule, "pass"))
+            .output()
+            .expect("lint binary runs");
+        assert_eq!(pass.status.code(), Some(0), "{rule}/pass should exit 0");
+
+        let fail = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+            .arg("--deny-all")
+            .arg(fixture(rule, "fail"))
+            .output()
+            .expect("lint binary runs");
+        assert_eq!(fail.status.code(), Some(1), "{rule}/fail should exit 1");
+    }
+}
+
+#[test]
+fn cli_allow_downgrades_a_rule() {
+    let out = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+        .args(["--allow", "determinism"])
+        .arg(fixture("determinism", "fail"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "--allow determinism should silence the determinism fail tree"
+    );
+}
+
+#[test]
+fn cli_rejects_unknown_rules_and_flags() {
+    for bad in [&["--allow", "no-such-rule"][..], &["--frobnicate"][..]] {
+        let out = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+            .args(bad)
+            .output()
+            .expect("lint binary runs");
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "{bad:?} should be a usage error"
+        );
+    }
+}
+
+#[test]
+fn cli_json_output_is_machine_readable() {
+    let out = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+        .args(["--deny-all", "--json"])
+        .arg(fixture("crate-hardening", "fail"))
+        .output()
+        .expect("lint binary runs");
+    assert_eq!(out.status.code(), Some(1));
+    let body = String::from_utf8(out.stdout).expect("json output is utf-8");
+    let body = body.trim();
+    assert!(body.starts_with('[') && body.ends_with(']'), "{body}");
+    assert!(body.contains("\"rule\":\"crate-hardening\""), "{body}");
+    assert!(body.contains("\"path\":\"naked/src/lib.rs\""), "{body}");
+    assert!(body.contains("\"line\":1"), "{body}");
+}

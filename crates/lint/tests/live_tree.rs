@@ -1,0 +1,68 @@
+//! Meta-test: the live workspace passes its own linter.
+//!
+//! This is the acceptance gate for the whole rule set — the repository
+//! carries zero findings with every rule denied, both through the
+//! library API and through the CLI binary exactly as CI invokes it.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use staleload_lint::{rules, Workspace};
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn live_tree_is_clean() {
+    let ws = Workspace::load(&repo_root()).expect("workspace loads");
+    assert!(
+        ws.files.len() > 50,
+        "walker should see the whole workspace, got {} files",
+        ws.files.len()
+    );
+    let findings = rules::run(&ws, &[]);
+    let rendered: Vec<String> = findings.iter().map(|f| f.render_text()).collect();
+    assert!(
+        findings.is_empty(),
+        "the live tree must lint clean:\n{}",
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn live_tree_covers_the_load_bearing_files() {
+    // Guard against a walker regression silently skipping the files the
+    // cross-file rules exist for.
+    let ws = Workspace::load(&repo_root()).expect("workspace loads");
+    for needle in [
+        "crates/core/src/engine.rs",
+        "crates/core/src/experiment.rs",
+        "crates/runner/src/hash.rs",
+    ] {
+        assert!(
+            ws.files.iter().any(|f| f.rel_path == needle),
+            "walker lost {needle}"
+        );
+    }
+}
+
+#[test]
+fn cli_is_clean_on_the_live_tree() {
+    let out = Command::new(env!("CARGO_BIN_EXE_staleload-lint"))
+        .args(["--deny-all", "--json"])
+        .arg(repo_root())
+        .output()
+        .expect("lint binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "findings:\n{stdout}");
+    assert_eq!(
+        stdout.trim(),
+        "[]",
+        "--json on a clean tree is an empty array"
+    );
+}

@@ -189,6 +189,38 @@ mod tests {
         assert_ne!(base, experiment_key(&e), "config variant collided");
     }
 
+    /// Simulates the maintenance path `staleload-lint`'s `cache-key`
+    /// rule enforces: when a spec grows a field, feeding it through one
+    /// more `hasher.field(...)` call must change the key — i.e. the
+    /// canonical byte stream actually covers the addition, and two
+    /// experiments differing only in the new field cannot alias.
+    #[test]
+    fn adding_a_spec_field_changes_the_key() {
+        let e = exp(1, 3, 4.0, 0.9);
+        let base = experiment_key(&e);
+
+        let with_field = |value: Option<f64>| {
+            let mut h = SpecHasher::new();
+            h.field("salt", &CACHE_SALT);
+            h.field("trials", &e.trials);
+            h.field("config", &e.config);
+            h.field("arrivals", &e.arrivals);
+            h.field("info", &e.info);
+            h.field("policy", &e.policy);
+            h.field("deadline", &value);
+            h.finish()
+        };
+
+        // The extended key differs from the unextended one...
+        assert_ne!(base, with_field(None), "new field did not reach the key");
+        // ...and distinguishes distinct values of the new field.
+        assert_ne!(
+            with_field(Some(2.0)),
+            with_field(Some(3.0)),
+            "two experiments differing only in the new field aliased"
+        );
+    }
+
     #[test]
     fn salt_bump_orphans_every_key() {
         let e = exp(1, 3, 4.0, 0.9);

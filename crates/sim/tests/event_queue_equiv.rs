@@ -9,6 +9,10 @@
 //! onto a coarse grid — must produce the same `(time bits, payload)`
 //! stream from all three.
 
+// Proptest closures sit outside #[test] fns, so clippy's
+// allow-unwrap-in-tests does not reach them; the whole file is a test.
+#![allow(clippy::unwrap_used)]
+
 use proptest::prelude::*;
 use staleload_sim::{CalendarQueue, EventQueue, EventScheduler, SchedError};
 

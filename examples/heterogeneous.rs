@@ -10,6 +10,9 @@
 //! cargo run --release --example heterogeneous
 //! ```
 
+// An example prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload::core::{ArrivalSpec, Experiment, SimConfig, SimConfigBuilder};
 use staleload::info::InfoSpec;
 use staleload::policies::PolicySpec;

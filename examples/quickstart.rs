@@ -8,6 +8,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+// An example prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload::core::{ArrivalSpec, Experiment, SimConfig};
 use staleload::info::InfoSpec;
 use staleload::policies::PolicySpec;

@@ -13,6 +13,9 @@
 //! cargo run --release --example reduced_information
 //! ```
 
+// An example prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload::core::{ArrivalSpec, Experiment, SimConfig};
 use staleload::info::InfoSpec;
 use staleload::policies::PolicySpec;

@@ -14,6 +14,9 @@
 //! cargo run --release --example web_server_selection
 //! ```
 
+// An example prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
 use staleload::core::{clients_for_mean_age, ArrivalSpec, Experiment, SimConfig};
 use staleload::info::InfoSpec;
 use staleload::policies::PolicySpec;
