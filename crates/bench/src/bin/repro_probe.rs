@@ -54,9 +54,44 @@ struct Measurement {
     smoke: bool,
     workers: usize,
     cores: usize,
+    threads: usize,
     t_seq: f64,
     t_cold: f64,
     t_warm: f64,
+}
+
+/// (physical cores, hardware threads) of this machine: threads from
+/// `available_parallelism`, cores from `/proc/cpuinfo`'s distinct
+/// (physical id, core id) pairs when readable, else equal to threads.
+/// Recorded so a baseline from a 1-core CI runner is recognizable and
+/// its parallel-speedup figure (~1.0) is not mistaken for a pool
+/// regression.
+fn hardware_shape() -> (usize, usize) {
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let cores = std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|info| {
+            let mut pairs = std::collections::BTreeSet::new();
+            let (mut phys, mut core) = (None::<&str>, None::<&str>);
+            for line in info.lines().chain(Some("")) {
+                if line.trim().is_empty() {
+                    if let (Some(p), Some(c)) = (phys.take(), core.take()) {
+                        pairs.insert((p.to_string(), c.to_string()));
+                    }
+                    continue;
+                }
+                if let Some((k, v)) = line.split_once(':') {
+                    match k.trim() {
+                        "physical id" => phys = Some(v.trim()),
+                        "core id" => core = Some(v.trim()),
+                        _ => {}
+                    }
+                }
+            }
+            (!pairs.is_empty()).then_some(pairs.len())
+        })
+        .unwrap_or(threads);
+    (cores, threads)
 }
 
 impl Measurement {
@@ -86,7 +121,7 @@ fn measure(scale: &Scale) -> Measurement {
     std::env::set_var("REPRO_RESULTS_DIR", &scratch);
 
     let workers = default_workers();
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (cores, threads) = hardware_shape();
 
     eprintln!(
         "[repro_probe] pass 1/3: sequential (1 worker, no cache), scale = {}",
@@ -111,6 +146,7 @@ fn measure(scale: &Scale) -> Measurement {
         smoke: scale.is_smoke(),
         workers,
         cores,
+        threads,
         t_seq,
         t_cold,
         t_warm,
@@ -128,6 +164,7 @@ fn to_json(m: &Measurement) -> String {
     s.push_str(&format!("  \"smoke\": {},\n", m.smoke));
     s.push_str(&format!("  \"workers\": {},\n", m.workers));
     s.push_str(&format!("  \"cores\": {},\n", m.cores));
+    s.push_str(&format!("  \"threads\": {},\n", m.threads));
     s.push_str("  \"passes\": {\n");
     s.push_str(&format!("    \"seq_seconds\": {:.3},\n", m.t_seq));
     s.push_str(&format!("    \"cold_seconds\": {:.3},\n", m.t_cold));
@@ -176,12 +213,29 @@ fn check(baseline_path: &str) -> Result<(), String> {
         "passes: seq {:.2}s, cold {:.2}s ({} workers), warm {:.2}s",
         m.t_seq, m.t_cold, m.workers, m.t_warm
     );
+    // On a single hardware thread the pool cannot parallelize, so
+    // parallel_speedup ≈ 1.0 measures the machine, not the
+    // orchestrator; likewise a baseline recorded on a 1-core runner
+    // (or one predating the cores field) carries no expectation.
+    let current_single = m.cores.min(m.threads) <= 1;
+    let baseline_single = json_number(&baseline, "cores").is_none_or(|c| c <= 1.0);
     let mut failures = Vec::new();
     let checks = [
         ("parallel_speedup", m.parallel_speedup(), PARALLEL_CAP),
         ("warm_speedup", m.warm_speedup(), WARM_CAP),
     ];
     for (key, cur, cap) in checks {
+        if key == "parallel_speedup" && (current_single || baseline_single) {
+            println!(
+                "{key}: skipped ({})",
+                if current_single {
+                    "this machine has a single hardware thread"
+                } else {
+                    "baseline was recorded on a 1-core runner"
+                }
+            );
+            continue;
+        }
         let base = json_number(&baseline, key)
             .ok_or_else(|| format!("baseline has no {key} (regenerate BENCH_repro.json)"))?;
         let floor = base.min(cap) * (1.0 - TOLERANCE);

@@ -19,6 +19,14 @@
 //! cache is disabled by `--no-cache` or a non-empty `REPRO_NO_CACHE`.
 //! Results are bit-identical to a sequential run regardless of worker
 //! count or cache state.
+//!
+//! Runs are crash-safe: cache and journal lines are checksummed (damage
+//! is quarantined and recomputed, never trusted), completed trials are
+//! journalled as they finish so a killed run resumes where it died just
+//! by re-running the same command, and a per-trial watchdog (budget
+//! from [`Scale::watchdog_budget`]; disarm with `--no-watchdog` or
+//! `REPRO_NO_WATCHDOG`) isolates hung trials instead of stalling the
+//! figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,12 +36,12 @@
 pub mod figs;
 
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use staleload_core::{Experiment, ExperimentResult, SimError};
-use staleload_runner::{ResultCache, SweepRunner, WorkerPool};
+use staleload_runner::{ResultCache, SweepJournal, SweepRunner, WatchdogSpec, WorkerPool};
 use staleload_stats::{LinePlot, Table};
 
 /// Run-scale knobs shared by all figures.
@@ -130,39 +138,60 @@ impl Scale {
     pub fn arrivals_for_clients(&self, clients: usize) -> u64 {
         self.arrivals.max(clients as u64 * self.min_jobs_per_client)
     }
+
+    /// Per-trial wall-clock watchdog budget at this scale: a minute of
+    /// slack plus ~1 ms per arrival — two orders of magnitude above a
+    /// healthy trial, so it only fires on a genuine hang.
+    pub fn watchdog_budget(&self) -> Duration {
+        let arrivals = self.arrivals.max(self.continuous_arrivals);
+        Duration::from_secs(60) + Duration::from_millis(arrivals)
+    }
 }
 
 /// Parsed command line shared by every reproduction binary.
 ///
 /// ```text
-/// <binary> [smoke|quick|std|full] [--no-cache] [--only figNN,figNN,...]
+/// <binary> [smoke|quick|std|full] [--no-cache] [--no-watchdog]
+///          [--only figNN,figNN,...]
 /// ```
 ///
 /// `--no-cache` (or a non-empty `REPRO_NO_CACHE`) disables the
-/// content-addressed result cache; `--only` restricts `repro_all` to the
-/// named figures (other binaries ignore it). Unknown arguments exit with
-/// status 2.
+/// content-addressed result cache; `--no-watchdog` (or a non-empty
+/// `REPRO_NO_WATCHDOG`) disarms the per-trial watchdog; `--only`
+/// restricts `repro_all` to the named figures (other binaries ignore
+/// it). Unknown arguments exit with status 2.
 #[derive(Debug, Clone)]
 pub struct RunArgs {
     /// Run scale (from the scale token or `REPRO_SCALE`, default `std`).
     pub scale: Scale,
     /// Skip cache reads and writes for this run.
     pub no_cache: bool,
+    /// Disarm the per-trial watchdog for this run.
+    pub no_watchdog: bool,
     /// Figure names `repro_all` should run (empty = all).
     pub only: Vec<String>,
 }
 
-const USAGE: &str = "usage: <binary> [smoke|quick|std|full] [--no-cache] [--only figNN,figNN,...]";
+const USAGE: &str =
+    "usage: <binary> [smoke|quick|std|full] [--no-cache] [--no-watchdog] [--only figNN,figNN,...]";
 
 impl RunArgs {
     /// Parses `std::env::args()`, printing usage and exiting with status
-    /// 2 on an unknown argument, and records the cache preference for
-    /// the shared sweep runner.
+    /// 2 on an unknown argument, and records the cache and watchdog
+    /// preferences for the shared sweep runner.
     pub fn parse_or_exit() -> Self {
         match Self::try_parse(std::env::args().skip(1)) {
             Ok(args) => {
                 if args.no_cache {
                     NO_CACHE.store(true, Ordering::Relaxed);
+                }
+                if !args.no_watchdog {
+                    let ms = args
+                        .scale
+                        .watchdog_budget()
+                        .as_millis()
+                        .min(u128::from(u64::MAX));
+                    WATCHDOG_MS.store(ms as u64, Ordering::Relaxed);
                 }
                 args
             }
@@ -182,6 +211,8 @@ impl RunArgs {
     pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
         let mut scale: Option<Scale> = None;
         let mut no_cache = std::env::var("REPRO_NO_CACHE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let mut no_watchdog =
+            std::env::var("REPRO_NO_WATCHDOG").is_ok_and(|v| !v.is_empty() && v != "0");
         let mut only: Vec<String> = Vec::new();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -191,6 +222,7 @@ impl RunArgs {
                 "quick" => scale = Some(Scale::quick()),
                 "smoke" => scale = Some(Scale::smoke()),
                 "no-cache" => no_cache = true,
+                "no-watchdog" => no_watchdog = true,
                 "only" => {
                     let list = it.next().ok_or("--only needs a figure list")?;
                     only.extend(list.split(',').map(|s| s.trim().to_string()));
@@ -211,6 +243,7 @@ impl RunArgs {
         Ok(Self {
             scale,
             no_cache,
+            no_watchdog,
             only,
         })
     }
@@ -219,6 +252,10 @@ impl RunArgs {
 /// `--no-cache` seen on the command line (checked at lazy runner init).
 static NO_CACHE: AtomicBool = AtomicBool::new(false);
 
+/// Watchdog budget in ms recorded by `parse_or_exit` (0 = disarmed —
+/// the default, so library tests and probes never race a wall clock).
+static WATCHDOG_MS: AtomicU64 = AtomicU64::new(0);
+
 /// The process-wide sweep runner every figure shares: one persistent
 /// work-stealing pool plus one result cache, built lazily on first use.
 static RUNNER: OnceLock<Mutex<SweepRunner>> = OnceLock::new();
@@ -226,10 +263,28 @@ static RUNNER: OnceLock<Mutex<SweepRunner>> = OnceLock::new();
 fn runner() -> MutexGuard<'static, SweepRunner> {
     RUNNER
         .get_or_init(|| {
-            Mutex::new(SweepRunner::new(
-                WorkerPool::new(default_workers()),
-                default_cache(),
-            ))
+            let mut runner = SweepRunner::new(WorkerPool::new(default_workers()), default_cache());
+            // Crash-safety extras ride along only for real reproduction
+            // runs: the journal needs the cache dir (and the cache's
+            // fsynced puts for safe truncation), and the watchdog is
+            // armed only once `parse_or_exit` derived a budget.
+            if runner.cache_enabled() {
+                match SweepJournal::open(&cache_dir()) {
+                    Ok(journal) => runner.set_journal(journal),
+                    Err(e) => eprintln!(
+                        "warning: cannot open sweep journal under {} ({e}); \
+                         interrupted runs will not resume",
+                        cache_dir().display()
+                    ),
+                }
+            }
+            let budget_ms = WATCHDOG_MS.load(Ordering::Relaxed);
+            if budget_ms > 0 {
+                runner.set_watchdog(Some(WatchdogSpec::with_budget(Duration::from_millis(
+                    budget_ms,
+                ))));
+            }
+            Mutex::new(runner)
         })
         .lock()
         .expect("sweep runner lock poisoned")
@@ -492,6 +547,21 @@ fn run_batch_with_progress(
             acct.misses,
             if acct.misses == 1 { "" } else { "es" },
         );
+        if acct.quarantined > 0 {
+            eprintln!(
+                "[{name}] cache: {} damaged entr{} quarantined and recomputed",
+                acct.quarantined,
+                if acct.quarantined == 1 { "y" } else { "ies" },
+            );
+        }
+    }
+    let jacct = runner.take_journal_accounting();
+    if jacct.replayed > 0 {
+        eprintln!(
+            "[{name}] journal: {} trial{} replayed from an interrupted run",
+            jacct.replayed,
+            if jacct.replayed == 1 { "" } else { "s" },
+        );
     }
     results
 }
@@ -556,10 +626,26 @@ mod tests {
     fn run_args_parse_flags() {
         let a = parse(&["quick", "--no-cache", "--only", "fig02,fig10"]).unwrap();
         assert!(a.no_cache);
+        assert!(!a.no_watchdog);
         assert_eq!(a.only, vec!["fig02", "fig10"]);
         let b = parse(&["--only=fig03", "--only", "fig04"]).unwrap();
         assert_eq!(b.only, vec!["fig03", "fig04"]);
         assert_eq!(b.scale.name, "std");
+        let c = parse(&["--no-watchdog"]).unwrap();
+        assert!(c.no_watchdog && !c.no_cache);
+    }
+
+    #[test]
+    fn watchdog_budget_scales_with_arrivals_and_dwarfs_healthy_trials() {
+        let smoke = Scale::smoke().watchdog_budget();
+        let full = Scale::full().watchdog_budget();
+        assert!(smoke >= Duration::from_secs(60));
+        assert!(full > smoke);
+        // full: 60 s + 500 000 ms ≈ 9.3 min per trial.
+        assert_eq!(
+            full,
+            Duration::from_secs(60) + Duration::from_millis(500_000)
+        );
     }
 
     #[test]

@@ -22,6 +22,9 @@ pub struct RunArgs {
     pub trials: usize,
     /// Print tail/fairness detail.
     pub detail: bool,
+    /// Per-trial wall-clock budget in seconds (`--watchdog`). `None`
+    /// runs trials unguarded, exactly as before the flag existed.
+    pub watchdog: Option<f64>,
 }
 
 /// Parses a policy spec string.
@@ -242,6 +245,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut guard: Option<(f64, f64)> = None;
     let mut scheduler = SchedulerKind::Heap;
     let mut detail = false;
+    let mut watchdog: Option<f64> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -344,6 +348,17 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             "--scheduler" => {
                 scheduler = take("--scheduler")?.parse::<SchedulerKind>()?;
             }
+            "--watchdog" => {
+                let secs: f64 = take("--watchdog")?
+                    .parse()
+                    .map_err(|e| format!("--watchdog: {e}"))?;
+                if !(secs.is_finite() && secs > 0.0) {
+                    return Err(format!(
+                        "--watchdog needs a finite budget > 0 seconds, got {secs}"
+                    ));
+                }
+                watchdog = Some(secs);
+            }
             "--detail" => detail = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -428,6 +443,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         policy,
         trials,
         detail,
+        watchdog,
     })
 }
 
@@ -638,6 +654,18 @@ mod tests {
         assert!(parse_run(&strings(&["--retry", "1:0.5:10", "--queue-cap", "8"])).is_err());
         // Retry without a cap or deadline can never trigger: config error.
         assert!(parse_run(&strings(&["--retry", "4:0.5:10"])).is_err());
+    }
+
+    #[test]
+    fn watchdog_flag_parses_and_validates() {
+        assert_eq!(parse_run(&[]).unwrap().watchdog, None);
+        let args = parse_run(&strings(&["--watchdog", "2.5"])).unwrap();
+        assert_eq!(args.watchdog, Some(2.5));
+        assert!(parse_run(&strings(&["--watchdog", "0"])).is_err());
+        assert!(parse_run(&strings(&["--watchdog", "-3"])).is_err());
+        assert!(parse_run(&strings(&["--watchdog", "inf"])).is_err());
+        assert!(parse_run(&strings(&["--watchdog", "NaN"])).is_err());
+        assert!(parse_run(&strings(&["--watchdog"])).is_err());
     }
 
     #[test]

@@ -14,7 +14,8 @@
 //! `--policy <spec>` (run only), `--info <spec>`, `--service <spec>`,
 //! `--capacities <spec>`, `--stealing <MIN>`, `--burst <LEN>:<GAP>`,
 //! `--queue-cap <N>`, `--deadline <T>`, `--retry <MAX>:<BASE>:<CAP>`,
-//! `--guard <THR>:<COOLDOWN>`, `--scheduler <heap|calendar>`, `--detail`.
+//! `--guard <THR>:<COOLDOWN>`, `--scheduler <heap|calendar>`,
+//! `--watchdog <SECS>`, `--detail`.
 
 #![forbid(unsafe_code)]
 // The CLI is a terminal tool; stdout is its interface.
@@ -23,10 +24,13 @@
 mod args;
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use args::{parse_run, RunArgs};
-use staleload_core::Experiment;
+use staleload_core::{trial_seed, Experiment, ExperimentResult, TrialFailure, TrialOutcome};
 use staleload_policies::{rank_distribution, PolicySpec};
+use staleload_runner::{run_guarded, WatchdogSpec};
 use staleload_stats::Table;
 
 fn main() -> ExitCode {
@@ -87,6 +91,9 @@ fn print_help() {
          COOLDOWN time when dispatch concentration exceeds THR (>1)\n  \
          --scheduler KIND   event-queue backend: heap (default) or calendar;\n                     \
          trajectories are bit-identical, calendar is faster at scale\n  \
+         --watchdog SECS    per-trial wall-clock budget; a trial whose every\n                     \
+         attempt (one retry after jittered backoff) exceeds it is\n                     \
+         reported as a failed trial instead of hanging the run\n  \
          --detail           print tail latencies, fairness, occupancy\n\n\
          EXAMPLES:\n  \
          staleload compare --info periodic:10\n  \
@@ -95,6 +102,43 @@ fn print_help() {
          staleload run --faults crash:500:20,drop:0.5 --staleness-cutoff 25\n  \
          staleload run --queue-cap 10 --deadline 20 --retry 5:1:30 --guard 2:100 --detail"
     );
+}
+
+/// Runs the experiment: threaded and unguarded by default, or trial by
+/// trial under a per-attempt wall-clock watchdog when `--watchdog` is
+/// set. A trial whose every attempt exceeds the budget is reported as a
+/// failed trial (surfaced by `report_anomalies`), never a hang; the
+/// aggregates then cover the surviving trials only. Trial results are
+/// seed-derived, so the guarded and unguarded paths produce identical
+/// statistics whenever no trial times out.
+fn run_experiment(exp: Experiment, watchdog: Option<f64>) -> Result<ExperimentResult, String> {
+    let Some(secs) = watchdog else {
+        return exp.try_run().map_err(|e| e.to_string());
+    };
+    let spec = WatchdogSpec::with_budget(Duration::from_secs_f64(secs));
+    let exp = Arc::new(exp);
+    let outcomes: Vec<TrialOutcome> = (0..exp.trials)
+        .map(|trial| {
+            let seed = trial_seed(exp.config.seed, trial);
+            let body = Arc::clone(&exp);
+            // Perturb the jitter seed so the retry backoff stream never
+            // correlates with the trial's own random stream.
+            let guarded = run_guarded(&spec, seed ^ 0x57A7_C4D0_6B0D_6E55, move || {
+                body.run_trial(trial)
+            });
+            guarded.outcome.unwrap_or_else(|| {
+                TrialOutcome::Failed(TrialFailure {
+                    trial,
+                    seed,
+                    error: format!(
+                        "watchdog: exceeded the {:?} per-attempt budget ({} attempts, {} timeouts)",
+                        spec.budget, guarded.attempts, guarded.timeouts
+                    ),
+                })
+            })
+        })
+        .collect();
+    exp.aggregate(outcomes).map_err(|e| e.to_string())
 }
 
 fn cmd_run(args: &RunArgs) -> Result<(), String> {
@@ -114,7 +158,7 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         args.config.arrivals,
         args.trials
     );
-    let result = exp.try_run().map_err(|e| e.to_string())?;
+    let result = run_experiment(exp, args.watchdog)?;
     let s = &result.summary;
     println!(
         "mean response : {:.4} ±{:.4} (90% CI over {} trials)",
@@ -223,15 +267,16 @@ fn cmd_compare(args: &RunArgs) -> Result<(), String> {
     let mut baseline = None;
     for policy in panel {
         let label = policy.label();
-        let r = Experiment::new(
-            args.config.clone(),
-            args.arrivals,
-            args.info,
-            policy,
-            args.trials,
-        )
-        .try_run()
-        .map_err(|e| e.to_string())?;
+        let r = run_experiment(
+            Experiment::new(
+                args.config.clone(),
+                args.arrivals,
+                args.info,
+                policy,
+                args.trials,
+            ),
+            args.watchdog,
+        )?;
         report_anomalies(&r);
         let mean = r.summary.mean;
         let base = *baseline.get_or_insert(mean);

@@ -177,35 +177,51 @@ struct CrashProcess {
     /// Next up→down or down→up transition time per server.
     next: Vec<f64>,
     down_since: Vec<Option<f64>>,
+    /// Cached minimum of `next` (ties broken by lowest id). `next` only
+    /// changes through `schedule_*`, so refreshing there keeps `peek` —
+    /// called once per event-loop iteration — O(1) instead of an O(n)
+    /// scan, which was a ~3x slowdown at n = 256 on faulted runs.
+    pending: (f64, ServerId),
 }
 
 impl CrashProcess {
     fn new(spec: CrashSpec, n: usize, rng: &mut SimRng) -> Self {
-        let next = (0..n).map(|_| rng.exp(spec.mtbf)).collect();
-        Self {
+        let next: Vec<f64> = (0..n).map(|_| rng.exp(spec.mtbf)).collect();
+        let mut process = Self {
             spec,
             next,
             down_since: vec![None; n],
-        }
+            pending: (f64::INFINITY, 0),
+        };
+        process.refresh();
+        process
     }
 
-    /// The next transition (time, server); ties broken by lowest id.
-    fn peek(&self) -> (f64, ServerId) {
+    /// Recomputes the cached earliest transition. Strict `<` preserves
+    /// the lowest-id tie-break the uncached scan had.
+    fn refresh(&mut self) {
         let mut best = (f64::INFINITY, 0);
         for (s, &t) in self.next.iter().enumerate() {
             if t < best.0 {
                 best = (t, s);
             }
         }
-        best
+        self.pending = best;
+    }
+
+    /// The next transition (time, server); ties broken by lowest id.
+    fn peek(&self) -> (f64, ServerId) {
+        self.pending
     }
 
     fn schedule_crash(&mut self, server: ServerId, now: f64, rng: &mut SimRng) {
         self.next[server] = now + rng.exp(self.spec.mtbf);
+        self.refresh();
     }
 
     fn schedule_recovery(&mut self, server: ServerId, now: f64, rng: &mut SimRng) {
         self.next[server] = now + rng.exp(self.spec.mttr);
+        self.refresh();
     }
 }
 

@@ -1,0 +1,22 @@
+//! Atomic-io fail fixture: the cache store is written with raw file
+//! I/O, so a crash mid-write leaves a torn or truncated file.
+
+use std::fs::OpenOptions;
+use std::io::Write;
+
+/// `File::create` truncates the store before the new bytes land.
+pub fn compact(path: &std::path::Path, lines: &[String]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(lines.join("\n").as_bytes())
+}
+
+/// A write-capable append handle built outside the atomic layer.
+pub fn record(path: &std::path::Path, line: &str) -> std::io::Result<()> {
+    let mut f = OpenOptions::new().append(true).create(true).open(path)?;
+    writeln!(f, "{line}")
+}
+
+/// `fs::write` replaces the journal with no tmp+fsync+rename dance.
+pub fn truncate(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, b"")
+}

@@ -1,0 +1,20 @@
+//! Atomic-io pass fixture: every durable write goes through the atomic
+//! layer; direct file I/O is read-only.
+
+use crate::atomic::{write_atomic, DurableAppender};
+
+/// Compaction rewrites the whole store atomically (tmp + fsync + rename).
+pub fn compact(path: &std::path::Path, lines: &[String]) -> std::io::Result<()> {
+    write_atomic(path, lines.join("\n").as_bytes())
+}
+
+/// Incremental growth appends sealed lines through the appender.
+pub fn record(appender: &mut DurableAppender, line: &str) -> std::io::Result<()> {
+    appender.append_synced(line)
+}
+
+/// Reads are unrestricted: only write-capable opens must be funneled.
+pub fn load(path: &std::path::Path) -> std::io::Result<String> {
+    let _probe = std::fs::File::open(path)?;
+    std::fs::read_to_string(path)
+}

@@ -1,0 +1,140 @@
+//! Rule `atomic-io`: runner files are written through the atomic layer.
+//!
+//! The crash-safety contract (DESIGN.md §11) says every durable file the
+//! orchestration layer owns — the result cache, the sweep journal, the
+//! quarantine copies — is produced by exactly one of two primitives in
+//! `staleload-runner`'s `atomic` module:
+//!
+//! * [`write_atomic`] — tmp file + fsync + rename, for whole-file
+//!   rewrites (compaction, journal truncation), and
+//! * [`DurableAppender`] — append of sealed (checksummed) lines, for
+//!   incremental cache/journal growth.
+//!
+//! A bare `File::create` or `fs::write` elsewhere in the crate can
+//! truncate a store and then die, leaving a half-written file that the
+//! next run must treat as corruption. This rule pins the funnel: in
+//! `staleload-runner` library code, only `src/atomic.rs` may open a
+//! file for writing. Reads (`File::open`, `fs::read_to_string`) are
+//! unrestricted, and test code is exempt wholesale — corruption tests
+//! *deliberately* tear files with raw I/O.
+//!
+//! [`write_atomic`]: ../../runner/src/atomic.rs
+//! [`DurableAppender`]: ../../runner/src/atomic.rs
+
+use crate::diag::Finding;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// The one module allowed to open files for writing.
+const WRITER_MODULE: &str = "src/atomic.rs";
+
+/// See the module docs.
+pub struct AtomicIo;
+
+impl Rule for AtomicIo {
+    fn name(&self) -> &'static str {
+        "atomic-io"
+    }
+
+    fn describe(&self) -> &'static str {
+        "runner code outside atomic.rs must not open files for writing (use write_atomic/DurableAppender)"
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        if file.crate_name != "runner" || file.rel_path.ends_with(WRITER_MODULE) {
+            return;
+        }
+        let toks = &file.toks;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            // `X :: y` — a path segment following the identifier at i.
+            let path_to = |j: usize, name: &str| {
+                toks.get(j + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(j + 2).is_some_and(|b| b.is_punct(':'))
+                    && toks.get(j + 3).is_some_and(|c| c.is_ident(name))
+            };
+            let offense = if t.is_ident("File")
+                && (path_to(i, "create") || path_to(i, "create_new") || path_to(i, "options"))
+            {
+                Some("`File::create`/`File::options` truncates or opens for writing directly")
+            } else if t.is_ident("OpenOptions") {
+                Some("`OpenOptions` builds a write-capable handle outside the atomic layer")
+            } else if t.is_ident("fs")
+                && path_to(i, "write")
+                && toks.get(i + 4).is_some_and(|p| p.is_punct('('))
+            {
+                Some("`fs::write` replaces a file non-atomically (no tmp+fsync+rename)")
+            } else {
+                None
+            };
+            if let Some(why) = offense {
+                out.push(Finding {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "{why}; durable runner files go through `atomic::write_atomic` or \
+                         `DurableAppender` so a crash can never leave a torn store \
+                         (DESIGN.md §11)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[(path, src)]);
+        crate::rules::run(&ws, &[])
+            .into_iter()
+            .filter(|f| f.rule == "atomic-io")
+            .collect()
+    }
+
+    #[test]
+    fn flags_each_raw_write_form() {
+        let src = "use std::fs::OpenOptions;\n\
+                   fn f() {\n\
+                   let _ = std::fs::File::create(\"cache.jsonl\");\n\
+                   let _ = std::fs::write(\"journal.jsonl\", b\"x\");\n\
+                   }\n";
+        let got = findings("crates/runner/src/cache.rs", src);
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert_eq!(got.iter().map(|f| f.line).collect::<Vec<_>>(), [1, 3, 4]);
+    }
+
+    #[test]
+    fn reads_are_unrestricted() {
+        let src = "fn f() {\n\
+                   let _ = std::fs::File::open(\"cache.jsonl\");\n\
+                   let _ = std::fs::read_to_string(\"journal.jsonl\");\n\
+                   }\n";
+        assert!(findings("crates/runner/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn atomic_module_tests_and_other_crates_are_exempt() {
+        let src = "fn f() { let _ = std::fs::File::create(\"x\"); }\n";
+        assert!(findings("crates/runner/src/atomic.rs", src).is_empty());
+        assert!(findings("crates/runner/tests/crash.rs", src).is_empty());
+        assert!(findings("crates/bench/src/lib.rs", src).is_empty());
+        let gated =
+            "#[cfg(test)]\nmod tests {\n fn t() { let _ = std::fs::File::create(\"x\"); }\n}\n";
+        assert!(findings("crates/runner/src/cache.rs", gated).is_empty());
+    }
+
+    #[test]
+    fn fixture_layout_maps_to_the_runner_crate() {
+        // Fixture trees omit the crates/ prefix; scoping must still hit.
+        let src = "fn f() { let _ = std::fs::write(\"x\", b\"y\"); }\n";
+        assert!(!findings("runner/src/cache.rs", src).is_empty());
+    }
+}

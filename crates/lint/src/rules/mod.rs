@@ -12,12 +12,14 @@
 //! in [`all`], and add a `fixtures/<rule>/` pass/fail pair plus a unit
 //! test. See DESIGN.md §10.
 
+mod atomic_io;
 mod cache_key;
 mod crate_hardening;
 mod determinism;
 mod fork_discipline;
 mod panic_hygiene;
 
+pub use atomic_io::AtomicIo;
 pub use cache_key::CacheKey;
 pub use crate_hardening::CrateHardening;
 pub use determinism::Determinism;
@@ -48,6 +50,7 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(CacheKey),
         Box::new(ForkDiscipline),
         Box::new(CrateHardening),
+        Box::new(AtomicIo),
     ]
 }
 

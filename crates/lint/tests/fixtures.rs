@@ -12,6 +12,7 @@ const RULES: &[&str] = &[
     "cache-key",
     "fork-discipline",
     "crate-hardening",
+    "atomic-io",
 ];
 
 fn fixture(rule: &str, polarity: &str) -> PathBuf {
@@ -110,6 +111,23 @@ fn fork_discipline_fail_flags_the_conditional_fork() {
     );
     assert!(
         got.iter().any(|f| f.message.contains("unconditional")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn atomic_io_fail_flags_each_raw_write_form() {
+    let got = findings_of("atomic-io", "fail");
+    assert!(
+        got.iter().any(|f| f.message.contains("File::create")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains("OpenOptions")),
+        "{got:?}"
+    );
+    assert!(
+        got.iter().any(|f| f.message.contains("fs::write")),
         "{got:?}"
     );
 }

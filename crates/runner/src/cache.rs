@@ -1,31 +1,41 @@
-//! Content-addressed result cache, persisted as JSONL.
+//! Content-addressed result cache, persisted as checksummed JSONL.
 //!
-//! One line per cached point: `{"key":"<32 hex>","result":{…}}`. The
-//! serializer is hand-rolled (the workspace's `serde` is an offline
-//! stub) and round-trips every value bit-exactly: `f64`s are written
-//! with Rust's shortest-roundtrip `Debug` formatting and parsed back
-//! with `str::parse::<f64>`, and integers (trial counts, `u64` seeds)
-//! are kept as raw number tokens until a field-typed parse — never
-//! routed through `f64`, which would corrupt seeds above 2⁵³.
+//! One line per cached point: `{"key":"<32 hex>","result":{…}}`, sealed
+//! with a length + FNV checksum footer (see [`crate::atomic`]) and
+//! appended through the atomic writer — every entry is fsynced before
+//! `put` returns, because the sweep journal truncates itself on the
+//! assumption that aggregated results are already durable here.
 //!
-//! Corrupt or unparseable lines are skipped on load (the point simply
-//! recomputes), so a truncated final line from a killed run cannot
-//! poison the cache.
+//! On load, damaged lines — a truncated tail from a killed run, a bit
+//! flip, a zero-length entry — are **quarantined**: preserved verbatim
+//! under `<cache dir>/quarantine/` for post-mortems, dropped from the
+//! live file by an atomic compaction rewrite, and transparently
+//! recomputed by the next sweep. Corruption costs a recompute, never an
+//! abort and never a silently wrong result.
+//!
+//! The serializer round-trips every value bit-exactly (`f64`s via
+//! shortest-roundtrip `Debug` formatting, `u64` seeds as raw integer
+//! tokens — see [`crate::codec`]).
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::fs::{File, OpenOptions};
-use std::io::{BufRead, BufReader, Write as _};
+use std::fs::File;
+use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
 
 use staleload_core::{Diagnostic, ExperimentResult, TrialFailure};
 use staleload_stats::Summary;
 
+use crate::atomic::{self, DurableAppender, Unsealed};
+use crate::codec::{self, Json};
 use crate::PointKey;
 
 /// File name of the cache inside the cache directory.
 pub const CACHE_FILE: &str = "cache.jsonl";
+
+/// Directory (inside the cache directory) that damaged lines are moved
+/// to, preserved verbatim for post-mortems.
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// Hit/miss counters, reset per figure by the sweep runner.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -34,13 +44,15 @@ pub struct CacheAccounting {
     pub hits: u64,
     /// Points that had to be computed.
     pub misses: u64,
+    /// Damaged lines quarantined when the cache was opened.
+    pub quarantined: u64,
 }
 
 /// A content-addressed map from [`PointKey`] to [`ExperimentResult`],
-/// persisted by appending one JSONL line per insert.
+/// persisted by appending one sealed JSONL line per insert.
 pub struct ResultCache {
     /// `None` when caching is disabled (`--no-cache`).
-    file: Option<File>,
+    appender: Option<DurableAppender>,
     path: Option<PathBuf>,
     map: HashMap<PointKey, ExperimentResult>,
     accounting: CacheAccounting,
@@ -48,8 +60,13 @@ pub struct ResultCache {
 }
 
 impl ResultCache {
-    /// Opens (creating if needed) the cache under `dir`, loading every
-    /// parseable line of `dir/cache.jsonl`.
+    /// Opens (creating if needed) the cache under `dir`.
+    ///
+    /// Every line of `dir/cache.jsonl` is checksum-verified and parsed;
+    /// damaged lines are moved to `dir/quarantine/cache.jsonl` and the
+    /// live file is compacted with an atomic rewrite. Unsealed lines
+    /// from a pre-footer cache still load (and are re-sealed by the
+    /// same compaction).
     ///
     /// # Errors
     ///
@@ -57,21 +74,85 @@ impl ResultCache {
     pub fn open(dir: &Path) -> std::io::Result<Self> {
         std::fs::create_dir_all(dir)?;
         let path = dir.join(CACHE_FILE);
-        let mut map = HashMap::new();
+        let mut map: HashMap<PointKey, ExperimentResult> = HashMap::new();
+        let mut bad: Vec<String> = Vec::new();
+        let mut legacy = 0usize;
         if let Ok(file) = File::open(&path) {
             for line in BufReader::new(file).lines() {
                 let Ok(line) = line else { break };
-                if let Some((key, result)) = parse_line(&line) {
-                    map.insert(key, result);
+                if line.trim().is_empty() {
+                    // A stray blank line is noise, not damage.
+                    continue;
+                }
+                match atomic::unseal(&line) {
+                    Unsealed::Verified(payload) => match parse_line(payload) {
+                        Some((key, result)) => {
+                            map.insert(key, result);
+                        }
+                        None => bad.push(line),
+                    },
+                    Unsealed::Legacy(raw) => match parse_line(raw) {
+                        Some((key, result)) => {
+                            legacy += 1;
+                            map.insert(key, result);
+                        }
+                        None => bad.push(line),
+                    },
+                    Unsealed::Corrupt => bad.push(line),
                 }
             }
         }
-        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+
+        let quarantined = bad.len() as u64;
+        if !bad.is_empty() {
+            let qpath = dir.join(QUARANTINE_DIR).join(CACHE_FILE);
+            match DurableAppender::open(&qpath) {
+                Ok(mut q) => {
+                    for line in &bad {
+                        let _ = q.append_raw(line);
+                    }
+                    eprintln!(
+                        "warning: quarantined {} damaged cache entr{} to {} (they will be recomputed)",
+                        bad.len(),
+                        if bad.len() == 1 { "y" } else { "ies" },
+                        qpath.display()
+                    );
+                }
+                Err(e) => eprintln!(
+                    "warning: {} damaged cache entries dropped (quarantine at {} failed: {e})",
+                    bad.len(),
+                    qpath.display()
+                ),
+            }
+        }
+        if !bad.is_empty() || legacy > 0 {
+            // Compact: rewrite only the intact entries, sealed, in key
+            // order, atomically — the damaged lines are now only in
+            // quarantine, and legacy lines gain footers.
+            let mut keys: Vec<PointKey> = map.keys().copied().collect();
+            keys.sort_unstable();
+            let mut body = String::new();
+            for key in keys {
+                body.push_str(&atomic::seal(&encode_line(key, &map[&key])));
+                body.push('\n');
+            }
+            if let Err(e) = atomic::write_atomic(&path, body.as_bytes()) {
+                eprintln!(
+                    "warning: failed to compact result cache {}: {e}",
+                    path.display()
+                );
+            }
+        }
+
+        let appender = DurableAppender::open(&path)?;
         Ok(Self {
-            file: Some(file),
+            appender: Some(appender),
             path: Some(path),
             map,
-            accounting: CacheAccounting::default(),
+            accounting: CacheAccounting {
+                quarantined,
+                ..CacheAccounting::default()
+            },
             write_error_reported: false,
         })
     }
@@ -80,7 +161,7 @@ impl ResultCache {
     #[must_use]
     pub fn disabled() -> Self {
         Self {
-            file: None,
+            appender: None,
             path: None,
             map: HashMap::new(),
             accounting: CacheAccounting::default(),
@@ -123,17 +204,18 @@ impl ResultCache {
         found
     }
 
-    /// Stores `key → result` in memory and appends it to the JSONL file.
-    /// A disabled cache ignores the call; a failing append is reported
-    /// once and otherwise ignored (the run itself must not fail).
+    /// Stores `key → result` in memory and appends it, sealed and
+    /// fsynced, to the JSONL file. A disabled cache ignores the call; a
+    /// failing append is reported once and otherwise ignored (the run
+    /// itself must not fail).
     pub fn put(&mut self, key: PointKey, result: &ExperimentResult) {
         if self.path.is_none() {
             return;
         }
         self.map.insert(key, result.clone());
-        if let Some(file) = self.file.as_mut() {
+        if let Some(appender) = self.appender.as_mut() {
             let line = encode_line(key, result);
-            if writeln!(file, "{line}").is_err() && !self.write_error_reported {
+            if appender.append_synced(&line).is_err() && !self.write_error_reported {
                 self.write_error_reported = true;
                 eprintln!(
                     "warning: failed to append to result cache {:?}; continuing without persistence",
@@ -161,7 +243,7 @@ fn encode_line(key: PointKey, result: &ExperimentResult) -> String {
     out
 }
 
-fn encode_result(out: &mut String, r: &ExperimentResult) {
+pub(crate) fn encode_result(out: &mut String, r: &ExperimentResult) {
     out.push_str("{\"trial_means\":[");
     for (i, m) in r.trial_means.iter().enumerate() {
         if i > 0 {
@@ -181,254 +263,41 @@ fn encode_result(out: &mut String, r: &ExperimentResult) {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(
-            out,
-            "{{\"trial\":{},\"seed\":{},\"error\":",
-            f.trial, f.seed
-        );
-        encode_str(out, &f.error);
-        out.push('}');
+        encode_failure(out, f);
     }
     out.push_str("],\"diagnostics\":[");
     for (i, d) in r.diagnostics.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        out.push_str("{\"code\":");
-        encode_str(out, d.code);
-        out.push_str(",\"message\":");
-        encode_str(out, &d.message);
-        out.push('}');
+        encode_diagnostic(out, d);
     }
     out.push_str("]}");
 }
 
-fn encode_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+pub(crate) fn encode_failure(out: &mut String, f: &TrialFailure) {
+    let _ = write!(
+        out,
+        "{{\"trial\":{},\"seed\":{},\"error\":",
+        f.trial, f.seed
+    );
+    codec::encode_str(out, &f.error);
+    out.push('}');
+}
+
+pub(crate) fn encode_diagnostic(out: &mut String, d: &Diagnostic) {
+    out.push_str("{\"code\":");
+    codec::encode_str(out, d.code);
+    out.push_str(",\"message\":");
+    codec::encode_str(out, &d.message);
+    out.push('}');
 }
 
 // ---------------------------------------------------------------------------
-// Decoding — a minimal JSON reader that keeps number tokens raw so u64
-// seeds and f64 means each get an exact, field-typed parse.
+// Decoding
 // ---------------------------------------------------------------------------
 
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Num(String),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get(&self, field: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == field).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(raw) => match raw.as_str() {
-                "NaN" => Some(f64::NAN),
-                "inf" => Some(f64::INFINITY),
-                "-inf" => Some(f64::NEG_INFINITY),
-                raw => raw.parse().ok(),
-            },
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-
-    fn as_usize(&self) -> Option<usize> {
-        match self {
-            Json::Num(raw) => raw.parse().ok(),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-}
-
-struct Reader<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Reader<'a> {
-    fn new(s: &'a str) -> Self {
-        Self {
-            bytes: s.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, byte: u8) -> Option<()> {
-        (self.peek()? == byte).then(|| self.pos += 1)
-    }
-
-    fn value(&mut self) -> Option<Json> {
-        match self.peek()? {
-            b'"' => self.string().map(Json::Str),
-            b'{' => self.object(),
-            b'[' => self.array(),
-            _ => self.number(),
-        }
-    }
-
-    fn number(&mut self) -> Option<Json> {
-        self.skip_ws();
-        let start = self.pos;
-        // Accept the non-standard tokens our writer emits for f64 specials.
-        while self.pos < self.bytes.len()
-            && matches!(
-                self.bytes[self.pos],
-                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'N' | b'a' | b'i' | b'n' | b'f'
-            )
-        {
-            self.pos += 1;
-        }
-        (self.pos > start)
-            .then(|| Json::Num(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()))
-    }
-
-    fn string(&mut self) -> Option<String> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        loop {
-            let b = *self.bytes.get(self.pos)?;
-            self.pos += 1;
-            match b {
-                b'"' => return Some(out),
-                b'\\' => {
-                    let esc = *self.bytes.get(self.pos)?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
-                            self.pos += 4;
-                            let code =
-                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
-                            out.push(char::from_u32(code)?);
-                        }
-                        _ => return None,
-                    }
-                }
-                b => {
-                    // Re-sync on the UTF-8 boundary: push raw bytes of a
-                    // multi-byte char in one go.
-                    if b < 0x80 {
-                        out.push(b as char);
-                    } else {
-                        let len = match b {
-                            0xC0..=0xDF => 2,
-                            0xE0..=0xEF => 3,
-                            _ => 4,
-                        };
-                        let chunk = self.bytes.get(self.pos - 1..self.pos - 1 + len)?;
-                        self.pos += len - 1;
-                        out.push_str(std::str::from_utf8(chunk).ok()?);
-                    }
-                }
-            }
-        }
-    }
-
-    fn array(&mut self) -> Option<Json> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        if self.peek()? == b']' {
-            self.pos += 1;
-            return Some(Json::Arr(items));
-        }
-        loop {
-            items.push(self.value()?);
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b']' => {
-                    self.pos += 1;
-                    return Some(Json::Arr(items));
-                }
-                _ => return None,
-            }
-        }
-    }
-
-    fn object(&mut self) -> Option<Json> {
-        self.eat(b'{')?;
-        let mut pairs = Vec::new();
-        if self.peek()? == b'}' {
-            self.pos += 1;
-            return Some(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.eat(b':')?;
-            pairs.push((key, self.value()?));
-            match self.peek()? {
-                b',' => self.pos += 1,
-                b'}' => {
-                    self.pos += 1;
-                    return Some(Json::Obj(pairs));
-                }
-                _ => return None,
-            }
-        }
-    }
-}
-
-fn parse_key(hex: &str) -> Option<PointKey> {
+pub(crate) fn parse_key(hex: &str) -> Option<PointKey> {
     if hex.len() != 32 {
         return None;
     }
@@ -442,13 +311,13 @@ fn parse_line(line: &str) -> Option<(PointKey, ExperimentResult)> {
     if line.is_empty() {
         return None;
     }
-    let doc = Reader::new(line).value()?;
+    let doc = codec::parse(line)?;
     let key = parse_key(doc.get("key")?.as_str()?)?;
     let result = decode_result(doc.get("result")?)?;
     Some((key, result))
 }
 
-fn decode_result(v: &Json) -> Option<ExperimentResult> {
+pub(crate) fn decode_result(v: &Json) -> Option<ExperimentResult> {
     let trial_means = v
         .get("trial_means")?
         .as_arr()?
@@ -471,24 +340,13 @@ fn decode_result(v: &Json) -> Option<ExperimentResult> {
         .get("failures")?
         .as_arr()?
         .iter()
-        .map(|f| {
-            Some(TrialFailure {
-                trial: f.get("trial")?.as_usize()?,
-                seed: f.get("seed")?.as_u64()?,
-                error: f.get("error")?.as_str()?.to_string(),
-            })
-        })
+        .map(decode_failure)
         .collect::<Option<Vec<_>>>()?;
     let diagnostics = v
         .get("diagnostics")?
         .as_arr()?
         .iter()
-        .map(|d| {
-            Some(Diagnostic {
-                code: intern_code(d.get("code")?.as_str()?),
-                message: d.get("message")?.as_str()?.to_string(),
-            })
-        })
+        .map(decode_diagnostic)
         .collect::<Option<Vec<_>>>()?;
     Some(ExperimentResult {
         trial_means,
@@ -499,17 +357,19 @@ fn decode_result(v: &Json) -> Option<ExperimentResult> {
     })
 }
 
-/// `Diagnostic::code` is `&'static str`; codes loaded from disk are
-/// interned (leaked once per distinct code — a handful per process).
-fn intern_code(code: &str) -> &'static str {
-    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
-    let mut guard = INTERNED.lock().expect("intern table lock poisoned");
-    if let Some(found) = guard.iter().find(|s| **s == code) {
-        return found;
-    }
-    let leaked: &'static str = Box::leak(code.to_string().into_boxed_str());
-    guard.push(leaked);
-    leaked
+pub(crate) fn decode_failure(f: &Json) -> Option<TrialFailure> {
+    Some(TrialFailure {
+        trial: f.get("trial")?.as_usize()?,
+        seed: f.get("seed")?.as_u64()?,
+        error: f.get("error")?.as_str()?.to_string(),
+    })
+}
+
+pub(crate) fn decode_diagnostic(d: &Json) -> Option<Diagnostic> {
+    Some(Diagnostic {
+        code: codec::intern_code(d.get("code")?.as_str()?),
+        message: d.get("message")?.as_str()?.to_string(),
+    })
 }
 
 #[cfg(test)]
@@ -537,6 +397,16 @@ mod tests {
 
     fn sample_key() -> PointKey {
         PointKey::from_halves(0x0123_4567_89AB_CDEF, 0xFEDC_BA98_7654_3210)
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "staleload-cache-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -581,12 +451,7 @@ mod tests {
 
     #[test]
     fn cache_persists_and_reloads() {
-        let dir = std::env::temp_dir().join(format!(
-            "staleload-cache-test-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("roundtrip");
         let key = sample_key();
         let result = sample_result();
         {
@@ -600,6 +465,88 @@ mod tests {
         {
             let mut cache = ResultCache::open(&dir).expect("reopen cache");
             assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(key).as_ref(), Some(&result));
+            assert_eq!(cache.take_accounting().quarantined, 0);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stored_lines_are_sealed() {
+        let dir = temp_dir("sealed");
+        {
+            let mut cache = ResultCache::open(&dir).expect("open cache");
+            cache.put(sample_key(), &sample_result());
+        }
+        let body = std::fs::read_to_string(dir.join(CACHE_FILE)).expect("read cache file");
+        for line in body.lines() {
+            assert!(
+                matches!(atomic::unseal(line), Unsealed::Verified(_)),
+                "unsealed line: {line}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_unsealed_lines_load_and_are_resealed() {
+        let dir = temp_dir("legacy");
+        std::fs::create_dir_all(&dir).expect("create dir");
+        let line = encode_line(sample_key(), &sample_result());
+        std::fs::write(dir.join(CACHE_FILE), format!("{line}\n")).expect("write legacy file");
+        {
+            let mut cache = ResultCache::open(&dir).expect("open legacy cache");
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(sample_key()).as_ref(), Some(&sample_result()));
+            assert_eq!(cache.take_accounting().quarantined, 0);
+        }
+        // The compaction pass re-wrote the legacy line sealed.
+        let body = std::fs::read_to_string(dir.join(CACHE_FILE)).expect("read cache file");
+        assert!(matches!(
+            atomic::unseal(body.lines().next().expect("one line")),
+            Unsealed::Verified(_)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_lines_are_quarantined_and_compacted_away() {
+        let dir = temp_dir("quarantine");
+        let key = sample_key();
+        let result = sample_result();
+        {
+            let mut cache = ResultCache::open(&dir).expect("open cache");
+            cache.put(key, &result);
+        }
+        // Damage the store: a torn tail, a zero-length entry, and a
+        // bit-flipped copy of a sealed line.
+        let path = dir.join(CACHE_FILE);
+        let good = std::fs::read_to_string(&path).expect("read cache file");
+        let sealed_line = good.lines().next().expect("one line").to_string();
+        let mut flipped = sealed_line.clone().into_bytes();
+        flipped[10] ^= 0x40;
+        let flipped = String::from_utf8_lossy(&flipped).into_owned();
+        let torn = &sealed_line[..sealed_line.len() / 2];
+        std::fs::write(&path, format!("{sealed_line}\n\n{flipped}\n{torn}"))
+            .expect("write damaged file");
+        {
+            let mut cache = ResultCache::open(&dir).expect("open damaged cache");
+            // The intact entry survives; the damage is quarantined
+            // (the blank line is noise, not damage).
+            assert_eq!(cache.len(), 1);
+            assert_eq!(cache.get(key).as_ref(), Some(&result));
+            assert_eq!(cache.take_accounting().quarantined, 2);
+        }
+        let qbody = std::fs::read_to_string(dir.join(QUARANTINE_DIR).join(CACHE_FILE))
+            .expect("quarantine file exists");
+        assert_eq!(qbody.lines().count(), 2);
+        assert!(qbody.contains(torn), "torn line preserved verbatim");
+        // The live file was compacted: only the good line, still sealed.
+        let body = std::fs::read_to_string(&path).expect("read compacted file");
+        assert_eq!(body.lines().count(), 1);
+        {
+            let mut cache = ResultCache::open(&dir).expect("reopen compacted cache");
+            assert_eq!(cache.take_accounting().quarantined, 0);
             assert_eq!(cache.get(key).as_ref(), Some(&result));
         }
         let _ = std::fs::remove_dir_all(&dir);

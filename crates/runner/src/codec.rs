@@ -1,0 +1,252 @@
+//! The minimal JSON codec shared by the result cache and the sweep
+//! journal.
+//!
+//! The workspace's `serde` is an offline stub, so serialization is
+//! hand-rolled — and deliberately bit-exact: the reader keeps number
+//! tokens *raw* so `u64` seeds and `f64` means each get an exact,
+//! field-typed parse (`f64`s are written with Rust's shortest-roundtrip
+//! `Debug` formatting; integers are never routed through `f64`, which
+//! would corrupt seeds above 2⁵³).
+
+use std::sync::Mutex;
+
+/// A parsed JSON value with raw number tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Json {
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    pub(crate) fn get(&self, field: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == field).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => match raw.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                raw => raw.parse().ok(),
+            },
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (a cache or journal line's payload).
+pub(crate) fn parse(s: &str) -> Option<Json> {
+    Reader::new(s).value()
+}
+
+/// Appends `s` as a JSON string literal (with escapes) to `out`.
+pub(crate) fn encode_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `Diagnostic::code` is `&'static str`; codes loaded from disk are
+/// interned (leaked once per distinct code — a handful per process).
+pub(crate) fn intern_code(code: &str) -> &'static str {
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut guard = INTERNED.lock().expect("intern table lock poisoned");
+    if let Some(found) = guard.iter().find(|s| **s == code) {
+        return found;
+    }
+    let leaked: &'static str = Box::leak(code.to_string().into_boxed_str());
+    guard.push(leaked);
+    leaked
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8) -> Option<()> {
+        (self.peek()? == byte).then(|| self.pos += 1)
+    }
+
+    fn value(&mut self) -> Option<Json> {
+        match self.peek()? {
+            b'"' => self.string().map(Json::Str),
+            b'{' => self.object(),
+            b'[' => self.array(),
+            _ => self.number(),
+        }
+    }
+
+    fn number(&mut self) -> Option<Json> {
+        self.skip_ws();
+        let start = self.pos;
+        // Accept the non-standard tokens our writer emits for f64 specials.
+        while self.pos < self.bytes.len()
+            && matches!(
+                self.bytes[self.pos],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E' | b'N' | b'a' | b'i' | b'n' | b'f'
+            )
+        {
+            self.pos += 1;
+        }
+        (self.pos > start)
+            .then(|| Json::Num(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned()))
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self.bytes.get(self.pos)?;
+            self.pos += 1;
+            match b {
+                b'"' => return Some(out),
+                b'\\' => {
+                    let esc = *self.bytes.get(self.pos)?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.pos..self.pos + 4)?;
+                            self.pos += 4;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                        }
+                        _ => return None,
+                    }
+                }
+                b => {
+                    // Re-sync on the UTF-8 boundary: push raw bytes of a
+                    // multi-byte char in one go.
+                    if b < 0x80 {
+                        out.push(b as char);
+                    } else {
+                        let len = match b {
+                            0xC0..=0xDF => 2,
+                            0xE0..=0xEF => 3,
+                            _ => 4,
+                        };
+                        let chunk = self.bytes.get(self.pos - 1..self.pos - 1 + len)?;
+                        self.pos += len - 1;
+                        out.push_str(std::str::from_utf8(chunk).ok()?);
+                    }
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Option<Json> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Some(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b']' => {
+                    self.pos += 1;
+                    return Some(Json::Arr(items));
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    fn object(&mut self) -> Option<Json> {
+        self.eat(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Some(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.eat(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek()? {
+                b',' => self.pos += 1,
+                b'}' => {
+                    self.pos += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                _ => return None,
+            }
+        }
+    }
+}

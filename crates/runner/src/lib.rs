@@ -17,20 +17,44 @@
 //! * [`SweepRunner`] — glues the three together and reports progress
 //!   (points done/total) and per-figure cache hit/miss accounting.
 //!
+//! Crash safety is layered on top without touching the results
+//! (see `DESIGN.md` §11 for the full model):
+//!
+//! * [`mod@atomic`] — sealed (length + FNV checksum) JSONL lines and
+//!   tmp-file + fsync + rename whole-file replacement; the only module
+//!   in this crate that opens files for writing (the `atomic-io` lint
+//!   rule enforces this).
+//! * [`ResultCache`] quarantines damaged lines to
+//!   `<cache dir>/quarantine/` and recomputes them instead of aborting
+//!   or silently mis-deserializing.
+//! * [`SweepJournal`] — records each completed (point × trial) outcome
+//!   so an interrupted sweep resumes exactly where it died, with output
+//!   bit-identical to an uninterrupted run.
+//! * [`WatchdogSpec`] — a per-trial wall-clock deadline with bounded,
+//!   jittered retries, so a hung trial is isolated as a `TrialFailure`
+//!   instead of stalling the pool.
+//!
 //! Determinism is the design constraint throughout: batch output is
 //! bit-identical to sequential `Experiment::try_run` for every worker
 //! count and cache state (see `runner` module docs for the argument,
-//! `tests/golden_batch.rs` for the proof).
+//! `tests/golden_batch.rs` for the proof). Recovery changes *when*
+//! results are computed, never *what* they are.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod atomic;
 mod cache;
+mod codec;
 mod hash;
+mod journal;
 mod pool;
 mod runner;
+mod watchdog;
 
-pub use cache::{CacheAccounting, ResultCache, CACHE_FILE};
+pub use cache::{CacheAccounting, ResultCache, CACHE_FILE, QUARANTINE_DIR};
 pub use hash::{experiment_key, experiment_key_salted, PointKey, SpecHasher, CACHE_SALT};
+pub use journal::{JournalAccounting, SweepJournal, JOURNAL_FILE};
 pub use pool::WorkerPool;
-pub use runner::{PointProgress, SweepRunner};
+pub use runner::{PointProgress, SweepRunner, WATCHDOG_DIAGNOSTIC};
+pub use watchdog::{run_guarded, Guarded, WatchdogSpec};

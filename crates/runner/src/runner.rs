@@ -23,11 +23,23 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use staleload_core::{Experiment, ExperimentResult, SimError, TrialOutcome};
+use staleload_core::{
+    trial_seed, Diagnostic, Experiment, ExperimentResult, SimError, TrialFailure, TrialOutcome,
+};
 
 use crate::cache::{CacheAccounting, ResultCache};
 use crate::hash::experiment_key;
+use crate::journal::{JournalAccounting, SweepJournal};
 use crate::pool::WorkerPool;
+use crate::watchdog::{run_guarded, WatchdogSpec};
+
+/// Diagnostic code attached to points where at least one trial blew the
+/// watchdog budget. Such points are never cached (a wall-clock verdict
+/// must not poison the durable stores).
+pub const WATCHDOG_DIAGNOSTIC: &str = "watchdog-timeout";
+
+/// Prefix of the `TrialFailure::error` text for watchdog timeouts.
+const WATCHDOG_ERROR_PREFIX: &str = "watchdog:";
 
 /// A progress snapshot, emitted each time a point completes (and once
 /// up front for the points the cache served instantly).
@@ -71,23 +83,90 @@ impl PointSlots {
     }
 }
 
+/// Whether a trial outcome is a watchdog timeout (as opposed to a real
+/// simulation error or panic).
+fn is_watchdog_failure(outcome: &TrialOutcome) -> bool {
+    matches!(outcome, TrialOutcome::Failed(f) if f.error.starts_with(WATCHDOG_ERROR_PREFIX))
+}
+
+/// Runs one trial, under the watchdog when one is armed. A trial whose
+/// every attempt blows the budget becomes a `TrialFailure` whose error
+/// text starts with `"watchdog:"`.
+fn run_trial_guarded(
+    exp: &Arc<Experiment>,
+    trial: usize,
+    watchdog: Option<WatchdogSpec>,
+) -> TrialOutcome {
+    let Some(spec) = watchdog else {
+        return exp.run_trial(trial);
+    };
+    let seed = trial_seed(exp.config.seed, trial);
+    let body_exp = Arc::clone(exp);
+    // The jitter stream must not correlate with the trial's own RNG:
+    // perturb the seed with a fixed tweak before handing it over.
+    let guarded = run_guarded(&spec, seed ^ 0x57A7_C4D0_6B0D_6E55, move || {
+        body_exp.run_trial(trial)
+    });
+    match guarded.outcome {
+        Some(outcome) => outcome,
+        None => TrialOutcome::Failed(TrialFailure {
+            trial,
+            seed,
+            error: format!(
+                "watchdog: exceeded the {:?} per-attempt budget ({} attempts, {} timeouts)",
+                spec.budget, guarded.attempts, guarded.timeouts
+            ),
+        }),
+    }
+}
+
 /// Executes batches of experiment points on a persistent worker pool,
 /// consulting (and filling) a content-addressed result cache.
 pub struct SweepRunner {
     pool: WorkerPool,
     cache: ResultCache,
+    journal: Arc<SweepJournal>,
+    watchdog: Option<WatchdogSpec>,
     progress: Option<Arc<ProgressFn>>,
 }
 
 impl SweepRunner {
-    /// Builds a runner from a pool and a cache.
+    /// Builds a runner from a pool and a cache (journal and watchdog
+    /// disabled; see [`SweepRunner::set_journal`] and
+    /// [`SweepRunner::set_watchdog`]).
     #[must_use]
     pub fn new(pool: WorkerPool, cache: ResultCache) -> Self {
         Self {
             pool,
             cache,
+            journal: Arc::new(SweepJournal::disabled()),
+            watchdog: None,
             progress: None,
         }
+    }
+
+    /// Installs a sweep journal: completed trials are recorded as they
+    /// finish and replayed (instead of recomputed) by later batches, so
+    /// an interrupted sweep resumes where it died. Replaces any
+    /// previous journal.
+    pub fn set_journal(&mut self, journal: SweepJournal) {
+        self.journal = Arc::new(journal);
+    }
+
+    /// Whether a journal is recording and replaying trials.
+    #[must_use]
+    pub fn journal_enabled(&self) -> bool {
+        self.journal.is_enabled()
+    }
+
+    /// Arms (or with `None`, disarms) the per-trial watchdog.
+    pub fn set_watchdog(&mut self, spec: Option<WatchdogSpec>) {
+        self.watchdog = spec;
+    }
+
+    /// Returns and resets the journal's replay/record counters.
+    pub fn take_journal_accounting(&mut self) -> JournalAccounting {
+        self.journal.take_accounting()
     }
 
     /// Total workers serving batches (including the calling thread).
@@ -166,8 +245,9 @@ impl SweepRunner {
     }
 
     /// Runs every point of `experiments`, returning results in input
-    /// order. Cached points are served without simulating; the rest are
-    /// flattened into (point × trial) tasks and executed on the pool.
+    /// order. Cached points are served without simulating; journalled
+    /// trials of the rest are replayed; only the remainder is flattened
+    /// into (point × trial) tasks and executed on the pool.
     pub fn run_batch(
         &mut self,
         experiments: &[Experiment],
@@ -176,7 +256,7 @@ impl SweepRunner {
         let start = Instant::now();
         let mut results: Vec<Option<Result<ExperimentResult, SimError>>> =
             (0..total).map(|_| None).collect();
-        let mut uncached: Vec<usize> = Vec::new();
+        let mut uncached: Vec<(usize, crate::PointKey)> = Vec::new();
         let mut done_upfront = 0usize;
         for (i, exp) in experiments.iter().enumerate() {
             if exp.trials == 0 {
@@ -186,12 +266,43 @@ impl SweepRunner {
                 done_upfront += 1;
                 continue;
             }
-            if let Some(hit) = self.cache.get(experiment_key(exp)) {
+            let key = experiment_key(exp);
+            if let Some(hit) = self.cache.get(key) {
                 results[i] = Some(Ok(hit));
                 done_upfront += 1;
             } else {
-                uncached.push(i);
+                uncached.push((i, key));
             }
+        }
+
+        // Replay journalled trials into their slots before building
+        // tasks: a resumed sweep recomputes only what never completed.
+        let slots_by_point: Vec<Arc<PointSlots>> = uncached
+            .iter()
+            .map(|&(i, _)| Arc::new(PointSlots::new(experiments[i].trials)))
+            .collect();
+        let mut pending_by_point: Vec<Vec<usize>> = Vec::with_capacity(uncached.len());
+        for (u, &(i, key)) in uncached.iter().enumerate() {
+            let trials = experiments[i].trials;
+            let mut pending = Vec::with_capacity(trials);
+            for trial in 0..trials {
+                match self.journal.lookup(key, trial) {
+                    Some(outcome) => {
+                        *slots_by_point[u].outcomes[trial]
+                            .lock()
+                            .expect("trial slot lock poisoned") = Some(outcome);
+                    }
+                    None => pending.push(trial),
+                }
+            }
+            slots_by_point[u]
+                .remaining
+                .store(pending.len(), Ordering::Release);
+            if pending.is_empty() {
+                // Fully replayed: the point completes without a task.
+                done_upfront += 1;
+            }
+            pending_by_point.push(pending);
         }
         if let Some(progress) = &self.progress {
             progress(PointProgress {
@@ -201,21 +312,24 @@ impl SweepRunner {
             });
         }
 
-        let slots_by_point: Vec<Arc<PointSlots>> = uncached
-            .iter()
-            .map(|&i| Arc::new(PointSlots::new(experiments[i].trials)))
-            .collect();
         let done = Arc::new(AtomicUsize::new(done_upfront));
         let mut tasks: Vec<Box<dyn FnOnce() + Send + 'static>> = Vec::new();
-        for (u, &i) in uncached.iter().enumerate() {
+        for (u, &(i, key)) in uncached.iter().enumerate() {
             let exp = Arc::new(experiments[i].clone());
-            for trial in 0..exp.trials {
+            for &trial in &pending_by_point[u] {
                 let exp = Arc::clone(&exp);
                 let slots = Arc::clone(&slots_by_point[u]);
                 let done = Arc::clone(&done);
+                let journal = Arc::clone(&self.journal);
+                let watchdog = self.watchdog;
                 let progress = self.progress.clone();
                 tasks.push(Box::new(move || {
-                    let outcome = exp.run_trial(trial);
+                    let outcome = run_trial_guarded(&exp, trial, watchdog);
+                    // Watchdog timeouts are wall-clock verdicts — never
+                    // journalled, so a faster resume re-attempts them.
+                    if !is_watchdog_failure(&outcome) {
+                        journal.record(key, trial, &outcome);
+                    }
                     *slots.outcomes[trial]
                         .lock()
                         .expect("trial slot lock poisoned") = Some(outcome);
@@ -234,7 +348,7 @@ impl SweepRunner {
         }
         self.pool.run(tasks);
 
-        for (u, &i) in uncached.iter().enumerate() {
+        for (u, &(i, key)) in uncached.iter().enumerate() {
             let outcomes: Vec<TrialOutcome> = slots_by_point[u]
                 .outcomes
                 .iter()
@@ -245,11 +359,36 @@ impl SweepRunner {
                         .expect("every trial task stores its outcome")
                 })
                 .collect();
-            let result = experiments[i].aggregate(outcomes);
-            if let Ok(r) = &result {
-                self.cache.put(experiment_key(&experiments[i]), r);
+            let mut result = experiments[i].aggregate(outcomes);
+            if let Ok(r) = &mut result {
+                let timed_out = r
+                    .failures
+                    .iter()
+                    .filter(|f| f.error.starts_with(WATCHDOG_ERROR_PREFIX))
+                    .count();
+                if timed_out > 0 {
+                    // Tag the point and keep it out of the cache: a slow
+                    // machine's timeout must not become a durable fact.
+                    if !r.diagnostics.iter().any(|d| d.code == WATCHDOG_DIAGNOSTIC) {
+                        r.diagnostics.push(Diagnostic {
+                            code: WATCHDOG_DIAGNOSTIC,
+                            message: format!(
+                                "{timed_out} trial(s) exceeded the watchdog budget; \
+                                 result left uncached"
+                            ),
+                        });
+                    }
+                } else {
+                    self.cache.put(key, r);
+                }
             }
             results[i] = Some(result);
+        }
+        // Every aggregated result is durably in the cache (puts are
+        // fsynced), so the journalled trials are redundant — truncate.
+        // With the cache disabled nothing is durable; keep the journal.
+        if self.cache.is_enabled() && !self.journal.is_empty() {
+            self.journal.clear();
         }
         results
             .into_iter()
