@@ -1,7 +1,10 @@
 //! Hand-rolled argument parsing (the project's dependency policy allows no
 //! CLI crate, and the grammar is small).
 
-use staleload_core::{clients_for_mean_age, ArrivalSpec, FaultSpec, RetrySpec, SimConfig};
+use staleload_core::{
+    clients_for_mean_age, ArrivalSpec, ChurnSpec, CorruptSpec, FaultSpec, PartitionSpec, RetrySpec,
+    SimConfig,
+};
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
 use staleload_sim::{Dist, SchedulerKind};
@@ -238,6 +241,11 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut stealing: Option<u32> = None;
     let mut burst: Option<BurstConfig> = None;
     let mut faults = FaultSpec::none();
+    let mut partition: Option<PartitionSpec> = None;
+    let mut churn: Option<ChurnSpec> = None;
+    let mut corrupt: Option<CorruptSpec> = None;
+    let mut hedge: Option<u32> = None;
+    let mut quarantine: Option<(f64, f64)> = None;
     let mut staleness_cutoff: Option<f64> = None;
     let mut queue_cap: Option<u32> = None;
     let mut deadline: Option<f64> = None;
@@ -306,6 +314,65 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                     .parse::<FaultSpec>()
                     .map_err(|e| e.to_string())?;
             }
+            "--partition" => {
+                let v = take("--partition")?;
+                let parts: Vec<&str> = v.split(':').collect();
+                if !(parts.len() == 3 || (parts.len() == 4 && parts[3] == "correlated")) {
+                    return Err(
+                        "--partition expects <MTBF>:<DURATION>:<FRACTION>[:correlated] \
+                         (e.g. 50:25:0.25)"
+                            .to_string(),
+                    );
+                }
+                partition = Some(PartitionSpec {
+                    mtbf: parts[0]
+                        .parse()
+                        .map_err(|_| format!("bad partition MTBF '{}'", parts[0]))?,
+                    duration: parts[1]
+                        .parse()
+                        .map_err(|_| format!("bad partition duration '{}'", parts[1]))?,
+                    fraction: parts[2]
+                        .parse()
+                        .map_err(|_| format!("bad partition fraction '{}'", parts[2]))?,
+                    correlated: parts.len() == 4,
+                });
+            }
+            "--churn" => {
+                let v = take("--churn")?;
+                let (m, d) = v
+                    .split_once(':')
+                    .ok_or("--churn expects <MTBF>:<DOWNTIME> (e.g. 150:30)")?;
+                churn = Some(ChurnSpec {
+                    mtbf: m.parse().map_err(|_| format!("bad churn MTBF '{m}'"))?,
+                    downtime: d.parse().map_err(|_| format!("bad churn downtime '{d}'"))?,
+                });
+            }
+            "--corrupt" => {
+                corrupt = Some(CorruptSpec {
+                    fraction: take("--corrupt")?
+                        .parse()
+                        .map_err(|e| format!("--corrupt: {e}"))?,
+                });
+            }
+            "--hedge" => {
+                hedge = Some(
+                    take("--hedge")?
+                        .parse()
+                        .map_err(|e| format!("--hedge: {e}"))?,
+                );
+            }
+            "--quarantine" => {
+                let v = take("--quarantine")?;
+                let (w, b) = v
+                    .split_once(':')
+                    .ok_or("--quarantine expects <WINDOW>:<BACKOFF> (e.g. 15:10)")?;
+                quarantine = Some((
+                    w.parse()
+                        .map_err(|_| format!("bad quarantine window '{w}'"))?,
+                    b.parse()
+                        .map_err(|_| format!("bad quarantine backoff '{b}'"))?,
+                ));
+            }
             "--staleness-cutoff" => {
                 staleness_cutoff = Some(
                     take("--staleness-cutoff")?
@@ -364,6 +431,27 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         }
     }
 
+    // Dedicated fault flags merge into --faults; naming a fault through
+    // both channels is ambiguous and rejected.
+    if let Some(p) = partition {
+        if faults.partition.is_some() {
+            return Err("partition faults specified twice (via --faults and --partition)".into());
+        }
+        faults.partition = Some(p);
+    }
+    if let Some(c) = churn {
+        if faults.churn.is_some() {
+            return Err("churn faults specified twice (via --faults and --churn)".into());
+        }
+        faults.churn = Some(c);
+    }
+    if let Some(c) = corrupt {
+        if faults.corrupt.is_some() {
+            return Err("corruption faults specified twice (via --faults and --corrupt)".into());
+        }
+        faults.corrupt = Some(c);
+    }
+
     let info = parse_info(&info_spec)?;
     let service = parse_service(&service_spec)?;
     // SITA-E derives its size cutoffs from the service distribution and
@@ -386,12 +474,31 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         },
         None => policy,
     };
-    // The circuit breaker wraps outermost: it watches the dispatch stream
-    // the composed policy actually produces.
+    // Quarantine composes above the gate: it ejects servers the same
+    // per-server ages the gate merely discounts.
+    let policy = match quarantine {
+        Some((window, backoff)) => PolicySpec::Quarantined {
+            window,
+            backoff,
+            inner: Box::new(policy),
+        },
+        None => policy,
+    };
+    // The circuit breaker watches the dispatch stream the composed policy
+    // actually produces.
     let policy = match guard {
         Some((threshold, cooldown)) => PolicySpec::Guarded {
             threshold,
             cooldown,
+            inner: Box::new(policy),
+        },
+        None => policy,
+    };
+    // Hedging must be outermost: the engine splits it off and drives the
+    // replica placement and cancel-on-completion machinery itself.
+    let policy = match hedge {
+        Some(h) => PolicySpec::Hedged {
+            h,
             inner: Box::new(policy),
         },
         None => policy,
@@ -686,6 +793,100 @@ mod tests {
         assert!(parse_run(&strings(&["--guard", "x:50"])).is_err());
         // threshold must exceed 1 (validate() catches it).
         assert!(parse_run(&strings(&["--guard", "0.5:50"])).is_err());
+    }
+
+    #[test]
+    fn resilience_fault_flags_parse() {
+        let args = parse_run(&strings(&[
+            "--partition",
+            "50:25:0.25:correlated",
+            "--churn",
+            "150:30",
+            "--corrupt",
+            "0.2",
+            "--info",
+            "periodic:10",
+        ]))
+        .unwrap();
+        let p = args.config.faults.partition.unwrap();
+        assert_eq!((p.mtbf, p.duration, p.fraction), (50.0, 25.0, 0.25));
+        assert!(p.correlated);
+        let c = args.config.faults.churn.unwrap();
+        assert_eq!((c.mtbf, c.downtime), (150.0, 30.0));
+        assert_eq!(args.config.faults.corrupt.unwrap().fraction, 0.2);
+
+        // The uncorrelated form omits the tag.
+        let args = parse_run(&strings(&["--partition", "50:25:0.25"])).unwrap();
+        assert!(!args.config.faults.partition.unwrap().correlated);
+
+        // Malformed shapes are rejected with messages, not panics.
+        assert!(parse_run(&strings(&["--partition", "50:25"])).is_err());
+        assert!(parse_run(&strings(&["--partition", "50:25:0.25:banana"])).is_err());
+        assert!(parse_run(&strings(&["--churn", "150"])).is_err());
+        assert!(parse_run(&strings(&["--corrupt", "lots"])).is_err());
+    }
+
+    #[test]
+    fn degenerate_resilience_values_are_config_errors() {
+        // Zero-length partition interval.
+        assert!(parse_run(&strings(&["--partition", "0:5:0.5"])).is_err());
+        assert!(parse_run(&strings(&["--partition", "10:0:0.5"])).is_err());
+        // Churn whose downtime would empty the cluster.
+        assert!(parse_run(&strings(&["--churn", "10:20"])).is_err());
+        // Corruption fraction outside [0, 1].
+        assert!(parse_run(&strings(&["--corrupt", "1.5"])).is_err());
+        // Hedge factor below 1; quarantine with a zero window.
+        assert!(parse_run(&strings(&["--hedge", "0"])).is_err());
+        assert!(parse_run(&strings(&["--quarantine", "0:5"])).is_err());
+        assert!(parse_run(&strings(&["--quarantine", "15"])).is_err());
+        // Churn and crash faults cannot be combined.
+        assert!(parse_run(&strings(&["--faults", "crash:500:20", "--churn", "150:30"])).is_err());
+        // Naming one fault through both channels is ambiguous.
+        assert!(parse_run(&strings(&[
+            "--faults",
+            "partition:50:25:0.25",
+            "--partition",
+            "60:20:0.5"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn hedge_and_quarantine_wrap_the_policy() {
+        let args = parse_run(&strings(&[
+            "--hedge",
+            "2",
+            "--quarantine",
+            "15:10",
+            "--staleness-cutoff",
+            "25",
+        ]))
+        .unwrap();
+        match args.policy {
+            PolicySpec::Hedged { h, inner } => {
+                assert_eq!(h, 2);
+                match *inner {
+                    PolicySpec::Quarantined {
+                        window,
+                        backoff,
+                        inner,
+                    } => {
+                        assert_eq!((window, backoff), (15.0, 10.0));
+                        assert!(matches!(*inner, PolicySpec::Gated { .. }));
+                    }
+                    other => panic!("expected quarantined under hedge, got {other:?}"),
+                }
+            }
+            other => panic!("expected hedged outermost, got {other:?}"),
+        }
+        // The guard slots between quarantine and the hedge.
+        let args = parse_run(&strings(&["--hedge", "3", "--guard", "2:50"])).unwrap();
+        match args.policy {
+            PolicySpec::Hedged { h: 3, inner } => {
+                assert!(matches!(*inner, PolicySpec::Guarded { .. }));
+            }
+            other => panic!("expected hedged(guarded), got {other:?}"),
+        }
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //! `--policy <spec>` (run only), `--info <spec>`, `--service <spec>`,
 //! `--capacities <spec>`, `--stealing <MIN>`, `--burst <LEN>:<GAP>`,
 //! `--queue-cap <N>`, `--deadline <T>`, `--retry <MAX>:<BASE>:<CAP>`,
-//! `--guard <THR>:<COOLDOWN>`, `--scheduler <heap|calendar>`,
+//! `--guard <THR>:<COOLDOWN>`, `--partition <MTBF>:<DUR>:<FRAC>[:correlated]`,
+//! `--churn <MTBF>:<DOWNTIME>`, `--corrupt <FRAC>`, `--hedge <H>`,
+//! `--quarantine <WINDOW>:<BACKOFF>`, `--scheduler <heap|calendar>`,
 //! `--watchdog <SECS>`, `--detail`.
 
 #![forbid(unsafe_code)]
@@ -89,6 +91,17 @@ fn print_help() {
          decorrelated-jitter backoff in [BASE, CAP]\n  \
          --guard THR:COOLDOWN  circuit breaker: fall back to random routing for\n                     \
          COOLDOWN time when dispatch concentration exceeds THR (>1)\n  \
+         --partition MTBF:DUR:FRAC[:correlated]  a FRAC subset of servers goes\n                     \
+         invisible to the board for DUR (contiguous block when\n                     \
+         correlated), healing and re-striking with mean MTBF\n  \
+         --churn MTBF:DOWNTIME  servers leave with mean MTBF (queues handed off)\n                     \
+         and rejoin cold after DOWNTIME\n  \
+         --corrupt FRAC     garble FRAC of load reports in flight (zeroed, stuck,\n                     \
+         or scaled 8x)\n  \
+         --hedge H          dispatch each job to H servers, first completion wins,\n                     \
+         losers cancelled (needs a plain FIFO config)\n  \
+         --quarantine WINDOW:BACKOFF  eject servers whose reports are older than\n                     \
+         WINDOW, probe for readmission after BACKOFF (doubling)\n  \
          --scheduler KIND   event-queue backend: heap (default) or calendar;\n                     \
          trajectories are bit-identical, calendar is faster at scale\n  \
          --watchdog SECS    per-trial wall-clock budget; a trial whose every\n                     \
@@ -100,7 +113,9 @@ fn print_help() {
          staleload run --policy basic-li --info continuous:exp:5:actual --detail\n  \
          staleload run --policy hetero-li --capacities 50x1.6,50x0.4 --lambda 0.7\n  \
          staleload run --faults crash:500:20,drop:0.5 --staleness-cutoff 25\n  \
-         staleload run --queue-cap 10 --deadline 20 --retry 5:1:30 --guard 2:100 --detail"
+         staleload run --queue-cap 10 --deadline 20 --retry 5:1:30 --guard 2:100 --detail\n  \
+         staleload run --partition 50:25:0.25 --quarantine 15:10 --detail\n  \
+         staleload run --hedge 2 --churn 150:30 --corrupt 0.1 --detail"
     );
 }
 
@@ -218,6 +233,23 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
                 o.retry_amplification(r.generated)
             );
             println!("recovery time : {:.1}", d.time_to_recovery());
+        }
+        if !r.resilience.is_zero() {
+            let res = &r.resilience;
+            println!(
+                "resilience    : {} hedges ({} won, {} cancelled), {} ejections, \
+                 {} readmissions, {} corrupted, {:.1} partition-seconds",
+                res.hedges_issued,
+                res.hedges_won,
+                res.hedges_cancelled,
+                res.quarantine_ejections,
+                res.quarantine_readmissions,
+                res.corrupted_reports,
+                res.partition_seconds
+            );
+            if res.hedges_issued > 0 {
+                println!("hedge win rate: {:.3}", res.hedge_win_rate());
+            }
         }
     }
     Ok(())

@@ -137,6 +137,82 @@ fn bad_overload_flags_fail_with_message() {
 }
 
 #[test]
+fn run_resilience_knobs_print_counters() {
+    let (ok, stdout, stderr) = staleload(&[
+        "run",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "20000",
+        "--trials",
+        "1",
+        "--policy",
+        "basic-li",
+        "--info",
+        "periodic:5",
+        "--partition",
+        "40:20:0.25",
+        "--corrupt",
+        "0.2",
+        "--hedge",
+        "2",
+        "--quarantine",
+        "15:10",
+        "--detail",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("resilience"), "{stdout}");
+    assert!(stdout.contains("partition-seconds"), "{stdout}");
+    assert!(stdout.contains("hedge win rate"), "{stdout}");
+    assert!(
+        stdout.contains("hedged") && stdout.contains("quarantined"),
+        "label shows the wrappers:\n{stdout}"
+    );
+}
+
+#[test]
+fn bad_resilience_flags_fail_with_message() {
+    // Zero-length partition interval.
+    let (ok, _, stderr) = staleload(&["run", "--partition", "0:5:0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("partition"), "{stderr}");
+    let (ok, _, stderr) = staleload(&["run", "--partition", "10:0:0.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("partition"), "{stderr}");
+    // Churn that would empty the cluster.
+    let (ok, _, stderr) = staleload(&["run", "--churn", "10:20"]);
+    assert!(!ok);
+    assert!(stderr.contains("churn"), "{stderr}");
+    // Corruption fraction out of range.
+    let (ok, _, stderr) = staleload(&["run", "--corrupt", "1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupt"), "{stderr}");
+    // Hedge factor below 1, and above the cluster size.
+    let (ok, _, stderr) = staleload(&["run", "--hedge", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("hedge factor"), "{stderr}");
+    let (ok, _, stderr) = staleload(&[
+        "run",
+        "--servers",
+        "4",
+        "--arrivals",
+        "1000",
+        "--hedge",
+        "99",
+        "--info",
+        "periodic:5",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("exceeds the cluster size"), "{stderr}");
+    // Quarantine with a zero window.
+    let (ok, _, stderr) = staleload(&["run", "--quarantine", "0:5"]);
+    assert!(!ok);
+    assert!(stderr.contains("quarantine window"), "{stderr}");
+}
+
+#[test]
 fn bad_policy_fails_with_message() {
     let (ok, _, stderr) = staleload(&["run", "--policy", "telepathy"]);
     assert!(!ok);

@@ -58,6 +58,7 @@ struct ClusterParts {
     loads: Vec<u32>,
     capacities: Vec<f64>,
     up: Vec<bool>,
+    visible: Vec<bool>,
 }
 
 thread_local! {
@@ -136,6 +137,11 @@ pub struct Cluster {
     loads: Vec<u32>,
     capacities: Vec<f64>,
     up: Vec<bool>,
+    /// Whether each server's load reports currently reach the bulletin
+    /// board (`false` while the server is partitioned away from the
+    /// information plane). Unlike [`Cluster::is_up`] this is *pure
+    /// information-plane* state: an invisible server keeps serving.
+    visible: Vec<bool>,
     history: Option<LoadHistory>,
     arrivals: u64,
     departures: u64,
@@ -160,12 +166,15 @@ impl Cluster {
             parts.capacities.resize(n, 1.0);
             parts.up.clear();
             parts.up.resize(n, true);
+            parts.visible.clear();
+            parts.visible.resize(n, true);
             return Self {
                 servers: parts.servers,
                 slab: parts.slab,
                 loads: parts.loads,
                 capacities: parts.capacities,
                 up: parts.up,
+                visible: parts.visible,
                 history: None,
                 arrivals: 0,
                 departures: 0,
@@ -178,6 +187,7 @@ impl Cluster {
             loads: vec![0; n],
             capacities: vec![1.0; n],
             up: vec![true; n],
+            visible: vec![true; n],
             history: None,
             arrivals: 0,
             departures: 0,
@@ -485,6 +495,109 @@ impl Cluster {
         self.up.iter().filter(|&&u| u).count()
     }
 
+    /// Whether `server`'s load reports currently reach the bulletin board
+    /// (always true outside partition fault injection). An invisible
+    /// server keeps serving — only its *reports* are lost, so the board
+    /// models skip its refresh and its entry decays in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn is_visible(&self, server: ServerId) -> bool {
+        self.visible[server]
+    }
+
+    /// Marks `server` as (in)visible to the information plane (partition
+    /// fault injection). Idempotent: partitioning an already-invisible
+    /// server is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn set_visible(&mut self, server: ServerId, visible: bool) {
+        self.visible[server] = visible;
+    }
+
+    /// Id of the job at the head of `server`'s queue (the job in service
+    /// when the server is up and busy), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn head_job_id(&self, server: ServerId) -> Option<u64> {
+        self.servers[server].queue.front(&self.slab).map(|j| j.id)
+    }
+
+    /// Removes a *waiting* replica by id from `server`'s queue at time
+    /// `now` (hedge cancellation). Unlike [`Cluster::renege_waiting`] the
+    /// job does *not* count as a departure: a cancelled hedge replica was
+    /// never an arrival (it was placed with [`Cluster::requeue`]), so
+    /// removing it must not touch the conservation counters.
+    ///
+    /// Same head semantics as reneging: when `head_in_service` is true the
+    /// queue head is being served and only jobs behind it are eligible.
+    /// Returns the removed job, or `None` if no waiting job with that id
+    /// is present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range.
+    pub fn cancel_waiting(
+        &mut self,
+        server: ServerId,
+        job_id: u64,
+        now: f64,
+        head_in_service: bool,
+    ) -> Option<Job> {
+        let first_waiting = usize::from(head_in_service);
+        let s = &mut self.servers[server];
+        let job = s
+            .queue
+            .remove_by_id(&mut self.slab, job_id, first_waiting)?;
+        self.loads[server] -= 1;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, self.loads[server]);
+        }
+        Some(job)
+    }
+
+    /// Aborts the *in-service* job on `server` at time `now` (hedge
+    /// cancellation of a replica that already entered service). The job
+    /// vanishes without counting as a completion or departure; if another
+    /// job was waiting it enters service and its departure time is
+    /// returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `server` is out of range, down, or idle — aborting
+    /// service on a server that isn't serving indicates a corrupted hedge
+    /// book.
+    pub fn abort_in_service(&mut self, server: ServerId, now: f64) -> Option<f64> {
+        assert!(self.up[server], "abort_in_service() on a down server");
+        let s = &mut self.servers[server];
+        let _gone = s
+            .queue
+            .pop_front(&mut self.slab)
+            // lint: allow(panic-hygiene) — documented panicking API: aborting an idle server is a corrupted hedge book
+            .expect("abort_in_service() on an idle server");
+        self.loads[server] -= 1;
+        if let Some(h) = &mut self.history {
+            h.record(server, now, self.loads[server]);
+        }
+        let capacity = self.capacities[server];
+        let s = &mut self.servers[server];
+        let next = s
+            .queue
+            .front(&self.slab)
+            .map(|j| now + j.service / capacity);
+        if next.is_none() {
+            if let Some(since) = s.busy_since.take() {
+                s.busy_time += now - since;
+            }
+        }
+        next
+    }
+
     /// Takes `server` down at time `now` (fault injection).
     ///
     /// Service stops immediately: the in-service job keeps its place at
@@ -599,6 +712,7 @@ impl Drop for Cluster {
                     loads: std::mem::take(&mut self.loads),
                     capacities: std::mem::take(&mut self.capacities),
                     up: std::mem::take(&mut self.up),
+                    visible: std::mem::take(&mut self.visible),
                 });
             }
         });
@@ -917,5 +1031,79 @@ mod tests {
         c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
         assert_eq!(c.renege_waiting(0, 42, 1.0, true), None);
         assert_eq!(c.departures(), 0);
+    }
+
+    #[test]
+    fn visibility_is_information_plane_only() {
+        let mut c = Cluster::new(2);
+        assert!(c.is_visible(0) && c.is_visible(1));
+        c.set_visible(1, false);
+        assert!(!c.is_visible(1));
+        assert!(c.is_up(1), "partition does not take the server down");
+        // The invisible server still serves jobs.
+        assert_eq!(c.enqueue(1, Job::new(0, 0.0, 2.0), 0.0), Some(2.0));
+        c.set_visible(1, true);
+        assert!(c.is_visible(1));
+    }
+
+    #[test]
+    fn head_job_id_tracks_the_queue_head() {
+        let mut c = Cluster::new(1);
+        assert_eq!(c.head_job_id(0), None);
+        c.enqueue(0, Job::new(7, 0.0, 1.0), 0.0);
+        c.enqueue(0, Job::new(8, 0.1, 1.0), 0.1);
+        assert_eq!(c.head_job_id(0), Some(7));
+        c.complete(0, 1.0);
+        assert_eq!(c.head_job_id(0), Some(8));
+    }
+
+    #[test]
+    fn cancel_waiting_does_not_count_a_departure() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        // A hedge replica migrates in via requeue (no arrival count)...
+        c.requeue(0, Job::new(1, 0.1, 1.0), 0.1);
+        assert_eq!(c.arrivals(), 1);
+        assert_eq!(c.loads(), &[2]);
+        // ...and is cancelled without touching the conservation counters.
+        let gone = c.cancel_waiting(0, 1, 1.0, true).expect("replica waits");
+        assert_eq!(gone.id, 1);
+        assert_eq!(c.loads(), &[1]);
+        assert_eq!(c.departures(), 0);
+        assert_eq!(c.in_system(), 1);
+        // The in-service head is not eligible.
+        assert_eq!(c.cancel_waiting(0, 0, 1.0, true), None);
+    }
+
+    #[test]
+    fn abort_in_service_promotes_the_next_job() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 5.0), 0.0);
+        c.requeue(0, Job::new(1, 0.1, 2.0), 0.1);
+        // Aborting the serving replica promotes job 1 with its full demand.
+        let next = c.abort_in_service(0, 1.0);
+        assert_eq!(next, Some(3.0));
+        assert_eq!(c.loads(), &[1]);
+        assert_eq!(c.departures(), 0);
+        assert_eq!(c.completed(0), 0);
+        let (j, next) = c.complete(0, 3.0);
+        assert_eq!(j.id, 1);
+        assert_eq!(next, None);
+    }
+
+    #[test]
+    fn abort_in_service_on_emptied_server_closes_busy_period() {
+        let mut c = Cluster::new(1);
+        c.enqueue(0, Job::new(0, 0.0, 4.0), 0.0);
+        assert_eq!(c.abort_in_service(0, 1.0), None);
+        assert_eq!(c.loads(), &[0]);
+        assert!((c.busy_time(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "idle server")]
+    fn abort_in_service_on_idle_panics() {
+        let mut c = Cluster::new(1);
+        c.abort_in_service(0, 1.0);
     }
 }

@@ -11,6 +11,15 @@
 //!   surviving servers at the crash instant.
 //! * **Losses** — board refreshes are dropped or delayed per entry (see
 //!   [`LossSpec`]).
+//! * **Partitions** — a subset of servers becomes invisible to the
+//!   bulletin board for an interval, then heals (see [`PartitionSpec`]).
+//!   The servers keep serving; only their reports are lost.
+//! * **Churn** — servers leave and rejoin the cluster mid-run (see
+//!   [`ChurnSpec`]). A departing server evicts its whole queue for
+//!   re-dispatch; a rejoining one comes back cold and warms up as the
+//!   board's natural refresh cycle re-learns it.
+//! * **Corruption** — a fraction of load reports are garbled in flight:
+//!   zeroed, stuck, or scaled (see [`CorruptSpec`]).
 //!
 //! Fault randomness comes from its own forked RNG stream, drawn *after*
 //! the four streams the fault-free engine forks, so
@@ -24,13 +33,16 @@
 //! crash:<mtbf>:<mttr>[:redispatch]
 //! drop:<p>
 //! delay:<mean>
+//! partition:<mtbf>:<duration>:<fraction>[:correlated]
+//! churn:<mtbf>:<downtime>
+//! corrupt:<fraction>
 //! ```
 
 use std::fmt;
 use std::str::FromStr;
 
 use serde::{Deserialize, Serialize};
-pub use staleload_info::LossSpec;
+pub use staleload_info::{CorruptSpec, LossSpec};
 
 use crate::ConfigError;
 
@@ -48,6 +60,42 @@ pub struct CrashSpec {
     pub redispatch: bool,
 }
 
+/// A recurring view-partition process: every so often a subset of servers
+/// becomes invisible to the bulletin board for an interval, then heals.
+///
+/// Partitions are pure information-plane faults — the partitioned servers
+/// keep serving jobs; only their load reports stop reaching the board, so
+/// their entries decay in place exactly like a crashed server's. Intervals
+/// never overlap: the next partition is drawn after the current one heals.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionSpec {
+    /// Mean healthy time between partitions (exponential).
+    pub mtbf: f64,
+    /// Fixed length of each partition interval.
+    pub duration: f64,
+    /// Fraction of the cluster partitioned away each time, in `(0, 1]`
+    /// (at least one server is always taken).
+    pub fraction: f64,
+    /// If `true` the partitioned subset is a *contiguous* block of server
+    /// ids (a rack or zone losing its uplink); if `false` (default) a
+    /// uniform random subset.
+    pub correlated: bool,
+}
+
+/// A membership-churn process: each server independently alternates
+/// between member and departed states, like [`CrashSpec`] but with
+/// *eviction* semantics — a departing server's whole queue (including the
+/// in-service job, which loses its partial service) is re-dispatched to
+/// surviving servers, and a rejoining server comes back empty and cold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnSpec {
+    /// Mean membership time before a server leaves (exponential).
+    pub mtbf: f64,
+    /// Mean departed time before it rejoins (exponential). Must be
+    /// shorter than `mtbf`, otherwise churn drains the cluster.
+    pub downtime: f64,
+}
+
 /// A complete fault-injection configuration; [`FaultSpec::none`] disables
 /// every fault and is the default.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
@@ -56,6 +104,12 @@ pub struct FaultSpec {
     pub crash: Option<CrashSpec>,
     /// Lossy/delayed update channel, if any.
     pub loss: Option<LossSpec>,
+    /// Recurring view partitions, if any.
+    pub partition: Option<PartitionSpec>,
+    /// Membership churn, if any.
+    pub churn: Option<ChurnSpec>,
+    /// Report corruption, if any.
+    pub corrupt: Option<CorruptSpec>,
 }
 
 impl FaultSpec {
@@ -67,7 +121,11 @@ impl FaultSpec {
 
     /// Whether any fault is active.
     pub fn is_none(&self) -> bool {
-        self.crash.is_none() && self.loss.is_none_or(|l| l.is_noop())
+        self.crash.is_none()
+            && self.loss.is_none_or(|l| l.is_noop())
+            && self.partition.is_none()
+            && self.churn.is_none()
+            && self.corrupt.is_none_or(|c| c.is_noop())
     }
 
     /// A pure crash/recovery fault (stall mode).
@@ -78,15 +136,44 @@ impl FaultSpec {
                 mttr,
                 redispatch: false,
             }),
-            loss: None,
+            ..Self::none()
         }
     }
 
     /// A pure drop-loss fault.
     pub fn drop(p: f64) -> Self {
         Self {
-            crash: None,
             loss: Some(LossSpec::drop(p)),
+            ..Self::none()
+        }
+    }
+
+    /// A pure uncorrelated view-partition fault.
+    pub fn partition(mtbf: f64, duration: f64, fraction: f64) -> Self {
+        Self {
+            partition: Some(PartitionSpec {
+                mtbf,
+                duration,
+                fraction,
+                correlated: false,
+            }),
+            ..Self::none()
+        }
+    }
+
+    /// A pure membership-churn fault.
+    pub fn churn(mtbf: f64, downtime: f64) -> Self {
+        Self {
+            churn: Some(ChurnSpec { mtbf, downtime }),
+            ..Self::none()
+        }
+    }
+
+    /// A pure report-corruption fault.
+    pub fn corrupt(fraction: f64) -> Self {
+        Self {
+            corrupt: Some(CorruptSpec { fraction }),
+            ..Self::none()
         }
     }
 
@@ -113,13 +200,69 @@ impl FaultSpec {
         if let Some(loss) = &self.loss {
             loss.validate().map_err(ConfigError::new)?;
         }
+        if let Some(p) = &self.partition {
+            if !(p.mtbf.is_finite() && p.mtbf > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "partition MTBF must be finite and positive, got {}",
+                    p.mtbf
+                )));
+            }
+            if !(p.duration.is_finite() && p.duration > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "partition duration must be finite and positive (a zero-length \
+                     partition interval is degenerate), got {}",
+                    p.duration
+                )));
+            }
+            if !(p.fraction.is_finite() && p.fraction > 0.0 && p.fraction <= 1.0) {
+                return Err(ConfigError::new(format!(
+                    "partition fraction must be in (0, 1], got {}",
+                    p.fraction
+                )));
+            }
+        }
+        if let Some(c) = &self.churn {
+            if !(c.mtbf.is_finite() && c.mtbf > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "churn MTBF must be finite and positive, got {}",
+                    c.mtbf
+                )));
+            }
+            if !(c.downtime.is_finite() && c.downtime > 0.0) {
+                return Err(ConfigError::new(format!(
+                    "churn downtime must be finite and positive, got {}",
+                    c.downtime
+                )));
+            }
+            if c.downtime >= c.mtbf {
+                return Err(ConfigError::new(format!(
+                    "churn downtime ({}) must be shorter than the membership MTBF ({}): \
+                     that churn rate would empty the cluster",
+                    c.downtime, c.mtbf
+                )));
+            }
+            if self.crash.is_some() {
+                return Err(ConfigError::new(
+                    "churn and crash faults cannot be combined (churn subsumes crash: \
+                     a departing server already stops serving and evicts its queue)",
+                ));
+            }
+        }
+        if let Some(c) = &self.corrupt {
+            c.validate().map_err(ConfigError::new)?;
+        }
         Ok(())
     }
 }
 
 impl fmt::Display for FaultSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.crash.is_none() && self.loss.is_none() {
+        if self.crash.is_none()
+            && self.loss.is_none()
+            && self.partition.is_none()
+            && self.churn.is_none()
+            && self.corrupt.is_none()
+        {
             return write!(f, "none");
         }
         let mut sep = "";
@@ -133,6 +276,23 @@ impl fmt::Display for FaultSpec {
             if l.delay_mean > 0.0 {
                 write!(f, ",delay:{}", l.delay_mean)?;
             }
+            sep = ",";
+        }
+        if let Some(p) = &self.partition {
+            let mode = if p.correlated { ":correlated" } else { "" };
+            write!(
+                f,
+                "{sep}partition:{}:{}:{}{}",
+                p.mtbf, p.duration, p.fraction, mode
+            )?;
+            sep = ",";
+        }
+        if let Some(c) = &self.churn {
+            write!(f, "{sep}churn:{}:{}", c.mtbf, c.downtime)?;
+            sep = ",";
+        }
+        if let Some(c) = &self.corrupt {
+            write!(f, "{sep}corrupt:{}", c.fraction)?;
         }
         Ok(())
     }
@@ -180,10 +340,41 @@ impl FromStr for FaultSpec {
                     }
                     delay = Some(parse_f64(mean, "delay mean")?);
                 }
+                ("partition", [mtbf, duration, fraction])
+                | ("partition", [mtbf, duration, fraction, "correlated"]) => {
+                    if spec.partition.is_some() {
+                        return Err(ConfigError::new("duplicate partition clause in fault spec"));
+                    }
+                    spec.partition = Some(PartitionSpec {
+                        mtbf: parse_f64(mtbf, "partition MTBF")?,
+                        duration: parse_f64(duration, "partition duration")?,
+                        fraction: parse_f64(fraction, "partition fraction")?,
+                        correlated: rest.len() == 4,
+                    });
+                }
+                ("churn", [mtbf, downtime]) => {
+                    if spec.churn.is_some() {
+                        return Err(ConfigError::new("duplicate churn clause in fault spec"));
+                    }
+                    spec.churn = Some(ChurnSpec {
+                        mtbf: parse_f64(mtbf, "churn MTBF")?,
+                        downtime: parse_f64(downtime, "churn downtime")?,
+                    });
+                }
+                ("corrupt", [fraction]) => {
+                    if spec.corrupt.is_some() {
+                        return Err(ConfigError::new("duplicate corrupt clause in fault spec"));
+                    }
+                    spec.corrupt = Some(CorruptSpec {
+                        fraction: parse_f64(fraction, "corrupt fraction")?,
+                    });
+                }
                 _ => {
                     return Err(ConfigError::new(format!(
                         "bad fault clause '{}' (expected none, crash:<mtbf>:<mttr>[:redispatch], \
-                         drop:<p>, delay:<mean>)",
+                         drop:<p>, delay:<mean>, \
+                         partition:<mtbf>:<duration>:<fraction>[:correlated], \
+                         churn:<mtbf>:<downtime>, corrupt:<fraction>)",
                         clause.trim()
                     )));
                 }
@@ -220,6 +411,11 @@ mod tests {
             "crash:1000:50,drop:0.25",
             "drop:0.25,delay:2",
             "crash:500:10:redispatch,drop:0.1,delay:0.5",
+            "partition:100:20:0.25",
+            "partition:100:20:0.25:correlated",
+            "churn:200:20",
+            "corrupt:0.1",
+            "drop:0.5,partition:50:10:0.5,churn:100:5,corrupt:0.25",
         ] {
             let spec: FaultSpec = s.parse().unwrap();
             assert_eq!(spec.to_string(), s, "display must round-trip '{s}'");
@@ -260,6 +456,28 @@ mod tests {
             "drop:0.1,drop:0.2",
             "crash:10:5,crash:20:5",
             "delay:1,delay:2",
+            "partition",
+            "partition:100:20",
+            "partition:0:20:0.5",
+            "partition:100:0:0.5",
+            "partition:100:20:0",
+            "partition:100:20:1.5",
+            "partition:100:20:nan",
+            "partition:100:20:0.5:tight",
+            "partition:1:1:0.5,partition:2:2:0.5",
+            "churn",
+            "churn:100",
+            "churn:0:5",
+            "churn:100:0",
+            "churn:10:20",
+            "churn:10:10",
+            "churn:1000:1,churn:1000:1",
+            "crash:100:5,churn:1000:1",
+            "corrupt",
+            "corrupt:-0.1",
+            "corrupt:1.5",
+            "corrupt:nan",
+            "corrupt:0.1,corrupt:0.2",
         ] {
             assert!(s.parse::<FaultSpec>().is_err(), "'{s}' should be rejected");
         }
@@ -294,5 +512,52 @@ mod tests {
         assert!(FaultSpec::crash(-1.0, 5.0).validate().is_err());
         assert!(FaultSpec::drop(0.5).validate().is_ok());
         assert!(FaultSpec::drop(2.0).validate().is_err());
+        assert!(FaultSpec::partition(100.0, 20.0, 0.5).validate().is_ok());
+        assert!(FaultSpec::partition(100.0, 0.0, 0.5).validate().is_err());
+        assert!(FaultSpec::partition(100.0, 20.0, 0.0).validate().is_err());
+        assert!(FaultSpec::churn(200.0, 20.0).validate().is_ok());
+        assert!(FaultSpec::churn(20.0, 200.0).validate().is_err());
+        assert!(FaultSpec::corrupt(0.5).validate().is_ok());
+        assert!(FaultSpec::corrupt(1.5).validate().is_err());
+    }
+
+    #[test]
+    fn new_fault_rejections_name_the_degenerate_field() {
+        let err = |s: &str| s.parse::<FaultSpec>().unwrap_err().to_string();
+        assert!(
+            err("partition:100:0:0.5").contains("zero-length"),
+            "{}",
+            err("partition:100:0:0.5")
+        );
+        assert!(
+            err("churn:10:20").contains("empty the cluster"),
+            "{}",
+            err("churn:10:20")
+        );
+        assert!(
+            err("crash:100:5,churn:1000:1").contains("cannot be combined"),
+            "{}",
+            err("crash:100:5,churn:1000:1")
+        );
+        assert!(
+            err("corrupt:1.5").contains("corrupt fraction"),
+            "{}",
+            err("corrupt:1.5")
+        );
+    }
+
+    #[test]
+    fn is_none_sees_every_fault_kind() {
+        assert!(FaultSpec::none().is_none());
+        assert!(FaultSpec::corrupt(0.0).is_none(), "zero corruption is noop");
+        for spec in [
+            FaultSpec::crash(100.0, 5.0),
+            FaultSpec::drop(0.5),
+            FaultSpec::partition(100.0, 20.0, 0.5),
+            FaultSpec::churn(200.0, 20.0),
+            FaultSpec::corrupt(0.1),
+        ] {
+            assert!(!spec.is_none(), "{spec} should not be none");
+        }
     }
 }

@@ -55,6 +55,6 @@ pub use error::SimError;
 pub use experiment::{
     clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure, TrialOutcome,
 };
-pub use fault::{CrashSpec, FaultSpec, LossSpec};
-pub use metrics::{jain_fairness, OverloadStats, RunDetail};
+pub use fault::{ChurnSpec, CorruptSpec, CrashSpec, FaultSpec, LossSpec, PartitionSpec};
+pub use metrics::{jain_fairness, OverloadStats, ResilienceStats, RunDetail};
 pub use staleload_workloads::RetrySpec;

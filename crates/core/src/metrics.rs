@@ -133,6 +133,46 @@ impl OverloadStats {
     }
 }
 
+/// Counters from the degraded-information control plane (hedged dispatch,
+/// server quarantine, partition/corruption fault injection). All zero when
+/// none of those knobs is turned.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceStats {
+    /// Extra hedge replicas placed (a job hedged to `h` servers counts
+    /// `h − 1` here).
+    pub hedges_issued: u64,
+    /// Hedged jobs won by a replica other than the primary pick.
+    pub hedges_won: u64,
+    /// Losing replicas cancelled when a sibling completed first.
+    pub hedges_cancelled: u64,
+    /// Servers ejected from the candidate set by a quarantine wrapper.
+    pub quarantine_ejections: u64,
+    /// Quarantined servers readmitted after a successful probe.
+    pub quarantine_readmissions: u64,
+    /// Load reports garbled in flight by corruption injection.
+    pub corrupted_reports: u64,
+    /// Summed server-seconds of board invisibility (a partition hiding 3
+    /// servers for 2 time units counts 6).
+    pub partition_seconds: f64,
+}
+
+impl ResilienceStats {
+    /// Whether every counter is zero (no resilience knob turned, or none
+    /// ever triggered).
+    pub fn is_zero(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Fraction of hedged placements the primary pick lost — how often the
+    /// hedge actually paid for itself.
+    pub fn hedge_win_rate(&self) -> f64 {
+        if self.hedges_issued == 0 {
+            return 0.0;
+        }
+        self.hedges_won as f64 / self.hedges_issued as f64
+    }
+}
+
 /// Jain's fairness index over non-negative counts.
 ///
 /// Returns 1.0 for an empty or all-zero input (nothing to be unfair
@@ -189,6 +229,23 @@ mod tests {
         assert!(OverloadStats::default().is_zero());
         assert_eq!(OverloadStats::default().retry_amplification(0), 1.0);
         assert_eq!(OverloadStats::default().rejection_rate(0), 0.0);
+    }
+
+    #[test]
+    fn resilience_stats_rates() {
+        assert!(ResilienceStats::default().is_zero());
+        assert_eq!(ResilienceStats::default().hedge_win_rate(), 0.0);
+        let stats = ResilienceStats {
+            hedges_issued: 40,
+            hedges_won: 10,
+            hedges_cancelled: 40,
+            quarantine_ejections: 3,
+            quarantine_readmissions: 2,
+            corrupted_reports: 7,
+            partition_seconds: 12.5,
+        };
+        assert!(!stats.is_zero());
+        assert!((stats.hedge_win_rate() - 0.25).abs() < 1e-12);
     }
 
     #[test]

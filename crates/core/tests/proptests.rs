@@ -313,6 +313,9 @@ proptest! {
         redispatch in any::<bool>(),
         drop in proptest::option::of(0.0f64..1.0),
         with_crash in any::<bool>(),
+        partition in proptest::option::of((1.0f64..1e4, 1.0f64..1e3, 0.05f64..1.0, any::<bool>())),
+        with_churn in any::<bool>(),
+        corrupt in proptest::option::of(0.0f64..1.0),
     ) {
         let mut spec = if with_crash {
             let mut s = FaultSpec::crash(mtbf, mttr);
@@ -324,8 +327,97 @@ proptest! {
         if let Some(p) = drop {
             spec.loss = Some(staleload_core::LossSpec::drop(p));
         }
+        if let Some((mtbf, duration, fraction, correlated)) = partition {
+            spec.partition = Some(staleload_core::PartitionSpec {
+                mtbf, duration, fraction, correlated,
+            });
+        }
+        // FromStr validates, so only emit legal combinations: churn excludes
+        // crash, and its downtime must stay below its MTBF.
+        if with_churn && !with_crash {
+            spec.churn = Some(staleload_core::ChurnSpec { mtbf, downtime: mtbf * 0.5 });
+        }
+        if let Some(fraction) = corrupt {
+            spec.corrupt = Some(staleload_core::CorruptSpec { fraction });
+        }
         let text = spec.to_string();
         let parsed: FaultSpec = text.parse().expect("display output must parse");
         prop_assert_eq!(parsed, spec, "{}", text);
+    }
+
+    /// Job conservation across the degraded-information fault space: any
+    /// combination of view partitions, membership churn, report corruption,
+    /// hedged dispatch, and quarantine completes every generated job
+    /// exactly once — and does so deterministically.
+    #[test]
+    fn resilience_faults_conserve_jobs(
+        servers in 3usize..16,
+        lambda in 0.1f64..0.8,
+        partition in proptest::option::of((20.0f64..200.0, 2.0f64..40.0, 0.1f64..0.9, any::<bool>())),
+        churn in proptest::option::of((100.0f64..400.0, 1.0f64..30.0)),
+        corrupt in proptest::option::of(0.01f64..0.8),
+        hedge in proptest::option::of(2u32..4),
+        quarantine in proptest::option::of((5.0f64..40.0, 2.0f64..20.0)),
+        seed in any::<u64>(),
+    ) {
+        let mut faults = FaultSpec::none();
+        if let Some((mtbf, duration, fraction, correlated)) = partition {
+            faults.partition = Some(staleload_core::PartitionSpec {
+                mtbf, duration, fraction, correlated,
+            });
+        }
+        if let Some((mtbf, downtime)) = churn {
+            faults.churn = Some(staleload_core::ChurnSpec { mtbf, downtime });
+        }
+        if let Some(fraction) = corrupt {
+            faults.corrupt = Some(staleload_core::CorruptSpec { fraction });
+        }
+        faults.validate().expect("generated fault space is legal");
+        let mut policy = PolicySpec::BasicLi { lambda };
+        if let Some((window, backoff)) = quarantine {
+            policy = PolicySpec::Quarantined { window, backoff, inner: Box::new(policy) };
+        }
+        if let Some(h) = hedge {
+            // servers >= 3 keeps h <= n; hedging is the outermost wrapper.
+            policy = PolicySpec::Hedged { h, inner: Box::new(policy) };
+        }
+        let cfg = SimConfig::builder()
+            .servers(servers)
+            .lambda(lambda)
+            .arrivals(3_000)
+            .seed(seed)
+            .faults(faults)
+            .build();
+        // Partitions and corruption require a bulletin-board model.
+        let info = InfoSpec::Periodic { period: 5.0 };
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+
+        prop_assert_eq!(r.generated, 3_000);
+        // Every logical job completes exactly once: hedge replicas neither
+        // arrive nor depart, so completion counts see only winners.
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed, 3_000,
+            "completed {} != generated under {:?}", completed, cfg.faults);
+        // Every replica placed is eventually cancelled (it loses, or it
+        // wins and displaces exactly one sibling).
+        prop_assert_eq!(r.resilience.hedges_cancelled, r.resilience.hedges_issued);
+        prop_assert!(r.resilience.hedges_won <= r.resilience.hedges_issued);
+        if hedge.is_none() {
+            prop_assert_eq!(r.resilience.hedges_issued, 0);
+        }
+        if partition.is_none() {
+            prop_assert_eq!(r.resilience.partition_seconds.to_bits(), 0.0f64.to_bits());
+        }
+        if corrupt.is_none() {
+            prop_assert_eq!(r.resilience.corrupted_reports, 0);
+        }
+        prop_assert!(r.resilience.partition_seconds >= 0.0);
+        // Determinism holds across the whole fault space.
+        let again = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid config");
+        prop_assert_eq!(again.mean_response.to_bits(), r.mean_response.to_bits());
+        prop_assert_eq!(again.resilience, r.resilience);
+        prop_assert_eq!(again.faults, r.faults);
     }
 }

@@ -17,8 +17,8 @@ use staleload_cluster::Cluster;
 use staleload_policies::LoadView;
 
 use crate::{
-    ContinuousView, FreshView, IndividualBoard, InfoModel, InfoSpec, LossSpec, PeriodicBoard,
-    UpdateOnAccess,
+    ContinuousView, CorruptSpec, FreshView, IndividualBoard, InfoModel, InfoSpec, LossSpec,
+    PeriodicBoard, UpdateOnAccess,
 };
 
 /// An [`InfoModel`] with enum (static) dispatch over the closed set of
@@ -69,6 +69,36 @@ impl InfoDispatch {
                 servers, period, loss, rng,
             ))),
             _ => None,
+        }
+    }
+
+    /// Routes the model's board refreshes through a report corruptor.
+    ///
+    /// Returns `false` for models without a report channel to corrupt
+    /// (same contract as [`InfoSpec::supports_loss`] — the caller should
+    /// surface that as a configuration error). `rng` should be forked
+    /// from the engine's fault stream, and only when `spec` is not a
+    /// noop, so honest configurations stay bit-identical.
+    pub fn attach_corruptor(&mut self, spec: CorruptSpec, rng: SimRng) -> bool {
+        match self {
+            Self::Periodic(board) => {
+                board.attach_corruptor(spec, rng);
+                true
+            }
+            Self::Individual(board) => {
+                board.attach_corruptor(spec, rng);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of reports garbled by an attached corruptor so far.
+    pub fn corrupted_reports(&self) -> u64 {
+        match self {
+            Self::Periodic(board) => board.corrupted_reports(),
+            Self::Individual(board) => board.corrupted_reports(),
+            _ => 0,
         }
     }
 }

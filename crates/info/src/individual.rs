@@ -8,8 +8,9 @@ use staleload_cluster::Cluster;
 use staleload_policies::{InfoAge, LoadView};
 use staleload_sim::{EventQueue, SimRng};
 
+use crate::corrupt::Corruptor;
 use crate::loss::LossChannel;
-use crate::{InfoModel, LossSpec};
+use crate::{CorruptSpec, InfoModel, LossSpec};
 
 /// Individual updates: every server refreshes *its own* bulletin-board
 /// entry once per `period`, on its own schedule, so entries have mixed
@@ -39,6 +40,7 @@ pub struct IndividualBoard {
     ages: Vec<f64>,
     pending: EventQueue<usize>,
     channel: Option<LossChannel>,
+    corruptor: Option<Corruptor>,
 }
 
 impl IndividualBoard {
@@ -65,6 +67,7 @@ impl IndividualBoard {
             ages: vec![0.0; n],
             pending,
             channel: None,
+            corruptor: None,
         }
     }
 
@@ -79,6 +82,19 @@ impl IndividualBoard {
         let mut board = Self::new(n, period);
         board.channel = Some(LossChannel::new(loss, rng));
         board
+    }
+
+    /// Routes subsequent refreshes through a report corruptor (see
+    /// [`CorruptSpec`]); `rng` should be forked from the engine's fault
+    /// stream, and only when `spec` is not a noop, so honest boards stay
+    /// bit-identical.
+    pub fn attach_corruptor(&mut self, spec: CorruptSpec, rng: SimRng) {
+        self.corruptor = Some(Corruptor::new(spec, rng));
+    }
+
+    /// Number of reports garbled by the attached corruptor so far.
+    pub fn corrupted_reports(&self) -> u64 {
+        self.corruptor.as_ref().map_or(0, Corruptor::corrupted)
     }
 
     /// The per-server refresh period `T`.
@@ -130,11 +146,15 @@ impl InfoModel for IndividualBoard {
         }
         let (_, server) = self.pending.pop().expect("a refresh is always scheduled");
         self.pending.push(now + self.period, server);
-        // A crashed server skips its refresh; the entry decays in place.
-        if !cluster.is_up(server) {
+        // A crashed server skips its refresh, and a partitioned one's
+        // refresh never reaches the board; the entry decays in place.
+        if !cluster.is_up(server) || !cluster.is_visible(server) {
             return;
         }
-        let value = cluster.load(server);
+        let mut value = cluster.load(server);
+        if let Some(corruptor) = &mut self.corruptor {
+            value = corruptor.garble(value, self.board[server]);
+        }
         match &mut self.channel {
             None => self.land(server, value, now),
             Some(channel) => {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 
 mod continuous;
+mod corrupt;
 mod dispatch;
 mod individual;
 mod loss;
@@ -55,6 +56,7 @@ mod spec;
 mod update_on_access;
 
 pub use continuous::{AgeKnowledge, ContinuousView, DelaySpec};
+pub use corrupt::CorruptSpec;
 pub use dispatch::InfoDispatch;
 pub use individual::IndividualBoard;
 pub use loss::LossSpec;

@@ -4,8 +4,9 @@ use staleload_cluster::Cluster;
 use staleload_policies::{InfoAge, LoadView};
 use staleload_sim::SimRng;
 
+use crate::corrupt::Corruptor;
 use crate::loss::LossChannel;
-use crate::{InfoModel, LossSpec};
+use crate::{CorruptSpec, InfoModel, LossSpec};
 
 /// A bulletin board visible to all arrivals, refreshed with the true server
 /// loads every `period` time units.
@@ -22,9 +23,13 @@ use crate::{InfoModel, LossSpec};
 /// With a lossy channel ([`PeriodicBoard::with_loss`]) each entry's refresh
 /// is independently dropped or delayed, so entries silently keep stale
 /// values past the phase boundary; a crashed server's entry is never
-/// refreshed while it is down. The view's per-entry [`LoadView::ages`]
+/// refreshed while it is down, and neither is a server partitioned away
+/// from the board ([`Cluster::is_visible`]). With a corruptor attached
+/// ([`PeriodicBoard::attach_corruptor`]) a fraction of refreshes are
+/// garbled before they are sent. The view's per-entry [`LoadView::ages`]
 /// report the true staleness so an age-aware policy can discount what the
-/// phase metadata over-promises.
+/// phase metadata over-promises (a garbled entry, however, looks fresh —
+/// corruption is the one fault age-awareness cannot see).
 #[derive(Debug, Clone)]
 pub struct PeriodicBoard {
     period: f64,
@@ -36,6 +41,7 @@ pub struct PeriodicBoard {
     phase_start: f64,
     epoch: u64,
     channel: Option<LossChannel>,
+    corruptor: Option<Corruptor>,
 }
 
 impl PeriodicBoard {
@@ -58,6 +64,7 @@ impl PeriodicBoard {
             phase_start: 0.0,
             epoch: 0,
             channel: None,
+            corruptor: None,
         }
     }
 
@@ -72,6 +79,19 @@ impl PeriodicBoard {
         let mut board = Self::new(n, period);
         board.channel = Some(LossChannel::new(loss, rng));
         board
+    }
+
+    /// Routes subsequent refreshes through a report corruptor (see
+    /// [`CorruptSpec`]); `rng` should be forked from the engine's fault
+    /// stream, and only when `spec` is not a noop, so honest boards stay
+    /// bit-identical.
+    pub fn attach_corruptor(&mut self, spec: CorruptSpec, rng: SimRng) {
+        self.corruptor = Some(Corruptor::new(spec, rng));
+    }
+
+    /// Number of reports garbled by the attached corruptor so far.
+    pub fn corrupted_reports(&self) -> u64 {
+        self.corruptor.as_ref().map_or(0, Corruptor::corrupted)
     }
 
     /// The refresh period `T`.
@@ -127,11 +147,15 @@ impl InfoModel for PeriodicBoard {
             }
         }
         for server in 0..self.board.len() {
-            // A crashed server sends no refresh; its entry decays in place.
-            if !cluster.is_up(server) {
+            // A crashed server sends no refresh, and a partitioned one's
+            // refresh never reaches the board; the entry decays in place.
+            if !cluster.is_up(server) || !cluster.is_visible(server) {
                 continue;
             }
-            let value = cluster.load(server);
+            let mut value = cluster.load(server);
+            if let Some(corruptor) = &mut self.corruptor {
+                value = corruptor.garble(value, self.board[server]);
+            }
             match &mut self.channel {
                 None => {
                     self.board[server] = value;

@@ -4,9 +4,10 @@
 //! virtual call per arrival on the engine's hottest path. The paper's core
 //! policies are a small closed set, so [`DispatchPolicy`] lists them as enum
 //! variants: the engine matches once per call and the policy body inlines.
-//! Composed specs (`Gated`, `Guarded`) wrap an arbitrary inner policy and
-//! keep the boxed representation via [`DispatchPolicy::Dyn`] — they are
-//! overload-control experiments, not steady-state hot paths.
+//! Composed specs (`Gated`, `Guarded`, `Hedged`, `Quarantined`) wrap an
+//! arbitrary inner policy and keep the boxed representation via
+//! [`DispatchPolicy::Dyn`] — they are overload-control and
+//! degraded-information experiments, not steady-state hot paths.
 //!
 //! Behavior is bit-identical to the boxed build: both construct the same
 //! policy values, which draw from the RNG in the same order.
@@ -15,7 +16,7 @@ use staleload_sim::SimRng;
 
 use crate::{
     AdaptiveLi, AggressiveLi, BasicLi, Greedy, HeteroLi, HybridLi, KSubset, LiSubset, LoadView,
-    Policy, PolicySpec, ProbeThreshold, Random, Sita, Threshold, WeightedDecay,
+    Policy, PolicySpec, PolicyTelemetry, ProbeThreshold, Random, Sita, Threshold, WeightedDecay,
 };
 
 /// A [`Policy`] with enum (static) dispatch for the closed set of leaf
@@ -38,7 +39,8 @@ pub enum DispatchPolicy {
     AdaptiveLi(AdaptiveLi),
     HeteroLi(HeteroLi),
     Sita(Sita),
-    /// Composed policies (staleness gate, herd guard): dynamic dispatch.
+    /// Composed policies (staleness gate, herd guard, quarantine, hedged
+    /// inner): dynamic dispatch.
     Dyn(Box<dyn Policy + Send>),
 }
 
@@ -66,9 +68,10 @@ impl DispatchPolicy {
                 Self::HeteroLi(HeteroLi::new(lambda, capacities))
             }
             PolicySpec::Sita { boundaries } => Self::Sita(Sita::new(boundaries)),
-            composed @ (PolicySpec::Gated { .. } | PolicySpec::Guarded { .. }) => {
-                Self::Dyn(composed.build())
-            }
+            composed @ (PolicySpec::Gated { .. }
+            | PolicySpec::Guarded { .. }
+            | PolicySpec::Hedged { .. }
+            | PolicySpec::Quarantined { .. }) => Self::Dyn(composed.build()),
         }
     }
 
@@ -157,6 +160,10 @@ impl Policy for DispatchPolicy {
     fn observe_arrival(&mut self, now: f64) {
         for_each_variant!(self, p => p.observe_arrival(now))
     }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        for_each_variant!(self, p => p.telemetry())
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +204,15 @@ mod tests {
             PolicySpec::Guarded {
                 threshold: 2.0,
                 cooldown: 10.0,
+                inner: Box::new(PolicySpec::Greedy),
+            },
+            PolicySpec::Hedged {
+                h: 2,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            PolicySpec::Quarantined {
+                window: 5.0,
+                backoff: 10.0,
                 inner: Box::new(PolicySpec::Greedy),
             },
         ]

@@ -12,7 +12,7 @@
 
 use staleload_sim::SimRng;
 
-use crate::{LoadView, Policy};
+use crate::{LoadView, Policy, PolicyTelemetry};
 
 /// Circuit-breaker state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -168,6 +168,10 @@ impl<P: Policy> Policy for HerdGuard<P> {
     fn observe_arrival(&mut self, now: f64) {
         self.now = now;
         self.inner.observe_arrival(now);
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        self.inner.telemetry()
     }
 }
 

@@ -55,6 +55,7 @@ mod ksubset;
 mod li;
 mod li_policies;
 mod li_subset;
+mod quarantine;
 mod random;
 mod sita;
 mod spec;
@@ -69,6 +70,7 @@ pub use ksubset::{empirical_rank_frequencies, rank_distribution, Greedy, KSubset
 pub use li::{aggressive_schedule, basic_li_probabilities, AggressiveSchedule};
 pub use li_policies::{AdaptiveLi, AggressiveLi, BasicLi, HybridLi};
 pub use li_subset::LiSubset;
+pub use quarantine::Quarantine;
 pub use random::Random;
 pub use sita::Sita;
 pub use spec::PolicySpec;
@@ -168,6 +170,30 @@ impl<'a> LoadView<'a> {
     }
 }
 
+/// Robustness counters reported by defensive policy wrappers
+/// ([`Quarantine`] today); all zero for plain policies.
+///
+/// Wrappers that hold an inner policy must *merge* the inner policy's
+/// telemetry into their own so counters survive arbitrary composition
+/// (e.g. a quarantined policy inside a herd guard).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PolicyTelemetry {
+    /// Servers ejected from the candidate set on suspicion.
+    pub ejections: u64,
+    /// Ejected servers readmitted after a successful probe.
+    pub readmissions: u64,
+}
+
+impl PolicyTelemetry {
+    /// Component-wise sum of two telemetry reports.
+    pub fn merge(self, other: Self) -> Self {
+        Self {
+            ejections: self.ejections + other.ejections,
+            readmissions: self.readmissions + other.readmissions,
+        }
+    }
+}
+
 /// A server-selection policy.
 ///
 /// Implementations may keep internal scratch buffers and per-phase caches
@@ -199,6 +225,12 @@ pub trait Policy {
     fn observe_arrival(&mut self, now: f64) {
         let _ = now;
     }
+
+    /// Robustness counters accumulated by this policy (and, for wrappers,
+    /// everything it wraps). Plain policies report all zeros.
+    fn telemetry(&self) -> PolicyTelemetry {
+        PolicyTelemetry::default()
+    }
 }
 
 impl<P: Policy + ?Sized> Policy for Box<P> {
@@ -212,6 +244,10 @@ impl<P: Policy + ?Sized> Policy for Box<P> {
 
     fn observe_arrival(&mut self, now: f64) {
         (**self).observe_arrival(now);
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        (**self).telemetry()
     }
 }
 

@@ -4,7 +4,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::{
     AdaptiveLi, AggressiveLi, BasicLi, Greedy, HerdGuard, HeteroLi, HybridLi, KSubset, LiSubset,
-    Load, Policy, ProbeThreshold, Random, Sita, StalenessGate, Threshold, WeightedDecay,
+    Load, Policy, ProbeThreshold, Quarantine, Random, Sita, StalenessGate, Threshold,
+    WeightedDecay,
 };
 
 /// A serializable description of a policy, used by the experiment harness
@@ -115,6 +116,34 @@ pub enum PolicySpec {
         /// The policy being guarded.
         inner: Box<PolicySpec>,
     },
+    /// Dispatch each job to the inner policy's pick *plus* `h - 1` hedge
+    /// replicas chosen by repeated inner-policy draws; the first replica
+    /// to complete wins and the losers are cancelled
+    /// (degraded-information extension).
+    ///
+    /// The replication and cancel-on-completion machinery lives in the
+    /// simulation engine (it owns the event schedule), so hedging must be
+    /// the *outermost* wrapper; [`PolicySpec::build`] on a `Hedged` spec
+    /// builds only the inner policy.
+    Hedged {
+        /// Total copies dispatched per job; `1` means no hedging.
+        h: u32,
+        /// The policy choosing primary and hedge servers.
+        inner: Box<PolicySpec>,
+    },
+    /// `inner` with servers whose reports have gone missing longer than
+    /// `window` ejected from the candidate set, probed and readmitted
+    /// with exponential `backoff` (degraded-information extension; see
+    /// [`Quarantine`]).
+    Quarantined {
+        /// Suspicion window: the entry age beyond which a server is
+        /// considered silent.
+        window: f64,
+        /// Initial quarantine interval, doubled after each failed probe.
+        backoff: f64,
+        /// The policy being protected.
+        inner: Box<PolicySpec>,
+    },
 }
 
 impl PolicySpec {
@@ -146,6 +175,36 @@ impl PolicySpec {
                 cooldown,
                 inner,
             } => Box::new(HerdGuard::new(inner.build(), threshold, cooldown)),
+            // Hedging is engine machinery (see the variant docs): as a
+            // bare policy a Hedged spec decides like its inner policy.
+            PolicySpec::Hedged { inner, .. } => inner.build(),
+            PolicySpec::Quarantined {
+                window,
+                backoff,
+                inner,
+            } => Box::new(Quarantine::new(inner.build(), window, backoff)),
+        }
+    }
+
+    /// Splits an outermost [`PolicySpec::Hedged`] wrapper off the spec:
+    /// returns the hedge factor (if any) and the spec the engine should
+    /// actually build.
+    pub fn split_hedged(&self) -> (Option<u32>, &PolicySpec) {
+        match self {
+            PolicySpec::Hedged { h, inner } => (Some(*h), inner),
+            other => (None, other),
+        }
+    }
+
+    /// Whether a [`PolicySpec::Hedged`] wrapper occurs anywhere in the
+    /// spec tree (used to reject hedging below the outermost position).
+    pub fn contains_hedged(&self) -> bool {
+        match self {
+            PolicySpec::Hedged { .. } => true,
+            PolicySpec::Gated { inner, .. }
+            | PolicySpec::Guarded { inner, .. }
+            | PolicySpec::Quarantined { inner, .. } => inner.contains_hedged(),
+            _ => false,
         }
     }
 
@@ -211,6 +270,36 @@ impl PolicySpec {
                 }
                 inner.validate()?;
             }
+            PolicySpec::Hedged { h, inner } => {
+                if *h < 1 {
+                    return Err("hedge factor must be at least 1".to_string());
+                }
+                if inner.contains_hedged() {
+                    return Err(
+                        "hedged must be the outermost policy wrapper (nested hedging \
+                         would multiply replicas)"
+                            .to_string(),
+                    );
+                }
+                inner.validate()?;
+            }
+            PolicySpec::Quarantined {
+                window,
+                backoff,
+                inner,
+            } => {
+                if !(window.is_finite() && *window > 0.0) {
+                    return Err(format!(
+                        "quarantine window must be finite and positive, got {window}"
+                    ));
+                }
+                if !(backoff.is_finite() && *backoff > 0.0) {
+                    return Err(format!(
+                        "quarantine backoff must be finite and positive, got {backoff}"
+                    ));
+                }
+                inner.validate()?;
+            }
             _ => {}
         }
         // LI lambda estimates are deliberately unconstrained: the
@@ -245,6 +334,17 @@ impl PolicySpec {
                 cooldown,
                 ref inner,
             } => format!("guarded({}, thr={threshold}, cd={cooldown})", inner.label()),
+            PolicySpec::Hedged { h, ref inner } => {
+                format!("hedged({}, h={h})", inner.label())
+            }
+            PolicySpec::Quarantined {
+                window,
+                backoff,
+                ref inner,
+            } => format!(
+                "quarantined({}, win={window}, backoff={backoff})",
+                inner.label()
+            ),
         }
     }
 
@@ -257,9 +357,10 @@ impl PolicySpec {
             | PolicySpec::HybridLi { .. }
             | PolicySpec::LiSubset { .. }
             | PolicySpec::HeteroLi { .. } => true,
-            PolicySpec::Gated { inner, .. } | PolicySpec::Guarded { inner, .. } => {
-                inner.uses_lambda_estimate()
-            }
+            PolicySpec::Gated { inner, .. }
+            | PolicySpec::Guarded { inner, .. }
+            | PolicySpec::Hedged { inner, .. }
+            | PolicySpec::Quarantined { inner, .. } => inner.uses_lambda_estimate(),
             _ => false,
         }
     }
@@ -304,6 +405,15 @@ mod tests {
             PolicySpec::Guarded {
                 threshold: 2.0,
                 cooldown: 10.0,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            PolicySpec::Hedged {
+                h: 2,
+                inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+            },
+            PolicySpec::Quarantined {
+                window: 5.0,
+                backoff: 10.0,
                 inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
             },
         ]
@@ -429,5 +539,58 @@ mod tests {
         }
         .validate()
         .is_err());
+        assert!(PolicySpec::Hedged {
+            h: 0,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Quarantined {
+            window: 0.0,
+            backoff: 10.0,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+        assert!(PolicySpec::Quarantined {
+            window: 5.0,
+            backoff: f64::NAN,
+            inner: Box::new(PolicySpec::Random)
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn hedged_splits_off_and_must_be_outermost() {
+        let hedged = PolicySpec::Hedged {
+            h: 3,
+            inner: Box::new(PolicySpec::BasicLi { lambda: 0.9 }),
+        };
+        let (h, rest) = hedged.split_hedged();
+        assert_eq!(h, Some(3));
+        assert_eq!(*rest, PolicySpec::BasicLi { lambda: 0.9 });
+        let plain = PolicySpec::Greedy;
+        assert_eq!(plain.split_hedged(), (None, &plain));
+
+        // Hedging below another wrapper is rejected: the engine can only
+        // strip the outermost layer.
+        let nested = PolicySpec::Gated {
+            cutoff: 5.0,
+            inner: Box::new(hedged.clone()),
+        };
+        assert!(nested.contains_hedged());
+        let err = PolicySpec::Hedged {
+            h: 2,
+            inner: Box::new(PolicySpec::Quarantined {
+                window: 5.0,
+                backoff: 10.0,
+                inner: Box::new(hedged),
+            }),
+        }
+        .validate()
+        .unwrap_err();
+        assert!(err.contains("outermost"), "{err}");
+        assert!(!plain.contains_hedged());
     }
 }

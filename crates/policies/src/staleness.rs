@@ -11,7 +11,7 @@
 
 use staleload_sim::SimRng;
 
-use crate::{Load, LoadView, Policy};
+use crate::{Load, LoadView, Policy, PolicyTelemetry};
 
 /// Wraps an inner policy, hiding board entries older than `cutoff`.
 ///
@@ -103,6 +103,10 @@ impl<P: Policy> Policy for StalenessGate<P> {
 
     fn observe_arrival(&mut self, now: f64) {
         self.inner.observe_arrival(now);
+    }
+
+    fn telemetry(&self) -> PolicyTelemetry {
+        self.inner.telemetry()
     }
 }
 

@@ -189,6 +189,67 @@ mod tests {
         assert_ne!(base, experiment_key(&e), "config variant collided");
     }
 
+    /// The degraded-information knobs all reach the key: two experiments
+    /// differing only in a fault field or a resilience policy wrapper
+    /// must never share a cache entry.
+    #[test]
+    fn resilience_knobs_feed_the_key() {
+        use staleload_core::FaultSpec;
+
+        let base = experiment_key(&exp(1, 3, 4.0, 0.9));
+        let with_faults = |faults: FaultSpec| {
+            let mut e = exp(1, 3, 4.0, 0.9);
+            e.config.faults = faults;
+            experiment_key(&e)
+        };
+        let partitioned = with_faults(FaultSpec::partition(50.0, 25.0, 0.25));
+        let mut correlated_spec = FaultSpec::partition(50.0, 25.0, 0.25);
+        correlated_spec.partition = correlated_spec.partition.map(|mut p| {
+            p.correlated = true;
+            p
+        });
+        let correlated = with_faults(correlated_spec);
+        let churned = with_faults(FaultSpec::churn(150.0, 30.0));
+        let corrupted = with_faults(FaultSpec::corrupt(0.2));
+        let keys = [base, partitioned, correlated, churned, corrupted];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "fault variants {i} and {j} collided");
+            }
+        }
+
+        let with_policy = |policy: PolicySpec| {
+            let mut e = exp(1, 3, 4.0, 0.9);
+            e.policy = policy;
+            experiment_key(&e)
+        };
+        let inner = Box::new(PolicySpec::BasicLi { lambda: 0.9 });
+        let hedged2 = with_policy(PolicySpec::Hedged {
+            h: 2,
+            inner: inner.clone(),
+        });
+        let hedged3 = with_policy(PolicySpec::Hedged {
+            h: 3,
+            inner: inner.clone(),
+        });
+        let quarantined = with_policy(PolicySpec::Quarantined {
+            window: 15.0,
+            backoff: 10.0,
+            inner: inner.clone(),
+        });
+        let quarantined_wide = with_policy(PolicySpec::Quarantined {
+            window: 30.0,
+            backoff: 10.0,
+            inner,
+        });
+        let keys = [base, hedged2, hedged3, quarantined, quarantined_wide];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "policy variants {i} and {j} collided");
+            }
+        }
+    }
+
     /// Simulates the maintenance path `staleload-lint`'s `cache-key`
     /// rule enforces: when a spec grows a field, feeding it through one
     /// more `hasher.field(...)` call must change the key — i.e. the
