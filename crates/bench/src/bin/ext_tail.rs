@@ -1,0 +1,257 @@
+//! Tail latency under stale information: p50/p99/p999 response time as
+//! the board's refresh period grows, across load estimators and
+//! policies.
+//!
+//! One sweep at n = 16, lambda = 0.9: refresh period T in {2, 10, 40}
+//! crossed with three load estimators — `snapshot` (the paper's periodic
+//! board, raw queue lengths), `ewma` (exponentially weighted moving
+//! average, alpha = 0.3), and `multi-horizon` (equal-weight blend of
+//! moving averages over T/3T/7T look-backs) — and four policies:
+//! `random` (immune: never reads the board), `basic-li`, `gated
+//! basic-li` (staleness cutoff 0.15 T), and `hedged basic-li` (best pick
+//! plus one replica, first completion wins).
+//!
+//! The paper's Figure-style results report *means*; the claim probed
+//! here is that means understate the damage: stale boards hurt the tail
+//! of the distribution more than its center, because the herd effect
+//! produces rare-but-deep pile-ups rather than a uniform slowdown. The
+//! acceptance check below requires that for at least one LI
+//! configuration the p99 degradation ratio (stalest T over freshest T)
+//! strictly exceeds the mean degradation ratio.
+//!
+//! Percentiles come from the experiment's merged tail sketch
+//! ([`staleload_core::ExperimentResult::tail`]) — every warm job of
+//! every trial, not a single representative run — so the numbers are
+//! bit-identical regardless of worker count or cache state.
+//!
+//! Results go to one long-form CSV (`results/ext_tail.csv`). Usage:
+//! `ext_tail [smoke|quick|std|full]`. Exits non-zero unless percentile
+//! ordering (p50 <= p99 <= p999 <= max) holds in every cell (all
+//! scales) and the tail-exceeds-mean acceptance check passes
+//! (statistical; skipped at `smoke` scale).
+
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use staleload_bench::{results_path, run_experiment, RunArgs, Scale};
+use staleload_core::{ArrivalSpec, Experiment, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+use staleload_stats::Table;
+
+const N: usize = 16;
+/// High load: the regime where the herd effect digs the deepest queues,
+/// so the mean-vs-tail gap is most visible.
+const LAMBDA: f64 = 0.9;
+const SEED: u64 = 0x7A11;
+/// Refresh periods from near-fresh to badly stale (in mean service
+/// times). The acceptance ratios compare the two endpoints.
+const PERIODS: [f64; 3] = [2.0, 10.0, 40.0];
+/// EWMA weight on the newest sample: smooths over ~3 refresh periods.
+const ALPHA: f64 = 0.3;
+/// Hedge factor: primary pick plus one replica.
+const HEDGE: u32 = 2;
+
+fn cell_config(scale: &Scale) -> SimConfig {
+    SimConfig::builder()
+        .servers(N)
+        .lambda(LAMBDA)
+        .arrivals(scale.arrivals)
+        .seed(SEED)
+        .build()
+}
+
+fn estimators(t: f64) -> Vec<(&'static str, InfoSpec)> {
+    vec![
+        ("snapshot", InfoSpec::Periodic { period: t }),
+        (
+            "ewma",
+            InfoSpec::Ewma {
+                period: t,
+                alpha: ALPHA,
+            },
+        ),
+        (
+            "multi-horizon",
+            InfoSpec::MultiHorizon {
+                period: t,
+                windows: [t, 3.0 * t, 7.0 * t],
+            },
+        ),
+    ]
+}
+
+fn policies(t: f64) -> Vec<(&'static str, PolicySpec)> {
+    let naive = PolicySpec::BasicLi { lambda: LAMBDA };
+    vec![
+        ("random", PolicySpec::Random),
+        ("basic-li", naive.clone()),
+        (
+            "gated basic-li",
+            PolicySpec::Gated {
+                // Same sub-period staleness gate degradation.rs uses.
+                cutoff: 0.15 * t,
+                inner: Box::new(naive.clone()),
+            },
+        ),
+        (
+            "hedged basic-li",
+            PolicySpec::Hedged {
+                h: HEDGE,
+                inner: Box::new(naive),
+            },
+        ),
+    ]
+}
+
+fn main() -> ExitCode {
+    let scale = RunArgs::parse_or_exit().scale;
+    eprintln!(
+        "[ext_tail] n={N} lambda={LAMBDA} T in {PERIODS:?} arrivals={} trials={} ({})",
+        scale.arrivals, scale.trials, scale.name
+    );
+
+    let mut csv = Table::new(vec![
+        "x".into(),
+        "estimator".into(),
+        "policy".into(),
+        "mean".into(),
+        "ci90".into(),
+        "p50".into(),
+        "p99".into(),
+        "p999".into(),
+        "max".into(),
+        "count".into(),
+        "trials".into(),
+    ]);
+    let mut table = Table::new({
+        let mut h = vec!["T".to_string(), "estimator".to_string()];
+        h.extend(
+            policies(1.0)
+                .iter()
+                .map(|(label, _)| format!("{label} (mean | p99 | p999)")),
+        );
+        h
+    });
+
+    // (estimator, policy) -> [(mean, p99)] in PERIODS order, for the
+    // acceptance ratios below.
+    type Curve = ((&'static str, &'static str), Vec<(f64, f64)>);
+    let mut curves: Vec<Curve> = Vec::new();
+    for &t in &PERIODS {
+        for (est_label, info) in estimators(t) {
+            let mut row = vec![format!("{t}"), est_label.to_string()];
+            for (pol_label, policy) in policies(t) {
+                let exp = Experiment::new(
+                    cell_config(&scale),
+                    ArrivalSpec::Poisson,
+                    info,
+                    policy,
+                    scale.trials,
+                );
+                // Shared pool + result cache; bit-identical to
+                // exp.try_run().
+                let result = match run_experiment(&exp) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("[ext_tail] {est_label}/{pol_label} at T={t} failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let s = &result.summary;
+                let tail = &result.tail;
+                // Sketch quantiles are monotone in rank by construction;
+                // a violation means the ingest/merge path is broken.
+                if tail.count == 0
+                    || !(tail.p50 <= tail.p99 && tail.p99 <= tail.p999 && tail.p999 <= tail.max)
+                {
+                    println!(
+                        "ordering check: FAIL — {est_label}/{pol_label} at T={t}: \
+                         p50={} p99={} p999={} max={} count={}",
+                        tail.p50, tail.p99, tail.p999, tail.max, tail.count
+                    );
+                    return ExitCode::FAILURE;
+                }
+                row.push(format!(
+                    "{:.2} | {:.2} | {:.2}",
+                    s.mean, tail.p99, tail.p999
+                ));
+                csv.push_row(vec![
+                    format!("{t}"),
+                    est_label.to_string(),
+                    pol_label.to_string(),
+                    format!("{}", s.mean),
+                    format!("{}", s.ci90),
+                    format!("{}", tail.p50),
+                    format!("{}", tail.p99),
+                    format!("{}", tail.p999),
+                    format!("{}", tail.max),
+                    format!("{}", tail.count),
+                    format!("{}", s.trials),
+                ]);
+                match curves
+                    .iter_mut()
+                    .find(|(k, _)| *k == (est_label, pol_label))
+                {
+                    Some((_, pts)) => pts.push((s.mean, tail.p99)),
+                    None => curves.push(((est_label, pol_label), vec![(s.mean, tail.p99)])),
+                }
+            }
+            table.push_row(row);
+        }
+        eprintln!("[ext_tail]   T = {t} done");
+    }
+
+    println!("\n== Tail latency under staleness, n={N}, lambda={LAMBDA} ==");
+    print!("{}", table.render());
+    let path = results_path("ext_tail");
+    match csv.write_csv(&path) {
+        Ok(()) => eprintln!("[ext_tail] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[ext_tail] failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("ordering check: PASS — p50 <= p99 <= p999 <= max in every cell");
+
+    if scale.is_smoke() {
+        println!("acceptance checks: SKIPPED at smoke scale");
+        return ExitCode::SUCCESS;
+    }
+
+    // Acceptance: staleness must injure the tail *more* than the mean
+    // for at least one LI configuration — the degradation ratio from the
+    // freshest to the stalest T, p99 vs mean. Random never reads the
+    // board, so it is excluded (its ratios hover at 1 and would neither
+    // pass nor inform).
+    let mut passed = false;
+    for ((est, pol), pts) in &curves {
+        if *pol == "random" {
+            continue;
+        }
+        let (mean_fresh, p99_fresh) = pts[0];
+        let (mean_stale, p99_stale) = pts[pts.len() - 1];
+        let mean_ratio = mean_stale / mean_fresh;
+        let p99_ratio = p99_stale / p99_fresh;
+        let verdict = if p99_ratio > mean_ratio {
+            passed = true;
+            "tail-dominant"
+        } else {
+            "mean-dominant"
+        };
+        println!("  {est}/{pol}: mean x{mean_ratio:.2}, p99 x{p99_ratio:.2} ({verdict})");
+    }
+    if passed {
+        println!(
+            "tail check: PASS — staleness degrades p99 more than the mean for at least \
+             one LI configuration"
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("tail check: FAIL — no LI configuration shows tail-dominant degradation");
+        ExitCode::FAILURE
+    }
+}

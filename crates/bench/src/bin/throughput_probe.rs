@@ -39,6 +39,7 @@ use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 use staleload_sim::{CalendarQueue, EventQueue, EventScheduler, SchedulerKind, SimRng};
+use staleload_stats::TailSketch;
 
 /// Queue sizes for the hold model (and server counts for engine runs).
 const SIZES: [usize; 3] = [8, 32, 256];
@@ -46,6 +47,11 @@ const SIZES: [usize; 3] = [8, 32, 256];
 /// The regression gate: a checked metric may drop at most this fraction
 /// below the baseline.
 const TOLERANCE: f64 = 0.15;
+
+/// The tail-sketch ingestion gate: recording one response time into the
+/// quantile sketch may cost at most this fraction of one engine job
+/// (same-machine ratio, so it transfers across hardware).
+const SKETCH_GATE: f64 = 0.05;
 
 struct Scale {
     /// Hold operations measured per (backend, n) pair.
@@ -205,6 +211,101 @@ fn run_engine(scale: &Scale) -> Vec<EngineResult> {
     out
 }
 
+#[derive(Debug)]
+struct SketchResult {
+    mode: &'static str,
+    records: u64,
+    ns_per_record: f64,
+}
+
+/// Precomputed positive response-time-like values for the sketch
+/// microbench (same cyclic-table trick as [`increments`]).
+fn sketch_values() -> Vec<f64> {
+    let mut rng = SimRng::from_seed(0x5EED_0003);
+    (0..INC_TABLE).map(|_| 0.05 + rng.exp(1.0)).collect()
+}
+
+/// Tail-sketch ingestion cost, two modes:
+///
+/// * `steady` — one sketch at the default capacity ingesting the whole
+///   stream: the amortized per-job cost of a large trial (sorted-insert
+///   warmup, one compaction, then O(1) bucket increments).
+/// * `exact` — fresh sketches filled exactly to capacity: the pure
+///   sorted-insert path a small trial stays on.
+fn run_sketch(scale: &Scale) -> Vec<SketchResult> {
+    let vals = sketch_values();
+    let mask = vals.len() - 1;
+    let best = |dts: [f64; 3]| dts.into_iter().fold(f64::INFINITY, f64::min);
+
+    let records = scale.hold_ops;
+    let steady = || {
+        let mut s = TailSketch::new(TailSketch::DEFAULT_CAP);
+        let start = Instant::now();
+        for i in 0..records {
+            s.record(vals[(i as usize) & mask]);
+        }
+        let dt = start.elapsed().as_secs_f64();
+        // Keep the sketch observable so the loop cannot be optimized away.
+        assert_eq!(s.count(), records);
+        dt
+    };
+    steady();
+    let steady_dt = best([0; 3].map(|_| steady()));
+
+    let cap = TailSketch::DEFAULT_CAP as u64;
+    let passes = (records / cap).max(1);
+    let exact_records = passes * cap;
+    let exact = || {
+        let start = Instant::now();
+        let mut total = 0u64;
+        for _ in 0..passes {
+            let mut s = TailSketch::new(TailSketch::DEFAULT_CAP);
+            for i in 0..cap {
+                s.record(vals[(i as usize) & mask]);
+            }
+            total += s.count();
+        }
+        let dt = start.elapsed().as_secs_f64();
+        assert_eq!(total, exact_records);
+        dt
+    };
+    exact();
+    let exact_dt = best([0; 3].map(|_| exact()));
+
+    vec![
+        SketchResult {
+            mode: "steady",
+            records,
+            ns_per_record: steady_dt * 1e9 / records as f64,
+        },
+        SketchResult {
+            mode: "exact",
+            records: exact_records,
+            ns_per_record: exact_dt * 1e9 / exact_records as f64,
+        },
+    ]
+}
+
+/// The sketch-ingestion overhead fraction: steady-state ns/record over
+/// the mean clean-engine ns/job across sizes and backends — the cost of
+/// recording one response time relative to a typical simulated job.
+/// (Tiny clusters run cheaper jobs and would see proportionally more;
+/// the paper's n = 100 configurations proportionally less.)
+fn sketch_overhead(sketch: &[SketchResult], engine: &[EngineResult]) -> f64 {
+    let steady = sketch
+        .iter()
+        .find(|s| s.mode == "steady")
+        .expect("steady mode measured")
+        .ns_per_record;
+    let clean: Vec<f64> = engine
+        .iter()
+        .filter(|e| !e.faulted)
+        .map(|e| e.ns_per_job)
+        .collect();
+    let mean = clean.iter().sum::<f64>() / clean.len() as f64;
+    steady / mean
+}
+
 fn speedup(hold: &[HoldResult], n: usize) -> f64 {
     let eps = |kind: SchedulerKind| {
         hold.iter()
@@ -219,7 +320,12 @@ fn speedup(hold: &[HoldResult], n: usize) -> f64 {
 /// dependency, and the schema is flat. The `summary` object holds one
 /// uniquely-keyed scalar per checked metric so `--check` can parse the
 /// file without a JSON parser.
-fn to_json(hold: &[HoldResult], engine: &[EngineResult], scale: &Scale) -> String {
+fn to_json(
+    hold: &[HoldResult],
+    engine: &[EngineResult],
+    sketch: &[SketchResult],
+    scale: &Scale,
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"schema\": \"staleload-bench-kernel-v1\",\n");
     s.push_str(&format!("  \"smoke\": {},\n", scale.smoke));
@@ -252,8 +358,25 @@ fn to_json(hold: &[HoldResult], engine: &[EngineResult], scale: &Scale) -> Strin
             if i + 1 < engine.len() { "," } else { "" },
         ));
     }
+    s.push_str("  ],\n  \"sketch\": [\n");
+    for (i, k) in sketch.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"records\": {}, \"ns_per_record\": {:.2}}}{}\n",
+            k.mode,
+            k.records,
+            k.ns_per_record,
+            if i + 1 < sketch.len() { "," } else { "" },
+        ));
+    }
     s.push_str("  ],\n  \"summary\": {\n");
     let mut summary: Vec<(String, f64)> = Vec::new();
+    for k in sketch {
+        summary.push((format!("sketch_{}_ns_per_record", k.mode), k.ns_per_record));
+    }
+    summary.push((
+        "sketch_overhead_frac".into(),
+        sketch_overhead(sketch, engine),
+    ));
     for h in hold {
         summary.push((
             format!("hold_{}_n{}_eps", h.backend.label(), h.n),
@@ -345,6 +468,40 @@ fn check(baseline_path: &str) -> Result<(), String> {
             }
         }
     }
+    // Sketch-ingestion overhead. Two gates: the baseline's *recorded*
+    // overhead must honor the hard budget (the reference measurement is
+    // the claim), and a fresh same-machine re-measurement may not exceed
+    // it by more than the usual noise tolerance (absolute 5% with a thin
+    // margin would flake on loaded CI machines, like any un-toleranced
+    // wall-clock gate).
+    let base_frac = json_number(&baseline, "sketch_overhead_frac")
+        .ok_or("baseline has no sketch_overhead_frac (regenerate BENCH_kernel.json)")?;
+    if base_frac >= SKETCH_GATE {
+        failures.push(format!(
+            "baseline sketch overhead {:.2}% violates the {:.0}% budget; \
+             speed up TailSketch::record before regenerating the baseline",
+            base_frac * 100.0,
+            SKETCH_GATE * 100.0
+        ));
+    }
+    let engine = run_engine(if baseline_smoke { &SMOKE } else { &FULL });
+    let sketch = run_sketch(if baseline_smoke { &SMOKE } else { &FULL });
+    let frac = sketch_overhead(&sketch, &engine);
+    let ceiling = base_frac * (1.0 + TOLERANCE);
+    println!(
+        "sketch_overhead_frac: baseline {base_frac:.4}, current {frac:.4}, \
+         ceiling {ceiling:.4} (budget {SKETCH_GATE:.2})"
+    );
+    if frac > ceiling {
+        failures.push(format!(
+            "sketch ingestion regressed: {:.2}% of one engine job > {:.2}% \
+             (baseline {:.2}% + {}%)",
+            frac * 100.0,
+            ceiling * 100.0,
+            base_frac * 100.0,
+            TOLERANCE * 100.0
+        ));
+    }
     if failures.is_empty() {
         println!(
             "perf check passed ({} mode)",
@@ -407,7 +564,19 @@ fn main() {
             e.ns_per_job
         );
     }
-    let json = to_json(&hold, &engine, scale);
+    let sketch = run_sketch(scale);
+    for k in &sketch {
+        println!(
+            "sketch {:>8} {:>10} records  {:>8.2} ns/record",
+            k.mode, k.records, k.ns_per_record
+        );
+    }
+    println!(
+        "sketch overhead: {:.2}% of one engine job (gate {:.0}%)",
+        sketch_overhead(&sketch, &engine) * 100.0,
+        SKETCH_GATE * 100.0
+    );
+    let json = to_json(&hold, &engine, &sketch, scale);
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("wrote {out_path}");
 }

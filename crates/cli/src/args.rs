@@ -28,6 +28,9 @@ pub struct RunArgs {
     /// Per-trial wall-clock budget in seconds (`--watchdog`). `None`
     /// runs trials unguarded, exactly as before the flag existed.
     pub watchdog: Option<f64>,
+    /// Extra percentile to report under `--detail` (`--tail-p`),
+    /// strictly inside (0, 1). `None` prints the standard set only.
+    pub tail_p: Option<f64>,
 }
 
 /// Parses a policy spec string.
@@ -96,7 +99,8 @@ pub fn parse_policy(
 /// Parses an information-model spec string.
 ///
 /// Grammar: `fresh | periodic:<T> | continuous:<const|unarrow|uwide|exp>:<T>[:actual]
-/// | uoa:<T>`.
+/// | uoa:<T> | ewma:<ALPHA>[:<T>] | ma:<W1>,<W2>,<W3>[:<T>]` (estimator
+/// periods default to 1.0).
 ///
 /// # Errors
 ///
@@ -135,9 +139,44 @@ pub fn parse_info(s: &str) -> Result<InfoSpec, String> {
         // The mean age T is consumed by the caller (it sets the client
         // count), so `uoa:<T>` parses to plain UpdateOnAccess here.
         "uoa" => Ok(InfoSpec::UpdateOnAccess),
+        "ewma" => {
+            let alpha: f64 = parse_field(parts.get(1).copied(), "ewma", "smoothing weight")?;
+            let period: f64 = match parts.get(2) {
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| format!("bad period '{p}' for ewma"))?,
+                None => 1.0,
+            };
+            Ok(InfoSpec::Ewma { period, alpha })
+        }
+        "ma" => {
+            let list = *parts
+                .get(1)
+                .ok_or("ma needs three horizons <W1>,<W2>,<W3> (e.g. ma:2,10,30)")?;
+            let windows = list
+                .split(',')
+                .map(|w| {
+                    let w = w.trim();
+                    w.parse::<f64>()
+                        .map_err(|_| format!("bad horizon '{w}' for ma"))
+                })
+                .collect::<Result<Vec<f64>, String>>()?;
+            let windows: [f64; 3] = windows.try_into().map_err(|got: Vec<f64>| {
+                format!(
+                    "ma needs exactly three horizons <W1>,<W2>,<W3>, got {}",
+                    got.len()
+                )
+            })?;
+            let period: f64 = match parts.get(2) {
+                Some(p) => p.parse().map_err(|_| format!("bad period '{p}' for ma"))?,
+                None => 1.0,
+            };
+            Ok(InfoSpec::MultiHorizon { period, windows })
+        }
         other => Err(format!(
             "unknown info model '{other}' (expected fresh, periodic:<T>, individual:<T>, \
-             continuous:<dist>:<T>[:actual], uoa:<T>)"
+             continuous:<dist>:<T>[:actual], uoa:<T>, ewma:<ALPHA>[:<T>], \
+             ma:<W1>,<W2>,<W3>[:<T>])"
         )),
     }
 }
@@ -254,6 +293,8 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut scheduler = SchedulerKind::Heap;
     let mut detail = false;
     let mut watchdog: Option<f64> = None;
+    let mut sketch_cap: Option<usize> = None;
+    let mut tail_p: Option<f64> = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -426,6 +467,26 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
                 }
                 watchdog = Some(secs);
             }
+            "--sketch-cap" => {
+                sketch_cap = Some(
+                    take("--sketch-cap")?
+                        .parse()
+                        .map_err(|e| format!("--sketch-cap: {e}"))?,
+                );
+            }
+            "--tail-p" => {
+                let p: f64 = take("--tail-p")?
+                    .parse()
+                    .map_err(|e| format!("--tail-p: {e}"))?;
+                // p = 0 and p = 1 are min/max, already reported; outside
+                // [0, 1] is not a probability at all.
+                if !(p.is_finite() && 0.0 < p && p < 1.0) {
+                    return Err(format!(
+                        "--tail-p needs a percentile target strictly in (0, 1), got {p}"
+                    ));
+                }
+                tail_p = Some(p);
+            }
             "--detail" => detail = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -453,6 +514,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     }
 
     let info = parse_info(&info_spec)?;
+    info.validate()?;
     let service = parse_service(&service_spec)?;
     // SITA-E derives its size cutoffs from the service distribution and
     // server count, so it is resolved here rather than in `parse_policy`.
@@ -541,6 +603,9 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     if let Some(r) = retry {
         builder.retry(r);
     }
+    if let Some(cap) = sketch_cap {
+        builder.sketch_cap(cap);
+    }
     let config = builder.try_build().map_err(|e| e.to_string())?;
 
     Ok(RunArgs {
@@ -551,6 +616,7 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         trials,
         detail,
         watchdog,
+        tail_p,
     })
 }
 
@@ -619,6 +685,89 @@ mod tests {
         assert!(parse_info("periodic").is_err());
         assert!(parse_info("continuous:wat:2").is_err());
         assert!(parse_info("psychic").is_err());
+    }
+
+    #[test]
+    fn estimator_info_grammar() {
+        assert_eq!(
+            parse_info("ewma:0.3").unwrap(),
+            InfoSpec::Ewma {
+                period: 1.0,
+                alpha: 0.3
+            }
+        );
+        assert_eq!(
+            parse_info("ewma:0.5:10").unwrap(),
+            InfoSpec::Ewma {
+                period: 10.0,
+                alpha: 0.5
+            }
+        );
+        assert_eq!(
+            parse_info("ma:2,10,30").unwrap(),
+            InfoSpec::MultiHorizon {
+                period: 1.0,
+                windows: [2.0, 10.0, 30.0]
+            }
+        );
+        assert_eq!(
+            parse_info("ma:2,10,30:5").unwrap(),
+            InfoSpec::MultiHorizon {
+                period: 5.0,
+                windows: [2.0, 10.0, 30.0]
+            }
+        );
+        // Malformed shapes fail at the parser…
+        assert!(parse_info("ewma").is_err());
+        assert!(parse_info("ewma:lots").is_err());
+        assert!(parse_info("ewma:0.5:soon").is_err());
+        assert!(parse_info("ma").is_err());
+        assert!(parse_info("ma:2,10").is_err());
+        assert!(parse_info("ma:2,10,30,90").is_err());
+        assert!(parse_info("ma:2,x,30").is_err());
+    }
+
+    #[test]
+    fn degenerate_estimator_knobs_are_config_errors() {
+        // …and out-of-range values fail InfoSpec::validate in parse_run.
+        for alpha in ["0", "-0.5", "1.5", "NaN"] {
+            let err = parse_run(&strings(&["--info", &format!("ewma:{alpha}")])).unwrap_err();
+            assert!(err.contains("(0, 1]"), "{err}");
+        }
+        let err = parse_run(&strings(&["--info", "ma:10,2,30"])).unwrap_err();
+        assert!(err.contains("strictly increasing"), "{err}");
+        assert!(parse_run(&strings(&["--info", "ma:0,2,30"])).is_err());
+        assert!(parse_run(&strings(&["--info", "ewma:0.5:0"])).is_err());
+        assert!(parse_run(&strings(&["--info", "ma:2,10,30:-1"])).is_err());
+    }
+
+    #[test]
+    fn sketch_cap_flag_parses_and_validates() {
+        assert_eq!(
+            parse_run(&[]).unwrap().config.sketch_cap,
+            staleload_stats::TailSketch::DEFAULT_CAP
+        );
+        let args = parse_run(&strings(&["--sketch-cap", "128"])).unwrap();
+        assert_eq!(args.config.sketch_cap, 128);
+        let err = parse_run(&strings(&["--sketch-cap", "0"])).unwrap_err();
+        assert!(err.contains("sketch capacity"), "{err}");
+        assert!(parse_run(&strings(&["--sketch-cap", "many"])).is_err());
+        assert!(parse_run(&strings(&["--sketch-cap"])).is_err());
+    }
+
+    #[test]
+    fn tail_p_flag_validates() {
+        assert_eq!(parse_run(&[]).unwrap().tail_p, None);
+        let args = parse_run(&strings(&["--tail-p", "0.95"])).unwrap();
+        assert_eq!(args.tail_p, Some(0.95));
+        // 0 and 1 are min/max, not interior percentiles; outside [0, 1]
+        // and non-finite are not probabilities. All typed errors.
+        for bad in ["0", "1", "1.5", "-0.1", "NaN", "inf"] {
+            let err = parse_run(&strings(&["--tail-p", bad])).unwrap_err();
+            assert!(err.contains("(0, 1)"), "--tail-p {bad}: {err}");
+        }
+        assert!(parse_run(&strings(&["--tail-p", "soon"])).is_err());
+        assert!(parse_run(&strings(&["--tail-p"])).is_err());
     }
 
     #[test]

@@ -77,7 +77,8 @@ fn print_help() {
          --policy SPEC      random | greedy | k:<K> | threshold:<T> | basic-li |\n                     \
          aggressive-li | hybrid-li | li:<K> | decay:<TAU> |\n                     \
          adaptive-li | hetero-li\n  \
-         --info SPEC        fresh | periodic:<T> | continuous:<const|unarrow|uwide|exp>:<T>[:actual] | uoa:<T>\n  \
+         --info SPEC        fresh | periodic:<T> | continuous:<const|unarrow|uwide|exp>:<T>[:actual] | uoa:<T> |\n                     \
+         ewma:<ALPHA>[:<T>] | ma:<W1>,<W2>,<W3>[:<T>]\n  \
          --service SPEC     exp | det | bp:<ALPHA>:<MAX>\n  \
          --capacities SPEC  e.g. 50x1.6,50x0.4 (enables heterogeneous cluster)\n  \
          --stealing MIN     idle servers steal from queues of length >= MIN\n  \
@@ -107,6 +108,10 @@ fn print_help() {
          --watchdog SECS    per-trial wall-clock budget; a trial whose every\n                     \
          attempt (one retry after jittered backoff) exceeds it is\n                     \
          reported as a failed trial instead of hanging the run\n  \
+         --sketch-cap N     exact-mode capacity of the tail-quantile sketch before\n                     \
+         it compacts onto the log grid (4096)\n  \
+         --tail-p P         report one extra response-time percentile under\n                     \
+         --detail; P strictly in (0, 1), e.g. 0.95\n  \
          --detail           print tail latencies, fairness, occupancy\n\n\
          EXAMPLES:\n  \
          staleload compare --info periodic:10\n  \
@@ -184,6 +189,11 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         s.median, s.q1, s.q3
     );
     println!("range         : [{:.4}, {:.4}]", s.min, s.max);
+    let t = &result.tail;
+    println!(
+        "p50/p99/p999  : {:.4} / {:.4} / {:.4} (max {:.4} over {} measured jobs, all trials)",
+        t.p50, t.p99, t.p999, t.max, t.count
+    );
     report_anomalies(&result);
     if args.detail {
         // One representative run for tails/fairness (trial 0's seed).
@@ -194,12 +204,16 @@ fn cmd_run(args: &RunArgs) -> Result<(), String> {
         let d = &r.detail;
         println!("--- detail (trial 0) ---");
         println!(
-            "p50/p95/p99   : {:.3} / {:.3} / {:.3} (max {:.3})",
+            "p50/p95/p99/p999: {:.3} / {:.3} / {:.3} / {:.3} (max {:.3})",
             d.response_quantile(0.50),
             d.response_quantile(0.95),
             d.response_quantile(0.99),
+            d.response_quantile(0.999),
             r.response.max()
         );
+        if let Some(p) = args.tail_p {
+            println!("p{} (requested): {:.3}", p * 100.0, d.response_quantile(p));
+        }
         println!(
             "mean in system: {:.2} (peak {:.0})",
             d.mean_jobs_in_system(r.end_time),
@@ -294,6 +308,7 @@ fn cmd_compare(args: &RunArgs) -> Result<(), String> {
     let mut table = Table::new(vec![
         "policy".into(),
         "mean response".into(),
+        "p99".into(),
         "vs random".into(),
     ]);
     let mut baseline = None;
@@ -315,6 +330,7 @@ fn cmd_compare(args: &RunArgs) -> Result<(), String> {
         table.push_row(vec![
             label,
             format!("{:.3} ±{:.3}", mean, r.summary.ci90),
+            format!("{:.3}", r.tail.p99),
             format!("{:+.1}%", 100.0 * (mean - base) / base),
         ]);
     }

@@ -213,6 +213,104 @@ fn bad_resilience_flags_fail_with_message() {
 }
 
 #[test]
+fn run_with_estimator_info_prints_tail_summary() {
+    let (ok, stdout, stderr) = staleload(&[
+        "run",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "10000",
+        "--trials",
+        "2",
+        "--policy",
+        "basic-li",
+        "--info",
+        "ewma:0.3:2",
+        "--sketch-cap",
+        "256",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ewma"), "label shows the model:\n{stdout}");
+    assert!(stdout.contains("p50/p99/p999"), "{stdout}");
+    let (ok, stdout, stderr) = staleload(&[
+        "run",
+        "--servers",
+        "8",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "10000",
+        "--trials",
+        "1",
+        "--policy",
+        "basic-li",
+        "--info",
+        "ma:2,6,14:2",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ma("), "label shows the model:\n{stdout}");
+}
+
+#[test]
+fn run_detail_prints_p999() {
+    let (ok, stdout, _) = staleload(&[
+        "run",
+        "--servers",
+        "4",
+        "--lambda",
+        "0.5",
+        "--arrivals",
+        "10000",
+        "--trials",
+        "1",
+        "--policy",
+        "random",
+        "--info",
+        "fresh",
+        "--detail",
+        "--tail-p",
+        "0.9",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("p50/p95/p99/p999"), "{stdout}");
+    assert!(stdout.contains("p90 (requested)"), "{stdout}");
+}
+
+#[test]
+fn bad_tail_flags_fail_with_message() {
+    // EWMA weight outside (0, 1].
+    let (ok, _, stderr) = staleload(&["run", "--info", "ewma:0"]);
+    assert!(!ok);
+    assert!(stderr.contains("(0, 1]"), "{stderr}");
+    let (ok, _, stderr) = staleload(&["run", "--info", "ewma:1.5"]);
+    assert!(!ok);
+    assert!(stderr.contains("(0, 1]"), "{stderr}");
+    // Horizon list must have exactly three strictly increasing windows.
+    let (ok, _, stderr) = staleload(&["run", "--info", "ma:10,2,30"]);
+    assert!(!ok);
+    assert!(stderr.contains("strictly increasing"), "{stderr}");
+    let (ok, _, stderr) = staleload(&["run", "--info", "ma:2,6"]);
+    assert!(!ok);
+    assert!(stderr.contains("three horizons"), "{stderr}");
+    let (ok, _, stderr) = staleload(&["run", "--info", "ma:"]);
+    assert!(!ok);
+    assert!(!stderr.is_empty());
+    // Zero sketch capacity.
+    let (ok, _, stderr) = staleload(&["run", "--sketch-cap", "0"]);
+    assert!(!ok);
+    assert!(stderr.contains("sketch capacity"), "{stderr}");
+    // Percentile target outside (0, 1): 0 and 1 are min/max, not
+    // interior percentiles.
+    for bad in ["0", "1", "1.5", "NaN"] {
+        let (ok, _, stderr) = staleload(&["run", "--tail-p", bad]);
+        assert!(!ok, "--tail-p {bad} should be rejected");
+        assert!(stderr.contains("(0, 1)"), "--tail-p {bad}: {stderr}");
+    }
+}
+
+#[test]
 fn bad_policy_fails_with_message() {
     let (ok, _, stderr) = staleload(&["run", "--policy", "telepathy"]);
     assert!(!ok);

@@ -116,6 +116,13 @@ pub struct SimConfig {
     /// produce bit-identical trajectories (same event order, same RNG
     /// draws); they differ only in speed. Default: [`SchedulerKind::Heap`].
     pub scheduler: SchedulerKind,
+    /// Exact-mode capacity of the per-run response-time quantile sketch
+    /// (extension, ISSUE 8): runs measuring at most this many jobs keep
+    /// the exact multiset; larger runs compact onto the sketch's fixed
+    /// log grid. Recording never draws randomness or schedules events,
+    /// so this knob cannot change a trajectory — only how p99/p999 are
+    /// summarized. Default: [`staleload_stats::TailSketch::DEFAULT_CAP`].
+    pub sketch_cap: usize,
     /// Master seed; trials derive their own seeds from it.
     pub seed: u64,
 }
@@ -163,6 +170,7 @@ pub struct SimConfigBuilder {
     deadline: Option<f64>,
     retry: Option<RetrySpec>,
     scheduler: SchedulerKind,
+    sketch_cap: usize,
     seed: u64,
 }
 
@@ -181,6 +189,7 @@ impl Default for SimConfigBuilder {
             deadline: None,
             retry: None,
             scheduler: SchedulerKind::Heap,
+            sketch_cap: staleload_stats::TailSketch::DEFAULT_CAP,
             seed: 1,
         }
     }
@@ -266,6 +275,14 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Sets the exact-mode capacity of the response-time quantile
+    /// sketch (must be ≥ 1; the default keeps runs of up to
+    /// [`staleload_stats::TailSketch::DEFAULT_CAP`] measured jobs exact).
+    pub fn sketch_cap(&mut self, cap: usize) -> &mut Self {
+        self.sketch_cap = cap;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
@@ -341,6 +358,12 @@ impl SimConfigBuilder {
                 ));
             }
         }
+        if self.sketch_cap == 0 {
+            return Err(ConfigError::new(
+                "sketch capacity must be at least 1 (a zero-capacity sketch cannot hold the \
+                 exact multiset it starts from)",
+            ));
+        }
         Ok(SimConfig {
             servers: self.servers,
             lambda: self.lambda,
@@ -354,6 +377,7 @@ impl SimConfigBuilder {
             deadline: self.deadline,
             retry: self.retry,
             scheduler: self.scheduler,
+            sketch_cap: self.sketch_cap,
             seed: self.seed,
         })
     }
@@ -416,6 +440,15 @@ mod tests {
         assert_eq!(cfg.queue_cap, None);
         assert_eq!(cfg.deadline, None);
         assert_eq!(cfg.retry, None);
+    }
+
+    #[test]
+    fn sketch_cap_defaults_and_validates() {
+        let cfg = SimConfig::builder().build();
+        assert_eq!(cfg.sketch_cap, staleload_stats::TailSketch::DEFAULT_CAP);
+        let cfg = SimConfig::builder().sketch_cap(16).build();
+        assert_eq!(cfg.sketch_cap, 16);
+        assert!(SimConfig::builder().sketch_cap(0).try_build().is_err());
     }
 
     #[test]

@@ -566,7 +566,7 @@ fn run_inner<F: SchedulerFamily>(
     let mut reneges: F::Scheduler<RenegeEntry> = EventScheduler::new();
     let mut orbit: F::Scheduler<OrbitEntry> = EventScheduler::new();
     let mut response = OnlineStats::new();
-    let mut detail = RunDetail::new(n);
+    let mut detail = RunDetail::new(n, cfg.sketch_cap);
     let mut next_id: u64 = 0;
     let mut next_arrival: Option<(f64, usize)> = Some(process.next(&mut arrival_rng));
     let mut end_time: f64 = 0.0;
@@ -804,6 +804,7 @@ fn run_inner<F: SchedulerFamily>(
                 if job.id >= warmup {
                     response.record(t - job.arrival);
                     detail.response_histogram.record(t - job.arrival);
+                    detail.response_sketch.record(t - job.arrival);
                 }
                 detail.jobs_in_system.update(t, cluster.in_system() as f64);
                 end_time = t;

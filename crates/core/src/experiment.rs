@@ -5,9 +5,11 @@ use std::panic::{self, AssertUnwindSafe};
 use serde::{Deserialize, Serialize};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
-use staleload_stats::Summary;
+use staleload_stats::{Summary, TailSketch};
 
-use crate::{run_simulation, ArrivalSpec, ConfigError, Diagnostic, SimConfig, SimError};
+use crate::{
+    run_simulation, ArrivalSpec, ConfigError, Diagnostic, SimConfig, SimError, TailSummary,
+};
 
 /// Derives the seed of trial `trial` from a master seed (SplitMix-style
 /// stride keeps nearby trials uncorrelated).
@@ -74,6 +76,11 @@ pub struct ExperimentResult {
     pub trial_means: Vec<f64>,
     /// Summary statistics over the trials (mean ± 90% CI, quartiles…).
     pub summary: Summary,
+    /// First-class tail latencies over every measured job of every
+    /// successful trial, from the per-trial quantile sketches merged in
+    /// trial-index order — bit-identical for any worker count or cache
+    /// state (ISSUE 8).
+    pub tail: TailSummary,
     /// Total history misses across trials (should be 0).
     pub history_misses: u64,
     /// Trials that errored or panicked (skipped in the aggregates).
@@ -99,6 +106,9 @@ pub enum TrialOutcome {
         history_misses: u64,
         /// Per-run warnings emitted by the trial.
         diagnostics: Vec<Diagnostic>,
+        /// Quantile sketch of the trial's measured response times,
+        /// merged across trials by [`Experiment::aggregate`].
+        sketch: TailSketch,
     },
     /// The trial returned a config error or panicked.
     Failed(TrialFailure),
@@ -183,15 +193,22 @@ impl Experiment {
         let mut history_misses = 0;
         let mut failures = Vec::new();
         let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        // Merged in trial-index order. The sketch's merge is bit-exact
+        // under any association, so this fold matches whatever order the
+        // workers actually finished in — but a canonical order keeps the
+        // invariant from depending on that property alone.
+        let mut merged = TailSketch::new(self.config.sketch_cap.max(1));
         for outcome in outcomes {
             match outcome {
                 TrialOutcome::Ok {
                     mean,
                     history_misses: misses,
                     diagnostics: diags,
+                    sketch,
                 } => {
                     trial_means.push(mean);
                     history_misses += misses;
+                    merged.merge(&sketch);
                     for d in diags {
                         if !diagnostics.iter().any(|seen| seen.code == d.code) {
                             diagnostics.push(d);
@@ -211,6 +228,7 @@ impl Experiment {
         }
         Ok(ExperimentResult {
             summary: Summary::from_trials(&trial_means),
+            tail: TailSummary::from_sketch(&merged),
             trial_means,
             history_misses,
             failures,
@@ -251,6 +269,7 @@ impl Experiment {
                 mean: r.mean_response,
                 history_misses: r.history_misses,
                 diagnostics: r.diagnostics,
+                sketch: r.detail.response_sketch,
             },
             Ok(Err(e)) => TrialOutcome::Failed(TrialFailure {
                 trial,

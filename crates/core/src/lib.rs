@@ -56,5 +56,5 @@ pub use experiment::{
     clients_for_mean_age, trial_seed, Experiment, ExperimentResult, TrialFailure, TrialOutcome,
 };
 pub use fault::{ChurnSpec, CorruptSpec, CrashSpec, FaultSpec, LossSpec, PartitionSpec};
-pub use metrics::{jain_fairness, OverloadStats, ResilienceStats, RunDetail};
+pub use metrics::{jain_fairness, OverloadStats, ResilienceStats, RunDetail, TailSummary};
 pub use staleload_workloads::RetrySpec;

@@ -6,12 +6,17 @@
 //! (Little's law, utilization ≈ λ).
 
 use staleload_sim::{Histogram, TimeWeighted};
+use staleload_stats::TailSketch;
 
 /// Detailed metrics of one simulation run.
 #[derive(Debug, Clone)]
 pub struct RunDetail {
     /// Log-bucketed histogram of measured response times (~12% resolution).
     pub response_histogram: Histogram,
+    /// Mergeable quantile sketch of measured response times (ISSUE 8):
+    /// exact below the configured capacity, ~0.5% relative error above
+    /// it, and bit-identical under any merge order across trials.
+    pub response_sketch: TailSketch,
     /// Jobs in the whole system, time-averaged over the run.
     pub jobs_in_system: TimeWeighted,
     /// Jobs completed per server.
@@ -21,22 +26,24 @@ pub struct RunDetail {
 }
 
 impl RunDetail {
-    pub(crate) fn new(servers: usize) -> Self {
+    pub(crate) fn new(servers: usize, sketch_cap: usize) -> Self {
         Self {
             response_histogram: Histogram::for_response_times(),
+            response_sketch: TailSketch::new(sketch_cap),
             jobs_in_system: TimeWeighted::new(0.0, 0.0),
             per_server_completed: vec![0; servers],
             per_server_busy: vec![0.0; servers],
         }
     }
 
-    /// Approximate response-time quantile over measured jobs.
+    /// Response-time quantile over measured jobs, from the sketch:
+    /// bit-exact below the sketch capacity, ~0.5% relative error above.
     ///
     /// # Panics
     ///
     /// Panics if no job was measured or `q ∉ [0, 1]`.
     pub fn response_quantile(&self, q: f64) -> f64 {
-        self.response_histogram.quantile(q)
+        self.response_sketch.quantile(q)
     }
 
     /// Time-averaged number of jobs in the system over `[0, end_time]`.
@@ -71,6 +78,65 @@ impl RunDetail {
     /// server.
     pub fn throughput_fairness(&self) -> f64 {
         jain_fairness(&self.per_server_completed)
+    }
+}
+
+/// First-class tail latencies of one experiment point, computed from the
+/// per-trial quantile sketches merged in trial order (ISSUE 8). Because
+/// the sketch's merge is bit-exact under any association, these numbers
+/// are identical whether the trials ran sequentially, on 2 workers, on 8,
+/// or were replayed from the result cache.
+#[derive(Debug, Clone, Copy, serde::Serialize, serde::Deserialize)]
+pub struct TailSummary {
+    /// Median response time across every measured job of every trial.
+    pub p50: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// 99.9th percentile.
+    pub p999: f64,
+    /// Exact largest measured response time.
+    pub max: f64,
+    /// Measured jobs covered (0 when nothing was measured; the
+    /// percentiles are then NaN).
+    pub count: u64,
+}
+
+/// Bit-level equality, so two empty (all-NaN) summaries compare equal
+/// and golden tests can assert exact reproduction.
+impl PartialEq for TailSummary {
+    fn eq(&self, other: &Self) -> bool {
+        self.p50.to_bits() == other.p50.to_bits()
+            && self.p99.to_bits() == other.p99.to_bits()
+            && self.p999.to_bits() == other.p999.to_bits()
+            && self.max.to_bits() == other.max.to_bits()
+            && self.count == other.count
+    }
+}
+
+impl TailSummary {
+    /// Summarizes a merged sketch; all-NaN percentiles when it is empty.
+    pub fn from_sketch(sketch: &TailSketch) -> Self {
+        if sketch.count() == 0 {
+            return Self::empty();
+        }
+        Self {
+            p50: sketch.quantile(0.5),
+            p99: sketch.quantile(0.99),
+            p999: sketch.quantile(0.999),
+            max: sketch.max(),
+            count: sketch.count(),
+        }
+    }
+
+    /// The no-data summary (NaN percentiles, zero count).
+    pub fn empty() -> Self {
+        Self {
+            p50: f64::NAN,
+            p99: f64::NAN,
+            p999: f64::NAN,
+            max: f64::NAN,
+            count: 0,
+        }
     }
 }
 
@@ -250,14 +316,33 @@ mod tests {
 
     #[test]
     fn detail_accumulates() {
-        let mut d = RunDetail::new(2);
+        let mut d = RunDetail::new(2, 64);
         d.jobs_in_system.update(1.0, 3.0);
         d.response_histogram.record(2.0);
+        d.response_sketch.record(2.0);
         d.per_server_completed[0] = 1;
         d.per_server_busy[0] = 2.0;
         assert_eq!(d.peak_jobs_in_system(), 3.0);
         assert_eq!(d.response_quantile(1.0), 2.0);
         assert!((d.utilizations(4.0)[0] - 0.5).abs() < 1e-12);
         assert!(d.throughput_fairness() < 1.0);
+    }
+
+    #[test]
+    fn tail_summary_from_sketch() {
+        let mut s = TailSketch::new(64);
+        for i in 1..=10 {
+            s.record(i as f64);
+        }
+        let t = TailSummary::from_sketch(&s);
+        assert_eq!(t.count, 10);
+        assert_eq!(t.p50, 5.5);
+        assert_eq!(t.max, 10.0);
+        assert!(t.p99 <= t.p999 && t.p999 <= t.max);
+
+        let empty = TailSummary::from_sketch(&TailSketch::new(64));
+        assert_eq!(empty.count, 0);
+        assert!(empty.p50.is_nan() && empty.p99.is_nan());
+        assert_eq!(empty, TailSummary::empty());
     }
 }

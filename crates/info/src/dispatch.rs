@@ -17,8 +17,8 @@ use staleload_cluster::Cluster;
 use staleload_policies::LoadView;
 
 use crate::{
-    ContinuousView, CorruptSpec, FreshView, IndividualBoard, InfoModel, InfoSpec, LossSpec,
-    PeriodicBoard, UpdateOnAccess,
+    ContinuousView, CorruptSpec, EwmaBoard, FreshView, IndividualBoard, InfoModel, InfoSpec,
+    LossSpec, MultiHorizonBoard, PeriodicBoard, UpdateOnAccess,
 };
 
 /// An [`InfoModel`] with enum (static) dispatch over the closed set of
@@ -33,6 +33,8 @@ pub enum InfoDispatch {
     UpdateOnAccess(UpdateOnAccess),
     Individual(IndividualBoard),
     Fresh(FreshView),
+    Ewma(EwmaBoard),
+    MultiHorizon(MultiHorizonBoard),
 }
 
 impl InfoDispatch {
@@ -49,6 +51,10 @@ impl InfoDispatch {
                 Self::Individual(IndividualBoard::new(servers, period))
             }
             InfoSpec::Fresh => Self::Fresh(FreshView),
+            InfoSpec::Ewma { period, alpha } => Self::Ewma(EwmaBoard::new(servers, period, alpha)),
+            InfoSpec::MultiHorizon { period, windows } => {
+                Self::MultiHorizon(MultiHorizonBoard::new(servers, period, windows))
+            }
         }
     }
 
@@ -111,6 +117,8 @@ macro_rules! for_each_variant {
             InfoDispatch::UpdateOnAccess($m) => $body,
             InfoDispatch::Individual($m) => $body,
             InfoDispatch::Fresh($m) => $body,
+            InfoDispatch::Ewma($m) => $body,
+            InfoDispatch::MultiHorizon($m) => $body,
         }
     };
 }
@@ -164,6 +172,14 @@ mod tests {
             InfoSpec::UpdateOnAccess,
             InfoSpec::Individual { period: 3.0 },
             InfoSpec::Fresh,
+            InfoSpec::Ewma {
+                period: 2.0,
+                alpha: 0.4,
+            },
+            InfoSpec::MultiHorizon {
+                period: 2.0,
+                windows: [2.0, 6.0, 14.0],
+            },
         ]
     }
 

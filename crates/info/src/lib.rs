@@ -14,6 +14,10 @@
 //!   its *previous* request reached a server (§3.2).
 //! * [`FreshView`] — zero staleness (extension; the omniscient reference
 //!   used for validation).
+//! * [`EwmaBoard`] / [`MultiHorizonBoard`] — periodic boards that publish
+//!   *filtered* load estimates (an exponentially weighted moving average,
+//!   or a blend of moving averages over several look-back horizons)
+//!   instead of the raw snapshot (extension; the tail-latency program).
 //!
 //! All models implement [`InfoModel`], the small interface the simulation
 //! driver in `staleload-core` consumes.
@@ -49,6 +53,7 @@
 mod continuous;
 mod corrupt;
 mod dispatch;
+mod estimator;
 mod individual;
 mod loss;
 mod periodic;
@@ -58,6 +63,7 @@ mod update_on_access;
 pub use continuous::{AgeKnowledge, ContinuousView, DelaySpec};
 pub use corrupt::CorruptSpec;
 pub use dispatch::InfoDispatch;
+pub use estimator::{EwmaBoard, MultiHorizonBoard};
 pub use individual::IndividualBoard;
 pub use loss::LossSpec;
 pub use periodic::PeriodicBoard;

@@ -5,8 +5,8 @@ use serde::{Deserialize, Serialize};
 use staleload_sim::SimRng;
 
 use crate::{
-    AgeKnowledge, ContinuousView, DelaySpec, FreshView, IndividualBoard, InfoModel, LossSpec,
-    PeriodicBoard, UpdateOnAccess,
+    AgeKnowledge, ContinuousView, DelaySpec, EwmaBoard, FreshView, IndividualBoard, InfoModel,
+    LossSpec, MultiHorizonBoard, PeriodicBoard, UpdateOnAccess,
 };
 
 /// A serializable description of an information model, used by the
@@ -46,6 +46,23 @@ pub enum InfoSpec {
     },
     /// Zero staleness (validation extension).
     Fresh,
+    /// Periodic board publishing exponentially weighted moving averages
+    /// of the sampled loads instead of raw snapshots (tail-latency
+    /// extension).
+    Ewma {
+        /// Sampling/refresh period `T`.
+        period: f64,
+        /// Smoothing weight on the newest sample, in `(0, 1]`.
+        alpha: f64,
+    },
+    /// Periodic board publishing the equal-weight blend of moving
+    /// averages over three look-back horizons (tail-latency extension).
+    MultiHorizon {
+        /// Sampling/refresh period `T`.
+        period: f64,
+        /// Look-back horizons in time units, strictly increasing.
+        windows: [f64; 3],
+    },
 }
 
 impl InfoSpec {
@@ -59,6 +76,10 @@ impl InfoSpec {
             InfoSpec::UpdateOnAccess => Box::new(UpdateOnAccess::new(clients, servers)),
             InfoSpec::Individual { period } => Box::new(IndividualBoard::new(servers, period)),
             InfoSpec::Fresh => Box::new(FreshView),
+            InfoSpec::Ewma { period, alpha } => Box::new(EwmaBoard::new(servers, period, alpha)),
+            InfoSpec::MultiHorizon { period, windows } => {
+                Box::new(MultiHorizonBoard::new(servers, period, windows))
+            }
         }
     }
 
@@ -119,6 +140,33 @@ impl InfoSpec {
                     ));
                 }
             }
+            InfoSpec::Ewma { period, alpha } => {
+                if !(period.is_finite() && *period > 0.0) {
+                    return Err(format!(
+                        "refresh period must be positive and finite, got {period}"
+                    ));
+                }
+                if !(alpha.is_finite() && *alpha > 0.0 && *alpha <= 1.0) {
+                    return Err(format!("EWMA weight must be in (0, 1], got {alpha}"));
+                }
+            }
+            InfoSpec::MultiHorizon { period, windows } => {
+                if !(period.is_finite() && *period > 0.0) {
+                    return Err(format!(
+                        "refresh period must be positive and finite, got {period}"
+                    ));
+                }
+                if !windows.iter().all(|w| w.is_finite() && *w > 0.0) {
+                    return Err(format!(
+                        "horizon windows must be positive and finite, got {windows:?}"
+                    ));
+                }
+                if !(windows[0] < windows[1] && windows[1] < windows[2]) {
+                    return Err(format!(
+                        "horizon windows must be strictly increasing, got {windows:?}"
+                    ));
+                }
+            }
             InfoSpec::UpdateOnAccess | InfoSpec::Fresh => {}
         }
         Ok(())
@@ -146,6 +194,11 @@ impl InfoSpec {
             InfoSpec::UpdateOnAccess => "update-on-access".to_string(),
             InfoSpec::Individual { period } => format!("individual(T={period})"),
             InfoSpec::Fresh => "fresh".to_string(),
+            InfoSpec::Ewma { period, alpha } => format!("ewma(α={alpha}, T={period})"),
+            InfoSpec::MultiHorizon { period, windows } => format!(
+                "ma({}/{}/{}, T={period})",
+                windows[0], windows[1], windows[2]
+            ),
         }
     }
 }
@@ -165,6 +218,14 @@ mod tests {
             InfoSpec::UpdateOnAccess,
             InfoSpec::Individual { period: 3.0 },
             InfoSpec::Fresh,
+            InfoSpec::Ewma {
+                period: 2.0,
+                alpha: 0.3,
+            },
+            InfoSpec::MultiHorizon {
+                period: 2.0,
+                windows: [2.0, 4.0, 8.0],
+            },
         ];
         for spec in specs {
             let model = spec.build(4, 3);
@@ -196,6 +257,74 @@ mod tests {
             .validate()
             .is_err());
         assert!(InfoSpec::Fresh.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_checks_estimator_knobs() {
+        let ok = InfoSpec::Ewma {
+            period: 2.0,
+            alpha: 0.5,
+        };
+        assert!(ok.validate().is_ok());
+        for alpha in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = InfoSpec::Ewma { period: 2.0, alpha }
+                .validate()
+                .unwrap_err();
+            assert!(err.contains("(0, 1]"), "{err}");
+        }
+        assert!(InfoSpec::Ewma {
+            period: 0.0,
+            alpha: 0.5
+        }
+        .validate()
+        .is_err());
+
+        let ok = InfoSpec::MultiHorizon {
+            period: 2.0,
+            windows: [2.0, 4.0, 8.0],
+        };
+        assert!(ok.validate().is_ok());
+        for windows in [
+            [4.0, 2.0, 8.0],
+            [2.0, 2.0, 8.0],
+            [0.0, 4.0, 8.0],
+            [2.0, 4.0, f64::INFINITY],
+        ] {
+            assert!(
+                InfoSpec::MultiHorizon {
+                    period: 2.0,
+                    windows
+                }
+                .validate()
+                .is_err(),
+                "windows {windows:?} must be rejected"
+            );
+        }
+        assert!(InfoSpec::MultiHorizon {
+            period: -1.0,
+            windows: [2.0, 4.0, 8.0]
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn estimators_do_not_support_loss() {
+        let loss = LossSpec::drop(0.5);
+        for spec in [
+            InfoSpec::Ewma {
+                period: 2.0,
+                alpha: 0.5,
+            },
+            InfoSpec::MultiHorizon {
+                period: 2.0,
+                windows: [2.0, 4.0, 8.0],
+            },
+        ] {
+            assert!(!spec.supports_loss());
+            assert!(spec.build_lossy(4, loss, SimRng::from_seed(1)).is_none());
+            assert!(spec.history_window().is_none());
+        }
     }
 
     #[test]

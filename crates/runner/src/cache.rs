@@ -23,8 +23,8 @@ use std::fs::File;
 use std::io::{BufRead, BufReader};
 use std::path::{Path, PathBuf};
 
-use staleload_core::{Diagnostic, ExperimentResult, TrialFailure};
-use staleload_stats::Summary;
+use staleload_core::{Diagnostic, ExperimentResult, TailSummary, TrialFailure};
+use staleload_stats::{Summary, TailSketch};
 
 use crate::atomic::{self, DurableAppender, Unsealed};
 use crate::codec::{self, Json};
@@ -257,6 +257,8 @@ pub(crate) fn encode_result(out: &mut String, r: &ExperimentResult) {
         "],\"summary\":{{\"trials\":{},\"mean\":{:?},\"stddev\":{:?},\"ci90\":{:?},\"min\":{:?},\"q1\":{:?},\"median\":{:?},\"q3\":{:?},\"max\":{:?}}}",
         s.trials, s.mean, s.stddev, s.ci90, s.min, s.q1, s.median, s.q3, s.max
     );
+    out.push_str(",\"tail\":");
+    encode_tail(out, &r.tail);
     let _ = write!(out, ",\"history_misses\":{}", r.history_misses);
     out.push_str(",\"failures\":[");
     for (i, f) in r.failures.iter().enumerate() {
@@ -273,6 +275,49 @@ pub(crate) fn encode_result(out: &mut String, r: &ExperimentResult) {
         encode_diagnostic(out, d);
     }
     out.push_str("]}");
+}
+
+pub(crate) fn encode_tail(out: &mut String, t: &TailSummary) {
+    let _ = write!(
+        out,
+        "{{\"p50\":{:?},\"p99\":{:?},\"p999\":{:?},\"max\":{:?},\"count\":{}}}",
+        t.p50, t.p99, t.p999, t.max, t.count
+    );
+}
+
+/// Encodes a [`TailSketch`] as either its exact multiset
+/// (`{"cap":N,"exact":[…]}`) or its compacted bucket counts
+/// (`{"cap":N,"count":C,"min":m,"max":M,"buckets":[[i,c],…]}`).
+/// Both forms round-trip bit-exactly: values use shortest-roundtrip
+/// `Debug` floats and counts stay integer tokens.
+pub(crate) fn encode_sketch(out: &mut String, s: &TailSketch) {
+    let _ = write!(out, "{{\"cap\":{}", s.cap());
+    if let Some(values) = s.exact_values() {
+        out.push_str(",\"exact\":[");
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{v:?}");
+        }
+        out.push(']');
+    } else if let Some(entries) = s.bucket_entries() {
+        let _ = write!(
+            out,
+            ",\"count\":{},\"min\":{:?},\"max\":{:?},\"buckets\":[",
+            s.count(),
+            s.min(),
+            s.max()
+        );
+        for (i, (bucket, count)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{bucket},{count}]");
+        }
+        out.push(']');
+    }
+    out.push('}');
 }
 
 pub(crate) fn encode_failure(out: &mut String, f: &TrialFailure) {
@@ -351,10 +396,53 @@ pub(crate) fn decode_result(v: &Json) -> Option<ExperimentResult> {
     Some(ExperimentResult {
         trial_means,
         summary,
+        tail: decode_tail(v.get("tail")?)?,
         history_misses: v.get("history_misses")?.as_u64()?,
         failures,
         diagnostics,
     })
+}
+
+pub(crate) fn decode_tail(t: &Json) -> Option<TailSummary> {
+    Some(TailSummary {
+        p50: t.get("p50")?.as_f64()?,
+        p99: t.get("p99")?.as_f64()?,
+        p999: t.get("p999")?.as_f64()?,
+        max: t.get("max")?.as_f64()?,
+        count: t.get("count")?.as_u64()?,
+    })
+}
+
+pub(crate) fn decode_sketch(s: &Json) -> Option<TailSketch> {
+    let cap = s.get("cap")?.as_usize()?;
+    if let Some(exact) = s.get("exact") {
+        let values = exact
+            .as_arr()?
+            .iter()
+            .map(Json::as_f64)
+            .collect::<Option<Vec<_>>>()?;
+        return TailSketch::from_exact_parts(cap, values).ok();
+    }
+    let entries = s
+        .get("buckets")?
+        .as_arr()?
+        .iter()
+        .map(|pair| {
+            let pair = pair.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Some((pair[0].as_usize()?, pair[1].as_u64()?))
+        })
+        .collect::<Option<Vec<_>>>()?;
+    TailSketch::from_bucket_parts(
+        cap,
+        &entries,
+        s.get("count")?.as_u64()?,
+        s.get("min")?.as_f64()?,
+        s.get("max")?.as_f64()?,
+    )
+    .ok()
 }
 
 pub(crate) fn decode_failure(f: &Json) -> Option<TrialFailure> {
@@ -378,8 +466,13 @@ mod tests {
 
     fn sample_result() -> ExperimentResult {
         let trial_means = vec![1.5, 0.1 + 0.2, f64::from_bits(0x3FF5_5555_5555_5555)];
+        let mut sketch = TailSketch::new(64);
+        for &m in &trial_means {
+            sketch.record(m);
+        }
         ExperimentResult {
             summary: Summary::from_trials(&trial_means),
+            tail: TailSummary::from_sketch(&sketch),
             trial_means,
             history_misses: 3,
             failures: vec![TrialFailure {
@@ -420,6 +513,40 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits());
         }
         assert_eq!(decoded.failures[0].seed, result.failures[0].seed);
+    }
+
+    #[test]
+    fn tail_summary_round_trips_including_empty() {
+        // A populated tail and the all-NaN empty tail both survive the
+        // codec bit for bit (bit-level PartialEq on TailSummary).
+        for tail in [sample_result().tail, TailSummary::empty()] {
+            let mut out = String::new();
+            encode_tail(&mut out, &tail);
+            let doc = codec::parse(&out).expect("tail parses");
+            assert_eq!(decode_tail(&doc).expect("tail decodes"), tail);
+        }
+    }
+
+    #[test]
+    fn sketch_round_trips_in_both_modes() {
+        // Exact mode: a handful of awkward values under the cap.
+        let mut exact = TailSketch::new(16);
+        for v in [0.1 + 0.2, 1.0e-9, 5.0e7, 3.75, -0.0] {
+            exact.record(v);
+        }
+        // Compacted mode: enough values to cross the cap.
+        let mut compacted = TailSketch::new(8);
+        for i in 0..200 {
+            compacted.record(0.01 * f64::from(i) + 0.005);
+        }
+        assert!(exact.is_exact());
+        assert!(!compacted.is_exact());
+        for sketch in [exact, compacted] {
+            let mut out = String::new();
+            encode_sketch(&mut out, &sketch);
+            let doc = codec::parse(&out).expect("sketch parses");
+            assert_eq!(decode_sketch(&doc).expect("sketch decodes"), sketch);
+        }
     }
 
     #[test]

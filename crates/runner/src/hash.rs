@@ -250,6 +250,50 @@ mod tests {
         }
     }
 
+    /// The tail-latency knobs — sketch capacity and the estimator info
+    /// models — must each perturb the key, or a sweep that changes them
+    /// would replay stale cached percentiles.
+    #[test]
+    fn tail_knobs_feed_the_key() {
+        let base = experiment_key(&exp(1, 3, 4.0, 0.9));
+
+        let with_cap = |cap: usize| {
+            let mut e = exp(1, 3, 4.0, 0.9);
+            e.config.sketch_cap = cap;
+            experiment_key(&e)
+        };
+        let with_info = |info: InfoSpec| {
+            let mut e = exp(1, 3, 4.0, 0.9);
+            e.info = info;
+            experiment_key(&e)
+        };
+
+        let small_cap = with_cap(64);
+        let big_cap = with_cap(1 << 16);
+        let ewma = with_info(InfoSpec::Ewma {
+            period: 4.0,
+            alpha: 0.3,
+        });
+        let ewma_heavier = with_info(InfoSpec::Ewma {
+            period: 4.0,
+            alpha: 0.7,
+        });
+        let ma = with_info(InfoSpec::MultiHorizon {
+            period: 4.0,
+            windows: [4.0, 12.0, 28.0],
+        });
+        let ma_wider = with_info(InfoSpec::MultiHorizon {
+            period: 4.0,
+            windows: [4.0, 12.0, 56.0],
+        });
+        let keys = [base, small_cap, big_cap, ewma, ewma_heavier, ma, ma_wider];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "tail variants {i} and {j} collided");
+            }
+        }
+    }
+
     /// Simulates the maintenance path `staleload-lint`'s `cache-key`
     /// rule enforces: when a spec grows a field, feeding it through one
     /// more `hasher.field(...)` call must change the key — i.e. the

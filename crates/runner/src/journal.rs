@@ -30,7 +30,8 @@ use staleload_core::{TrialFailure, TrialOutcome};
 
 use crate::atomic::{self, DurableAppender, Unsealed};
 use crate::cache::{
-    decode_diagnostic, decode_failure, encode_diagnostic, encode_failure, parse_key, QUARANTINE_DIR,
+    decode_diagnostic, decode_failure, decode_sketch, encode_diagnostic, encode_failure,
+    encode_sketch, parse_key, QUARANTINE_DIR,
 };
 use crate::codec;
 use crate::PointKey;
@@ -294,6 +295,7 @@ fn encode_entry(key: PointKey, trial: usize, outcome: &TrialOutcome) -> String {
             mean,
             history_misses,
             diagnostics,
+            sketch,
         } => {
             let _ = write!(
                 out,
@@ -305,7 +307,9 @@ fn encode_entry(key: PointKey, trial: usize, outcome: &TrialOutcome) -> String {
                 }
                 encode_diagnostic(&mut out, d);
             }
-            out.push_str("]}");
+            out.push_str("],\"sketch\":");
+            encode_sketch(&mut out, sketch);
+            out.push('}');
         }
         TrialOutcome::Failed(f) => {
             out.push_str("\"failed\":");
@@ -334,6 +338,7 @@ fn parse_entry(payload: &str) -> Option<(PointKey, usize, TrialOutcome)> {
                 .iter()
                 .map(decode_diagnostic)
                 .collect::<Option<Vec<_>>>()?,
+            sketch: decode_sketch(ok.get("sketch")?)?,
         }
     } else {
         let f: TrialFailure = decode_failure(doc.get("failed")?)?;
@@ -362,6 +367,9 @@ mod tests {
     }
 
     fn ok_outcome(mean: f64) -> TrialOutcome {
+        let mut sketch = staleload_stats::TailSketch::new(32);
+        sketch.record(mean);
+        sketch.record(mean * 2.0);
         TrialOutcome::Ok {
             mean,
             history_misses: 0,
@@ -369,6 +377,7 @@ mod tests {
                 code: "history-misses",
                 message: "λ≈0.9 ✓ unicode".to_string(),
             }],
+            sketch,
         }
     }
 

@@ -416,6 +416,7 @@ fn watchdog_tags_partial_timeouts_and_keeps_them_out_of_the_cache() {
                 mean: 1.25,
                 history_misses: 0,
                 diagnostics: vec![],
+                sketch: staleload_stats::TailSketch::new(staleload_stats::TailSketch::DEFAULT_CAP),
             },
         );
     }

@@ -83,6 +83,35 @@ fn experiments() -> Vec<Experiment> {
             },
             3,
         ),
+        // The tail-latency estimators: an EWMA board with a small sketch
+        // capacity (forces compaction mid-trial) and a multi-horizon
+        // board at the default capacity.
+        Experiment::new(
+            SimConfig::builder()
+                .servers(8)
+                .lambda(0.9)
+                .arrivals(2_000)
+                .seed(66)
+                .sketch_cap(256)
+                .build(),
+            ArrivalSpec::Poisson,
+            InfoSpec::Ewma {
+                period: 4.0,
+                alpha: 0.3,
+            },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            3,
+        ),
+        Experiment::new(
+            cfg(77, 1_500),
+            ArrivalSpec::Poisson,
+            InfoSpec::MultiHorizon {
+                period: 4.0,
+                windows: [4.0, 12.0, 28.0],
+            },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            2,
+        ),
     ]
 }
 
@@ -107,6 +136,15 @@ fn fingerprint(r: &ExperimentResult) -> String {
         bits(s.median),
         bits(s.q3),
         bits(s.max),
+    ));
+    let t = &r.tail;
+    out.push_str(&format!(
+        "tail={} {} {} {} {}\n",
+        bits(t.p50),
+        bits(t.p99),
+        bits(t.p999),
+        bits(t.max),
+        t.count,
     ));
     out.push_str(&format!("history_misses={}\n", r.history_misses));
     out.push_str(&format!("failures={:?}\n", r.failures));

@@ -23,9 +23,11 @@
 #![warn(missing_docs)]
 
 mod plot;
+mod sketch;
 mod table;
 
 pub use plot::LinePlot;
+pub use sketch::TailSketch;
 pub use table::Table;
 
 use serde::{Deserialize, Serialize};

@@ -1,0 +1,652 @@
+//! A streaming, mergeable quantile sketch with a *pinned* compaction
+//! schedule (ISSUE 8).
+//!
+//! Per-trial response-time distributions must merge across trials and
+//! workers **bit-identically**: the worker count of a sweep must never
+//! change a reported p99. Classic streaming sketches (KLL, GK) cannot
+//! offer that — their compaction timing depends on the order merges
+//! happen, so `merge(merge(a,b),c)` and `merge(a,merge(b,c))` hold only
+//! up to rank error, not bit equality. [`TailSketch`] instead pins the
+//! compacted form to a *canonical function of the input multiset*:
+//!
+//! * **Exact mode** — below the configured capacity the sketch is the
+//!   sorted multiset itself (total-order sorted `Vec<f64>`), and
+//!   quantiles are the same type-7 interpolation as [`crate::quantile`],
+//!   bit for bit.
+//! * **Compacted mode** — the moment the count crosses the capacity
+//!   (that is the entire compaction schedule), the multiset collapses
+//!   onto a fixed logarithmic grid: bucket `i` covers
+//!   `[FLOOR·(1+EPS)^(i-1), FLOOR·(1+EPS)^i)`, so every count vector is
+//!   determined by the multiset alone. Bucket-count addition is a
+//!   multiset homomorphism, which is what makes `merge` commutative,
+//!   associative, and split-invariant *exactly*, not approximately.
+//!
+//! No running f64 sum is kept (f64 addition is not associative); the
+//! only scalars carried across a compaction are the exact `min`, `max`,
+//! and `count`, all of which merge associatively. Grid quantiles are
+//! accurate to the relative half-width of one bucket
+//! ([`TailSketch::RELATIVE_ERROR`], ~0.5%) for values inside the grid
+//! span, plus an absolute [`TailSketch::FLOOR`] for values below it.
+//!
+//! Nothing here reads wall clocks or OS entropy; two processes that feed
+//! the same multisets hold the same bits.
+
+/// Relative bucket width of the compacted grid: bucket boundaries are
+/// `FLOOR·(1+EPS)^i`. Outside tests it only appears through the pinned
+/// literals below (the hot path must not call libm).
+#[cfg_attr(not(test), allow(dead_code))]
+const EPS: f64 = 0.01;
+
+/// Lowest grid boundary; values at or below it land in the underflow
+/// bucket and are reported with absolute (not relative) error ≤ `FLOOR`.
+const FLOOR: f64 = 1e-4;
+
+/// Highest grid boundary; values at or above it land in the overflow
+/// bucket, whose representative is clamped by the exact `max`.
+const CEIL: f64 = 1e6;
+
+/// Interior grid buckets: `ceil(ln(CEIL/FLOOR) / ln(1+EPS))`.
+/// `ln(1e10)/ln(1.01) = 2314.06…`, kept as a literal so the array
+/// length is a compile-time constant.
+const INTERIOR: usize = 2315;
+
+/// `ln(1 + EPS)` as a literal: `f64::ln_1p` is a runtime libm call, and
+/// a compacted-mode record is on the engine's per-job hot path. Pinned
+/// to exactly `EPS.ln_1p()`'s bits by a test.
+const LN_1P_EPS: f64 = 0.009_950_330_853_168_083;
+
+/// `1 / LN_1P_EPS` and `1 / FLOOR` as literals (pinned by tests):
+/// [`bucket_index`] multiplies by these instead of dividing, which is
+/// measurably cheaper per record. The grid is *defined* by that
+/// function, so the (sub-ulp) rounding difference versus division just
+/// places a handful of boundary values one bucket over — every
+/// determinism and error-bound property is stated against the function
+/// itself and is unaffected.
+const INV_LN_1P_EPS: f64 = 100.499_170_807_130_53;
+const INV_FLOOR: f64 = 1e4;
+
+/// Total buckets: underflow + interior + overflow.
+const NBUCKETS: usize = INTERIOR + 2;
+
+/// The sketch body: the exact multiset until the pinned compaction
+/// fires, the canonical grid afterwards.
+#[derive(Debug, Clone)]
+enum State {
+    /// Sorted by `f64::total_cmp`, so the representation of a multiset
+    /// is unique down to the bit pattern.
+    Exact(Vec<f64>),
+    /// Dense per-bucket counts over the fixed log grid.
+    Compacted(Vec<u64>),
+}
+
+/// A deterministic, mergeable quantile sketch (see the module docs).
+#[derive(Debug, Clone)]
+pub struct TailSketch {
+    /// Exact-mode capacity: the compaction fires when `count` crosses it.
+    cap: usize,
+    state: State,
+    count: u64,
+    /// Exact smallest recorded value (`+∞` when empty).
+    min: f64,
+    /// Exact largest recorded value (`-∞` when empty).
+    max: f64,
+}
+
+/// Bit-level equality: two sketches are equal iff their canonical states
+/// match bit for bit (the property the merge-algebra tests pin).
+impl PartialEq for TailSketch {
+    fn eq(&self, other: &Self) -> bool {
+        if self.cap != other.cap
+            || self.count != other.count
+            || self.min.to_bits() != other.min.to_bits()
+            || self.max.to_bits() != other.max.to_bits()
+        {
+            return false;
+        }
+        match (&self.state, &other.state) {
+            (State::Exact(a), State::Exact(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (State::Compacted(a), State::Compacted(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl TailSketch {
+    /// Worst-case relative error of a compacted-mode quantile for values
+    /// inside the grid span: half a bucket, `√(1+EPS) − 1`.
+    pub const RELATIVE_ERROR: f64 = 0.004_987_562_112_089;
+
+    /// Absolute error floor: values at or below this are underflow.
+    pub const FLOOR: f64 = FLOOR;
+
+    /// Default exact-mode capacity used by the simulator configuration.
+    pub const DEFAULT_CAP: usize = 4096;
+
+    /// An empty sketch that stays exact until `cap` values are held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`; configuration layers reject that earlier
+    /// with a typed error.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "sketch capacity must be at least 1");
+        Self {
+            cap,
+            state: State::Exact(Vec::new()),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN — a NaN response time is an engine bug, and letting
+    /// it into the multiset would poison the canonical ordering.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "cannot record NaN into a quantile sketch");
+        self.count += 1;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+        match &mut self.state {
+            State::Exact(values) => {
+                let at = values.partition_point(|v| v.total_cmp(&x).is_lt());
+                values.insert(at, x);
+                if values.len() > self.cap {
+                    self.compact();
+                }
+            }
+            State::Compacted(buckets) => buckets[bucket_index(x)] += 1,
+        }
+    }
+
+    /// The pinned compaction: fires exactly when the count crosses the
+    /// capacity, collapsing the exact multiset onto the fixed grid. The
+    /// result depends only on the multiset, never on arrival order.
+    fn compact(&mut self) {
+        let State::Exact(values) = &self.state else {
+            return;
+        };
+        let mut buckets = vec![0u64; NBUCKETS];
+        for &v in values {
+            buckets[bucket_index(v)] += 1;
+        }
+        self.state = State::Compacted(buckets);
+    }
+
+    /// Folds `other` into `self`. Exact while the union fits under the
+    /// capacity, canonical grid addition otherwise — in both cases the
+    /// result depends only on the union multiset, so merging is
+    /// commutative, associative, and split-invariant bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ: sketches from different
+    /// configurations have different compaction schedules and must never
+    /// be mixed (the experiment layer always merges trials of one
+    /// config).
+    pub fn merge(&mut self, other: &TailSketch) {
+        assert_eq!(
+            self.cap, other.cap,
+            "cannot merge sketches with different capacities"
+        );
+        self.count += other.count;
+        if other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        let fits_exact = matches!(
+            (&self.state, &other.state),
+            (State::Exact(_), State::Exact(_))
+        ) && self.count <= self.cap as u64;
+        if fits_exact {
+            let (State::Exact(a), State::Exact(b)) = (&mut self.state, &other.state) else {
+                unreachable!("fits_exact checked both states");
+            };
+            let mut merged = Vec::with_capacity(a.len() + b.len());
+            let (mut i, mut j) = (0, 0);
+            while i < a.len() && j < b.len() {
+                if a[i].total_cmp(&b[j]).is_le() {
+                    merged.push(a[i]);
+                    i += 1;
+                } else {
+                    merged.push(b[j]);
+                    j += 1;
+                }
+            }
+            merged.extend_from_slice(&a[i..]);
+            merged.extend_from_slice(&b[j..]);
+            *a = merged;
+            return;
+        }
+        self.compact();
+        let State::Compacted(mine) = &mut self.state else {
+            unreachable!("compact() always leaves the compacted state");
+        };
+        match &other.state {
+            State::Exact(values) => {
+                for &v in values {
+                    mine[bucket_index(v)] += 1;
+                }
+            }
+            State::Compacted(theirs) => {
+                for (m, t) in mine.iter_mut().zip(theirs.iter()) {
+                    *m += *t;
+                }
+            }
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1). In exact mode this is bit-identical
+    /// to [`crate::quantile`] over the sorted values; in compacted mode
+    /// it is the representative of the bucket holding the rank-rounded
+    /// order statistic, clamped to the exact `[min, max]`, accurate to
+    /// [`Self::RELATIVE_ERROR`] (plus [`Self::FLOOR`] absolute for
+    /// underflow values). `q = 0` and `q = 1` return the exact extremes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sketch is empty or `q` is outside `[0, 1]`, exactly
+    /// like [`crate::quantile`].
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!(self.count > 0, "cannot take a quantile of no data");
+        assert!(
+            (0.0..=1.0).contains(&q),
+            "quantile must be in [0, 1], got {q}"
+        );
+        if q == 0.0 {
+            return self.min;
+        }
+        if q == 1.0 {
+            return self.max;
+        }
+        match &self.state {
+            State::Exact(values) => crate::quantile(values, q),
+            State::Compacted(buckets) => {
+                // The type-7 position, rounded to the nearest order
+                // statistic (interpolation is meaningless inside a
+                // bucket); `round` ties away from zero, deterministic.
+                let target = (q * (self.count - 1) as f64).round() as u64;
+                let mut seen = 0u64;
+                for (i, &c) in buckets.iter().enumerate() {
+                    seen += c;
+                    if seen > target {
+                        return representative(i).clamp(self.min, self.max);
+                    }
+                }
+                // Counts always sum to `count`, so the scan cannot fall
+                // through; the max is the safe degenerate answer.
+                self.max
+            }
+        }
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest recorded value (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Exact largest recorded value (`-∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Exact-mode capacity (the compaction threshold).
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// True while the sketch still holds the exact multiset.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        matches!(self.state, State::Exact(_))
+    }
+
+    /// The sorted exact values, if still in exact mode (for codecs).
+    #[must_use]
+    pub fn exact_values(&self) -> Option<&[f64]> {
+        match &self.state {
+            State::Exact(values) => Some(values),
+            State::Compacted(_) => None,
+        }
+    }
+
+    /// The nonzero `(bucket, count)` pairs, if compacted (for codecs).
+    #[must_use]
+    pub fn bucket_entries(&self) -> Option<Vec<(usize, u64)>> {
+        match &self.state {
+            State::Exact(_) => None,
+            State::Compacted(buckets) => Some(
+                buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i, c))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Rebuilds an exact-mode sketch from decoded values (sorted here,
+    /// so the result is canonical regardless of the wire order).
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity, more values than the capacity holds, or
+    /// NaN values.
+    pub fn from_exact_parts(cap: usize, mut values: Vec<f64>) -> Result<Self, String> {
+        if cap == 0 {
+            return Err("sketch capacity must be at least 1".into());
+        }
+        if values.len() > cap {
+            return Err(format!(
+                "exact sketch holds {} values but its capacity is {cap}",
+                values.len()
+            ));
+        }
+        if values.iter().any(|v| v.is_nan()) {
+            return Err("exact sketch values must not be NaN".into());
+        }
+        values.sort_by(f64::total_cmp);
+        let count = values.len() as u64;
+        let (min, max) = match (values.first(), values.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (f64::INFINITY, f64::NEG_INFINITY),
+        };
+        Ok(Self {
+            cap,
+            state: State::Exact(values),
+            count,
+            min,
+            max,
+        })
+    }
+
+    /// Rebuilds a compacted-mode sketch from decoded parts.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity, out-of-range bucket indices, counts
+    /// that do not sum to `count`, a count at or below the capacity
+    /// (such a sketch would still be exact), or an inverted/NaN
+    /// `min`/`max` pair.
+    pub fn from_bucket_parts(
+        cap: usize,
+        entries: &[(usize, u64)],
+        count: u64,
+        min: f64,
+        max: f64,
+    ) -> Result<Self, String> {
+        if cap == 0 {
+            return Err("sketch capacity must be at least 1".into());
+        }
+        if count <= cap as u64 {
+            return Err(format!(
+                "compacted sketch count {count} does not exceed the capacity {cap}"
+            ));
+        }
+        if min.is_nan() || max.is_nan() || min > max {
+            return Err(format!("invalid sketch extremes [{min}, {max}]"));
+        }
+        let mut buckets = vec![0u64; NBUCKETS];
+        let mut total = 0u64;
+        for &(i, c) in entries {
+            if i >= NBUCKETS {
+                return Err(format!("bucket index {i} out of range (< {NBUCKETS})"));
+            }
+            buckets[i] += c;
+            total += c;
+        }
+        if total != count {
+            return Err(format!(
+                "bucket counts sum to {total} but the sketch claims {count}"
+            ));
+        }
+        Ok(Self {
+            cap,
+            state: State::Compacted(buckets),
+            count,
+            min,
+            max,
+        })
+    }
+}
+
+/// The grid bucket holding `x`: 0 is underflow, `NBUCKETS-1` overflow.
+fn bucket_index(x: f64) -> usize {
+    if x <= FLOOR {
+        return 0;
+    }
+    if x >= CEIL {
+        return NBUCKETS - 1;
+    }
+    let i = ((x * INV_FLOOR).ln() * INV_LN_1P_EPS).floor() as usize + 1;
+    i.min(NBUCKETS - 2)
+}
+
+/// The reported value for bucket `i`: the geometric midpoint of its
+/// bounds, so the relative error is half a bucket each way. Underflow
+/// reports the floor, overflow the ceiling; both are clamped by the
+/// exact extremes at the call site.
+fn representative(i: usize) -> f64 {
+    if i == 0 {
+        return FLOOR;
+    }
+    if i >= NBUCKETS - 1 {
+        return CEIL;
+    }
+    FLOOR * ((i as f64 - 0.5) * LN_1P_EPS).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The hot-path literals must hold exactly the bits of the
+    /// expressions they stand in for, or bucket boundaries silently
+    /// shift between builds.
+    #[test]
+    fn hot_path_literals_are_exact() {
+        assert_eq!(LN_1P_EPS.to_bits(), EPS.ln_1p().to_bits());
+        assert_eq!(INV_LN_1P_EPS.to_bits(), (1.0 / LN_1P_EPS).to_bits());
+        assert_eq!(INV_FLOOR.to_bits(), (1.0 / FLOOR).to_bits());
+    }
+
+    fn filled(cap: usize, values: &[f64]) -> TailSketch {
+        let mut s = TailSketch::new(cap);
+        for &v in values {
+            s.record(v);
+        }
+        s
+    }
+
+    #[test]
+    fn exact_mode_matches_stats_quantile_bit_for_bit() {
+        let values = [3.25, 0.5, 9.75, 1.125, 4.5, 2.0, 7.375, 0.875];
+        let s = filled(64, &values);
+        assert!(s.is_exact());
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(
+                s.quantile(q).to_bits(),
+                crate::quantile(&sorted, q).to_bits(),
+                "q = {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_fires_exactly_at_the_capacity() {
+        let mut s = TailSketch::new(4);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            s.record(v);
+            assert!(s.is_exact(), "still within capacity");
+        }
+        s.record(5.0);
+        assert!(!s.is_exact(), "crossing the capacity compacts");
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn compacted_quantiles_stay_within_the_guarantee() {
+        let values: Vec<f64> = (1..=1000).map(|i| i as f64 * 0.01).collect();
+        let s = filled(16, &values);
+        assert!(!s.is_exact());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = crate::quantile(&values, q);
+            let got = s.quantile(q);
+            let tol = exact * (2.0 * TailSketch::RELATIVE_ERROR) + TailSketch::FLOOR;
+            assert!(
+                (got - exact).abs() <= tol,
+                "q = {q}: sketch {got} vs exact {exact} (tol {tol})"
+            );
+        }
+        assert_eq!(s.quantile(0.0), 0.01);
+        assert_eq!(s.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn record_order_does_not_change_the_bits() {
+        let forward: Vec<f64> = (0..300)
+            .map(|i| (i as f64 * 0.37).sin().abs() + 0.1)
+            .collect();
+        let mut reverse = forward.clone();
+        reverse.reverse();
+        for cap in [8, 512] {
+            assert_eq!(filled(cap, &forward), filled(cap, &reverse), "cap {cap}");
+        }
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let a = filled(8, &[1.0, 2.0, 3.0]);
+        let empty = TailSketch::new(8);
+        let mut merged = a.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, a);
+        let mut other_way = empty.clone();
+        other_way.merge(&a);
+        assert_eq!(other_way, a);
+        // The identity also holds once `a` is compacted.
+        let a = filled(4, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let empty = TailSketch::new(4);
+        let mut merged = a.clone();
+        merged.merge(&empty);
+        assert_eq!(merged, a);
+        let mut other_way = TailSketch::new(4);
+        other_way.merge(&a);
+        assert_eq!(other_way, a);
+    }
+
+    #[test]
+    fn merge_commutes_across_mode_boundaries() {
+        // a stays exact, b is compacted; the union must be identical
+        // bits regardless of the fold direction.
+        let a = filled(8, &[0.5, 1.5, 2.5]);
+        let b = filled(8, &(0..20).map(|i| 1.0 + i as f64).collect::<Vec<_>>());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn underflow_and_overflow_report_the_exact_extremes() {
+        let mut values = vec![1e-7, 5e-5, 2e7, 3e7];
+        values.extend((0..50).map(|i| 1.0 + i as f64 * 0.1));
+        let s = filled(8, &values);
+        assert!(!s.is_exact());
+        assert_eq!(s.quantile(0.0), 1e-7);
+        assert_eq!(s.quantile(1.0), 3e7);
+        // Interior quantiles are clamped into the observed range.
+        for q in [0.001, 0.5, 0.999] {
+            let v = s.quantile(q);
+            assert!((1e-7..=3e7).contains(&v), "q = {q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn codec_round_trip_is_bit_exact() {
+        let exact = filled(32, &[4.0, 1.0, 3.0, 2.0]);
+        let values = exact.exact_values().expect("exact mode").to_vec();
+        let back = TailSketch::from_exact_parts(32, values).expect("valid parts");
+        assert_eq!(back, exact);
+
+        let compacted = filled(8, &(0..100).map(|i| 0.5 + i as f64).collect::<Vec<_>>());
+        let entries = compacted.bucket_entries().expect("compacted mode");
+        let back = TailSketch::from_bucket_parts(
+            8,
+            &entries,
+            compacted.count(),
+            compacted.min(),
+            compacted.max(),
+        )
+        .expect("valid parts");
+        assert_eq!(back, compacted);
+    }
+
+    #[test]
+    fn invalid_decoded_parts_are_rejected() {
+        assert!(TailSketch::from_exact_parts(0, vec![]).is_err());
+        assert!(TailSketch::from_exact_parts(2, vec![1.0, 2.0, 3.0]).is_err());
+        assert!(TailSketch::from_exact_parts(8, vec![f64::NAN]).is_err());
+        assert!(TailSketch::from_bucket_parts(8, &[(1, 9)], 9, 2.0, 1.0).is_err());
+        assert!(TailSketch::from_bucket_parts(8, &[(NBUCKETS, 9)], 9, 1.0, 2.0).is_err());
+        assert!(TailSketch::from_bucket_parts(8, &[(1, 5)], 9, 1.0, 2.0).is_err());
+        // A "compacted" sketch that would still fit exactly is malformed.
+        assert!(TailSketch::from_bucket_parts(8, &[(1, 3)], 3, 1.0, 2.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        TailSketch::new(8).record(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_quantile_panics() {
+        let _ = TailSketch::new(8).quantile(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = TailSketch::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different capacities")]
+    fn mixed_capacity_merge_panics() {
+        let mut a = TailSketch::new(8);
+        a.merge(&TailSketch::new(16));
+    }
+}

@@ -434,6 +434,7 @@ fn calendar_backend_replays_heap_bits_everywhere() {
         .map(|(l, a, i, p, f)| (l, a, i, p, f, Controls::default()))
         .collect();
     all.extend(control_combos());
+    all.extend(tail_combos());
     for (label, arrivals, info, policy, faults, controls) in all {
         for seed in 1..=3u64 {
             let heap = run_combo(
@@ -477,6 +478,132 @@ fn calendar_backend_replays_heap_bits_everywhere() {
             assert_eq!(
                 heap.measured_jobs, cal.measured_jobs,
                 "{label} seed {seed}: measured job counts diverged"
+            );
+        }
+    }
+}
+
+/// The tail-latency estimator matrix: EWMA and multi-horizon boards on
+/// the default config. 20k arrivals exceed the default sketch capacity,
+/// so these pins also cover the compacted quantile path.
+fn tail_combos() -> Vec<(
+    &'static str,
+    ArrivalSpec,
+    InfoSpec,
+    PolicySpec,
+    FaultSpec,
+    Controls,
+)> {
+    vec![
+        (
+            "tails/ewma",
+            ArrivalSpec::Poisson,
+            InfoSpec::Ewma {
+                period: 10.0,
+                alpha: 0.3,
+            },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            FaultSpec::none(),
+            Controls::default(),
+        ),
+        (
+            "tails/multi-horizon",
+            ArrivalSpec::Poisson,
+            InfoSpec::MultiHorizon {
+                period: 10.0,
+                windows: [10.0, 30.0, 70.0],
+            },
+            PolicySpec::BasicLi { lambda: 0.9 },
+            FaultSpec::none(),
+            Controls::default(),
+        ),
+    ]
+}
+
+/// (combo label, seed, mean_response bits, p999 bits) for the estimator
+/// matrix, captured from the heap backend (ISSUE 8). Regenerate with the
+/// `print_tail_golden_bits` capture helper after intentional changes.
+const TAIL_GOLDEN: [(&str, u64, u64, u64); 6] = [
+    ("tails/ewma", 1, 0x401864948ee4cf0d, 0x403a5f8c5a0d9fe5),
+    ("tails/ewma", 2, 0x40175880aaf540e0, 0x404093e5fcbc38dd),
+    ("tails/ewma", 3, 0x40198b98afa797cb, 0x4038d8438c3dac40),
+    (
+        "tails/multi-horizon",
+        1,
+        0x401602b68f045c0f,
+        0x4038994a7ba4fba3,
+    ),
+    (
+        "tails/multi-horizon",
+        2,
+        0x401550189d7e8f57,
+        0x403998fc78829364,
+    ),
+    (
+        "tails/multi-horizon",
+        3,
+        0x4017611980ff2f38,
+        0x40381d359dd297e0,
+    ),
+];
+
+/// The estimator matrix replays its pinned bits — mean *and* the sketch's
+/// p999, so a drift anywhere in the sketch ingest/compaction path fails.
+#[test]
+fn estimator_matrix_replays_pinned_bits() {
+    for (label, arrivals, info, policy, faults, controls) in tail_combos() {
+        for seed in 1..=3u64 {
+            let r = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Heap,
+            );
+            let (_, _, mean_bits, p999_bits) = *TAIL_GOLDEN
+                .iter()
+                .find(|(l, s, _, _)| *l == label && *s == seed)
+                .expect("every tail combo/seed pair has a golden entry");
+            assert_eq!(
+                r.mean_response.to_bits(),
+                mean_bits,
+                "{label} seed {seed}: mean_response drifted from golden \
+                 ({} vs bits {mean_bits:#018x})",
+                r.mean_response,
+            );
+            let p999 = r.detail.response_quantile(0.999);
+            assert_eq!(
+                p999.to_bits(),
+                p999_bits,
+                "{label} seed {seed}: sketch p999 drifted from golden \
+                 ({p999} vs bits {p999_bits:#018x})",
+            );
+        }
+    }
+}
+
+/// Capture helper (not a regression test): prints the TAIL_GOLDEN array
+/// body from the current heap backend.
+#[test]
+#[ignore = "capture helper; run with --ignored --nocapture to regenerate TAIL_GOLDEN"]
+fn print_tail_golden_bits() {
+    for (label, arrivals, info, policy, faults, controls) in tail_combos() {
+        for seed in 1..=3u64 {
+            let r = run_combo(
+                &arrivals,
+                &info,
+                &policy,
+                faults,
+                controls,
+                seed,
+                SchedulerKind::Heap,
+            );
+            println!(
+                "    (\"{label}\", {seed}, {:#018x}, {:#018x}),",
+                r.mean_response.to_bits(),
+                r.detail.response_quantile(0.999).to_bits(),
             );
         }
     }
