@@ -16,6 +16,9 @@
 //! figures; the simulator must (and does — see
 //! `tests/fluid_validation.rs`) agree there.
 
+use crate::ode::rk4_integrate;
+use crate::AnalyticError;
+
 /// Equilibrium tail fractions `s_1..=s_max_len` of the `d`-choice fluid
 /// limit at per-server load `λ`.
 ///
@@ -35,11 +38,35 @@
 /// assert!((tail[2] - 0.9f64.powi(7)).abs() < 1e-12);
 /// ```
 pub fn supermarket_equilibrium(d: usize, lambda: f64, max_len: usize) -> Vec<f64> {
-    assert!(d > 0, "need at least one choice");
-    assert!(
-        lambda > 0.0 && lambda < 1.0,
-        "load must be in (0, 1), got {lambda}"
-    );
+    match try_supermarket_equilibrium(d, lambda, max_len) {
+        Ok(tail) => tail,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`supermarket_equilibrium`] for config-reachable
+/// callers (ISSUE 9 satellite): a bad `d`/`λ` surfaces as a typed
+/// [`AnalyticError`] a driver can report per point instead of a panic
+/// that aborts the sweep.
+///
+/// # Errors
+///
+/// Returns [`AnalyticError`] if `d == 0` or `λ ∉ (0, 1)`.
+pub fn try_supermarket_equilibrium(
+    d: usize,
+    lambda: f64,
+    max_len: usize,
+) -> Result<Vec<f64>, AnalyticError> {
+    if d == 0 {
+        return Err(AnalyticError::new(
+            "supermarket fluid limit needs at least one choice (d ≥ 1)",
+        ));
+    }
+    if !(lambda > 0.0 && lambda < 1.0) {
+        return Err(AnalyticError::new(format!(
+            "supermarket fluid limit needs a load in (0, 1), got {lambda}"
+        )));
+    }
     let mut out = Vec::with_capacity(max_len);
     let mut exponent = 1.0; // (d^i − 1)/(d − 1) built incrementally
     for _ in 0..max_len {
@@ -50,7 +77,7 @@ pub fn supermarket_equilibrium(d: usize, lambda: f64, max_len: usize) -> Vec<f64
             exponent = 1e6;
         }
     }
-    out
+    Ok(out)
 }
 
 /// Mean response time of the `d`-choice fluid limit at load `λ`
@@ -60,9 +87,22 @@ pub fn supermarket_equilibrium(d: usize, lambda: f64, max_len: usize) -> Vec<f64
 ///
 /// Panics if `d == 0` or `λ ∉ (0, 1)`.
 pub fn supermarket_mean_response(d: usize, lambda: f64) -> f64 {
-    let tail = supermarket_equilibrium(d, lambda, 512);
+    match try_supermarket_mean_response(d, lambda) {
+        Ok(t) => t,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Fallible form of [`supermarket_mean_response`]; see
+/// [`try_supermarket_equilibrium`].
+///
+/// # Errors
+///
+/// Returns [`AnalyticError`] if `d == 0` or `λ ∉ (0, 1)`.
+pub fn try_supermarket_mean_response(d: usize, lambda: f64) -> Result<f64, AnalyticError> {
+    let tail = try_supermarket_equilibrium(d, lambda, 512)?;
     let mean_queue: f64 = tail.iter().take_while(|&&s| s > 1e-18).sum();
-    mean_queue / lambda
+    Ok(mean_queue / lambda)
 }
 
 /// Numerical integrator for the supermarket fluid ODE.
@@ -108,7 +148,10 @@ impl SupermarketFluid {
     }
 
     /// Integrates from `initial` (tail fractions `s_1..`) for `t_end` time
-    /// with step `dt`, returning the final state.
+    /// with step `dt`, returning the final state. The stepper is the
+    /// crate's shared RK4 ([`rk4_integrate`]); tail fractions are
+    /// probabilities, so the per-step projection clamps rounding drift
+    /// back onto `[0, 1]`.
     ///
     /// # Panics
     ///
@@ -119,35 +162,21 @@ impl SupermarketFluid {
             self.truncation,
             "state length must match truncation"
         );
-        assert!(dt > 0.0, "need a positive step");
-        let l = self.truncation;
         let mut s = initial.to_vec();
-        let (mut k1, mut k2, mut k3, mut k4) =
-            (vec![0.0; l], vec![0.0; l], vec![0.0; l], vec![0.0; l]);
-        let mut tmp = vec![0.0; l];
-        let steps = (t_end / dt).ceil() as usize;
-        for _ in 0..steps {
-            self.derivative(&s, &mut k1);
-            for i in 0..l {
-                tmp[i] = s[i] + 0.5 * dt * k1[i];
-            }
-            self.derivative(&tmp, &mut k2);
-            for i in 0..l {
-                tmp[i] = s[i] + 0.5 * dt * k2[i];
-            }
-            self.derivative(&tmp, &mut k3);
-            for i in 0..l {
-                tmp[i] = s[i] + dt * k3[i];
-            }
-            self.derivative(&tmp, &mut k4);
-            for i in 0..l {
-                s[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
-                // Tail fractions are monotone probabilities; clamp the
-                // integrator's rounding drift.
-                s[i] = s[i].clamp(0.0, 1.0);
-            }
+        match rk4_integrate(
+            |state, out| self.derivative(state, out),
+            &mut s,
+            t_end,
+            dt,
+            |state| {
+                for x in state.iter_mut() {
+                    *x = x.clamp(0.0, 1.0);
+                }
+            },
+        ) {
+            Ok(()) => s,
+            Err(e) => panic!("{e}"),
         }
-        s
     }
 
     /// Mean queue length of a state (Σ s_i).

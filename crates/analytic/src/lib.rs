@@ -30,10 +30,43 @@
 #![warn(missing_docs)]
 
 mod fluid;
+mod ode;
 
-pub use fluid::{supermarket_equilibrium, supermarket_mean_response, SupermarketFluid};
+pub use fluid::{
+    supermarket_equilibrium, supermarket_mean_response, try_supermarket_equilibrium,
+    try_supermarket_mean_response, SupermarketFluid,
+};
+pub use ode::{rk4_integrate, JiqFluid};
 
 use staleload_sim::Dist;
+
+/// Error from an analytic model handed out-of-range parameters.
+///
+/// The panicking entry points (kept for direct library use and doctests)
+/// delegate to `try_*` forms returning this type, so config-reachable
+/// callers can surface a [`ConfigError`]-style message instead of
+/// aborting a sweep (ISSUE 9 satellite; matches the panic-hygiene lint's
+/// intent).
+///
+/// [`ConfigError`]: https://docs.rs/staleload-core
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalyticError {
+    what: String,
+}
+
+impl AnalyticError {
+    pub(crate) fn new(what: impl Into<String>) -> Self {
+        Self { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for AnalyticError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid analytic-model parameters: {}", self.what)
+    }
+}
+
+impl std::error::Error for AnalyticError {}
 
 fn check_load(lambda: f64) {
     assert!(

@@ -1,0 +1,307 @@
+//! Mean-field fast path: staleness at cluster sizes the per-server
+//! engine cannot reach (ISSUE 9).
+//!
+//! The population engine (`--engine population`) represents the cluster
+//! as queue-length *counts* instead of per-server state, which is exact
+//! in distribution for symmetric policies and turns cost-per-event from
+//! O(n) refresh scans into O(classes). This binary uses it three ways:
+//!
+//! * **Staleness sweep** — mean/p99 response vs refresh period
+//!   T ∈ {2, 10, 40} for d = 2 subset probing and Basic LI at
+//!   n ∈ {256, 4096, 65536, 10^6}, at every scale including smoke.
+//!   The paper's n = 100 story — LI robust, naive least-loaded herding —
+//!   is re-examined four orders of magnitude up.
+//! * **Differential acceptance** (n = 256) — the per-server and
+//!   population engines run the *same* experiment spec; their mean
+//!   responses are independent estimates of one quantity and must agree
+//!   within their combined confidence intervals.
+//! * **Convergence acceptance** — with fresh information the population
+//!   process has an exact n → ∞ limit: M/M/1 for Random, the
+//!   supermarket fixed point (solved by the `staleload-analytic` RK4
+//!   integrator) for d = 2. Simulated means must land within a few
+//!   percent of the ODE values at the largest n, and the error must not
+//!   grow with n.
+//!
+//! Arrivals scale with n (`max(scale.arrivals, 30n)`, less at smoke) so
+//! every size runs long past its cold-start transient; comparing a
+//! 10^6-server run over 0.3 simulated time units against a steady-state
+//! formula would measure the transient, not the policy. The convergence
+//! anchors are stricter still: M/M/1's relaxation time is
+//! ~(1 − √λ)^-2 service times (≈ 380 at λ = 0.9), so they run at
+//! λ = 0.6 (relaxation ≈ 20) over a 100n-arrival horizon with the first
+//! half discarded — the measured window then sits 4+ relaxation times
+//! past the empty start and the residual transient bias is well under
+//! the tolerance.
+//!
+//! Results go to one long-form CSV (`results/ext_meanfield.csv`). Usage:
+//! `ext_meanfield [smoke|quick|std|full]`. Statistical acceptance
+//! checks are skipped at `smoke` scale.
+
+#![forbid(unsafe_code)]
+// A figure binary prints its results; stdout is the interface.
+#![allow(clippy::print_stdout)]
+
+use std::process::ExitCode;
+
+use staleload_analytic::{mm1_response, try_supermarket_mean_response};
+use staleload_bench::{results_path, run_experiment, RunArgs, Scale};
+use staleload_core::{ArrivalSpec, EngineMode, Experiment, SimConfig};
+use staleload_info::InfoSpec;
+use staleload_policies::PolicySpec;
+use staleload_stats::Table;
+
+/// Cluster sizes, smallest first. The largest is the mean-field regime
+/// proper; the smallest doubles as the differential-test size where the
+/// per-server engine is still cheap.
+const SIZES: [usize; 4] = [256, 4_096, 65_536, 1_000_000];
+const LAMBDA: f64 = 0.9;
+const SEED: u64 = 0xF1E1D;
+/// Refresh periods from mildly to badly stale (mean service times).
+const PERIODS: [f64; 3] = [2.0, 10.0, 40.0];
+/// Subset size for the power-of-d arm and its ODE limit.
+const D: usize = 2;
+/// Load for the fresh-information convergence anchors: low enough that
+/// the empty-start transient dies within a simulable horizon (see the
+/// module docs), high enough that d = 2 and Random are far apart.
+const FRESH_LAMBDA: f64 = 0.6;
+/// Convergence gate: relative error of the fresh-information simulated
+/// mean vs its ODE limit at the largest size.
+const ODE_TOL: f64 = 0.03;
+/// Differential gate: the engines' means must agree within this many
+/// combined 90% half-widths (2x covers the union of both intervals with
+/// margin; the test is two independent estimates of one quantity).
+const DIFF_CI_FACTOR: f64 = 2.0;
+
+/// Jobs for one trial at size `n`: enough simulated time past the
+/// cold-start transient that steady-state comparisons are meaningful.
+/// At smoke scale the coverage target drops; the runs only need to
+/// exercise the code path.
+fn arrivals_for(scale: &Scale, n: usize) -> u64 {
+    let per_server = if scale.is_smoke() { 2 } else { 30 };
+    scale.arrivals.max(n as u64 * per_server)
+}
+
+fn sizes_for(_scale: &Scale) -> &'static [usize] {
+    // Every scale covers the full range, n = 10^6 included: at smoke the
+    // per-server coverage target drops to 2 jobs/server, so even the
+    // largest size is a couple of seconds — the point of the engine.
+    &SIZES
+}
+
+fn config(scale: &Scale, n: usize, engine: EngineMode) -> SimConfig {
+    SimConfig::builder()
+        .servers(n)
+        .lambda(LAMBDA)
+        .arrivals(arrivals_for(scale, n))
+        .seed(SEED)
+        .engine(engine)
+        .build()
+}
+
+/// Config for the fresh-information convergence anchors: lower load, a
+/// 100n-arrival horizon, and half the run discarded as warm-up, so the
+/// measured window sits several relaxation times past the empty start.
+fn fresh_config(scale: &Scale, n: usize) -> SimConfig {
+    let per_server = if scale.is_smoke() { 2 } else { 100 };
+    SimConfig::builder()
+        .servers(n)
+        .lambda(FRESH_LAMBDA)
+        .arrivals(scale.arrivals.max(n as u64 * per_server))
+        .warmup_fraction(0.5)
+        .seed(SEED)
+        .engine(EngineMode::Population)
+        .build()
+}
+
+fn policies() -> Vec<(&'static str, PolicySpec)> {
+    vec![
+        ("d2", PolicySpec::KSubset { k: D }),
+        ("basic-li", PolicySpec::BasicLi { lambda: LAMBDA }),
+    ]
+}
+
+fn run(
+    scale: &Scale,
+    n: usize,
+    engine: EngineMode,
+    info: InfoSpec,
+    policy: PolicySpec,
+) -> Result<staleload_core::ExperimentResult, ExitCode> {
+    let exp = Experiment::new(
+        config(scale, n, engine),
+        ArrivalSpec::Poisson,
+        info,
+        policy,
+        scale.trials,
+    );
+    run_experiment(&exp).map_err(|e| {
+        eprintln!("[ext_meanfield] n={n} {info:?} failed: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let scale = RunArgs::parse_or_exit().scale;
+    let sizes = sizes_for(&scale);
+    eprintln!(
+        "[ext_meanfield] lambda={LAMBDA} n in {sizes:?} T in {PERIODS:?} trials={} ({})",
+        scale.trials, scale.name
+    );
+
+    let mut csv = Table::new(vec![
+        "x".into(),
+        "n".into(),
+        "policy".into(),
+        "mean".into(),
+        "ci90".into(),
+        "p99".into(),
+        "count".into(),
+        "trials".into(),
+    ]);
+    let mut table = Table::new({
+        let mut h = vec!["n".to_string(), "T".to_string()];
+        h.extend(policies().iter().map(|(l, _)| format!("{l} (mean | p99)")));
+        h
+    });
+
+    // -- Staleness sweep, population engine ---------------------------
+    for &n in sizes {
+        for &t in &PERIODS {
+            let mut row = vec![format!("{n}"), format!("{t}")];
+            for (label, policy) in policies() {
+                let info = InfoSpec::Periodic { period: t };
+                let result = match run(&scale, n, EngineMode::Population, info, policy) {
+                    Ok(r) => r,
+                    Err(code) => return code,
+                };
+                let s = &result.summary;
+                row.push(format!("{:.3} | {:.3}", s.mean, result.tail.p99));
+                csv.push_row(vec![
+                    format!("{t}"),
+                    format!("{n}"),
+                    label.to_string(),
+                    format!("{}", s.mean),
+                    format!("{}", s.ci90),
+                    format!("{}", result.tail.p99),
+                    format!("{}", result.tail.count),
+                    format!("{}", s.trials),
+                ]);
+            }
+            table.push_row(row);
+        }
+        eprintln!("[ext_meanfield]   n = {n} done");
+    }
+
+    println!("\n== Staleness at scale (population engine), lambda={LAMBDA} ==");
+    print!("{}", table.render());
+    let path = results_path("ext_meanfield");
+    match csv.write_csv(&path) {
+        Ok(()) => eprintln!("[ext_meanfield] wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("[ext_meanfield] failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if scale.is_smoke() {
+        println!("acceptance checks: SKIPPED at smoke scale");
+        return ExitCode::SUCCESS;
+    }
+
+    // -- Differential: per-server vs population at n = 256 ------------
+    let diff_n = SIZES[0];
+    let mut ok = true;
+    println!("\n== Differential check: per-server vs population, n={diff_n}, T=10 ==");
+    for (label, policy) in policies() {
+        let info = InfoSpec::Periodic { period: 10.0 };
+        let ps = match run(&scale, diff_n, EngineMode::PerServer, info, policy.clone()) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        let pop = match run(&scale, diff_n, EngineMode::Population, info, policy) {
+            Ok(r) => r,
+            Err(code) => return code,
+        };
+        let gap = (ps.summary.mean - pop.summary.mean).abs();
+        // Floor the bound: at tiny CI widths (many arrivals, identical
+        // seeds across trials shrink ci90) a 0.5% numeric wobble should
+        // not fail an exact-in-distribution engine.
+        let bound =
+            (DIFF_CI_FACTOR * (ps.summary.ci90 + pop.summary.ci90)).max(0.01 * ps.summary.mean);
+        let verdict = if gap <= bound { "agree" } else { "DISAGREE" };
+        println!(
+            "  {label}: per-server {:.4} +-{:.4}, population {:.4} +-{:.4}, \
+             gap {gap:.4} vs bound {bound:.4} ({verdict})",
+            ps.summary.mean, ps.summary.ci90, pop.summary.mean, pop.summary.ci90
+        );
+        ok &= gap <= bound;
+    }
+    if !ok {
+        println!("differential check: FAIL — engines disagree beyond their confidence intervals");
+        return ExitCode::FAILURE;
+    }
+    println!("differential check: PASS — both engines estimate the same response time");
+
+    // -- Convergence: fresh information vs the ODE limits -------------
+    let sm = match try_supermarket_mean_response(D, FRESH_LAMBDA) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("[ext_meanfield] supermarket ODE failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let anchors = [
+        ("random", PolicySpec::Random, mm1_response(FRESH_LAMBDA)),
+        ("d2", PolicySpec::KSubset { k: D }, sm),
+    ];
+    println!("\n== Convergence check: fresh information (lambda={FRESH_LAMBDA}) vs ODE limits ==");
+    for (label, policy, limit) in anchors {
+        let mut errs = Vec::new();
+        for &n in sizes {
+            let exp = Experiment::new(
+                fresh_config(&scale, n),
+                ArrivalSpec::Poisson,
+                InfoSpec::Fresh,
+                policy.clone(),
+                scale.trials,
+            );
+            let r = match run_experiment(&exp) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("[ext_meanfield] fresh {label} n={n} failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let err = (r.summary.mean - limit).abs() / limit;
+            println!(
+                "  {label} n={n}: mean {:.4} vs ODE {limit:.4} (rel err {:.2}%)",
+                r.summary.mean,
+                err * 100.0
+            );
+            errs.push(err);
+        }
+        let last = *errs.last().expect("at least one size");
+        // The gate: within tolerance at the largest n, and no worse than
+        // the smallest n (finite-size error shrinks as n grows; noise at
+        // these arrival counts is well under the tolerance).
+        if last > ODE_TOL {
+            println!(
+                "convergence check: FAIL — {label} off by {:.2}% at n={} (tol {:.0}%)",
+                last * 100.0,
+                sizes.last().expect("nonempty"),
+                ODE_TOL * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+        if last > errs[0] + ODE_TOL {
+            println!(
+                "convergence check: FAIL — {label} error grew with n ({:.2}% -> {:.2}%)",
+                errs[0] * 100.0,
+                last * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("convergence check: PASS — fresh-information means meet their n -> infinity limits");
+    ExitCode::SUCCESS
+}

@@ -12,6 +12,9 @@
 //!   faulted, reporting jobs/sec and ns/job. Queue operations are a
 //!   fraction of total engine work, so the speedup here is diluted — both
 //!   numbers are reported so the dilution is visible rather than implied.
+//! * **Mean-field** — the per-server engine vs `--engine population` on
+//!   one identical large-cluster workload (ISSUE 9): the jobs/sec ratio
+//!   is gated at [`POPULATION_GATE`].
 //!
 //! Usage:
 //!
@@ -35,7 +38,7 @@
 
 use std::time::Instant;
 
-use staleload_core::{run_simulation, ArrivalSpec, FaultSpec, SimConfig};
+use staleload_core::{run_simulation, ArrivalSpec, EngineMode, FaultSpec, SimConfig};
 use staleload_info::InfoSpec;
 use staleload_policies::PolicySpec;
 use staleload_sim::{CalendarQueue, EventQueue, EventScheduler, SchedulerKind, SimRng};
@@ -52,6 +55,17 @@ const TOLERANCE: f64 = 0.15;
 /// quantile sketch may cost at most this fraction of one engine job
 /// (same-machine ratio, so it transfers across hardware).
 const SKETCH_GATE: f64 = 0.05;
+
+/// Cluster size for the mean-field comparison: large enough that the
+/// per-server engine's O(n) refresh scans dominate, small enough that
+/// the per-server side still finishes in seconds.
+const POPULATION_N: usize = 65_536;
+
+/// The mean-field gate: on the same workload (`POPULATION_N` servers,
+/// Basic LI over a periodic board), population mode must complete at
+/// least this many times more jobs per second than the per-server
+/// engine. A same-machine ratio, so it transfers across hardware.
+const POPULATION_GATE: f64 = 50.0;
 
 struct Scale {
     /// Hold operations measured per (backend, n) pair.
@@ -212,6 +226,63 @@ fn run_engine(scale: &Scale) -> Vec<EngineResult> {
 }
 
 #[derive(Debug)]
+struct PopulationResult {
+    engine: &'static str,
+    servers: usize,
+    arrivals: u64,
+    jobs_per_sec: f64,
+    ns_per_job: f64,
+    mean_response: f64,
+}
+
+/// Per-server vs population mode on one identical workload: the paper's
+/// Basic LI policy over a periodic board (T = 10) at load 0.9 on
+/// [`POPULATION_N`] servers. Same arrival count, same seed — only the
+/// engine differs, so the jobs/sec ratio is the mean-field speedup. The
+/// two mean responses agree in distribution (the population state is an
+/// exact lossless statistic for this policy class) but not per-sample;
+/// both are recorded so drift would be visible in the JSON.
+fn run_population_stage(scale: &Scale) -> Vec<PopulationResult> {
+    let mut out = Vec::new();
+    for (label, engine) in [
+        ("per-server", EngineMode::PerServer),
+        ("population", EngineMode::Population),
+    ] {
+        let cfg = SimConfig::builder()
+            .servers(POPULATION_N)
+            .lambda(0.9)
+            .arrivals(scale.arrivals)
+            .seed(7)
+            .engine(engine)
+            .build();
+        let info = InfoSpec::Periodic { period: 10.0 };
+        let policy = PolicySpec::BasicLi { lambda: 0.9 };
+        let start = Instant::now();
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy).expect("valid config");
+        let dt = start.elapsed().as_secs_f64();
+        out.push(PopulationResult {
+            engine: label,
+            servers: POPULATION_N,
+            arrivals: scale.arrivals,
+            jobs_per_sec: r.generated as f64 / dt,
+            ns_per_job: dt * 1e9 / r.generated as f64,
+            mean_response: r.mean_response,
+        });
+    }
+    out
+}
+
+fn population_speedup(pop: &[PopulationResult]) -> f64 {
+    let jps = |engine: &str| {
+        pop.iter()
+            .find(|p| p.engine == engine)
+            .map(|p| p.jobs_per_sec)
+            .expect("both engines measured")
+    };
+    jps("population") / jps("per-server")
+}
+
+#[derive(Debug)]
 struct SketchResult {
     mode: &'static str,
     records: u64,
@@ -323,6 +394,7 @@ fn speedup(hold: &[HoldResult], n: usize) -> f64 {
 fn to_json(
     hold: &[HoldResult],
     engine: &[EngineResult],
+    population: &[PopulationResult],
     sketch: &[SketchResult],
     scale: &Scale,
 ) -> String {
@@ -356,6 +428,21 @@ fn to_json(
             e.ns_per_job,
             e.mean_response,
             if i + 1 < engine.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ],\n  \"population\": [\n");
+    for (i, p) in population.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"servers\": {}, \"arrivals\": {}, \
+             \"jobs_per_sec\": {:.0}, \"ns_per_job\": {:.1}, \
+             \"mean_response\": {:.6}}}{}\n",
+            p.engine,
+            p.servers,
+            p.arrivals,
+            p.jobs_per_sec,
+            p.ns_per_job,
+            p.mean_response,
+            if i + 1 < population.len() { "," } else { "" },
         ));
     }
     s.push_str("  ],\n  \"sketch\": [\n");
@@ -397,6 +484,16 @@ fn to_json(
     for &n in &SIZES {
         summary.push((format!("calendar_speedup_hold_n{n}"), speedup(hold, n)));
     }
+    for p in population {
+        summary.push((
+            format!("meanfield_{}_n{}_jps", p.engine, p.servers),
+            p.jobs_per_sec,
+        ));
+    }
+    summary.push((
+        format!("population_speedup_n{POPULATION_N}"),
+        population_speedup(population),
+    ));
     for (i, (k, v)) in summary.iter().enumerate() {
         s.push_str(&format!(
             "    \"{k}\": {v:.4}{}\n",
@@ -484,6 +581,30 @@ fn check(baseline_path: &str) -> Result<(), String> {
             SKETCH_GATE * 100.0
         ));
     }
+    // Mean-field gate: the population engine must hold its speedup over
+    // the per-server engine. Ratio of two same-machine runs, so it
+    // transfers across hardware; the hard `POPULATION_GATE` floor is the
+    // ISSUE 9 claim and binds both the recorded baseline and the fresh
+    // measurement (with the usual noise tolerance on the regression leg).
+    let pop_key = format!("population_speedup_n{POPULATION_N}");
+    let base_pop = json_number(&baseline, &pop_key)
+        .ok_or_else(|| format!("baseline has no {pop_key} (regenerate BENCH_kernel.json)"))?;
+    if base_pop < POPULATION_GATE {
+        failures.push(format!(
+            "baseline population speedup {base_pop:.1}x is below the {POPULATION_GATE:.0}x \
+             budget; speed up the population engine before regenerating the baseline"
+        ));
+    }
+    let population = run_population_stage(if baseline_smoke { &SMOKE } else { &FULL });
+    let cur_pop = population_speedup(&population);
+    let pop_floor = POPULATION_GATE.max(base_pop * (1.0 - TOLERANCE));
+    println!("{pop_key}: baseline {base_pop:.1}, current {cur_pop:.1}, floor {pop_floor:.1}");
+    if cur_pop < pop_floor {
+        failures.push(format!(
+            "population speedup regressed: {cur_pop:.1}x < {pop_floor:.1}x \
+             (baseline {base_pop:.1}x, hard floor {POPULATION_GATE:.0}x)"
+        ));
+    }
     let engine = run_engine(if baseline_smoke { &SMOKE } else { &FULL });
     let sketch = run_sketch(if baseline_smoke { &SMOKE } else { &FULL });
     let frac = sketch_overhead(&sketch, &engine);
@@ -564,6 +685,17 @@ fn main() {
             e.ns_per_job
         );
     }
+    let population = run_population_stage(scale);
+    for p in &population {
+        println!(
+            "meanfield {:>10} n={} {:>11.0} jobs/sec  {:>9.1} ns/job  mean {:.4}",
+            p.engine, p.servers, p.jobs_per_sec, p.ns_per_job, p.mean_response
+        );
+    }
+    println!(
+        "population speedup at n={POPULATION_N}: {:.1}x (gate {POPULATION_GATE:.0}x)",
+        population_speedup(&population)
+    );
     let sketch = run_sketch(scale);
     for k in &sketch {
         println!(
@@ -576,7 +708,7 @@ fn main() {
         sketch_overhead(&sketch, &engine) * 100.0,
         SKETCH_GATE * 100.0
     );
-    let json = to_json(&hold, &engine, &sketch, scale);
+    let json = to_json(&hold, &engine, &population, &sketch, scale);
     std::fs::write(&out_path, &json).expect("write benchmark output");
     println!("wrote {out_path}");
 }

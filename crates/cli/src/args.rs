@@ -2,8 +2,8 @@
 //! CLI crate, and the grammar is small).
 
 use staleload_core::{
-    clients_for_mean_age, ArrivalSpec, ChurnSpec, CorruptSpec, FaultSpec, PartitionSpec, RetrySpec,
-    SimConfig,
+    clients_for_mean_age, ArrivalSpec, ChurnSpec, CorruptSpec, EngineMode, FaultSpec,
+    PartitionSpec, PopulationSampler, RetrySpec, SimConfig,
 };
 use staleload_info::{AgeKnowledge, DelaySpec, InfoSpec};
 use staleload_policies::PolicySpec;
@@ -291,6 +291,8 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
     let mut retry: Option<RetrySpec> = None;
     let mut guard: Option<(f64, f64)> = None;
     let mut scheduler = SchedulerKind::Heap;
+    let mut engine = EngineMode::PerServer;
+    let mut population_sampler = PopulationSampler::Alias;
     let mut detail = false;
     let mut watchdog: Option<f64> = None;
     let mut sketch_cap: Option<usize> = None;
@@ -456,6 +458,12 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
             "--scheduler" => {
                 scheduler = take("--scheduler")?.parse::<SchedulerKind>()?;
             }
+            "--engine" => {
+                engine = take("--engine")?.parse::<EngineMode>()?;
+            }
+            "--population-sampler" => {
+                population_sampler = take("--population-sampler")?.parse::<PopulationSampler>()?;
+            }
             "--watchdog" => {
                 let secs: f64 = take("--watchdog")?
                     .parse()
@@ -587,6 +595,8 @@ pub fn parse_run(args: &[String]) -> Result<RunArgs, String> {
         .service(service)
         .seed(seed)
         .scheduler(scheduler)
+        .engine(engine)
+        .population_sampler(population_sampler)
         .faults(faults);
     if let Some(caps) = capacities {
         builder.capacities(caps);
@@ -850,6 +860,32 @@ mod tests {
             PolicySpec::Sita { boundaries } => assert_eq!(boundaries.len(), 9),
             other => panic!("expected SITA, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn engine_flag_selects_population_mode() {
+        let plain = parse_run(&[]).unwrap();
+        assert_eq!(plain.config.engine, EngineMode::PerServer);
+        assert_eq!(plain.config.population_sampler, PopulationSampler::Alias);
+        let pop = parse_run(&strings(&["--engine", "population"])).unwrap();
+        assert_eq!(pop.config.engine, EngineMode::Population);
+        let mf = parse_run(&strings(&["--engine", "mean-field"])).unwrap();
+        assert_eq!(mf.config.engine, EngineMode::Population);
+        let scan = parse_run(&strings(&[
+            "--engine",
+            "population",
+            "--population-sampler",
+            "scan",
+        ]))
+        .unwrap();
+        assert_eq!(scan.config.population_sampler, PopulationSampler::Scan);
+        assert!(parse_run(&strings(&["--engine", "quantum"])).is_err());
+        assert!(parse_run(&strings(&["--population-sampler", "hash"])).is_err());
+        // Builder-level compatibility checks surface as parse errors.
+        let err = parse_run(&strings(&["--engine", "population", "--service", "det"])).unwrap_err();
+        assert!(err.contains("exponential"), "{err}");
+        let err = parse_run(&strings(&["--engine", "population", "--queue-cap", "8"])).unwrap_err();
+        assert!(err.contains("overload"), "{err}");
     }
 
     #[test]

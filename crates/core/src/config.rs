@@ -52,6 +52,67 @@ impl ArrivalSpec {
     }
 }
 
+/// Which state representation the engine runs a trial with (ISSUE 9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EngineMode {
+    /// The per-server event loop: one object per server, one event per
+    /// job movement. Supports every policy/info/fault/overload knob.
+    #[default]
+    PerServer,
+    /// The population-level (mean-field) fast path: the cluster is a
+    /// matrix of queue-length counts, exact in distribution for symmetric
+    /// policies (Random, KSubset, Greedy, Basic LI) over a uniform
+    /// snapshot view (`fresh`/`periodic` info) with exponential service
+    /// and Poisson arrivals. O(1)–O(K) per event regardless of `n`, which
+    /// is what makes n = 10^6 sweeps feasible.
+    Population,
+}
+
+impl std::str::FromStr for EngineMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "per-server" | "perserver" => Ok(EngineMode::PerServer),
+            "population" | "mean-field" | "meanfield" => Ok(EngineMode::Population),
+            other => Err(format!(
+                "unknown engine mode '{other}' (expected per-server or population)"
+            )),
+        }
+    }
+}
+
+/// How the population engine draws routing decisions from a frozen
+/// per-phase class distribution (ISSUE 9).
+///
+/// Both samplers draw from the same distribution, so they agree
+/// statistically; they consume the RNG differently, so trajectories
+/// differ bit-wise. `Scan` exists as the differential-testing reference
+/// for the alias fast path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PopulationSampler {
+    /// Walker/Vose alias table: O(1) per draw after an O(K) per-phase
+    /// build (the default).
+    #[default]
+    Alias,
+    /// Linear scan over class weights: O(K) per draw, no per-phase build.
+    Scan,
+}
+
+impl std::str::FromStr for PopulationSampler {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "alias" => Ok(PopulationSampler::Alias),
+            "scan" => Ok(PopulationSampler::Scan),
+            other => Err(format!(
+                "unknown population sampler '{other}' (expected alias or scan)"
+            )),
+        }
+    }
+}
+
 /// Error constructing a [`SimConfig`] from invalid parameters.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConfigError {
@@ -123,6 +184,16 @@ pub struct SimConfig {
     /// so this knob cannot change a trajectory — only how p99/p999 are
     /// summarized. Default: [`staleload_stats::TailSketch::DEFAULT_CAP`].
     pub sketch_cap: usize,
+    /// State representation the engine runs with (ISSUE 9): the
+    /// per-server event loop (default) or the population-level count
+    /// matrix. Population mode is exact in distribution for the symmetric
+    /// policy/info subset but draws the RNG differently, so trajectories
+    /// are not bit-comparable across modes — only statistics are.
+    pub engine: EngineMode,
+    /// Routing sampler used by the population engine (ignored by the
+    /// per-server engine): the alias-table fast path or the linear-scan
+    /// reference it is differentially tested against.
+    pub population_sampler: PopulationSampler,
     /// Master seed; trials derive their own seeds from it.
     pub seed: u64,
 }
@@ -171,6 +242,8 @@ pub struct SimConfigBuilder {
     retry: Option<RetrySpec>,
     scheduler: SchedulerKind,
     sketch_cap: usize,
+    engine: EngineMode,
+    population_sampler: PopulationSampler,
     seed: u64,
 }
 
@@ -190,6 +263,8 @@ impl Default for SimConfigBuilder {
             retry: None,
             scheduler: SchedulerKind::Heap,
             sketch_cap: staleload_stats::TailSketch::DEFAULT_CAP,
+            engine: EngineMode::PerServer,
+            population_sampler: PopulationSampler::Alias,
             seed: 1,
         }
     }
@@ -283,6 +358,19 @@ impl SimConfigBuilder {
         self
     }
 
+    /// Selects the engine's state representation (default: per-server).
+    pub fn engine(&mut self, engine: EngineMode) -> &mut Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the population engine's routing sampler (default: the
+    /// alias table).
+    pub fn population_sampler(&mut self, sampler: PopulationSampler) -> &mut Self {
+        self.population_sampler = sampler;
+        self
+    }
+
     /// Sets the master seed.
     pub fn seed(&mut self, seed: u64) -> &mut Self {
         self.seed = seed;
@@ -364,6 +452,41 @@ impl SimConfigBuilder {
                  exact multiset it starts from)",
             ));
         }
+        if self.engine == EngineMode::Population {
+            // The count-matrix representation is exact only when servers
+            // are exchangeable and all clocks are memoryless; every knob
+            // that breaks that symmetry is a config error, not a silent
+            // approximation.
+            if self.capacities.is_some() {
+                return Err(ConfigError::new(
+                    "population engine needs a homogeneous cluster (capacities break the \
+                     server exchangeability the count representation relies on)",
+                ));
+            }
+            if self.work_stealing.is_some() {
+                return Err(ConfigError::new(
+                    "population engine does not model work stealing; use the per-server engine",
+                ));
+            }
+            if !self.faults.is_none() {
+                return Err(ConfigError::new(
+                    "population engine does not model fault injection; use the per-server engine",
+                ));
+            }
+            if self.queue_cap.is_some() || self.deadline.is_some() || self.retry.is_some() {
+                return Err(ConfigError::new(
+                    "population engine does not model overload controls (queue caps, \
+                     deadlines, retries); use the per-server engine",
+                ));
+            }
+            if !matches!(self.service, Dist::Exponential { .. }) {
+                return Err(ConfigError::new(format!(
+                    "population engine is exact only for memoryless (exponential) service, \
+                     got {}; use the per-server engine",
+                    self.service
+                )));
+            }
+        }
         Ok(SimConfig {
             servers: self.servers,
             lambda: self.lambda,
@@ -378,6 +501,8 @@ impl SimConfigBuilder {
             retry: self.retry,
             scheduler: self.scheduler,
             sketch_cap: self.sketch_cap,
+            engine: self.engine,
+            population_sampler: self.population_sampler,
             seed: self.seed,
         })
     }

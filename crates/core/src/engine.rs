@@ -370,6 +370,11 @@ pub fn run_simulation(
     info: &InfoSpec,
     policy: &PolicySpec,
 ) -> Result<RunResult, SimError> {
+    // The population fast path has no pending-event set at all; both
+    // scheduler backends are the same degenerate three-clock race there.
+    if cfg.engine == crate::EngineMode::Population {
+        return crate::population::run_population(cfg, arrivals, info, policy);
+    }
     // Monomorphize the hot loop per backend: every queue operation below
     // compiles to a direct (inlinable) call, no vtable.
     match cfg.scheduler {

@@ -47,9 +47,12 @@ mod error;
 mod experiment;
 mod fault;
 mod metrics;
+mod population;
 mod scratch;
 
-pub use config::{ArrivalSpec, ConfigError, SimConfig, SimConfigBuilder};
+pub use config::{
+    ArrivalSpec, ConfigError, EngineMode, PopulationSampler, SimConfig, SimConfigBuilder,
+};
 pub use engine::{run_simulation, Diagnostic, FaultStats, RunResult};
 pub use error::SimError;
 pub use experiment::{

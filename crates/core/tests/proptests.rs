@@ -421,3 +421,72 @@ proptest! {
         prop_assert_eq!(again.faults, r.faults);
     }
 }
+
+/// Policies the population engine supports, paired with supported info
+/// models, for the mean-field conservation property below.
+fn arb_population_policy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::Random),
+        (1usize..6).prop_map(|k| PolicySpec::KSubset { k }),
+        Just(PolicySpec::Greedy),
+        (0.1f64..1.2).prop_map(|lambda| PolicySpec::BasicLi { lambda }),
+    ]
+}
+
+fn arb_population_info() -> impl Strategy<Value = InfoSpec> {
+    prop_oneof![
+        Just(InfoSpec::Fresh),
+        (0.2f64..20.0).prop_map(|period| InfoSpec::Periodic { period }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The population engine conserves jobs across arbitrary arrival /
+    /// departure / refresh interleavings: every generated job is routed,
+    /// completes exactly once, and the post-warm-up set is measured in
+    /// full — the same invariants the per-server engine upholds, on the
+    /// counts-matrix state. (In debug builds this also drives the
+    /// engine's internal row-sum/busy-count debug assertions across the
+    /// whole supported config space.)
+    #[test]
+    fn population_runs_conserve_jobs(
+        servers in 1usize..400,
+        lambda in 0.05f64..0.95,
+        arrivals in 200u64..4_000,
+        warmup_frac in 0.0f64..0.5,
+        info in arb_population_info(),
+        policy in arb_population_policy(),
+        seed in any::<u64>(),
+    ) {
+        let cfg = SimConfig::builder()
+            .servers(servers)
+            .lambda(lambda)
+            .arrivals(arrivals)
+            .warmup_fraction(warmup_frac)
+            .seed(seed)
+            .engine(staleload_core::EngineMode::Population)
+            .build();
+        let r = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid population config");
+
+        prop_assert_eq!(r.generated, arrivals);
+        prop_assert_eq!(r.measured_jobs, arrivals - cfg.warmup_jobs());
+        prop_assert_eq!(r.detail.response_histogram.count(), r.measured_jobs);
+        prop_assert!(r.response.min() >= 0.0 || r.measured_jobs == 0);
+        // Every job completes exactly once (the drain emptied the system).
+        let completed: u64 = r.detail.per_server_completed.iter().sum();
+        prop_assert_eq!(completed, arrivals);
+        prop_assert!(r.end_time > 0.0);
+        // Utilization cannot exceed 1 per server.
+        for u in r.detail.utilizations(r.end_time.max(1e-9)) {
+            prop_assert!(u <= 1.0 + 1e-9, "utilization {}", u);
+        }
+        // Determinism holds across the supported config space.
+        let again = run_simulation(&cfg, &ArrivalSpec::Poisson, &info, &policy)
+            .expect("valid population config");
+        prop_assert_eq!(again.mean_response.to_bits(), r.mean_response.to_bits());
+        prop_assert_eq!(again.end_time.to_bits(), r.end_time.to_bits());
+    }
+}

@@ -20,7 +20,13 @@
 //!   removed and the key no longer covers what it claims.
 //!
 //! Nested spec types need no enumeration here: they are hashed through
-//! their derived `Debug`, which includes every field automatically.
+//! their derived `Debug`, which includes every field automatically —
+//! *provided it stays derived*. A manual `impl Debug` on a hashed spec
+//! type could silently drop fields (e.g. the ISSUE 9 `engine` /
+//! `population_sampler` knobs on `SimConfig`) from the rendered value,
+//! re-opening the aliasing hole one level down. The rule therefore also
+//! flags any hand-written `Debug` impl for the types the key renders
+//! wholesale ([`DEBUG_HASHED_TYPES`]).
 
 use crate::diag::Finding;
 use crate::rules::Rule;
@@ -29,6 +35,10 @@ use crate::workspace::Workspace;
 
 /// `(name, line)` pairs extracted from one side of the cross-check.
 type NamedLines = Vec<(String, u32)>;
+
+/// Spec types `experiment_key_salted` renders through their **derived**
+/// `Debug`; a manual impl on any of them could omit fields from the key.
+const DEBUG_HASHED_TYPES: &[&str] = &["SimConfig", "ArrivalSpec", "InfoSpec", "PolicySpec"];
 
 /// See the module docs.
 pub struct CacheKey;
@@ -51,6 +61,21 @@ impl Rule for CacheKey {
             }
             if let Some((paths, line)) = hashed_paths(file, "experiment_key_salted") {
                 hash = Some((file, paths, line));
+            }
+            for ty in DEBUG_HASHED_TYPES {
+                if let Some(line) = manual_debug_impl(file, ty) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line,
+                        message: format!(
+                            "`{ty}` is hashed into the cache key through its derived Debug; a \
+                             hand-written `impl Debug` can silently drop fields from the key \
+                             (two distinct configs would alias one cache entry) — keep Debug \
+                             derived, or enumerate every field here and bump CACHE_SALT"
+                        ),
+                    });
+                }
             }
         }
         // Nothing to check unless both sides exist (single-file runs of
@@ -170,6 +195,33 @@ fn hashed_paths(file: &SourceFile, name: &str) -> Option<(NamedLines, u32)> {
     None
 }
 
+/// Line of a hand-written `impl … Debug for <ty>` in the file, if any
+/// (`impl Debug for T`, `impl fmt::Debug for T`, `impl<'a> std::fmt::Debug
+/// for T` all match; the derive never produces these tokens).
+fn manual_debug_impl(file: &SourceFile, ty: &str) -> Option<u32> {
+    let toks = &file.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("impl") {
+            // Allow a short generic/path prefix (`<'a>`, `std :: fmt ::`)
+            // between `impl` and the trait name.
+            let mut j = i + 1;
+            while j < toks.len() && j - i <= 8 && !toks[j].is_ident("Debug") {
+                j += 1;
+            }
+            if j - i <= 8
+                && toks.get(j).is_some_and(|t| t.is_ident("Debug"))
+                && toks.get(j + 1).is_some_and(|t| t.is_ident("for"))
+                && toks.get(j + 2).is_some_and(|t| t.is_ident(ty))
+            {
+                return Some(toks[i].line);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,6 +288,40 @@ mod tests {
     #[test]
     fn absent_definitions_are_vacuous() {
         let ws = Workspace::from_sources(&[("core/src/other.rs", "fn f() {}")]);
+        assert!(crate::rules::run(&ws, &[])
+            .iter()
+            .all(|f| f.rule != "cache-key"));
+    }
+
+    #[test]
+    fn manual_debug_on_a_hashed_spec_type_is_flagged() {
+        let spec = "pub struct SimConfig { pub servers: usize }\n\
+                    impl std::fmt::Debug for SimConfig {\n\
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+                    write!(f, \"SimConfig\")\n\
+                    }\n\
+                    }\n";
+        let ws = Workspace::from_sources(&[("core/src/config.rs", spec)]);
+        let got: Vec<Finding> = crate::rules::run(&ws, &[])
+            .into_iter()
+            .filter(|f| f.rule == "cache-key")
+            .collect();
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].line, 2);
+        assert!(got[0].message.contains("derived Debug"));
+    }
+
+    #[test]
+    fn derived_debug_and_other_impls_pass() {
+        let spec = "#[derive(Debug, Clone)]\n\
+                    pub struct SimConfig { pub servers: usize }\n\
+                    impl std::fmt::Display for SimConfig {\n\
+                    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {\n\
+                    write!(f, \"SimConfig\")\n\
+                    }\n\
+                    }\n\
+                    impl std::fmt::Debug for SomethingElse {}\n";
+        let ws = Workspace::from_sources(&[("core/src/config.rs", spec)]);
         assert!(crate::rules::run(&ws, &[])
             .iter()
             .all(|f| f.rule != "cache-key"));

@@ -294,6 +294,34 @@ mod tests {
         }
     }
 
+    /// The engine-mode knobs must feed the key: a population-mode run is
+    /// exact in distribution but a *different trajectory* from the
+    /// per-server run (and the two samplers consume the RNG differently),
+    /// so a sweep flipping `--engine` or `--population-sampler` must not
+    /// replay the other mode's cached points.
+    #[test]
+    fn population_knobs_feed_the_key() {
+        use staleload_core::{EngineMode, PopulationSampler};
+
+        let base = experiment_key(&exp(1, 3, 4.0, 0.9));
+
+        let with_engine = |engine: EngineMode, sampler: PopulationSampler| {
+            let mut e = exp(1, 3, 4.0, 0.9);
+            e.config.engine = engine;
+            e.config.population_sampler = sampler;
+            experiment_key(&e)
+        };
+
+        let pop_alias = with_engine(EngineMode::Population, PopulationSampler::Alias);
+        let pop_scan = with_engine(EngineMode::Population, PopulationSampler::Scan);
+        let keys = [base, pop_alias, pop_scan];
+        for (i, a) in keys.iter().enumerate() {
+            for (j, b) in keys.iter().enumerate().skip(i + 1) {
+                assert_ne!(a, b, "engine variants {i} and {j} collided");
+            }
+        }
+    }
+
     /// Simulates the maintenance path `staleload-lint`'s `cache-key`
     /// rule enforces: when a spec grows a field, feeding it through one
     /// more `hasher.field(...)` call must change the key — i.e. the

@@ -1,0 +1,209 @@
+//! Walker/Vose alias tables: O(1) sampling from a fixed discrete
+//! distribution.
+//!
+//! The engine's inverse-CDF samplers ([`SimRng::discrete_cdf`]) cost a
+//! binary search per draw — O(log n) with a cache miss per probe step. An
+//! alias table spends O(n) once at construction and then answers every
+//! draw with one uniform index, one uniform real, and a single comparison:
+//!
+//! * split each probability `p_i` into a column of height `n·p_i`;
+//! * columns above height 1 donate their excess to columns below, so every
+//!   column holds its own mass plus at most one *alias* donor;
+//! * a draw picks a column uniformly and keeps it with probability equal
+//!   to the column's retained share, else takes the alias.
+//!
+//! The population-mode engine (ISSUE 9) builds one table per information
+//! phase for the Basic-LI routing distribution and the d-choice class
+//! draws: the board-class marginals are frozen for the whole phase, so the
+//! construction cost amortizes over every arrival in it.
+//!
+//! Construction is deterministic (index-ordered worklists, no hashing), so
+//! a table built from the same weights is bit-identical on every run.
+
+use staleload_sim::SimRng;
+
+use crate::WorkloadError;
+
+/// A Walker alias table over `n` outcomes.
+///
+/// # Example
+///
+/// ```
+/// use staleload_sim::SimRng;
+/// use staleload_workloads::AliasTable;
+///
+/// let table = AliasTable::new(&[1.0, 2.0, 1.0]).unwrap();
+/// let mut rng = SimRng::from_seed(7);
+/// let mut counts = [0u32; 3];
+/// for _ in 0..40_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// // Outcome 1 carries half the mass.
+/// assert!((counts[1] as f64 / 40_000.0 - 0.5).abs() < 0.02);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Probability of keeping column `i` (vs. taking its alias), scaled to
+    /// `[0, 1]`.
+    keep: Vec<f64>,
+    /// Donor outcome for the remainder of column `i`'s unit height.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] if `weights` is empty, longer than
+    /// `u32::MAX` outcomes, contains a negative or non-finite entry, or
+    /// sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, WorkloadError> {
+        let n = weights.len();
+        if n == 0 {
+            return Err(WorkloadError::new("alias table needs at least one outcome"));
+        }
+        if n > u32::MAX as usize {
+            return Err(WorkloadError::new(format!(
+                "alias table supports at most {} outcomes, got {n}",
+                u32::MAX
+            )));
+        }
+        let mut total = 0.0;
+        for (i, &w) in weights.iter().enumerate() {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(WorkloadError::new(format!(
+                    "alias weight {i} must be non-negative and finite, got {w}"
+                )));
+            }
+            total += w;
+        }
+        if total <= 0.0 {
+            return Err(WorkloadError::new(
+                "alias weights must not all be zero (no outcome to sample)",
+            ));
+        }
+
+        // Vose's stable two-worklist construction. Scaled columns sum to n;
+        // every pairing moves one column to its final state, so the loop is
+        // O(n). Index-ordered worklists keep the table deterministic.
+        let scale = n as f64 / total;
+        let mut keep: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::with_capacity(n);
+        let mut large: Vec<u32> = Vec::with_capacity(n);
+        for (i, &h) in keep.iter().enumerate() {
+            if h < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            // Column `s` keeps height `keep[s]` and fills the rest from `l`.
+            alias[s as usize] = l;
+            keep[l as usize] -= 1.0 - keep[s as usize];
+            if keep[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (either list) are full columns up to rounding; their
+        // alias is never taken.
+        for &i in small.iter().chain(large.iter()) {
+            keep[i as usize] = 1.0;
+        }
+        Ok(Self { keep, alias })
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.keep.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.keep.is_empty()
+    }
+
+    /// Draws one outcome: a uniform column, kept or deflected to its alias.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let i = rng.index(self.keep.len());
+        if rng.f64() < self.keep[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frequencies(weights: &[f64], draws: usize, seed: u64) -> Vec<f64> {
+        let table = AliasTable::new(weights).unwrap();
+        let mut rng = SimRng::from_seed(seed);
+        let mut counts = vec![0u64; weights.len()];
+        for _ in 0..draws {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn matches_the_normalized_weights() {
+        let weights = [3.0, 1.0, 0.0, 4.0];
+        let total: f64 = weights.iter().sum();
+        let freq = frequencies(&weights, 200_000, 11);
+        for (i, (&f, &w)) in freq.iter().zip(&weights).enumerate() {
+            assert!((f - w / total).abs() < 5e-3, "outcome {i}: {f} vs {w}");
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_are_never_drawn() {
+        let freq = frequencies(&[0.0, 1.0, 0.0], 50_000, 3);
+        assert_eq!(freq[0], 0.0);
+        assert_eq!(freq[2], 0.0);
+        assert_eq!(freq[1], 1.0);
+    }
+
+    #[test]
+    fn single_outcome_is_certain() {
+        let freq = frequencies(&[0.25], 100, 5);
+        assert_eq!(freq[0], 1.0);
+    }
+
+    #[test]
+    fn uniform_weights_stay_uniform() {
+        let freq = frequencies(&[2.0; 8], 160_000, 17);
+        for &f in &freq {
+            assert!((f - 0.125).abs() < 5e-3, "{freq:?}");
+        }
+    }
+
+    #[test]
+    fn bad_weights_are_rejected() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let a = AliasTable::new(&[0.1, 0.4, 0.2, 0.3]).unwrap();
+        let b = AliasTable::new(&[0.1, 0.4, 0.2, 0.3]).unwrap();
+        assert_eq!(a.keep, b.keep);
+        assert_eq!(a.alias, b.alias);
+        let mut ra = SimRng::from_seed(9);
+        let mut rb = SimRng::from_seed(9);
+        for _ in 0..1000 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+}

@@ -29,6 +29,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod alias;
+
+pub use alias::AliasTable;
+
 use serde::{Deserialize, Serialize};
 use staleload_sim::{EventQueue, SimRng};
 

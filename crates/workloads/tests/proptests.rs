@@ -1,0 +1,127 @@
+//! Property tests for the alias sampler: for arbitrary weight vectors,
+//! Vose's alias method and plain inverse-CDF sampling draw from the same
+//! distribution.
+
+// Proptest closures sit outside #[test] fns, so clippy's
+// allow-unwrap-in-tests does not reach them; the whole file is a test.
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use staleload_sim::SimRng;
+use staleload_workloads::AliasTable;
+
+/// Draws per sampler per case. Large enough that expected counts clear
+/// the chi-squared approximation's floor for every admissible weight.
+const DRAWS: u64 = 40_000;
+
+/// Inverse-CDF reference sampler: one uniform, linear scan of the
+/// cumulative weights. O(k) per draw — the thing the alias table
+/// replaces — and obviously correct.
+fn inverse_cdf(weights: &[f64], rng: &mut SimRng) -> usize {
+    let total: f64 = weights.iter().sum();
+    let mut u = rng.f64() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        // Strict: u == 0 on a zero-weight category must keep scanning.
+        if u < 0.0 {
+            return i;
+        }
+    }
+    // Rounding pushed u past the last boundary; return the last
+    // admissible category.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("some weight is positive")
+}
+
+/// Pearson chi-squared statistic of observed counts against the weight
+/// distribution, pooling categories whose expected count is below 5
+/// (the usual validity floor for the chi-squared approximation).
+/// Returns `(statistic, degrees_of_freedom)`.
+fn chi_squared(counts: &[u64], weights: &[f64], draws: u64) -> (f64, usize) {
+    let total: f64 = weights.iter().sum();
+    let mut stat = 0.0;
+    let mut cells = 0usize;
+    let (mut pooled_obs, mut pooled_exp) = (0.0f64, 0.0f64);
+    for (&c, &w) in counts.iter().zip(weights) {
+        let expected = draws as f64 * w / total;
+        if expected < 5.0 {
+            pooled_obs += c as f64;
+            pooled_exp += expected;
+            continue;
+        }
+        let d = c as f64 - expected;
+        stat += d * d / expected;
+        cells += 1;
+    }
+    if pooled_exp >= 5.0 {
+        let d = pooled_obs - pooled_exp;
+        stat += d * d / pooled_exp;
+        cells += 1;
+    }
+    (stat, cells.saturating_sub(1))
+}
+
+/// A bound the statistic should essentially never exceed under the null:
+/// mean + 10 standard deviations of the chi-squared(df) distribution
+/// (mean df, variance 2 df), floored for tiny df. With seeded draws the
+/// test is deterministic per case; the slack only has to absorb the
+/// chi-squared approximation itself.
+fn chi_squared_bound(df: usize) -> f64 {
+    let df = df as f64;
+    (df + 10.0 * (2.0 * df).sqrt()).max(30.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Alias-table draws match the weight distribution (chi-squared
+    /// goodness of fit), and so does the inverse-CDF reference run on
+    /// the same weights — the two samplers agree in distribution.
+    #[test]
+    fn alias_matches_inverse_cdf(
+        weights in prop::collection::vec(0.05f64..100.0, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SimRng::from_seed(seed);
+        let mut alias_counts = vec![0u64; weights.len()];
+        for _ in 0..DRAWS {
+            alias_counts[table.sample(&mut rng)] += 1;
+        }
+        let mut cdf_counts = vec![0u64; weights.len()];
+        for _ in 0..DRAWS {
+            cdf_counts[inverse_cdf(&weights, &mut rng)] += 1;
+        }
+
+        let (alias_stat, df) = chi_squared(&alias_counts, &weights, DRAWS);
+        let (cdf_stat, _) = chi_squared(&cdf_counts, &weights, DRAWS);
+        let bound = chi_squared_bound(df);
+        prop_assert!(
+            alias_stat <= bound,
+            "alias chi2 {alias_stat:.1} > {bound:.1} (df {df})"
+        );
+        prop_assert!(
+            cdf_stat <= bound,
+            "inverse-CDF chi2 {cdf_stat:.1} > {bound:.1} (df {df})"
+        );
+    }
+
+    /// Zero-weight categories are never drawn, by either sampler.
+    #[test]
+    fn zero_weights_are_never_sampled(
+        weights in prop::collection::vec(prop_oneof![Just(0.0f64), 0.5f64..10.0], 2..20),
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(weights.iter().any(|&w| w > 0.0));
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..2_000 {
+            let i = table.sample(&mut rng);
+            prop_assert!(weights[i] > 0.0, "drew zero-weight index {i}");
+            let j = inverse_cdf(&weights, &mut rng);
+            prop_assert!(weights[j] > 0.0, "inverse-CDF drew zero-weight index {j}");
+        }
+    }
+}
