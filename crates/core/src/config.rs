@@ -82,6 +82,16 @@ impl std::str::FromStr for EngineMode {
     }
 }
 
+impl fmt::Display for EngineMode {
+    /// Canonical CLI spelling; round-trips through [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EngineMode::PerServer => "per-server",
+            EngineMode::Population => "population",
+        })
+    }
+}
+
 /// How the population engine draws routing decisions from a frozen
 /// per-phase class distribution (ISSUE 9).
 ///
@@ -110,6 +120,16 @@ impl std::str::FromStr for PopulationSampler {
                 "unknown population sampler '{other}' (expected alias or scan)"
             )),
         }
+    }
+}
+
+impl fmt::Display for PopulationSampler {
+    /// Canonical CLI spelling; round-trips through [`FromStr`](std::str::FromStr).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PopulationSampler::Alias => "alias",
+            PopulationSampler::Scan => "scan",
+        })
     }
 }
 
@@ -545,6 +565,19 @@ mod tests {
         assert_eq!(cfg.lambda, 0.5);
         assert_eq!(cfg.warmup_jobs(), 200);
         assert_eq!(cfg.seed, 9);
+    }
+
+    #[test]
+    fn engine_enum_display_round_trips_from_str() {
+        for mode in [EngineMode::PerServer, EngineMode::Population] {
+            assert_eq!(mode.to_string().parse::<EngineMode>(), Ok(mode));
+        }
+        for sampler in [PopulationSampler::Alias, PopulationSampler::Scan] {
+            assert_eq!(
+                sampler.to_string().parse::<PopulationSampler>(),
+                Ok(sampler)
+            );
+        }
     }
 
     #[test]

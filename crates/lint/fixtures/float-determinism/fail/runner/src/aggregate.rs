@@ -1,0 +1,9 @@
+//! float-determinism fail fixture: a float sum folded directly over
+//! hash-map iteration order — per-process results.
+
+use std::collections::HashMap;
+
+/// Sums per-point means in whatever order the map yields them.
+pub fn total_mean(points: &HashMap<PointKey, f64>) -> f64 {
+    points.values().map(|m| m * 1.0).sum()
+}

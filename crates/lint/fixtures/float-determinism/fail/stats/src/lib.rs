@@ -1,0 +1,11 @@
+//! float-determinism fail fixture: a `partial_cmp` float comparator.
+
+#![forbid(unsafe_code)]
+
+/// Returns the p-th percentile of `trials`.
+pub fn percentile(trials: &[f64], p: f64) -> f64 {
+    let mut sorted = trials.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let rank = (p / 100.0) * (sorted.len() as f64 - 1.0);
+    sorted[rank as usize]
+}

@@ -1,0 +1,11 @@
+//! float-determinism pass fixture: hash-map values are collected and
+//! sorted into one deterministic order before any float reduction.
+
+use std::collections::HashMap;
+
+/// Sums per-point means in a deterministic order.
+pub fn total_mean(points: &HashMap<PointKey, f64>) -> f64 {
+    let mut means: Vec<f64> = points.values().copied().collect();
+    means.sort_by(f64::total_cmp);
+    means.iter().sum()
+}

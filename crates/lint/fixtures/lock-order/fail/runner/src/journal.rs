@@ -1,0 +1,30 @@
+//! lock-order fail fixture: `record` takes map → appender while
+//! `truncate` takes appender → map (a deadlock-shaped cycle), and
+//! `reload` re-locks `map` while its own guard is still alive.
+
+/// Records one outcome: map first, then appender.
+pub fn record(inner: &Inner, line: &str) {
+    let mut map = inner.map.lock().expect("map lock poisoned");
+    let mut appender = inner.appender.lock().expect("appender lock poisoned");
+    appender.append(line);
+    map.insert(line.to_string());
+    drop(appender);
+    drop(map);
+}
+
+/// Truncates: appender first, then map — the opposite order.
+pub fn truncate(inner: &Inner) {
+    let mut appender = inner.appender.lock().expect("appender lock poisoned");
+    let mut map = inner.map.lock().expect("map lock poisoned");
+    appender.reset();
+    map.wipe();
+    drop(map);
+    drop(appender);
+}
+
+/// Re-acquires `map` while the first guard is still in scope.
+pub fn reload(inner: &Inner) {
+    let map = inner.map.lock().expect("map lock poisoned");
+    let again = inner.map.lock().expect("map lock poisoned");
+    sync(map, again);
+}

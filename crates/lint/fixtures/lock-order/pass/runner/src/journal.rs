@@ -1,0 +1,22 @@
+//! lock-order pass fixture: every path acquires `map` before
+//! `appender` — one global order, no cycles.
+
+/// Records one outcome under both locks, map first.
+pub fn record(inner: &Inner, line: &str) {
+    let mut map = inner.map.lock().expect("map lock poisoned");
+    let mut appender = inner.appender.lock().expect("appender lock poisoned");
+    appender.append(line);
+    map.insert(line.to_string());
+    drop(appender);
+    drop(map);
+}
+
+/// Truncates under both locks, in the same map-then-appender order.
+pub fn truncate(inner: &Inner) {
+    let mut map = inner.map.lock().expect("map lock poisoned");
+    let mut appender = inner.appender.lock().expect("appender lock poisoned");
+    appender.reset();
+    map.wipe();
+    drop(appender);
+    drop(map);
+}

@@ -1,0 +1,19 @@
+//! rng-flow fail fixture: a reordered fork preamble, a cloned stream,
+//! an RNG fed into the cache key, and two streams across one call.
+
+/// Runs one trial — every rng-flow hazard at once.
+pub fn run_inner(cfg: &SimConfig) -> Trajectory {
+    let mut master = SimRng::from_seed(cfg.seed);
+    let mut service_rng = master.fork();
+    let mut arrival_rng = master.fork();
+    let mut policy_rng = master.fork();
+    let mut model_rng = master.fork();
+    let mut fault_rng = master.fork();
+    let mut retry_rng = master.fork();
+
+    let spare = policy_rng.clone();
+    let mut hasher = SpecHasher::new();
+    hasher.field("seed", &model_rng);
+    mix_streams(&mut arrival_rng, &mut service_rng);
+    drive(cfg, spare, fault_rng, retry_rng)
+}

@@ -1,0 +1,22 @@
+//! rng-flow pass fixture: the canonical pinned fork preamble, each
+//! stream handed to exactly one subsystem, sub-forks allowed.
+
+/// Runs one trial with the pinned per-subsystem stream tree.
+pub fn run_inner(cfg: &SimConfig) -> Trajectory {
+    let mut master = SimRng::from_seed(cfg.seed);
+    let mut arrival_rng = master.fork();
+    let mut service_rng = master.fork();
+    let mut policy_rng = master.fork();
+    let mut model_rng = master.fork();
+    let mut fault_rng = master.fork();
+    let mut retry_rng = master.fork();
+
+    let mut retry_sub = retry_rng.fork();
+    let arrivals = ArrivalProcess::started(cfg, &mut arrival_rng);
+    let services = ServiceSampler::started(cfg, &mut service_rng);
+    let policy = Policy::started(cfg, &mut policy_rng);
+    let model = LoadModel::started(cfg, &mut model_rng);
+    let faults = FaultPlan::started(cfg, &mut fault_rng);
+    let retries = RetryPlan::started(cfg, &mut retry_sub);
+    drive(arrivals, services, policy, model, faults, retries)
+}

@@ -1,0 +1,11 @@
+//! spec-surface fail fixture: the parser arm for `stale` was deleted,
+//! so `PolicySpec::Stale` is unreachable from the CLI.
+
+/// Parses a `--policy` value.
+pub fn parse_policy(s: &str) -> Option<PolicySpec> {
+    match s {
+        "random" => Some(PolicySpec::Random),
+        "greedy" => Some(PolicySpec::Greedy),
+        _ => None,
+    }
+}

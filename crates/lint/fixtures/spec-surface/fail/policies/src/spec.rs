@@ -1,0 +1,25 @@
+//! spec-surface fail fixture: `Stale` is a half-wired variant — no
+//! parser arm, no label arm, no docs row — and the key hash dropped
+//! the `policy` path entirely.
+
+/// Load-balancing policy selector.
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Uniform random server choice.
+    Random,
+    /// Route to the least-loaded snapshot entry.
+    Greedy,
+    /// Route on a deliberately stale snapshot.
+    Stale,
+}
+
+impl PolicySpec {
+    /// CSV/stdout label for this policy (misses `Stale`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicySpec::Random => "random",
+            PolicySpec::Greedy => "greedy",
+            _ => "stale",
+        }
+    }
+}

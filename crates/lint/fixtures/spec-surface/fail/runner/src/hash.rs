@@ -1,0 +1,9 @@
+//! spec-surface fail fixture: the `policy` hash call was deleted, so
+//! two experiments differing only in policy alias one cache entry.
+
+/// Content-address of one experiment point.
+pub fn experiment_key_salted(exp: &Experiment, salt: &str) -> PointKey {
+    let mut hasher = SpecHasher::new();
+    hasher.field("salt", &salt);
+    hasher.finish()
+}

@@ -1,0 +1,10 @@
+//! spec-surface pass fixture: the CLI parser reaches every variant.
+
+/// Parses a `--policy` value.
+pub fn parse_policy(s: &str) -> Option<PolicySpec> {
+    match s {
+        "random" => Some(PolicySpec::Random),
+        "greedy" => Some(PolicySpec::Greedy),
+        _ => None,
+    }
+}

@@ -1,0 +1,21 @@
+//! spec-surface pass fixture: a fully wired two-variant spec enum —
+//! parseable, cache-keyed, labeled, and documented.
+
+/// Load-balancing policy selector.
+#[derive(Debug, Clone)]
+pub enum PolicySpec {
+    /// Uniform random server choice.
+    Random,
+    /// Route to the least-loaded snapshot entry.
+    Greedy,
+}
+
+impl PolicySpec {
+    /// CSV/stdout label for this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PolicySpec::Random => "random",
+            PolicySpec::Greedy => "greedy",
+        }
+    }
+}

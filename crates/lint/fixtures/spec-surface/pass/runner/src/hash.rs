@@ -1,0 +1,9 @@
+//! spec-surface pass fixture: the salted key covers the policy path.
+
+/// Content-address of one experiment point.
+pub fn experiment_key_salted(exp: &Experiment, salt: &str) -> PointKey {
+    let mut hasher = SpecHasher::new();
+    hasher.field("salt", &salt);
+    hasher.field("policy", &exp.policy);
+    hasher.finish()
+}

@@ -11,22 +11,41 @@ pub struct Finding {
     pub path: String,
     /// 1-based line of the violation.
     pub line: u32,
+    /// 1-based byte column of the violation on `line`; 0 when the
+    /// finding is about a whole line or file rather than one token.
+    pub col: u32,
     /// Human-readable explanation, including how to fix or suppress.
     pub message: String,
 }
 
 impl Finding {
-    /// `path:line: [rule] message` — the compiler-style text form.
+    /// `path:line:col: [rule] message` — the compiler-style text form.
+    /// Column-less findings (`col == 0`) render as `path:line:`.
     pub fn render_text(&self) -> String {
-        format!(
-            "{}:{}: [{}] {}",
-            self.path, self.line, self.rule, self.message
-        )
+        if self.col > 0 {
+            format!(
+                "{}:{}:{}: [{}] {}",
+                self.path, self.line, self.col, self.rule, self.message
+            )
+        } else {
+            format!(
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        }
     }
 }
 
 /// Renders findings as a JSON array (stable field order, no trailing
 /// newline). Hand-rolled because the linter is dependency-free.
+///
+/// Schema: each element is an object with exactly these fields, in
+/// this order —
+///   `rule`    string  stable kebab-case rule name
+///   `path`    string  file path relative to the lint root
+///   `line`    number  1-based source line
+///   `col`     number  1-based byte column, 0 = whole-line finding
+///   `message` string  human-readable explanation
 pub fn render_json(findings: &[Finding]) -> String {
     let mut out = String::from("[");
     for (i, f) in findings.iter().enumerate() {
@@ -35,10 +54,11 @@ pub fn render_json(findings: &[Finding]) -> String {
         }
         let _ = write!(
             out,
-            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+            "\n  {{\"rule\":{},\"path\":{},\"line\":{},\"col\":{},\"message\":{}}}",
             json_str(f.rule),
             json_str(&f.path),
             f.line,
+            f.col,
             json_str(&f.message)
         );
     }
@@ -79,11 +99,13 @@ mod tests {
             rule: "determinism",
             path: "a/b.rs".into(),
             line: 3,
+            col: 7,
             message: "say \"no\"\nto clocks".into(),
         };
         let json = render_json(std::slice::from_ref(&f));
         assert!(json.starts_with('[') && json.ends_with(']'));
         assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"col\":7"));
         assert!(json.contains("\\n"));
         assert_eq!(render_json(&[]), "[]");
     }
@@ -94,11 +116,17 @@ mod tests {
             rule: "crate-hardening",
             path: "crates/x/src/lib.rs".into(),
             line: 1,
+            col: 0,
             message: "m".into(),
         };
         assert_eq!(
             f.render_text(),
             "crates/x/src/lib.rs:1: [crate-hardening] m"
+        );
+        let g = Finding { col: 5, ..f };
+        assert_eq!(
+            g.render_text(),
+            "crates/x/src/lib.rs:1:5: [crate-hardening] m"
         );
     }
 }

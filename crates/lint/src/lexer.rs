@@ -41,6 +41,10 @@ pub struct Tok {
     pub text: String,
     /// 1-based source line of the token's first character.
     pub line: u32,
+    /// 1-based byte column of the token's first character on `line`.
+    /// For string literals this is the opening quote (or raw/byte
+    /// prefix), not the body.
+    pub col: u32,
 }
 
 impl Tok {
@@ -60,6 +64,8 @@ impl Tok {
 pub struct Comment {
     /// 1-based line the comment starts on.
     pub line: u32,
+    /// 1-based byte column of the `//` or `/*` marker.
+    pub col: u32,
     /// True when nothing but whitespace precedes the comment on its
     /// line — such a comment's pragmas apply to the *next* line.
     pub own_line: bool,
@@ -81,9 +87,12 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
     let blank_prefix = |b: &[u8], line_start: usize, i: usize| {
         b[line_start..i].iter().all(|c| c.is_ascii_whitespace())
     };
+    // 1-based byte column of offset i on the current line.
+    let col_at = |line_start: usize, i: usize| (i - line_start + 1) as u32;
 
     while i < b.len() {
         let c = b[i];
+        let col = col_at(line_start, i);
         match c {
             b'\n' => {
                 line += 1;
@@ -99,6 +108,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                 }
                 comments.push(Comment {
                     line,
+                    col,
                     own_line,
                     text: String::from_utf8_lossy(&b[start..i]).into_owned(),
                 });
@@ -127,14 +137,18 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                 let end = i.saturating_sub(2).max(start);
                 comments.push(Comment {
                     line: start_line,
+                    col,
                     own_line,
                     text: String::from_utf8_lossy(&b[start..end]).into_owned(),
                 });
             }
             b'"' => {
-                let (tok, ni, nl) = lex_string(b, i, line);
+                let (tok, ni, nl) = lex_string(b, i, line, col);
                 toks.push(tok);
-                line = nl;
+                if nl != line {
+                    line_start = line_start_before(b, ni);
+                    line = nl;
+                }
                 i = ni;
             }
             b'\'' => {
@@ -153,6 +167,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         kind: TokKind::Lifetime,
                         text: String::from_utf8_lossy(&b[start..i]).into_owned(),
                         line,
+                        col,
                     });
                 } else {
                     let start = i;
@@ -172,6 +187,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                         kind: TokKind::Char,
                         text: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
                         line,
+                        col,
                     });
                 }
             }
@@ -186,15 +202,19 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                 let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb")
                     && (next == b'"' || (next == b'#' && text != "b"));
                 if is_str_prefix {
-                    let (tok, ni, nl) = lex_raw_string(b, i, line, &text);
+                    let (tok, ni, nl) = lex_raw_string(b, i, line, &text, col);
                     toks.push(tok);
-                    line = nl;
+                    if nl != line {
+                        line_start = line_start_before(b, ni);
+                        line = nl;
+                    }
                     i = ni;
                 } else {
                     toks.push(Tok {
                         kind: TokKind::Ident,
                         text,
                         line,
+                        col,
                     });
                 }
             }
@@ -217,6 +237,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     kind: TokKind::Num,
                     text: String::from_utf8_lossy(&b[start..i]).into_owned(),
                     line,
+                    col,
                 });
             }
             _ => {
@@ -224,6 +245,7 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
                     kind: TokKind::Punct,
                     text: (c as char).to_string(),
                     line,
+                    col,
                 });
                 i += 1;
             }
@@ -232,8 +254,18 @@ pub fn lex(src: &str) -> (Vec<Tok>, Vec<Comment>) {
     (toks, comments)
 }
 
+/// Byte offset where the line containing (or preceding) offset `i`
+/// starts — used to re-anchor column tracking after a multi-line
+/// string literal.
+fn line_start_before(b: &[u8], i: usize) -> usize {
+    b[..i.min(b.len())]
+        .iter()
+        .rposition(|&c| c == b'\n')
+        .map_or(0, |p| p + 1)
+}
+
 /// Lexes a plain `"..."` string starting at `b[i] == b'"'`.
-fn lex_string(b: &[u8], mut i: usize, mut line: u32) -> (Tok, usize, u32) {
+fn lex_string(b: &[u8], mut i: usize, mut line: u32, col: u32) -> (Tok, usize, u32) {
     let start_line = line;
     let start = i + 1;
     i += 1;
@@ -253,14 +285,23 @@ fn lex_string(b: &[u8], mut i: usize, mut line: u32) -> (Tok, usize, u32) {
         kind: TokKind::Str,
         text: String::from_utf8_lossy(&b[start..end]).into_owned(),
         line: start_line,
+        col,
     };
     (tok, (i + 1).min(b.len()), line)
 }
 
 /// Lexes a raw/byte string whose prefix identifier has just been read;
 /// `i` points at the first `#` or `"` after the prefix.
-fn lex_raw_string(b: &[u8], mut i: usize, mut line: u32, prefix: &str) -> (Tok, usize, u32) {
+fn lex_raw_string(
+    b: &[u8],
+    mut i: usize,
+    mut line: u32,
+    prefix: &str,
+    col: u32,
+) -> (Tok, usize, u32) {
     let start_line = line;
+    // `col` is the column of the prefix identifier's first character,
+    // so the token points at `r` in `r#"…"#`, matching rustc spans.
     let raw = prefix.contains('r');
     let mut hashes = 0usize;
     while raw && b.get(i) == Some(&b'#') {
@@ -305,6 +346,7 @@ fn lex_raw_string(b: &[u8], mut i: usize, mut line: u32, prefix: &str) -> (Tok, 
         kind: TokKind::Str,
         text: String::from_utf8_lossy(&b[start..end]).into_owned(),
         line: start_line,
+        col,
     };
     (tok, i, line)
 }
@@ -381,6 +423,24 @@ mod tests {
         let (toks, _) = lex("let s = \"a\nb\";\nlet done = 1;");
         let last = toks.iter().rfind(|t| t.is_ident("done")).unwrap();
         assert_eq!(last.line, 3);
+    }
+
+    #[test]
+    fn byte_columns_are_tracked() {
+        let (toks, comments) = lex("let x = foo();  // note\n    bar(1);\n");
+        let foo = toks.iter().find(|t| t.is_ident("foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (1, 9));
+        let bar = toks.iter().find(|t| t.is_ident("bar")).unwrap();
+        assert_eq!((bar.line, bar.col), (2, 5));
+        assert_eq!((comments[0].line, comments[0].col), (1, 17));
+    }
+
+    #[test]
+    fn columns_reanchor_after_multiline_strings() {
+        let (toks, _) = lex("let s = \"a\nbcd\"; done();");
+        let done = toks.iter().find(|t| t.is_ident("done")).unwrap();
+        // Line 2 is `bcd"; done();` — `done` starts at byte column 7.
+        assert_eq!((done.line, done.col), (2, 7));
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! `staleload-lint` — CLI for the workspace invariant checker.
 //!
 //! ```text
-//! staleload-lint [--json] [--deny-all] [--allow RULE]... [--list-rules] [PATH]...
+//! staleload-lint [--json] [--deny-all] [--allow RULE]... [--list-rules]
+//!                [--explain RULE] [PATH]...
 //! ```
 //!
 //! PATHs may be directories (walked recursively, skipping `target/`,
 //! `vendor/`, and `fixtures/`) or single files; the default is the
 //! current directory. Exit code 0 means clean, 1 means findings, 2
 //! means usage or I/O error.
+//!
+//! `--json` emits one finding per line as a JSON object with the
+//! stable key order `rule`, `path`, `line`, `col`, `message` (see
+//! [`staleload_lint::render_json`]); `col` is the 1-based byte column
+//! of the offending token, or 0 for whole-line findings.
+//! `--explain RULE` prints the rule's full rationale — the invariant,
+//! why it matters, and the suppression pragma — and exits.
 
 #![forbid(unsafe_code)]
 // The linter is a terminal tool; stdout is its interface.
@@ -22,6 +30,7 @@ struct Opts {
     json: bool,
     allow: Vec<String>,
     list_rules: bool,
+    explain: Option<String>,
     paths: Vec<PathBuf>,
 }
 
@@ -30,6 +39,7 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
         json: false,
         allow: Vec::new(),
         list_rules: false,
+        explain: None,
         paths: Vec::new(),
     };
     let known: Vec<&'static str> = rules::all().iter().map(|r| r.name()).collect();
@@ -50,11 +60,25 @@ fn parse_args(args: &[String]) -> Result<Opts, String> {
                 }
                 opts.allow.push(rule.clone());
             }
+            "--explain" => {
+                let rule = it.next().ok_or("--explain needs a rule name")?;
+                if !known.contains(&rule.as_str()) {
+                    return Err(format!(
+                        "unknown rule '{rule}' (known: {})",
+                        known.join(", ")
+                    ));
+                }
+                opts.explain = Some(rule.clone());
+            }
             "--list-rules" => opts.list_rules = true,
             "--help" | "-h" => {
                 return Err(
                     "usage: staleload-lint [--json] [--deny-all] [--allow RULE]... \
-                            [--list-rules] [PATH]..."
+                            [--list-rules] [--explain RULE] [PATH]...\n\
+                     \n\
+                     --json emits one JSON object per finding with keys\n\
+                     rule, path, line, col, message (in that order); col is the\n\
+                     1-based byte column, 0 for whole-line findings."
                         .to_string(),
                 )
             }
@@ -78,9 +102,23 @@ fn main() -> ExitCode {
         }
     };
 
+    if let Some(name) = &opts.explain {
+        for rule in rules::all() {
+            if rule.name() == name.as_str() {
+                println!(
+                    "{} — {}\n\n{}",
+                    rule.name(),
+                    rule.describe(),
+                    rule.explain()
+                );
+            }
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if opts.list_rules {
         for rule in rules::all() {
-            println!("{:16} {}", rule.name(), rule.describe());
+            println!("{:18} {}", rule.name(), rule.describe());
         }
         return ExitCode::SUCCESS;
     }

@@ -75,6 +75,7 @@ impl Rule for AtomicIo {
                     rule: self.name(),
                     path: file.rel_path.clone(),
                     line: t.line,
+                    col: t.col,
                     message: format!(
                         "{why}; durable runner files go through `atomic::write_atomic` or \
                          `DurableAppender` so a crash can never leave a torn store \

@@ -68,6 +68,7 @@ impl Rule for CacheKey {
                         rule: self.name(),
                         path: file.rel_path.clone(),
                         line,
+                        col: 0,
                         message: format!(
                             "`{ty}` is hashed into the cache key through its derived Debug; a \
                              hand-written `impl Debug` can silently drop fields from the key \
@@ -89,6 +90,7 @@ impl Rule for CacheKey {
                     rule: self.name(),
                     path: spec_file.rel_path.clone(),
                     line: *line,
+                    col: 0,
                     message: format!(
                         "Experiment field `{field}` is not hashed by experiment_key_salted: \
                          add `hasher.field(\"{field}\", &exp.{field})` (and bump CACHE_SALT if \
@@ -103,6 +105,7 @@ impl Rule for CacheKey {
                     rule: self.name(),
                     path: hash_file.rel_path.clone(),
                     line: if *line == 0 { hash_line } else { *line },
+                    col: 0,
                     message: format!(
                         "experiment_key_salted hashes `{path}`, which is not a field of \
                          Experiment — the key no longer covers what it claims (renamed or \

@@ -43,6 +43,7 @@ impl Rule for CrateHardening {
                 rule: self.name(),
                 path: file.rel_path.clone(),
                 line: 1,
+                col: 0,
                 message: "crate root lacks #![forbid(unsafe_code)]; the attribute is the \
                           enforceable form of the workspace's no-unsafe guarantee"
                     .to_string(),

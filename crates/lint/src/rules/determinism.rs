@@ -90,6 +90,7 @@ impl Rule for Determinism {
                     rule: self.name(),
                     path: file.rel_path.clone(),
                     line: tok.line,
+                    col: tok.col,
                     message: format!(
                         "`{name}` in simulation-facing crate `{}`: {why}",
                         file.crate_name

@@ -1,0 +1,265 @@
+//! float-determinism: float comparisons and reductions have one order.
+//!
+//! Two trajectory-breaking float patterns, both invisible to the type
+//! system and to tests that only look at statistics:
+//!
+//! * **`partial_cmp` comparators** — `sort_by(|a, b|
+//!   a.partial_cmp(b).unwrap())` and friends. `partial_cmp` on floats
+//!   is not a total order; the idiom either panics on NaN or, worse,
+//!   silently reorders under `unwrap_or(Equal)`. `f64::total_cmp` is
+//!   total, panic-free, and identical on the non-negative finite
+//!   values the simulator produces — so the swap is always
+//!   trajectory-safe here.
+//! * **hash-order reductions** — folding a float sum/min/max over
+//!   `HashMap`/`HashSet` iteration. The sim crates already ban hashed
+//!   containers outright (`determinism`); this check covers the crates
+//!   that may use them (runner, bench, cli), where a float reduction
+//!   over hash order changes value per process while every individual
+//!   element stays correct — the exact bug class that would break the
+//!   tail sketch's bit-for-bit merge guarantee.
+
+use crate::diag::Finding;
+use crate::lexer::TokKind;
+use crate::rules::Rule;
+use crate::source::SourceFile;
+
+/// Methods whose closure argument is a comparator.
+const COMPARATOR_SINKS: &[&str] = &[
+    "sort_by",
+    "sort_unstable_by",
+    "binary_search_by",
+    "min_by",
+    "max_by",
+];
+
+/// Iterator adapters a reduction chain may pass through.
+const ADAPTERS: &[&str] = &[
+    "map",
+    "filter",
+    "filter_map",
+    "cloned",
+    "copied",
+    "flatten",
+    "flat_map",
+    "take",
+    "skip",
+    "chain",
+    "zip",
+    "enumerate",
+    "inspect",
+    "rev",
+];
+
+/// Order-sensitive terminal reductions.
+const REDUCTIONS: &[&str] = &[
+    "sum",
+    "product",
+    "fold",
+    "reduce",
+    "min",
+    "max",
+    "min_by",
+    "max_by",
+    "min_by_key",
+    "max_by_key",
+];
+
+/// See the module docs.
+pub struct FloatDeterminism;
+
+impl Rule for FloatDeterminism {
+    fn name(&self) -> &'static str {
+        "float-determinism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "float comparators use total_cmp; no reductions over hash-order iteration"
+    }
+
+    fn explain(&self) -> &'static str {
+        "Invariant: float comparators passed to sort_by/sort_unstable_by/\n\
+         binary_search_by/min_by/max_by use f64::total_cmp, never partial_cmp;\n\
+         and no sum/min/max/fold is taken over HashMap/HashSet iteration order.\n\
+         Rationale: partial_cmp is not a total order (NaN panics or silently\n\
+         reorders), and hash-order float reductions change value per process\n\
+         while every element stays correct — either silently breaks bit-identical\n\
+         trajectories and the mergeable tail sketch. For non-negative finite\n\
+         values total_cmp orders exactly like partial_cmp, so the swap never\n\
+         changes a healthy trajectory.\n\
+         Suppress a deliberate exception with\n\
+         `// lint: allow(float-determinism) — <reason>`."
+    }
+
+    fn check_file(&self, file: &SourceFile, out: &mut Vec<Finding>) {
+        let toks = &file.toks;
+        // `partial_cmp` inside a comparator sink's arguments.
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !COMPARATOR_SINKS.contains(&t.text.as_str()) {
+                continue;
+            }
+            if !(i > 0 && toks[i - 1].is_punct('.')) {
+                continue;
+            }
+            let Some(open) = toks.get(i + 1).filter(|t| t.is_punct('(')).map(|_| i + 1) else {
+                continue;
+            };
+            let close = matching_paren(toks, open);
+            for arg in &toks[open + 1..close] {
+                if arg.is_ident("partial_cmp") && !file.is_test_line(arg.line) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: arg.line,
+                        col: arg.col,
+                        message: format!(
+                            "`partial_cmp` inside `{}` — not a total order on floats \
+                             (NaN panics or silently reorders); use `f64::total_cmp`, \
+                             which is order-identical for the non-negative finite \
+                             values this code produces",
+                            t.text
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Hash-order reductions: only possible where hashed containers
+        // exist at all.
+        let uses_hash = toks.iter().any(|t| {
+            (t.is_ident("HashMap") || t.is_ident("HashSet")) && !file.is_test_line(t.line)
+        });
+        if !uses_hash {
+            return;
+        }
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if !(t.is_ident("values") || t.is_ident("keys") || t.is_ident("into_values")) {
+                continue;
+            }
+            if !(i > 0
+                && toks[i - 1].is_punct('.')
+                && toks.get(i + 1).is_some_and(|t| t.is_punct('(')))
+            {
+                continue;
+            }
+            if file.is_test_line(t.line) {
+                continue;
+            }
+            // Follow the method chain through adapters to a terminal.
+            let mut j = matching_paren(toks, i + 1) + 1;
+            while toks.get(j).is_some_and(|t| t.is_punct('.'))
+                && toks.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                && toks.get(j + 2).is_some_and(|t| t.is_punct('('))
+            {
+                let m = &toks[j + 1];
+                if REDUCTIONS.contains(&m.text.as_str()) {
+                    out.push(Finding {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: m.line,
+                        col: m.col,
+                        message: format!(
+                            "`.{}()…{}()` reduces over hash-map iteration order — the \
+                             result changes per process while every element stays \
+                             correct; collect and sort (or use a BTreeMap) first",
+                            t.text, m.text
+                        ),
+                    });
+                    break;
+                }
+                if !ADAPTERS.contains(&m.text.as_str()) {
+                    break;
+                }
+                j = matching_paren(toks, j + 2) + 1;
+            }
+        }
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[crate::lexer::Tok], open: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workspace::Workspace;
+
+    fn findings(src: &str) -> Vec<Finding> {
+        let ws = Workspace::from_sources(&[("stats/src/lib.rs", src)]);
+        crate::rules::run(&ws, &[])
+            .into_iter()
+            .filter(|f| f.rule == "float-determinism")
+            .collect()
+    }
+
+    #[test]
+    fn partial_cmp_comparators_are_flagged() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("total_cmp"));
+    }
+
+    #[test]
+    fn total_cmp_comparators_pass() {
+        let src = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.total_cmp(b)); }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_outside_comparators_passes() {
+        // Trait impls and validation conditions are legitimate uses.
+        let src = "impl PartialOrd for E {\n\
+                   fn partial_cmp(&self, o: &E) -> Option<Ordering> {\n\
+                   self.t.partial_cmp(&o.t)\n\
+                   }\n\
+                   }\n\
+                   fn v(x: f64) -> bool { x.partial_cmp(&0.0).is_some() }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn hash_order_reductions_are_flagged() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> f64 {\n\
+                   m.values().map(|v| v * 2.0).sum()\n\
+                   }\n";
+        let got = findings(src);
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("iteration order"));
+    }
+
+    #[test]
+    fn sorted_collection_reductions_pass() {
+        let src = "use std::collections::BTreeMap;\n\
+                   fn f(m: &BTreeMap<u32, f64>) -> f64 { m.values().sum() }\n";
+        assert!(findings(src).is_empty());
+    }
+
+    #[test]
+    fn hash_order_collect_then_sort_passes() {
+        let src = "use std::collections::HashMap;\n\
+                   fn f(m: &HashMap<u32, f64>) -> Vec<f64> {\n\
+                   let mut v: Vec<f64> = m.values().copied().collect();\n\
+                   v.sort_by(f64::total_cmp);\n\
+                   v\n\
+                   }\n";
+        assert!(findings(src).is_empty());
+    }
+}

@@ -3,7 +3,7 @@
 //! Each rule is a [`Rule`] implementation with a stable kebab-case name
 //! (the name pragmas and `--allow` refer to). Per-file rules implement
 //! [`Rule::check_file`]; rules that need to correlate several files
-//! (cache-key coverage, fork discipline) implement
+//! (cache-key coverage, spec-surface, lock-order) implement
 //! [`Rule::check_workspace`] instead. The engine applies the
 //! `// lint: allow(<rule>)` pragma filter centrally, so rules report
 //! every violation they see.
@@ -16,15 +16,21 @@ mod atomic_io;
 mod cache_key;
 mod crate_hardening;
 mod determinism;
-mod fork_discipline;
+mod float_determinism;
+mod lock_order;
 mod panic_hygiene;
+mod rng_flow;
+mod spec_surface;
 
 pub use atomic_io::AtomicIo;
 pub use cache_key::CacheKey;
 pub use crate_hardening::CrateHardening;
 pub use determinism::Determinism;
-pub use fork_discipline::ForkDiscipline;
+pub use float_determinism::FloatDeterminism;
+pub use lock_order::LockOrder;
 pub use panic_hygiene::PanicHygiene;
+pub use rng_flow::RngFlow;
+pub use spec_surface::SpecSurface;
 
 use crate::diag::Finding;
 use crate::source::SourceFile;
@@ -36,6 +42,12 @@ pub trait Rule {
     fn name(&self) -> &'static str;
     /// One-line description for `--list-rules`.
     fn describe(&self) -> &'static str;
+    /// Multi-line rationale for `--explain <rule>`: the invariant, why
+    /// it matters for this codebase, and how to suppress a deliberate
+    /// exception. Defaults to the one-line description.
+    fn explain(&self) -> &'static str {
+        self.describe()
+    }
     /// Per-file check; the default does nothing.
     fn check_file(&self, _file: &SourceFile, _out: &mut Vec<Finding>) {}
     /// Whole-workspace check; the default does nothing.
@@ -48,9 +60,12 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(Determinism),
         Box::new(PanicHygiene),
         Box::new(CacheKey),
-        Box::new(ForkDiscipline),
         Box::new(CrateHardening),
         Box::new(AtomicIo),
+        Box::new(SpecSurface),
+        Box::new(RngFlow),
+        Box::new(FloatDeterminism),
+        Box::new(LockOrder),
     ]
 }
 

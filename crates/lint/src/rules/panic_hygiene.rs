@@ -65,6 +65,7 @@ impl Rule for PanicHygiene {
                     rule: self.name(),
                     path: file.rel_path.clone(),
                     line: t.line,
+                    col: t.col,
                     message: format!(
                         "{why}; a true invariant needs `// lint: allow(panic-hygiene) — <reason>`"
                     ),

@@ -12,11 +12,25 @@ const SKIP_DIRS: &[&str] = &[
     "target", "vendor", "fixtures", ".git", "results", "docs", "related",
 ];
 
+/// A documentation file the spec-surface rule cross-checks against
+/// (only `README.md` / `DESIGN.md` are collected).
+#[derive(Debug, Clone)]
+pub struct DocFile {
+    /// Path relative to the lint root.
+    pub rel_path: String,
+    /// Raw markdown text.
+    pub text: String,
+}
+
 /// Every lintable source file under one root.
 #[derive(Debug, Default)]
 pub struct Workspace {
     /// Parsed files, sorted by relative path for deterministic output.
     pub files: Vec<SourceFile>,
+    /// README.md / DESIGN.md files found under the root, sorted by
+    /// relative path. Rules that enforce docs coverage read these;
+    /// when empty those checks are vacuous.
+    pub docs: Vec<DocFile>,
 }
 
 impl Workspace {
@@ -43,7 +57,14 @@ impl Workspace {
                 |n| n.to_string_lossy().into_owned(),
             );
             let src = fs::read_to_string(root)?;
-            self.files.push(SourceFile::parse(&rel, &src));
+            if rel.ends_with(".md") {
+                self.docs.push(DocFile {
+                    rel_path: rel,
+                    text: src,
+                });
+            } else {
+                self.files.push(SourceFile::parse(&rel, &src));
+            }
         } else {
             let mut paths = Vec::new();
             walk(root, &mut paths)?;
@@ -55,22 +76,39 @@ impl Workspace {
                     .to_string_lossy()
                     .replace('\\', "/");
                 let src = fs::read_to_string(&p)?;
-                self.files.push(SourceFile::parse(&rel, &src));
+                if rel.ends_with(".md") {
+                    self.docs.push(DocFile {
+                        rel_path: rel,
+                        text: src,
+                    });
+                } else {
+                    self.files.push(SourceFile::parse(&rel, &src));
+                }
             }
         }
         self.files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        self.docs.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
         Ok(())
     }
 
     /// Builds a workspace from in-memory `(rel_path, source)` pairs —
-    /// the unit-test entry point.
+    /// the unit-test entry point. Paths ending in `.md` become doc
+    /// files; everything else is parsed as Rust source.
     pub fn from_sources(sources: &[(&str, &str)]) -> Workspace {
-        let mut files: Vec<SourceFile> = sources
-            .iter()
-            .map(|(p, s)| SourceFile::parse(p, s))
-            .collect();
-        files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
-        Workspace { files }
+        let mut ws = Workspace::default();
+        for (p, s) in sources {
+            if p.ends_with(".md") {
+                ws.docs.push(DocFile {
+                    rel_path: (*p).to_string(),
+                    text: (*s).to_string(),
+                });
+            } else {
+                ws.files.push(SourceFile::parse(p, s));
+            }
+        }
+        ws.files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        ws.docs.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+        ws
     }
 }
 
@@ -85,7 +123,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
                 continue;
             }
             walk(&path, out)?;
-        } else if name.ends_with(".rs") {
+        } else if name.ends_with(".rs") || name == "README.md" || name == "DESIGN.md" {
             out.push(path);
         }
     }

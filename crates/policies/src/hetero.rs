@@ -96,12 +96,8 @@ impl HeteroLi {
         self.order.clear();
         self.order.extend(0..n);
         let wait = |i: usize| f64::from(loads[i]) / self.capacities[i];
-        self.order.sort_by(|&a, &b| {
-            wait(a)
-                .partial_cmp(&wait(b))
-                .expect("finite waits")
-                .then(a.cmp(&b))
-        });
+        self.order
+            .sort_by(|&a, &b| wait(a).total_cmp(&wait(b)).then(a.cmp(&b)));
 
         if r <= MIN_EXPECTED_ARRIVALS {
             // Fresh information: pick the minimum-wait servers, weighted by

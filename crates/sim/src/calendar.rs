@@ -242,12 +242,7 @@ impl<E> CalendarQueue<E> {
         for s in &mut self.spills {
             entries.append(s);
         }
-        entries.sort_unstable_by(|a, b| {
-            a.time
-                .partial_cmp(&b.time)
-                .expect("NaN rejected at push")
-                .then_with(|| a.seq.cmp(&b.seq))
-        });
+        entries.sort_unstable_by(|a, b| a.time.total_cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
         // Width heuristic (Brown): a few times the mean gap between the
         // soonest events, so each bucket near the cursor holds ~1 event.
         // The ×4 was tuned on the hold model: event density decays away

@@ -210,7 +210,7 @@ impl SimRng {
     pub fn discrete_cdf(&mut self, cdf: &[f64]) -> usize {
         assert!(!cdf.is_empty(), "cdf must be non-empty");
         let u = self.f64() * cdf.last().copied().unwrap_or(1.0);
-        match cdf.binary_search_by(|c| c.partial_cmp(&u).expect("cdf contains NaN")) {
+        match cdf.binary_search_by(|c| c.total_cmp(&u)) {
             Ok(i) | Err(i) => i.min(cdf.len() - 1),
         }
     }

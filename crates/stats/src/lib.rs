@@ -119,7 +119,7 @@ impl Summary {
             0.0
         };
         let mut sorted = trials.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        sorted.sort_by(|a, b| a.total_cmp(b));
         Self {
             trials: n,
             mean,

@@ -67,7 +67,7 @@ impl LinePlot {
         label: impl Into<String>,
         mut points: Vec<(f64, f64)>,
     ) -> &mut Self {
-        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        points.sort_by(|a, b| a.0.total_cmp(&b.0));
         self.series.push((label.into(), points));
         self
     }
